@@ -1,0 +1,20 @@
+//! Fig. 2 bench: generating the non-iid state traces.
+//!
+//! Regenerate the plotted series with
+//! `cargo run -p eotora-bench --release --bin figures -- --fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eotora_sim::experiments::traces::traces;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_traces");
+    for hours in [72u64, 24 * 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(hours), &hours, |b, &hours| {
+            b.iter(|| traces(std::hint::black_box(hours), 0.08, 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 3 bench: the i7-3770K quadratic fit and perturbed-fleet generation.
+//!
+//! Regenerate the plotted curves with
+//! `cargo run -p eotora-bench --release --bin figures -- --fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eotora_sim::experiments::energy_fit::energy_fit;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig3_fit_and_perturb", |b| {
+        b.iter(|| energy_fit(std::hint::black_box(16), 3));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 6 bench: CGBA(λ) convergence for increasing λ — fewer iterations,
+//! hence faster solves, as the stopping condition loosens.
+//!
+//! The objective/iteration rows are printed by
+//! `cargo run -p eotora-bench --release --bin figures -- --fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eotora_core::p2a::P2aProblem;
+use eotora_core::system::{MecSystem, SystemConfig};
+use eotora_game::CgbaConfig;
+use eotora_states::{PaperStateConfig, StateProvider};
+use eotora_util::rng::Pcg32;
+
+fn bench(c: &mut Criterion) {
+    let devices = if eotora_bench::quick_mode() { 30 } else { 100 };
+    let system = MecSystem::random(&SystemConfig::paper_defaults(devices), 66);
+    let mut states = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 66);
+    let state = states.observe(0, system.topology());
+    let p2a = P2aProblem::build(&system, &state, &system.min_frequencies());
+
+    let mut group = c.benchmark_group("fig6_cgba_lambda");
+    group.sample_size(10);
+    for lambda in [0.0, 0.04, 0.08, 0.12] {
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, &lambda| {
+            b.iter(|| {
+                let mut rng = Pcg32::seed(3);
+                let cfg = CgbaConfig { lambda, ..Default::default() };
+                std::hint::black_box(p2a.solve_cgba(&cfg, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

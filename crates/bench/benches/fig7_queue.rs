@@ -1,0 +1,33 @@
+//! Fig. 7 bench: one full BDMA-based DPP slot (the per-slot work behind the
+//! queue-backlog traces), at V = 50 and V = 100.
+//!
+//! The Q(t) traces themselves are printed by
+//! `cargo run -p eotora-bench --release --bin figures -- --fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eotora_core::dpp::{DppConfig, EotoraDpp};
+use eotora_core::system::{MecSystem, SystemConfig};
+use eotora_states::{PaperStateConfig, StateProvider};
+
+fn bench(c: &mut Criterion) {
+    let devices = if eotora_bench::quick_mode() { 20 } else { 100 };
+    let mut group = c.benchmark_group("fig7_dpp_slot");
+    group.sample_size(10);
+    for v in [50.0, 100.0] {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(devices), 77);
+        let mut states =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), 77);
+        let beta = states.observe(0, system.topology());
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            b.iter_batched(
+                || EotoraDpp::new(system.clone(), DppConfig { v, ..Default::default() }),
+                |mut dpp| std::hint::black_box(dpp.step(&beta)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 8 bench: a short DPP horizon per penalty weight V (the sweep whose
+//! converged backlog/latency the figure plots).
+//!
+//! The sweep rows are printed by
+//! `cargo run -p eotora-bench --release --bin figures -- --fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eotora_sim::runner::run;
+use eotora_sim::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let (devices, horizon) = if eotora_bench::quick_mode() { (10, 12) } else { (50, 24) };
+    let mut group = c.benchmark_group("fig8_dpp_horizon");
+    group.sample_size(10);
+    for v in [10.0, 100.0, 500.0] {
+        let scenario = Scenario::paper(devices, 88)
+            .with_v(v)
+            .with_horizon(horizon)
+            .with_bdma_rounds(2);
+        group.bench_with_input(BenchmarkId::from_parameter(v), &scenario, |b, scenario| {
+            b.iter(|| std::hint::black_box(run(scenario)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 9 bench: a short DPP horizon per (budget, algorithm) pair — the
+//! kernels behind the budget-sweep comparison of BDMA/MCBA/ROPT-based DPP.
+//!
+//! The sweep rows are printed by
+//! `cargo run -p eotora-bench --release --bin figures -- --fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eotora_core::dpp::SolverKind;
+use eotora_sim::runner::run;
+use eotora_sim::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let (devices, horizon) = if eotora_bench::quick_mode() { (10, 12) } else { (50, 24) };
+    let mut group = c.benchmark_group("fig9_budget_dpp");
+    group.sample_size(10);
+    let solvers = [
+        ("bdma", SolverKind::Cgba { lambda: 0.0 }),
+        ("mcba", SolverKind::Mcba { iterations: 2_000 }),
+        ("ropt", SolverKind::Ropt),
+    ];
+    for (name, solver) in solvers {
+        for budget in [0.7, 1.3] {
+            let scenario = Scenario::paper(devices, 99)
+                .with_budget(budget)
+                .with_horizon(horizon)
+                .with_bdma_rounds(2)
+                .with_solver(solver);
+            group.bench_with_input(
+                BenchmarkId::new(name, budget),
+                &scenario,
+                |b, scenario| {
+                    b.iter(|| std::hint::black_box(run(scenario)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

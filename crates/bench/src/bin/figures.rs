@@ -1,0 +1,378 @@
+//! Regenerates the data behind every figure of the paper's evaluation (§VI).
+//!
+//! ```text
+//! cargo run -p eotora-bench --release --bin figures -- --all
+//! cargo run -p eotora-bench --release --bin figures -- --fig4 --fig5
+//! cargo run -p eotora-bench --release --bin figures -- --all --quick
+//! ```
+//!
+//! `--quick` runs the scaled-down configurations (useful for smoke tests);
+//! without it the paper-scale settings of each experiment run. Each figure
+//! prints the rows/series the paper plots; `--svg <dir>` additionally writes
+//! SVG plots of the line-chart figures (2, 7, 8) into `<dir>`.
+//! EXPERIMENTS.md records the paper-vs-measured comparison.
+
+use eotora_sim::experiments::ablations::{
+    bdma_rounds, energy_families, per_slot_vs_dpp, scheduling_rules,
+};
+use eotora_sim::experiments::beta_only_gap::{beta_only_gap, BetaOnlyGapConfig};
+use eotora_sim::experiments::budget_sweep::{budget_sweep, BudgetSweepConfig};
+use eotora_sim::experiments::energy_fit::energy_fit;
+use eotora_sim::experiments::fairness::{fairness, FairnessConfig};
+use eotora_sim::experiments::lambda_sweep::{lambda_sweep, LambdaSweepConfig};
+use eotora_sim::experiments::p2a_comparison::{p2a_comparison, P2aComparisonConfig};
+use eotora_sim::experiments::queue_trace::{queue_trace, QueueTraceConfig};
+use eotora_sim::experiments::traces::traces;
+use eotora_sim::experiments::v_sweep::{v_sweep, VSweepConfig};
+use eotora_sim::report::{ascii_table, num};
+use eotora_sim::svg::{render_line_chart, SvgChart, SvgSeries};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let all = args.iter().any(|a| a == "--all") || args.iter().all(|a| a == "--quick");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let svg_dir: Option<String> =
+        args.windows(2).find(|w| w[0] == "--svg").map(|w| w[1].clone());
+    if let Some(dir) = &svg_dir {
+        std::fs::create_dir_all(dir).expect("cannot create --svg directory");
+    }
+
+    if want("--fig2") {
+        fig2(quick, svg_dir.as_deref());
+    }
+    if want("--fig3") {
+        fig3();
+    }
+    if want("--fig4") || want("--fig5") {
+        fig4_fig5(quick);
+    }
+    if want("--fig6") {
+        fig6(quick);
+    }
+    if want("--fig7") {
+        fig7(quick, svg_dir.as_deref());
+    }
+    if want("--fig8") {
+        fig8(quick, svg_dir.as_deref());
+    }
+    if want("--fig9") {
+        fig9(quick);
+    }
+    if want("--ablations") {
+        ablations(quick);
+    }
+}
+
+fn ablations(quick: bool) {
+    let (devices, trials, horizon) = if quick { (10, 2, 48) } else { (60, 5, 240) };
+
+    println!("\n=== Ablation A: BDMA alternation rounds z (P2 objective) ===");
+    let rows: Vec<Vec<String>> = bdma_rounds(devices, trials, 2024)
+        .iter()
+        .map(|r| vec![r.rounds.to_string(), num(r.objective)])
+        .collect();
+    println!("{}", ascii_table(&["z", "P2 objective"], &rows));
+
+    println!("=== Ablation B: CGBA player scheduling ===");
+    let rows: Vec<Vec<String>> = scheduling_rules(devices, trials, 2025)
+        .iter()
+        .map(|r| vec![r.rule.clone(), num(r.objective), format!("{:.1}", r.iterations)])
+        .collect();
+    println!("{}", ascii_table(&["rule", "objective (s)", "iterations"], &rows));
+
+    println!("=== Ablation C: energy-model families under DPP ===");
+    let rows: Vec<Vec<String>> = energy_families(devices.min(30), horizon, 2026)
+        .iter()
+        .map(|r| vec![r.family.clone(), num(r.average_latency), num(r.average_cost)])
+        .collect();
+    println!("{}", ascii_table(&["family", "avg latency (s)", "avg cost ($)"], &rows));
+
+    println!("=== Ablation D: per-slot budget vs time-average (DPP) budget ===");
+    let c = per_slot_vs_dpp(devices.min(30), horizon, 0.8, 2027);
+    let rows = vec![
+        vec!["DPP (time-average)".to_string(), num(c.dpp_latency), num(c.dpp_cost)],
+        vec!["per-slot Lagrangian".to_string(), num(c.per_slot_latency), num(c.per_slot_cost)],
+    ];
+    println!("{}", ascii_table(&["controller", "avg latency (s)", "avg cost ($)"], &rows));
+    println!("shared budget: ${:.2}/slot", c.budget);
+
+    println!("\n=== Ablation E: per-device fairness (Jain's index) ===");
+    let cfg = if quick { FairnessConfig::small() } else { FairnessConfig::paper() };
+    let rows: Vec<Vec<String>> = fairness(&cfg)
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                format!("{:.4}", r.mean_jains_index),
+                format!("{:.4}", r.worst_jains_index),
+                num(r.average_latency),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["variant", "mean Jain", "worst Jain", "avg latency (s)"], &rows)
+    );
+
+    println!("\n=== Ablation F: DPP vs hindsight β-only policy (Lemma 2 / Thm 4) ===");
+    let cfg = if quick { BetaOnlyGapConfig::small() } else { BetaOnlyGapConfig::paper() };
+    let g = beta_only_gap(&cfg);
+    println!(
+        "β-only benchmark: latency {} s at cost ${} (μ = {:.2})",
+        num(g.oracle_latency),
+        num(g.oracle_cost),
+        g.multiplier
+    );
+    let rows: Vec<Vec<String>> = g
+        .dpp
+        .iter()
+        .map(|&(v, lat, cost, ratio)| {
+            vec![num(v), num(lat), num(cost), format!("{ratio:.4}")]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["V", "DPP latency (s)", "DPP cost ($)", "latency ratio"], &rows)
+    );
+}
+
+fn write_svg(dir: &str, name: &str, chart: &SvgChart, series: &[SvgSeries]) {
+    let path = format!("{dir}/{name}.svg");
+    std::fs::write(&path, render_line_chart(chart, series))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn fig2(quick: bool, svg: Option<&str>) {
+    let hours = if quick { 48 } else { 72 };
+    let t = traces(hours, 0.08, 2);
+    println!("\n=== Fig. 2: real-world-shaped system-state traces (non-iid) ===");
+    let rows: Vec<Vec<String>> = t
+        .hours
+        .iter()
+        .map(|&h| vec![h.to_string(), num(t.price[h as usize]), num(t.demand[h as usize])])
+        .collect();
+    println!("{}", ascii_table(&["hour", "price $/kWh", "demand xbase"], &rows));
+    if let Some(dir) = svg {
+        let xs = |v: &[f64]| {
+            v.iter().enumerate().map(|(h, &y)| (h as f64, y)).collect::<Vec<_>>()
+        };
+        write_svg(
+            dir,
+            "fig2_traces",
+            &SvgChart {
+                title: "Fig. 2: non-iid system states".into(),
+                x_label: "hour".into(),
+                y_label: "value (price x10 for scale)".into(),
+                ..Default::default()
+            },
+            &[
+                SvgSeries {
+                    label: "price x10".into(),
+                    points: xs(&t.price.iter().map(|p| p * 10.0).collect::<Vec<_>>()),
+                },
+                SvgSeries { label: "demand".into(), points: xs(&t.demand) },
+            ],
+        );
+    }
+}
+
+fn fig3() {
+    let d = energy_fit(2, 3);
+    println!("\n=== Fig. 3: i7-3770K power vs frequency, quadratic fit ===");
+    let (a, b, c) = d.fit_coefficients;
+    println!("fit: P(f) = {a:.3}·f² + {b:.3}·f + {c:.3}  (f in GHz, P in W)");
+    let rows: Vec<Vec<String>> = d
+        .measured
+        .iter()
+        .map(|&(f, p)| {
+            let fitted = a * f * f + b * f + c;
+            vec![num(f), num(p), num(fitted), num(p - fitted)]
+        })
+        .collect();
+    println!("{}", ascii_table(&["GHz", "measured W", "fit W", "residual"], &rows));
+    println!("two perturbed server curves at 1.8 / 2.7 / 3.6 GHz:");
+    for (i, curve) in d.perturbed_curves.iter().enumerate() {
+        let pick = |ghz: f64| {
+            curve
+                .iter()
+                .min_by(|x, y| {
+                    (x.0 - ghz).abs().partial_cmp(&(y.0 - ghz).abs()).expect("finite")
+                })
+                .expect("non-empty curve")
+                .1
+        };
+        println!("  server {}: {:.1} W / {:.1} W / {:.1} W", i + 1, pick(1.8), pick(2.7), pick(3.6));
+    }
+}
+
+fn fig4_fig5(quick: bool) {
+    let config = if quick { P2aComparisonConfig::small() } else { P2aComparisonConfig::paper() };
+    let rows = p2a_comparison(&config);
+    println!("\n=== Fig. 4: P2-A objective (s): CGBA(0) vs baselines vs OPT ===");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.devices.to_string(),
+                num(r.cgba.objective),
+                num(r.mcba.objective),
+                num(r.ropt.objective),
+                num(r.exact.objective),
+                num(r.exact_lower_bound),
+                format!("{:.3}", r.cgba_to_opt_ratio()),
+                format!("{:.0}%", r.proven_fraction * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &["I", "CGBA", "MCBA", "ROPT", "OPT(B&B)", "cert. LB", "CGBA/OPT", "proven"],
+            &table
+        )
+    );
+
+    println!("=== Fig. 5: wall-clock time per P2-A solve (s) ===");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.devices.to_string(),
+                num(r.cgba.time_s),
+                num(r.mcba.time_s),
+                num(r.ropt.time_s),
+                num(r.exact.time_s),
+                format!("{:.0}x", r.exact.time_s / r.cgba.time_s.max(1e-12)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["I", "CGBA", "MCBA", "ROPT", "OPT(B&B)", "OPT/CGBA"], &table)
+    );
+}
+
+fn fig6(quick: bool) {
+    let config = if quick { LambdaSweepConfig::small() } else { LambdaSweepConfig::paper() };
+    let rows = lambda_sweep(&config);
+    println!("\n=== Fig. 6: CGBA(λ) objective & iterations vs λ (I={}) ===", config.devices);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![format!("{:.2}", r.lambda), num(r.objective), format!("{:.1}", r.iterations)])
+        .collect();
+    println!("{}", ascii_table(&["lambda", "objective (s)", "iterations"], &table));
+}
+
+fn fig7(quick: bool, svg: Option<&str>) {
+    let config = if quick { QueueTraceConfig::small() } else { QueueTraceConfig::paper() };
+    let data = queue_trace(&config);
+    if let Some(dir) = svg {
+        let series: Vec<SvgSeries> = data
+            .iter()
+            .map(|t| SvgSeries {
+                label: format!("V={}", t.v),
+                points: t.queue.iter().enumerate().map(|(s, &q)| (s as f64, q)).collect(),
+            })
+            .collect();
+        write_svg(
+            dir,
+            "fig7_queue_backlog",
+            &SvgChart {
+                title: "Fig. 7: queue backlog Q(t)".into(),
+                x_label: "slot".into(),
+                y_label: "backlog".into(),
+                ..Default::default()
+            },
+            &series,
+        );
+    }
+    println!("\n=== Fig. 7: queue backlog Q(t) vs time (every 12th slot) ===");
+    let header: Vec<String> = std::iter::once("slot".to_string())
+        .chain(data.iter().map(|t| format!("Q(t) V={}", t.v)))
+        .chain(std::iter::once("price".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..data[0].queue.len())
+        .step_by(12)
+        .map(|t| {
+            std::iter::once(t.to_string())
+                .chain(data.iter().map(|tr| num(tr.queue[t])))
+                .chain(std::iter::once(num(data[0].price[t])))
+                .collect()
+        })
+        .collect();
+    println!("{}", ascii_table(&header_refs, &rows));
+}
+
+fn fig8(quick: bool, svg: Option<&str>) {
+    let config = if quick { VSweepConfig::small() } else { VSweepConfig::paper() };
+    let rows = v_sweep(&config);
+    if let Some(dir) = svg {
+        write_svg(
+            dir,
+            "fig8_queue_vs_v",
+            &SvgChart {
+                title: "Fig. 8 (left): converged backlog vs V".into(),
+                x_label: "V".into(),
+                y_label: "converged queue".into(),
+                ..Default::default()
+            },
+            &[SvgSeries {
+                label: "backlog".into(),
+                points: rows.iter().map(|r| (r.v, r.converged_queue)).collect(),
+            }],
+        );
+        write_svg(
+            dir,
+            "fig8_latency_vs_v",
+            &SvgChart {
+                title: "Fig. 8 (right): average latency vs V".into(),
+                x_label: "V".into(),
+                y_label: "latency (s)".into(),
+                ..Default::default()
+            },
+            &[SvgSeries {
+                label: "latency".into(),
+                points: rows.iter().map(|r| (r.v, r.average_latency)).collect(),
+            }],
+        );
+    }
+    println!("\n=== Fig. 8: converged queue backlog & average latency vs V ===");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![num(r.v), num(r.converged_queue), num(r.average_latency), num(r.average_cost)]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["V", "converged Q", "avg latency (s)", "avg cost ($)"], &table)
+    );
+}
+
+fn fig9(quick: bool) {
+    let config = if quick { BudgetSweepConfig::small() } else { BudgetSweepConfig::paper() };
+    let rows = budget_sweep(&config);
+    println!("\n=== Fig. 9: time-average latency & energy cost vs budget C̄ ===");
+    let mut table = Vec::new();
+    for row in &rows {
+        for p in &row.points {
+            table.push(vec![
+                num(row.budget),
+                p.algorithm.clone(),
+                num(p.tail_latency),
+                num(p.average_cost),
+                if p.average_cost <= row.budget * 1.02 { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        ascii_table(
+            &["budget $", "algorithm", "tail latency (s)", "avg cost ($)", "under budget"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,17 @@
+//! Shared helpers for the `eotora-bench` benchmarks and the `figures`
+//! binary.
+//!
+//! The interesting code lives in:
+//!
+//! * `src/bin/figures.rs` — regenerates the data series behind every figure
+//!   of the paper (run `cargo run -p eotora-bench --release --bin figures --
+//!   --all`),
+//! * `benches/fig*_*.rs` — Criterion benchmarks, one per paper figure,
+//!   measuring the computational kernels those figures exercise.
+
+/// Whether benches should run in scaled-down mode (set the `EOTORA_QUICK`
+/// environment variable); used so `cargo bench --workspace` completes in
+//  minutes rather than hours while keeping the paper-scale path available.
+pub fn quick_mode() -> bool {
+    std::env::var_os("EOTORA_QUICK").is_some()
+}

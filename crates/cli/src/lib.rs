@@ -1,0 +1,106 @@
+//! Argument-parsing helpers for the `eotora` CLI binary.
+//!
+//! Kept in a library target so the parsing logic is unit-testable; the
+//! binary in `main.rs` stays a thin command dispatcher.
+
+/// Returns the value following `--flag` in `args`, if present.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_cli::flag_value;
+///
+/// let args = vec!["--devices".to_string(), "50".to_string()];
+/// assert_eq!(flag_value(&args, "--devices"), Some("50"));
+/// assert_eq!(flag_value(&args, "--seed"), None);
+/// ```
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].as_str())
+}
+
+/// Parses `--flag value` into `T`, falling back to `default` when absent.
+///
+/// # Errors
+///
+/// Returns a message naming the flag when the value fails to parse.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_cli::parse_flag;
+///
+/// let args: Vec<String> = vec!["--seed".into(), "7".into()];
+/// assert_eq!(parse_flag(&args, "--seed", 0u64), Ok(7));
+/// assert_eq!(parse_flag(&args, "--devices", 100usize), Ok(100));
+/// assert!(parse_flag::<u64>(&["--seed".into(), "x".into()], "--seed", 0).is_err());
+/// ```
+pub fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value `{v}` for {flag}")),
+    }
+}
+
+/// Parses a comma-separated list of floats (the `--budgets` argument).
+///
+/// # Errors
+///
+/// Returns a message naming the offending entry, or "empty list".
+///
+/// # Examples
+///
+/// ```
+/// use eotora_cli::parse_float_list;
+///
+/// assert_eq!(parse_float_list("0.7, 1.0,1.3"), Ok(vec![0.7, 1.0, 1.3]));
+/// assert!(parse_float_list("0.7,x").is_err());
+/// assert!(parse_float_list("").is_err());
+/// ```
+pub fn parse_float_list(text: &str) -> Result<Vec<f64>, String> {
+    let items: Vec<&str> = text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    if items.is_empty() {
+        return Err("empty list".into());
+    }
+    items
+        .iter()
+        .map(|s| s.parse().map_err(|_| format!("invalid number `{s}`")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_finds_pairs() {
+        let a = args(&["run", "file.json", "--out", "r.json", "--csv", "pre"]);
+        assert_eq!(flag_value(&a, "--out"), Some("r.json"));
+        assert_eq!(flag_value(&a, "--csv"), Some("pre"));
+        assert_eq!(flag_value(&a, "--missing"), None);
+    }
+
+    #[test]
+    fn flag_at_end_without_value_is_none() {
+        let a = args(&["run", "--out"]);
+        assert_eq!(flag_value(&a, "--out"), None);
+    }
+
+    #[test]
+    fn parse_flag_default_and_error() {
+        let a = args(&["--devices", "64"]);
+        assert_eq!(parse_flag(&a, "--devices", 10usize), Ok(64));
+        assert_eq!(parse_flag(&a, "--seed", 3u64), Ok(3));
+        assert!(parse_flag::<usize>(&args(&["--devices", "-2"]), "--devices", 1).is_err());
+    }
+
+    #[test]
+    fn float_list_handles_whitespace_and_errors() {
+        assert_eq!(parse_float_list(" 1.0 ,2.5 "), Ok(vec![1.0, 2.5]));
+        assert!(parse_float_list(",,").is_err());
+        assert!(parse_float_list("1.0,,2.0").map(|v| v.len()) == Ok(2));
+    }
+}

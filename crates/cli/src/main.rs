@@ -1,0 +1,236 @@
+//! `eotora` — command-line front end for the workspace.
+//!
+//! ```text
+//! eotora template [--devices N] [--seed S]        # print a scenario JSON template
+//! eotora run <scenario.json> [--out results.json] [--csv prefix]
+//! eotora topology [--devices N] [--seed S]        # summarize the generated network
+//! eotora sweep <scenario.json> --budgets 0.7,1.0,1.3
+//! ```
+//!
+//! Scenario files are the serde form of [`eotora_sim::Scenario`]; `template`
+//! emits a starting point. `run` prints a summary table and optionally
+//! writes full per-slot series as JSON and/or CSV.
+
+use std::process::ExitCode;
+
+use eotora_cli::{flag_value, parse_flag, parse_float_list};
+use eotora_core::system::MecSystem;
+use eotora_sim::report::{ascii_table, csv, num};
+use eotora_sim::runner::{run, run_many};
+use eotora_sim::scenario::Scenario;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("template") => cmd_template(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("topology") => cmd_topology(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+eotora — energy-aware online task offloading (ICDCS'23 reproduction)
+
+USAGE:
+  eotora template [--devices N] [--seed S]
+  eotora run <scenario.json> [--out results.json] [--csv prefix] [--svg prefix]
+  eotora topology [--devices N] [--seed S]
+  eotora sweep <scenario.json> --budgets 0.7,1.0,1.3
+  eotora compare [--devices N] [--seed S]   # one-slot P2-A algorithm shoot-out
+";
+
+fn cmd_template(args: &[String]) -> Result<(), String> {
+    let devices: usize = parse_flag(args, "--devices", 100)?;
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let scenario = Scenario::paper(devices, seed);
+    let json = serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
+fn load_scenario(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run requires a scenario file")?;
+    let scenario = load_scenario(path)?;
+    eprintln!(
+        "running `{}`: {} devices, {} slots, V={}, budget ${:.2}/slot …",
+        scenario.label,
+        scenario.system.topology.num_devices,
+        scenario.horizon,
+        scenario.dpp.v,
+        scenario.system.budget_per_slot
+    );
+    let result = run(&scenario);
+
+    let rows = vec![
+        vec!["slots".into(), result.latency.len().to_string()],
+        vec!["avg latency (s)".into(), num(result.average_latency)],
+        vec!["tail latency, 48 slots (s)".into(), num(result.latency.tail_average(48))],
+        vec!["avg energy cost ($)".into(), num(result.average_cost)],
+        vec!["budget ($)".into(), num(result.budget)],
+        vec![
+            "within budget".into(),
+            if result.budget_satisfied(0.05) { "yes" } else { "no (check horizon/V)" }.into(),
+        ],
+        vec!["final queue backlog".into(), num(result.queue.last().unwrap_or(0.0))],
+        vec!["mean solve time (s)".into(), num(result.solve_time.time_average())],
+    ];
+    println!("{}", ascii_table(&["metric", "value"], &rows));
+
+    if let Some(out) = flag_value(args, "--out") {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    if let Some(prefix) = flag_value(args, "--svg") {
+        use eotora_sim::svg::{render_line_chart, SvgChart, SvgSeries};
+        let as_points = |s: &eotora_util::series::TimeSeries| {
+            s.values().iter().enumerate().map(|(t, &v)| (t as f64, v)).collect::<Vec<_>>()
+        };
+        for (name, title, ylabel, series) in [
+            ("queue", "virtual-queue backlog Q(t)", "backlog", &result.queue),
+            ("latency", "per-slot latency", "seconds", &result.latency),
+            ("cost", "per-slot energy cost", "dollars", &result.cost),
+        ] {
+            let path = format!("{prefix}_{name}.svg");
+            let svg = render_line_chart(
+                &SvgChart {
+                    title: title.into(),
+                    x_label: "slot".into(),
+                    y_label: ylabel.into(),
+                    ..Default::default()
+                },
+                &[SvgSeries { label: result.label.clone(), points: as_points(series) }],
+            );
+            std::fs::write(&path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
+    if let Some(prefix) = flag_value(args, "--csv") {
+        let header = ["slot", "latency_s", "cost_usd", "queue", "price"];
+        let rows: Vec<Vec<String>> = (0..result.latency.len())
+            .map(|t| {
+                vec![
+                    t.to_string(),
+                    result.latency.values()[t].to_string(),
+                    result.cost.values()[t].to_string(),
+                    result.queue.values()[t].to_string(),
+                    result.price.values()[t].to_string(),
+                ]
+            })
+            .collect();
+        let path = format!("{prefix}_slots.csv");
+        std::fs::write(&path, csv(&header, &rows)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_topology(args: &[String]) -> Result<(), String> {
+    let devices: usize = parse_flag(args, "--devices", 100)?;
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let scenario = Scenario::paper(devices, seed);
+    let system = MecSystem::random(&scenario.system, seed);
+    let topo = system.topology();
+    let mut rows = Vec::new();
+    for k in topo.base_station_ids() {
+        let bs = topo.base_station(k);
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.0} MHz", bs.access_bandwidth_hz / 1e6),
+            format!("{:.2} GHz", bs.fronthaul_bandwidth_hz / 1e9),
+            bs.linked_clusters.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("+"),
+            topo.servers_reachable_from(k).len().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        ascii_table(&["BS", "access BW", "fronthaul BW", "rooms", "reachable servers"], &rows)
+    );
+    println!(
+        "{} rooms, {} servers ({} devices); fleet power {:.1}-{:.1} kW; budget ${:.2}/slot",
+        topo.num_clusters(),
+        topo.num_servers(),
+        topo.num_devices(),
+        system.fleet_power_watts(&system.min_frequencies()) / 1000.0,
+        system.fleet_power_watts(&system.max_frequencies()) / 1000.0,
+        system.budget_per_slot(),
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    use eotora_sim::experiments::p2a_comparison::{p2a_comparison, P2aComparisonConfig};
+    let devices: usize = parse_flag(args, "--devices", 60)?;
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let config = P2aComparisonConfig {
+        device_counts: vec![devices],
+        trials: 3,
+        seed,
+        ..P2aComparisonConfig::paper()
+    };
+    eprintln!("comparing P2-A solvers at I={devices} (3 trials) …");
+    let rows = p2a_comparison(&config);
+    let r = &rows[0];
+    let table = vec![
+        vec!["CGBA(0)".to_string(), num(r.cgba.objective), num(r.cgba.time_s)],
+        vec!["MCBA".to_string(), num(r.mcba.objective), num(r.mcba.time_s)],
+        vec!["ROPT".to_string(), num(r.ropt.objective), num(r.ropt.time_s)],
+        vec!["OPT (B&B)".to_string(), num(r.exact.objective), num(r.exact.time_s)],
+    ];
+    println!("{}", ascii_table(&["algorithm", "latency (s)", "time (s)"], &table));
+    println!(
+        "certified lower bound {} ({}% of trials proven optimal)",
+        num(r.exact_lower_bound),
+        (r.proven_fraction * 100.0) as u32
+    );
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("sweep requires a scenario file")?;
+    let base = load_scenario(path)?;
+    let budgets =
+        parse_float_list(flag_value(args, "--budgets").ok_or("sweep requires --budgets a,b,c")?)?;
+    let scenarios: Vec<Scenario> = budgets
+        .iter()
+        .map(|&b| base.clone().with_budget(b).with_label(format!("{} C̄={b}", base.label)))
+        .collect();
+    eprintln!("running {} scenarios in parallel …", scenarios.len());
+    let results = run_many(&scenarios);
+    let rows: Vec<Vec<String>> = budgets
+        .iter()
+        .zip(&results)
+        .map(|(&b, r)| {
+            vec![
+                num(b),
+                num(r.latency.tail_average(48)),
+                num(r.cost.tail_average(r.cost.len() / 2)),
+                num(r.converged_queue(48)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["budget $", "tail latency (s)", "converged cost ($)", "queue"], &rows)
+    );
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! Lemma 1: closed-form optimal resource allocation `(Φ*, Ψ*)`.
+//!
+//! Given the discrete assignment `(x_t, y_t)` and frequencies `Ω_t`, the
+//! REAL subproblem — minimize latency over the bandwidth and compute shares —
+//! is convex, and its KKT conditions give square-root-proportional shares:
+//!
+//! ```text
+//! φ*_{i,n}  = √(f_i/σ_{i,n}) / Σ_{j→n} √(f_j/σ_{j,n})      (15)
+//! ψ*A_{i,k} = √(d_i/h_{i,k}) / Σ_{j→k} √(d_j/h_{j,k})      (16)
+//! ψ*F_{i,k} = √(d_i/h^F_k)   / Σ_{j→k} √(d_j/h^F_k)        (17)
+//! ```
+//!
+//! (We use `h_{j,k}` inside the sums of (16) — the paper's `h_{i,k}` there is
+//! a typo; only the corrected form reproduces eq. (19) on substitution, which
+//! the latency tests verify.)
+
+use eotora_states::SystemState;
+
+use crate::decision::{Assignment, SlotDecision};
+use crate::system::MecSystem;
+
+/// Computes the Lemma 1 allocation and packages the full feasible
+/// [`SlotDecision`] for the given assignment and frequencies.
+///
+/// Every returned share is in `(0, 1]`, and shares sum to exactly 1 on every
+/// resource that serves at least one device, so the result always passes
+/// [`SlotDecision::validate`].
+///
+/// # Panics
+///
+/// Panics if the argument dimensions disagree with the system.
+pub fn optimal_allocation(
+    system: &MecSystem,
+    state: &SystemState,
+    assignments: &[Assignment],
+    freqs_hz: &[f64],
+) -> SlotDecision {
+    let topo = system.topology();
+    assert_eq!(assignments.len(), topo.num_devices(), "one assignment per device");
+    assert_eq!(freqs_hz.len(), topo.num_servers(), "one frequency per server");
+
+    // Denominators: Σ_j √(·) per resource.
+    let mut compute_denom = vec![0.0; topo.num_servers()];
+    let mut access_denom = vec![0.0; topo.num_base_stations()];
+    let mut fronthaul_denom = vec![0.0; topo.num_base_stations()];
+
+    let compute_root = |i: usize, a: &Assignment| {
+        (state.task_cycles[i] / system.suitability(eotora_topology::DeviceId(i), a.server)).sqrt()
+    };
+    let access_root =
+        |i: usize, a: &Assignment| (state.data_bits[i] / state.spectral_efficiency[i][a.base_station.index()]).sqrt();
+    let fronthaul_root = |i: usize, a: &Assignment| {
+        (state.data_bits[i] / state.fronthaul_efficiency[a.base_station.index()]).sqrt()
+    };
+
+    for (i, a) in assignments.iter().enumerate() {
+        compute_denom[a.server.index()] += compute_root(i, a);
+        access_denom[a.base_station.index()] += access_root(i, a);
+        fronthaul_denom[a.base_station.index()] += fronthaul_root(i, a);
+    }
+
+    let mut access_share = Vec::with_capacity(assignments.len());
+    let mut fronthaul_share = Vec::with_capacity(assignments.len());
+    let mut compute_share = Vec::with_capacity(assignments.len());
+    for (i, a) in assignments.iter().enumerate() {
+        compute_share.push(compute_root(i, a) / compute_denom[a.server.index()]);
+        access_share.push(access_root(i, a) / access_denom[a.base_station.index()]);
+        fronthaul_share.push(fronthaul_root(i, a) / fronthaul_denom[a.base_station.index()]);
+    }
+
+    SlotDecision {
+        assignments: assignments.to_vec(),
+        access_share,
+        fronthaul_share,
+        compute_share,
+        frequencies_hz: freqs_hz.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::latency_under;
+    use crate::system::SystemConfig;
+    use eotora_states::{PaperStateConfig, StateProvider};
+    use eotora_topology::BaseStationId;
+    use eotora_util::assert_close;
+    use eotora_util::rng::Pcg32;
+
+    fn setup(devices: usize, seed: u64) -> (MecSystem, SystemState, Vec<Assignment>) {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(devices), seed);
+        let mut provider = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+        let state = provider.observe(0, system.topology());
+        let topo = system.topology();
+        let mut rng = Pcg32::seed(seed + 100);
+        let assignments = (0..devices)
+            .map(|_| {
+                let k = BaseStationId(rng.below(topo.num_base_stations()));
+                let server = *rng.pick(&topo.servers_reachable_from(k)).unwrap();
+                Assignment { base_station: k, server }
+            })
+            .collect();
+        (system, state, assignments)
+    }
+
+    #[test]
+    fn shares_sum_to_one_per_active_resource() {
+        let (system, state, assignments) = setup(20, 1);
+        let d = optimal_allocation(&system, &state, &assignments, &system.max_frequencies());
+        let topo = system.topology();
+        let mut acc = vec![0.0; topo.num_base_stations()];
+        let mut fh = vec![0.0; topo.num_base_stations()];
+        let mut cmp = vec![0.0; topo.num_servers()];
+        for (i, a) in d.assignments.iter().enumerate() {
+            acc[a.base_station.index()] += d.access_share[i];
+            fh[a.base_station.index()] += d.fronthaul_share[i];
+            cmp[a.server.index()] += d.compute_share[i];
+        }
+        for k in 0..topo.num_base_stations() {
+            if acc[k] > 0.0 {
+                assert_close!(acc[k], 1.0, 1e-9);
+                assert_close!(fh[k], 1.0, 1e-9);
+            }
+        }
+        for &total in cmp.iter().take(topo.num_servers()) {
+            if total > 0.0 {
+                assert_close!(total, 1.0, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_validates() {
+        let (system, state, assignments) = setup(15, 2);
+        let d = optimal_allocation(&system, &state, &assignments, &system.min_frequencies());
+        d.validate(&system).unwrap();
+    }
+
+    #[test]
+    fn heavier_tasks_get_larger_compute_shares() {
+        // Among devices on the same server with equal suitability structure,
+        // φ ∝ √(f/σ); check the monotonic relation empirically.
+        let (system, state, assignments) = setup(25, 3);
+        let d = optimal_allocation(&system, &state, &assignments, &system.max_frequencies());
+        for n in system.topology().server_ids() {
+            let on_server: Vec<usize> = (0..assignments.len())
+                .filter(|&i| assignments[i].server == n)
+                .collect();
+            for &i in &on_server {
+                for &j in &on_server {
+                    let wi = state.task_cycles[i] / system.suitability(eotora_topology::DeviceId(i), n);
+                    let wj = state.task_cycles[j] / system.suitability(eotora_topology::DeviceId(j), n);
+                    if wi > wj {
+                        assert!(d.compute_share[i] >= d.compute_share[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_is_locally_optimal_against_perturbations() {
+        // Moving mass ε between any two devices on the same resource must not
+        // reduce latency (first-order optimality of the closed form).
+        let (system, state, assignments) = setup(12, 4);
+        let freqs = system.max_frequencies();
+        let base = optimal_allocation(&system, &state, &assignments, &freqs);
+        let base_latency = latency_under(&system, &state, &base).total();
+        let eps = 1e-3;
+        // Find two devices sharing a server.
+        for i in 0..assignments.len() {
+            for j in (i + 1)..assignments.len() {
+                if assignments[i].server == assignments[j].server {
+                    for (da, db) in [(eps, -eps), (-eps, eps)] {
+                        let mut d = base.clone();
+                        d.compute_share[i] += da;
+                        d.compute_share[j] += db;
+                        if d.compute_share[i] > 0.0 && d.compute_share[j] > 0.0 {
+                            let l = latency_under(&system, &state, &d).total();
+                            assert!(
+                                l >= base_latency - 1e-9,
+                                "perturbation improved latency: {l} < {base_latency}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_device_gets_everything() {
+        let (system, state, _) = setup(1, 5);
+        let topo = system.topology();
+        let k = BaseStationId(0);
+        let n = topo.servers_reachable_from(k)[0];
+        let assignments = vec![Assignment { base_station: k, server: n }];
+        let d = optimal_allocation(&system, &state, &assignments, &system.max_frequencies());
+        assert_close!(d.access_share[0], 1.0, 1e-12);
+        assert_close!(d.fronthaul_share[0], 1.0, 1e-12);
+        assert_close!(d.compute_share[0], 1.0, 1e-12);
+    }
+}

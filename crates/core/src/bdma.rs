@@ -1,0 +1,248 @@
+//! BDMA — Benders'-Decomposition-Motivated Algorithm for P2 (Alg. 2).
+//!
+//! P2 couples discrete decisions `(x, y)` with continuous frequencies `Ω`.
+//! BDMA(z) alternates, for `z` rounds, between
+//!
+//! 1. **P2-A** — fix `Ω`, pick `(x, y)` (a congestion-game solver; the
+//!    paper's choice is CGBA, with ROPT/MCBA as baselines — see
+//!    [`crate::baselines`]), and
+//! 2. **P2-B** — fix `(x, y)`, optimize `Ω` exactly
+//!    ([`crate::p2b::solve_p2b`]),
+//!
+//! keeping the best `(x̄, ȳ, Ω̄)` by the P2 objective
+//! `f = V·T_t + Q(t)·Θ(Ω, p_t)`. Theorem 3 gives the per-slot guarantee
+//! `R = 2.62·R_F/(1−8λ)` already for `z = 1` starting from `Ω = Ω^L`;
+//! additional rounds only improve the incumbent (asserted in tests).
+
+use std::fmt;
+
+use eotora_game::CgbaConfig;
+use eotora_states::SystemState;
+use eotora_util::rng::Pcg32;
+
+use crate::decision::Assignment;
+use crate::p2a::P2aProblem;
+use crate::p2b::solve_p2b;
+use crate::system::MecSystem;
+
+/// A pluggable solver for the P2-A subproblem (the `(x, y)` step).
+///
+/// Returning *strategy choices* (indices into each player's strategy list)
+/// rather than raw assignments keeps feasibility by construction.
+pub trait P2aSolver: fmt::Debug {
+    /// Short name used in experiment reports ("CGBA", "ROPT", "MCBA", ...).
+    fn name(&self) -> &'static str;
+
+    /// Produces one strategy choice per device.
+    fn solve(&mut self, problem: &P2aProblem, rng: &mut Pcg32) -> Vec<usize>;
+}
+
+/// The paper's P2-A solver: CGBA(λ) best-response dynamics.
+#[derive(Debug, Clone, Default)]
+pub struct CgbaSolver {
+    /// CGBA parameters (λ, iteration cap, scheduling rule).
+    pub config: CgbaConfig,
+}
+
+impl CgbaSolver {
+    /// CGBA with the given λ and default scheduling.
+    pub fn with_lambda(lambda: f64) -> Self {
+        Self { config: CgbaConfig { lambda, ..Default::default() } }
+    }
+}
+
+impl P2aSolver for CgbaSolver {
+    fn name(&self) -> &'static str {
+        "CGBA"
+    }
+
+    fn solve(&mut self, problem: &P2aProblem, rng: &mut Pcg32) -> Vec<usize> {
+        problem.solve_cgba(&self.config, rng).profile.choices().to_vec()
+    }
+}
+
+/// Configuration for [`solve_p2`].
+#[derive(Debug, Clone)]
+pub struct BdmaConfig {
+    /// Number of alternation rounds `z` (paper default in §VI-C: 5).
+    pub rounds: usize,
+}
+
+impl Default for BdmaConfig {
+    fn default() -> Self {
+        Self { rounds: 5 }
+    }
+}
+
+/// A P2 solution `(x̄, ȳ, Ω̄)` with its objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Solution {
+    /// Per-device `(base station, server)` assignment.
+    pub assignments: Vec<Assignment>,
+    /// Per-server frequencies in Hz.
+    pub freqs_hz: Vec<f64>,
+    /// `f(x̄, ȳ, Ω̄) = V·T_t + Q·Θ`.
+    pub objective: f64,
+    /// Latency `T_t` at the solution (under Lemma 1 allocation).
+    pub latency: f64,
+    /// Energy cost `C_t` at the solution, in dollars.
+    pub energy_cost: f64,
+}
+
+/// Runs BDMA(z) for one slot with the given P2-A solver (Alg. 2).
+///
+/// # Panics
+///
+/// Panics if `config.rounds == 0` or `v` is not positive.
+pub fn solve_p2(
+    system: &MecSystem,
+    state: &SystemState,
+    v: f64,
+    queue: f64,
+    config: &BdmaConfig,
+    p2a_solver: &mut dyn P2aSolver,
+    rng: &mut Pcg32,
+) -> P2Solution {
+    assert!(config.rounds > 0, "BDMA needs at least one round");
+    assert!(v > 0.0, "penalty weight must be positive");
+
+    // Line 1 of Alg. 2: Ω ← Ω^L.
+    let mut freqs = system.min_frequencies();
+    let mut best: Option<P2Solution> = None;
+
+    for _ in 0..config.rounds {
+        // Line 3: solve P2-A at the current frequencies.
+        let p2a = P2aProblem::build(system, state, &freqs);
+        let choices = p2a_solver.solve(&p2a, rng);
+        let assignments = p2a.assignments_from_choices(&choices);
+        // Line 4: solve P2-B at the chosen assignment.
+        let p2b = solve_p2b(system, state, &assignments, v, queue);
+        freqs = p2b.freqs_hz.clone();
+        // Lines 5–7: keep the incumbent with the best P2 objective.
+        let latency =
+            crate::latency::optimal_latency(system, state, &assignments, &p2b.freqs_hz).total();
+        let energy_cost = system.energy_cost(state.price_per_kwh, &p2b.freqs_hz);
+        let candidate = P2Solution {
+            assignments,
+            freqs_hz: p2b.freqs_hz,
+            objective: p2b.objective,
+            latency,
+            energy_cost,
+        };
+        if best.as_ref().is_none_or(|b| candidate.objective < b.objective) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one round ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use eotora_states::{PaperStateConfig, StateProvider};
+    use eotora_util::assert_close;
+
+    fn setup(devices: usize, seed: u64) -> (MecSystem, SystemState) {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(devices), seed);
+        let mut p = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+        let state = p.observe(0, system.topology());
+        (system, state)
+    }
+
+    fn run(system: &MecSystem, state: &SystemState, v: f64, q: f64, rounds: usize, seed: u64) -> P2Solution {
+        let mut solver = CgbaSolver::default();
+        let mut rng = Pcg32::seed(seed);
+        solve_p2(system, state, v, q, &BdmaConfig { rounds }, &mut solver, &mut rng)
+    }
+
+    #[test]
+    fn solution_is_feasible() {
+        let (system, state) = setup(25, 41);
+        let sol = run(&system, &state, 100.0, 50.0, 5, 1);
+        let decision = crate::allocation::optimal_allocation(&system, &state, &sol.assignments, &sol.freqs_hz);
+        decision.validate(&system).unwrap();
+    }
+
+    #[test]
+    fn more_rounds_never_hurt() {
+        let (system, state) = setup(20, 42);
+        // Identical RNG seeds: round r's trajectory is a prefix, so the
+        // incumbent can only improve.
+        let obj: Vec<f64> = [1, 2, 5].iter().map(|&z| run(&system, &state, 100.0, 80.0, z, 7).objective).collect();
+        assert!(obj[1] <= obj[0] + 1e-9);
+        assert!(obj[2] <= obj[1] + 1e-9);
+    }
+
+    #[test]
+    fn objective_decomposition() {
+        let (system, state) = setup(15, 43);
+        let (v, q) = (120.0, 60.0);
+        let sol = run(&system, &state, v, q, 3, 2);
+        let excess = sol.energy_cost - system.budget_per_slot();
+        assert_close!(sol.objective, v * sol.latency + q * excess, 1e-9);
+    }
+
+    #[test]
+    fn zero_queue_runs_hot() {
+        // Without queue pressure BDMA should use max frequencies on loaded
+        // servers — energy cost near the fleet maximum.
+        let (system, state) = setup(30, 44);
+        let sol = run(&system, &state, 100.0, 0.0, 3, 3);
+        let max_cost = system.energy_cost(state.price_per_kwh, &system.max_frequencies());
+        // All 16 servers are typically loaded with 30 devices; allow slack
+        // for unloaded servers parked at F^L.
+        assert!(sol.energy_cost > 0.85 * max_cost, "{} vs {max_cost}", sol.energy_cost);
+    }
+
+    #[test]
+    fn heavy_queue_runs_cold() {
+        let (system, state) = setup(30, 45);
+        let sol = run(&system, &state, 1.0, 1e9, 3, 4);
+        let min_cost = system.energy_cost(state.price_per_kwh, &system.min_frequencies());
+        assert_close!(sol.energy_cost, min_cost, 1e-3);
+    }
+
+    #[test]
+    fn per_slot_guarantee_vs_reference_decisions() {
+        // Theorem 3: f(BDMA) ≤ R·V·T(any) + Q·Θ(any). Check against a batch
+        // of random feasible decisions with R = 2.62·R_F (λ = 0).
+        let (system, state) = setup(12, 46);
+        let (v, q) = (100.0, 40.0);
+        let sol = run(&system, &state, v, q, 5, 5);
+        let r = 2.62 * system.topology().max_frequency_ratio();
+        let mut rng = Pcg32::seed(99);
+        let topo = system.topology();
+        for _ in 0..50 {
+            let assignments: Vec<Assignment> = (0..12)
+                .map(|_| {
+                    let k = eotora_topology::BaseStationId(rng.below(topo.num_base_stations()));
+                    let server = *rng.pick(&topo.servers_reachable_from(k)).unwrap();
+                    Assignment { base_station: k, server }
+                })
+                .collect();
+            let freqs: Vec<f64> = topo
+                .server_ids()
+                .map(|n| {
+                    let s = topo.server(n);
+                    rng.uniform_in(s.freq_min_hz, s.freq_max_hz)
+                })
+                .collect();
+            let t_ref = crate::latency::optimal_latency(&system, &state, &assignments, &freqs).total();
+            let theta_ref = system.constraint_excess(state.price_per_kwh, &freqs);
+            assert!(
+                sol.objective <= r * v * t_ref + q * theta_ref + 1e-6,
+                "Theorem 3 bound violated: {} > {}",
+                sol.objective,
+                r * v * t_ref + q * theta_ref
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panics() {
+        let (system, state) = setup(4, 47);
+        run(&system, &state, 1.0, 0.0, 0, 1);
+    }
+}

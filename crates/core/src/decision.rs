@@ -1,0 +1,275 @@
+//! Online decisions `α_t` and their feasibility validation
+//! (paper constraints (1)–(6) plus the frequency boxes).
+
+use std::fmt;
+
+use eotora_topology::{BaseStationId, ServerId};
+use serde::{Deserialize, Serialize};
+
+use crate::system::MecSystem;
+
+/// One device's discrete choice: offload via `base_station` to `server`
+/// (encoding both `x_{i,k,t}` and `y_{i,n,t}`; constraints (1)–(2) hold by
+/// construction since exactly one of each is named).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The selected base station `B_k`.
+    pub base_station: BaseStationId,
+    /// The selected edge server `S_n`.
+    pub server: ServerId,
+}
+
+/// The full decision `α_t = (x_t, y_t, Ψ_t, Φ_t, Ω_t)` for one slot.
+///
+/// Bandwidth/compute shares are stored per *device* rather than per
+/// (device, station) pair: constraint (1) means each device uses exactly one
+/// base station and one server, so the sparse representation is lossless.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotDecision {
+    /// `(x_t, y_t)`: per-device base-station + server choice.
+    pub assignments: Vec<Assignment>,
+    /// `ψ^A_{i,k,t}`: share of the chosen station's access bandwidth.
+    pub access_share: Vec<f64>,
+    /// `ψ^F_{i,k,t}`: share of the chosen station's fronthaul bandwidth.
+    pub fronthaul_share: Vec<f64>,
+    /// `φ_{i,n,t}`: share of the chosen server's compute capacity.
+    pub compute_share: Vec<f64>,
+    /// `Ω_t`: per-server clock frequency in Hz.
+    pub frequencies_hz: Vec<f64>,
+}
+
+/// Feasibility violations detected by [`SlotDecision::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionError {
+    /// A vector's length disagrees with the system dimensions.
+    ShapeMismatch {
+        /// Which field was mis-sized.
+        field: &'static str,
+    },
+    /// Constraint (3): the chosen server is not reachable from the chosen
+    /// base station's fronthaul.
+    Unreachable {
+        /// Offending device index.
+        device: usize,
+    },
+    /// A share lies outside `[0, 1]` or is zero/NaN for an active device.
+    BadShare {
+        /// Offending device index.
+        device: usize,
+        /// Which share.
+        field: &'static str,
+    },
+    /// Constraints (4)–(6): a resource's shares sum above 1.
+    OverSubscribed {
+        /// Which resource family.
+        resource: &'static str,
+        /// Resource index (station or server).
+        index: usize,
+        /// The offending total.
+        total: f64,
+    },
+    /// A server frequency falls outside `[F^L, F^U]`.
+    FrequencyOutOfBounds {
+        /// Offending server index.
+        server: usize,
+    },
+}
+
+impl fmt::Display for DecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { field } => write!(f, "decision field {field} has wrong length"),
+            Self::Unreachable { device } => {
+                write!(f, "device {device}: chosen server unreachable from chosen base station")
+            }
+            Self::BadShare { device, field } => {
+                write!(f, "device {device}: {field} share outside (0, 1]")
+            }
+            Self::OverSubscribed { resource, index, total } => {
+                write!(f, "{resource} {index} oversubscribed (total share {total})")
+            }
+            Self::FrequencyOutOfBounds { server } => {
+                write!(f, "server {server} frequency outside its [F^L, F^U] box")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecisionError {}
+
+impl SlotDecision {
+    /// Checks constraints (1)–(6) plus the frequency boxes against `system`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint. A small tolerance (`1e-9`)
+    /// absorbs floating-point slack in the share sums.
+    pub fn validate(&self, system: &MecSystem) -> Result<(), DecisionError> {
+        let topo = system.topology();
+        let i_count = topo.num_devices();
+        if self.assignments.len() != i_count {
+            return Err(DecisionError::ShapeMismatch { field: "assignments" });
+        }
+        if self.access_share.len() != i_count {
+            return Err(DecisionError::ShapeMismatch { field: "access_share" });
+        }
+        if self.fronthaul_share.len() != i_count {
+            return Err(DecisionError::ShapeMismatch { field: "fronthaul_share" });
+        }
+        if self.compute_share.len() != i_count {
+            return Err(DecisionError::ShapeMismatch { field: "compute_share" });
+        }
+        if self.frequencies_hz.len() != topo.num_servers() {
+            return Err(DecisionError::ShapeMismatch { field: "frequencies_hz" });
+        }
+
+        for (i, a) in self.assignments.iter().enumerate() {
+            if !topo.servers_reachable_from(a.base_station).contains(&a.server) {
+                return Err(DecisionError::Unreachable { device: i });
+            }
+            let check = |v: f64, field: &'static str| {
+                if !(v > 0.0 && v <= 1.0) {
+                    Err(DecisionError::BadShare { device: i, field })
+                } else {
+                    Ok(())
+                }
+            };
+            check(self.access_share[i], "access")?;
+            check(self.fronthaul_share[i], "fronthaul")?;
+            check(self.compute_share[i], "compute")?;
+        }
+
+        const TOL: f64 = 1e-9;
+        let mut access_tot = vec![0.0; topo.num_base_stations()];
+        let mut fronthaul_tot = vec![0.0; topo.num_base_stations()];
+        let mut compute_tot = vec![0.0; topo.num_servers()];
+        for (i, a) in self.assignments.iter().enumerate() {
+            access_tot[a.base_station.index()] += self.access_share[i];
+            fronthaul_tot[a.base_station.index()] += self.fronthaul_share[i];
+            compute_tot[a.server.index()] += self.compute_share[i];
+        }
+        for (k, &tot) in access_tot.iter().enumerate() {
+            if tot > 1.0 + TOL {
+                return Err(DecisionError::OverSubscribed { resource: "access link", index: k, total: tot });
+            }
+        }
+        for (k, &tot) in fronthaul_tot.iter().enumerate() {
+            if tot > 1.0 + TOL {
+                return Err(DecisionError::OverSubscribed { resource: "fronthaul link", index: k, total: tot });
+            }
+        }
+        for (n, &tot) in compute_tot.iter().enumerate() {
+            if tot > 1.0 + TOL {
+                return Err(DecisionError::OverSubscribed { resource: "server", index: n, total: tot });
+            }
+        }
+
+        for (n, &f) in self.frequencies_hz.iter().enumerate() {
+            let s = topo.server(ServerId(n));
+            if !(s.freq_min_hz - TOL..=s.freq_max_hz + TOL).contains(&f) {
+                return Err(DecisionError::FrequencyOutOfBounds { server: n });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use eotora_topology::DeviceId;
+
+    fn system() -> MecSystem {
+        MecSystem::random(&SystemConfig::paper_defaults(6), 1)
+    }
+
+    /// A hand-built feasible decision: every device on base station 0's
+    /// first reachable server, equal shares.
+    fn feasible(system: &MecSystem) -> SlotDecision {
+        let topo = system.topology();
+        let k = BaseStationId(0);
+        let n = topo.servers_reachable_from(k)[0];
+        let i_count = topo.num_devices();
+        SlotDecision {
+            assignments: vec![Assignment { base_station: k, server: n }; i_count],
+            access_share: vec![1.0 / i_count as f64; i_count],
+            fronthaul_share: vec![1.0 / i_count as f64; i_count],
+            compute_share: vec![1.0 / i_count as f64; i_count],
+            frequencies_hz: system.min_frequencies(),
+        }
+    }
+
+    #[test]
+    fn feasible_decision_validates() {
+        let s = system();
+        feasible(&s).validate(&s).unwrap();
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let s = system();
+        let mut d = feasible(&s);
+        d.access_share.pop();
+        assert!(matches!(d.validate(&s), Err(DecisionError::ShapeMismatch { field: "access_share" })));
+    }
+
+    #[test]
+    fn unreachable_server_detected() {
+        let s = system();
+        let topo = s.topology();
+        // Find a (station, server) pair with no fronthaul link, if any; with
+        // one-room-per-station wiring there is always an unreachable server.
+        let k = BaseStationId(0);
+        let reachable = topo.servers_reachable_from(k);
+        let bad = topo.server_ids().find(|n| !reachable.contains(n));
+        if let Some(server) = bad {
+            let mut d = feasible(&s);
+            d.assignments[2] = Assignment { base_station: k, server };
+            assert!(matches!(d.validate(&s), Err(DecisionError::Unreachable { device: 2 })));
+        }
+    }
+
+    #[test]
+    fn oversubscription_detected() {
+        let s = system();
+        let mut d = feasible(&s);
+        for v in d.compute_share.iter_mut() {
+            *v = 0.5;
+        }
+        assert!(matches!(
+            d.validate(&s),
+            Err(DecisionError::OverSubscribed { resource: "server", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_share_detected() {
+        let s = system();
+        let mut d = feasible(&s);
+        d.access_share[0] = 0.0;
+        assert!(matches!(d.validate(&s), Err(DecisionError::BadShare { device: 0, .. })));
+    }
+
+    #[test]
+    fn frequency_bounds_detected() {
+        let s = system();
+        let mut d = feasible(&s);
+        d.frequencies_hz[3] = 99e9;
+        assert!(matches!(d.validate(&s), Err(DecisionError::FrequencyOutOfBounds { server: 3 })));
+    }
+
+    #[test]
+    fn suitability_lookup_is_symmetric_api() {
+        // Sanity: suitability accessor used throughout is per (device, server).
+        let s = system();
+        let v = s.suitability(DeviceId(0), ServerId(0));
+        assert!((0.5..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecisionError::OverSubscribed { resource: "server", index: 3, total: 1.5 };
+        assert!(e.to_string().contains("server 3"));
+    }
+}

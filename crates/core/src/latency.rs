@@ -1,0 +1,310 @@
+//! Latency computation: the general forms of eqs. (7)–(11) and the
+//! allocation-optimal closed forms of eqs. (18)–(20).
+//!
+//! Two layers are provided deliberately: [`latency_under`] evaluates an
+//! *arbitrary* feasible decision (`L_t`), while [`optimal_latency`] evaluates
+//! the closed form after Lemma 1 eliminates the allocation variables
+//! (`T_t`). Tests cross-check that plugging Lemma 1's allocation into the
+//! general form reproduces the closed form exactly, and that no feasible
+//! allocation beats it.
+
+use eotora_states::SystemState;
+use serde::{Deserialize, Serialize};
+
+use crate::decision::{Assignment, SlotDecision};
+use crate::system::MecSystem;
+
+/// Itemized latency of one slot, in seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Per-device total latency `L_{i,t}`.
+    pub per_device: Vec<f64>,
+    /// Total processing latency `L^P_t` (eq. 8).
+    pub processing: f64,
+    /// Total access-link latency `Σ_i L^{C,A}_{i,t}` (eq. 9).
+    pub access: f64,
+    /// Total fronthaul latency `Σ_i L^{C,F}_{i,t}` (eq. 10).
+    pub fronthaul: f64,
+}
+
+impl LatencyBreakdown {
+    /// Overall latency `L_t = L^C_t + L^P_t`.
+    pub fn total(&self) -> f64 {
+        self.processing + self.access + self.fronthaul
+    }
+}
+
+/// Evaluates `L_t(α_t, β_t)` for an arbitrary decision (eqs. (7)–(11)).
+///
+/// The decision is taken at face value — shares are *not* re-optimized.
+/// Server compute rates account for core counts
+/// (`rate = cores × ω × σ × φ`).
+///
+/// # Panics
+///
+/// Panics if the state dimensions disagree with the system (this indicates
+/// mixing states from a different topology) or any share/frequency is
+/// non-positive where used.
+pub fn latency_under(system: &MecSystem, state: &SystemState, decision: &SlotDecision) -> LatencyBreakdown {
+    let topo = system.topology();
+    assert_eq!(state.task_cycles.len(), topo.num_devices(), "state/topology device mismatch");
+    assert_eq!(
+        state.fronthaul_efficiency.len(),
+        topo.num_base_stations(),
+        "state/topology station mismatch"
+    );
+
+    let mut per_device = Vec::with_capacity(topo.num_devices());
+    let mut processing = 0.0;
+    let mut access = 0.0;
+    let mut fronthaul = 0.0;
+
+    for (i, a) in decision.assignments.iter().enumerate() {
+        let k = a.base_station;
+        let n = a.server;
+        let bs = topo.base_station(k);
+        let dev = eotora_topology::DeviceId(i);
+
+        let phi = decision.compute_share[i];
+        let psi_a = decision.access_share[i];
+        let psi_f = decision.fronthaul_share[i];
+        assert!(phi > 0.0 && psi_a > 0.0 && psi_f > 0.0, "shares must be positive in use");
+
+        // Eq. (7) with core-aware rate: f / (cores·ω · σ · φ).
+        let rate = system.compute_rate(n, decision.frequencies_hz[n.index()]);
+        let l_proc = state.task_cycles[i] / (rate * system.suitability(dev, n) * phi);
+        // Eq. (9): d / (W^A · h_{i,k} · ψ^A).
+        let l_acc = state.data_bits[i]
+            / (bs.access_bandwidth_hz * state.spectral_efficiency[i][k.index()] * psi_a);
+        // Eq. (10): d / (W^F · h^F_k · ψ^F).
+        let l_fh = state.data_bits[i]
+            / (bs.fronthaul_bandwidth_hz * state.fronthaul_efficiency[k.index()] * psi_f);
+
+        per_device.push(l_proc + l_acc + l_fh);
+        processing += l_proc;
+        access += l_acc;
+        fronthaul += l_fh;
+    }
+
+    LatencyBreakdown { per_device, processing, access, fronthaul }
+}
+
+/// Itemized *optimal* latency `T_t` (allocation variables eliminated).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalLatency {
+    /// `T^P_t` of eq. (18).
+    pub processing: f64,
+    /// Access part of `T^C_t` (first sum of eq. 19).
+    pub access: f64,
+    /// Fronthaul part of `T^C_t` (second sum of eq. 19).
+    pub fronthaul: f64,
+}
+
+impl OptimalLatency {
+    /// `T_t = T^P_t + T^C_t` (eq. 20).
+    pub fn total(&self) -> f64 {
+        self.processing + self.access + self.fronthaul
+    }
+}
+
+/// Evaluates the closed forms (18)–(20): the latency under the Lemma 1
+/// optimal allocation, given the discrete assignment and frequencies.
+///
+/// ```text
+/// T^P = Σ_n (1 / (cores_n·ω_n)) · (Σ_{i→n} √(f_i/σ_{i,n}))²
+/// T^C = Σ_k (1/W^A_k) (Σ_{i→k} √(d_i/h_{i,k}))² + Σ_k (1/W^F_k) (Σ_{i→k} √(d_i/h^F_k))²
+/// ```
+///
+/// # Panics
+///
+/// Panics on dimension mismatches between system, state, and arguments.
+pub fn optimal_latency(
+    system: &MecSystem,
+    state: &SystemState,
+    assignments: &[Assignment],
+    freqs_hz: &[f64],
+) -> OptimalLatency {
+    let topo = system.topology();
+    assert_eq!(assignments.len(), topo.num_devices(), "one assignment per device");
+    assert_eq!(freqs_hz.len(), topo.num_servers(), "one frequency per server");
+
+    let mut server_root = vec![0.0; topo.num_servers()];
+    let mut access_root = vec![0.0; topo.num_base_stations()];
+    let mut fronthaul_root = vec![0.0; topo.num_base_stations()];
+
+    for (i, a) in assignments.iter().enumerate() {
+        let dev = eotora_topology::DeviceId(i);
+        server_root[a.server.index()] +=
+            (state.task_cycles[i] / system.suitability(dev, a.server)).sqrt();
+        let k = a.base_station.index();
+        access_root[k] += (state.data_bits[i] / state.spectral_efficiency[i][k]).sqrt();
+        fronthaul_root[k] += (state.data_bits[i] / state.fronthaul_efficiency[k]).sqrt();
+    }
+
+    let processing: f64 = server_root
+        .iter()
+        .enumerate()
+        .map(|(n, &root)| {
+            let rate = system.compute_rate(eotora_topology::ServerId(n), freqs_hz[n]);
+            root * root / rate
+        })
+        .sum();
+    let access: f64 = access_root
+        .iter()
+        .enumerate()
+        .map(|(k, &root)| {
+            root * root / topo.base_station(eotora_topology::BaseStationId(k)).access_bandwidth_hz
+        })
+        .sum();
+    let fronthaul: f64 = fronthaul_root
+        .iter()
+        .enumerate()
+        .map(|(k, &root)| {
+            root * root / topo.base_station(eotora_topology::BaseStationId(k)).fronthaul_bandwidth_hz
+        })
+        .sum();
+
+    OptimalLatency { processing, access, fronthaul }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::optimal_allocation;
+    use crate::system::SystemConfig;
+    use eotora_states::{PaperStateConfig, StateProvider};
+    use eotora_topology::BaseStationId;
+    use eotora_util::assert_close;
+    use eotora_util::rng::Pcg32;
+
+    fn setup(devices: usize, seed: u64) -> (MecSystem, SystemState) {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(devices), seed);
+        let mut provider =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+        let state = provider.observe(0, system.topology());
+        (system, state)
+    }
+
+    fn random_assignments(system: &MecSystem, rng: &mut Pcg32) -> Vec<Assignment> {
+        let topo = system.topology();
+        (0..topo.num_devices())
+            .map(|_| {
+                let k = BaseStationId(rng.below(topo.num_base_stations()));
+                let reachable = topo.servers_reachable_from(k);
+                let server = *rng.pick(&reachable).expect("every BS reaches servers");
+                Assignment { base_station: k, server }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn closed_form_matches_general_form_under_lemma1() {
+        let (system, state) = setup(12, 4);
+        let mut rng = Pcg32::seed(9);
+        for _ in 0..10 {
+            let assignments = random_assignments(&system, &mut rng);
+            let freqs = system.max_frequencies();
+            let decision = optimal_allocation(&system, &state, &assignments, &freqs);
+            decision.validate(&system).unwrap();
+            let general = latency_under(&system, &state, &decision);
+            let closed = optimal_latency(&system, &state, &assignments, &freqs);
+            assert_close!(general.total(), closed.total(), 1e-9);
+            assert_close!(general.processing, closed.processing, 1e-9);
+            assert_close!(general.access, closed.access, 1e-9);
+            assert_close!(general.fronthaul, closed.fronthaul, 1e-9);
+        }
+    }
+
+    #[test]
+    fn lemma1_beats_equal_split() {
+        let (system, state) = setup(15, 5);
+        let mut rng = Pcg32::seed(10);
+        let assignments = random_assignments(&system, &mut rng);
+        let freqs = system.max_frequencies();
+        let opt = optimal_latency(&system, &state, &assignments, &freqs).total();
+
+        // Equal-split alternative: each device gets 1/(peers on the resource).
+        let topo = system.topology();
+        let mut per_bs = vec![0usize; topo.num_base_stations()];
+        let mut per_srv = vec![0usize; topo.num_servers()];
+        for a in &assignments {
+            per_bs[a.base_station.index()] += 1;
+            per_srv[a.server.index()] += 1;
+        }
+        let decision = SlotDecision {
+            access_share: assignments
+                .iter()
+                .map(|a| 1.0 / per_bs[a.base_station.index()] as f64)
+                .collect(),
+            fronthaul_share: assignments
+                .iter()
+                .map(|a| 1.0 / per_bs[a.base_station.index()] as f64)
+                .collect(),
+            compute_share: assignments
+                .iter()
+                .map(|a| 1.0 / per_srv[a.server.index()] as f64)
+                .collect(),
+            assignments,
+            frequencies_hz: freqs,
+        };
+        decision.validate(&system).unwrap();
+        let equal = latency_under(&system, &state, &decision).total();
+        assert!(opt <= equal + 1e-9, "optimal {opt} vs equal-split {equal}");
+    }
+
+    #[test]
+    fn faster_clocks_reduce_processing_latency_only() {
+        let (system, state) = setup(10, 6);
+        let mut rng = Pcg32::seed(11);
+        let assignments = random_assignments(&system, &mut rng);
+        let slow = optimal_latency(&system, &state, &assignments, &system.min_frequencies());
+        let fast = optimal_latency(&system, &state, &assignments, &system.max_frequencies());
+        assert!(fast.processing < slow.processing);
+        assert_close!(fast.access, slow.access, 1e-12);
+        assert_close!(fast.fronthaul, slow.fronthaul, 1e-12);
+        // Frequencies doubled ⇒ processing latency exactly halves.
+        assert_close!(fast.processing * 2.0, slow.processing, 1e-9);
+    }
+
+    #[test]
+    fn latencies_are_positive_and_finite() {
+        let (system, state) = setup(25, 7);
+        let mut rng = Pcg32::seed(12);
+        let assignments = random_assignments(&system, &mut rng);
+        let freqs = system.max_frequencies();
+        let t = optimal_latency(&system, &state, &assignments, &freqs);
+        assert!(t.processing > 0.0 && t.processing.is_finite());
+        assert!(t.access > 0.0 && t.access.is_finite());
+        assert!(t.fronthaul > 0.0 && t.fronthaul.is_finite());
+        let decision = optimal_allocation(&system, &state, &assignments, &freqs);
+        let l = latency_under(&system, &state, &decision);
+        assert!(l.per_device.iter().all(|&x| x > 0.0 && x.is_finite()));
+        assert_eq!(l.per_device.len(), 25);
+    }
+
+    #[test]
+    fn concentrating_devices_on_one_resource_hurts() {
+        // Quadratic load cost: everyone on one BS/server ≥ any spread.
+        let (system, state) = setup(8, 8);
+        let topo = system.topology();
+        let k = BaseStationId(0);
+        let n = topo.servers_reachable_from(k)[0];
+        let all_same =
+            vec![Assignment { base_station: k, server: n }; topo.num_devices()];
+        let freqs = system.max_frequencies();
+        let t_same = optimal_latency(&system, &state, &all_same, &freqs).total();
+        let mut rng = Pcg32::seed(13);
+        let spread = random_assignments(&system, &mut rng);
+        let t_spread = optimal_latency(&system, &state, &spread, &freqs).total();
+        assert!(t_same > t_spread, "concentrated {t_same} vs spread {t_spread}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one frequency per server")]
+    fn wrong_frequency_count_panics() {
+        let (system, state) = setup(4, 9);
+        let mut rng = Pcg32::seed(14);
+        let assignments = random_assignments(&system, &mut rng);
+        optimal_latency(&system, &state, &assignments, &[2.0e9]);
+    }
+}

@@ -1,0 +1,287 @@
+//! P2-B: frequency scaling with `(x, y)` fixed (paper §V-A).
+//!
+//! P2-B minimizes `V·T_t + Q(t)·Θ(Ω_t, p_t)` over the frequency box. Both
+//! terms separate across servers:
+//!
+//! ```text
+//! min_{ω_n ∈ [F^L_n, F^U_n]}   V·A_n/ω_n  +  Q·κ·p_t·g_n(ω_n)
+//! ```
+//!
+//! where `A_n = (Σ_{i→n} √(f_i/σ_{i,n}))² / cores_n` is the server's
+//! processing-load constant and `κ` converts watts to $/slot. Each term is
+//! convex (`A/ω` is convex, `g_n` convex by assumption), so the paper's CVX
+//! call is replaced with one derivative bisection per server —
+//! machine-precision KKT solutions in microseconds.
+
+use eotora_optim::cubic::root_in_interval;
+use eotora_optim::scalar::minimize_bisection;
+use eotora_states::SystemState;
+use eotora_topology::ServerId;
+
+use crate::decision::Assignment;
+use crate::system::MecSystem;
+
+/// Result of a P2-B solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2bSolution {
+    /// Optimal per-server frequencies `Ω*` in Hz.
+    pub freqs_hz: Vec<f64>,
+    /// `V·T_t + Q·Θ` at the optimum (the P2 objective, constant terms
+    /// included).
+    pub objective: f64,
+}
+
+/// Per-server processing-load constants
+/// `A_n = (Σ_{i→n} √(f_i/σ_{i,n}))² / cores_n`, such that
+/// `T^P_t = Σ_n A_n / ω_n`.
+pub fn processing_loads(system: &MecSystem, state: &SystemState, assignments: &[Assignment]) -> Vec<f64> {
+    let topo = system.topology();
+    assert_eq!(assignments.len(), topo.num_devices(), "one assignment per device");
+    let mut roots = vec![0.0; topo.num_servers()];
+    for (i, a) in assignments.iter().enumerate() {
+        roots[a.server.index()] +=
+            (state.task_cycles[i] / system.suitability(eotora_topology::DeviceId(i), a.server)).sqrt();
+    }
+    roots
+        .iter()
+        .enumerate()
+        .map(|(n, &r)| r * r / topo.server(ServerId(n)).cores as f64)
+        .collect()
+}
+
+/// Solves P2-B exactly (to bisection tolerance) for the given assignment.
+///
+/// `v` is the DPP penalty weight, `queue` the backlog `Q(t)`. Returns the
+/// optimal frequencies and the resulting full P2 objective
+/// `V·T_t + Q·(C_t − C̄)` — including the communication latency, which is
+/// constant in `Ω` but part of the objective BDMA compares across rounds.
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch or `v` is not positive.
+pub fn solve_p2b(
+    system: &MecSystem,
+    state: &SystemState,
+    assignments: &[Assignment],
+    v: f64,
+    queue: f64,
+) -> P2bSolution {
+    assert!(v > 0.0, "penalty weight must be positive");
+    assert!(queue >= 0.0, "queue backlog cannot be negative");
+    let topo = system.topology();
+    let loads = processing_loads(system, state, assignments);
+    let kwh_factor = system.slot_hours() / 1000.0; // watts → $/slot at unit price
+    let price = state.price_per_kwh;
+
+    let freqs_hz: Vec<f64> = topo
+        .server_ids()
+        .map(|n| {
+            let srv = topo.server(n);
+            let a_n = loads[n.index()];
+            let model = system.energy_model(n);
+            let cost_w = queue * price * kwh_factor;
+            let f = |w: f64| v * a_n / w + cost_w * model.power_watts(w);
+            let df = |w: f64| -v * a_n / (w * w) + cost_w * model.power_derivative(w);
+            if a_n == 0.0 {
+                // Unloaded server: latency term vanishes; with any queue
+                // pressure the cheapest feasible frequency is optimal.
+                srv.freq_min_hz
+            } else if cost_w > 0.0 {
+                // Quadratic models admit a closed form: stationarity
+                // V·A/ω² = c_w·(2a·ω/1e18 + b/1e9) is a cubic in ω.
+                if let Some(q) = model.as_quadratic() {
+                    let c3 = 2.0 * q.a * cost_w / 1e18;
+                    let c2 = q.b * cost_w / 1e9;
+                    match root_in_interval(c3, c2, 0.0, -(v * a_n), srv.freq_min_hz, srv.freq_max_hz)
+                    {
+                        Some(w) => w,
+                        // No interior stationary point: optimum at whichever
+                        // bound the derivative sign selects.
+                        None => {
+                            if df(srv.freq_min_hz) >= 0.0 {
+                                srv.freq_min_hz
+                            } else {
+                                srv.freq_max_hz
+                            }
+                        }
+                    }
+                } else {
+                    minimize_bisection(f, df, srv.freq_min_hz, srv.freq_max_hz, 1.0, 200).x
+                }
+            } else {
+                minimize_bisection(f, df, srv.freq_min_hz, srv.freq_max_hz, 1.0, 200).x
+            }
+        })
+        .collect();
+
+    let latency = crate::latency::optimal_latency(system, state, assignments, &freqs_hz).total();
+    let excess = system.constraint_excess(price, &freqs_hz);
+    P2bSolution { objective: v * latency + queue * excess, freqs_hz }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use eotora_states::{PaperStateConfig, StateProvider};
+    use eotora_topology::BaseStationId;
+    use eotora_util::assert_close;
+    use eotora_util::rng::Pcg32;
+
+    fn setup(devices: usize, seed: u64) -> (MecSystem, SystemState, Vec<Assignment>) {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(devices), seed);
+        let mut p = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+        let state = p.observe(0, system.topology());
+        let topo = system.topology();
+        let mut rng = Pcg32::seed(seed);
+        let assignments = (0..devices)
+            .map(|_| {
+                let k = BaseStationId(rng.below(topo.num_base_stations()));
+                let server = *rng.pick(&topo.servers_reachable_from(k)).unwrap();
+                Assignment { base_station: k, server }
+            })
+            .collect();
+        (system, state, assignments)
+    }
+
+    #[test]
+    fn zero_queue_maxes_out_frequencies() {
+        // With no queue pressure the objective is pure latency: every loaded
+        // server should run at F^U.
+        let (system, state, assignments) = setup(20, 31);
+        let sol = solve_p2b(&system, &state, &assignments, 100.0, 0.0);
+        let loads = processing_loads(&system, &state, &assignments);
+        for (n, &f) in sol.freqs_hz.iter().enumerate() {
+            if loads[n] > 0.0 {
+                assert_close!(f, system.topology().server(ServerId(n)).freq_max_hz, 1e-6);
+            } else {
+                assert_close!(f, system.topology().server(ServerId(n)).freq_min_hz, 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_queue_pins_frequencies_low() {
+        let (system, state, assignments) = setup(20, 32);
+        let sol = solve_p2b(&system, &state, &assignments, 1.0, 1e12);
+        for (n, &f) in sol.freqs_hz.iter().enumerate() {
+            assert_close!(f, system.topology().server(ServerId(n)).freq_min_hz, 1e-3);
+        }
+    }
+
+    #[test]
+    fn frequencies_decrease_as_queue_grows() {
+        let (system, state, assignments) = setup(30, 33);
+        let qs = [0.0, 50.0, 500.0, 5_000.0];
+        let mut mean_freqs = Vec::new();
+        for &q in &qs {
+            let sol = solve_p2b(&system, &state, &assignments, 100.0, q);
+            mean_freqs.push(sol.freqs_hz.iter().sum::<f64>() / sol.freqs_hz.len() as f64);
+        }
+        for w in mean_freqs.windows(2) {
+            assert!(w[1] <= w[0] + 1.0, "frequencies should fall with queue: {mean_freqs:?}");
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_kkt_stationarity() {
+        // Interior solutions must zero the per-server derivative.
+        let (system, state, assignments) = setup(40, 34);
+        let (v, q) = (100.0, 800.0);
+        let sol = solve_p2b(&system, &state, &assignments, v, q);
+        let loads = processing_loads(&system, &state, &assignments);
+        let kwh = system.slot_hours() / 1000.0;
+        for n in system.topology().server_ids() {
+            let srv = system.topology().server(n);
+            let w = sol.freqs_hz[n.index()];
+            if w > srv.freq_min_hz + 10.0 && w < srv.freq_max_hz - 10.0 {
+                let g = -v * loads[n.index()] / (w * w)
+                    + q * state.price_per_kwh * kwh * system.energy_model(n).power_derivative(w);
+                // Derivative in natural units is tiny; compare against scale.
+                let scale = v * loads[n.index()] / (w * w);
+                assert!(g.abs() <= 1e-6 * scale.max(1e-300), "KKT violated at {n}: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn beats_grid_search() {
+        // The bisection optimum should match a fine grid search per server.
+        let (system, state, assignments) = setup(10, 35);
+        let (v, q) = (50.0, 300.0);
+        let sol = solve_p2b(&system, &state, &assignments, v, q);
+        let loads = processing_loads(&system, &state, &assignments);
+        let kwh = system.slot_hours() / 1000.0;
+        for n in system.topology().server_ids() {
+            let srv = system.topology().server(n);
+            let a_n = loads[n.index()];
+            let obj = |w: f64| {
+                v * a_n / w
+                    + q * state.price_per_kwh * kwh * system.energy_model(n).power_watts(w)
+            };
+            let ours = obj(sol.freqs_hz[n.index()]);
+            for step in 0..=1000 {
+                let w = srv.freq_min_hz
+                    + (srv.freq_max_hz - srv.freq_min_hz) * step as f64 / 1000.0;
+                assert!(obj(w) >= ours - 1e-9 * ours.abs().max(1.0), "grid beats bisection at {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_bisection() {
+        // The Cardano fast path (quadratic models) must agree with the
+        // generic bisection solver to solver tolerance across regimes.
+        let (system, state, assignments) = setup(25, 38);
+        for (v, q) in [(1.0, 10.0), (100.0, 5.0), (100.0, 800.0), (500.0, 50.0)] {
+            let fast = solve_p2b(&system, &state, &assignments, v, q);
+            let loads = processing_loads(&system, &state, &assignments);
+            let kwh = system.slot_hours() / 1000.0;
+            for n in system.topology().server_ids() {
+                let srv = system.topology().server(n);
+                let a_n = loads[n.index()];
+                if a_n == 0.0 {
+                    continue;
+                }
+                let model = system.energy_model(n);
+                let cost_w = q * state.price_per_kwh * kwh;
+                let slow = eotora_optim::scalar::minimize_bisection(
+                    |w| v * a_n / w + cost_w * model.power_watts(w),
+                    |w| -v * a_n / (w * w) + cost_w * model.power_derivative(w),
+                    srv.freq_min_hz,
+                    srv.freq_max_hz,
+                    1e-3,
+                    300,
+                );
+                let w_fast = fast.freqs_hz[n.index()];
+                assert!(
+                    (w_fast - slow.x).abs() <= 1.0,
+                    "server {n} at (v={v}, q={q}): closed {w_fast} vs bisection {}",
+                    slow.x
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn objective_composition() {
+        let (system, state, assignments) = setup(8, 36);
+        let (v, q) = (75.0, 120.0);
+        let sol = solve_p2b(&system, &state, &assignments, v, q);
+        let lat = crate::latency::optimal_latency(&system, &state, &assignments, &sol.freqs_hz).total();
+        let excess = system.constraint_excess(state.price_per_kwh, &sol.freqs_hz);
+        assert_close!(sol.objective, v * lat + q * excess, 1e-9);
+    }
+
+    #[test]
+    fn processing_loads_shape_and_units() {
+        let (system, state, assignments) = setup(6, 37);
+        let loads = processing_loads(&system, &state, &assignments);
+        assert_eq!(loads.len(), system.topology().num_servers());
+        // T^P at frequency ω equals Σ A_n/ω_n.
+        let freqs = system.max_frequencies();
+        let direct: f64 = loads.iter().zip(&freqs).map(|(&a, &w)| a / w).sum();
+        let closed = crate::latency::optimal_latency(&system, &state, &assignments, &freqs).processing;
+        assert_close!(direct, closed, 1e-9);
+    }
+}

@@ -1,0 +1,282 @@
+//! The complete MEC system instance: topology, energy models, suitability.
+
+use std::sync::Arc;
+
+use eotora_energy::{fit_i7_3770k, EnergyModel, Scaled};
+use eotora_topology::{DeviceId, RandomTopologyConfig, ServerId, Topology};
+use eotora_util::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`MecSystem::random`], defaulting to the paper's §VI-A
+/// setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Physical network generator configuration.
+    pub topology: RandomTopologyConfig,
+    /// Uniform range of the suitability parameters `σ_{i,n}` (paper: 0.5–1).
+    pub suitability_range: (f64, f64),
+    /// Time-average energy-cost budget `C̄` in dollars per slot.
+    pub budget_per_slot: f64,
+    /// Slot duration in hours (1.0 = the paper's hourly electricity slots).
+    pub slot_hours: f64,
+    /// Reference core count of the fitted CPU (i7-3770K has 4 cores); a
+    /// server with `c` cores is modeled as `c / reference_cores` packages.
+    pub reference_cores: f64,
+}
+
+impl SystemConfig {
+    /// The paper's evaluation parameters with `num_devices` devices.
+    ///
+    /// The default budget ($1.00/slot) sits midway between the fleet's
+    /// all-min-frequency (~$0.5) and all-max-frequency (~$1.5) cost at the
+    /// mean electricity price, so the budget constraint genuinely binds.
+    pub fn paper_defaults(num_devices: usize) -> Self {
+        Self {
+            topology: RandomTopologyConfig::paper_defaults(num_devices),
+            suitability_range: (0.5, 1.0),
+            budget_per_slot: 1.0,
+            slot_hours: 1.0,
+            reference_cores: 4.0,
+        }
+    }
+
+    /// A tiny instance (2 BSs, 3 servers) for exact-baseline tests.
+    pub fn tiny(num_devices: usize) -> Self {
+        Self { topology: RandomTopologyConfig::tiny(num_devices), ..Self::paper_defaults(num_devices) }
+    }
+}
+
+/// A fully specified system instance: everything static that the online
+/// controller knows in advance (`W`, `σ`, `h^F`, `F^L/F^U`, `g_n`, `C̄`).
+///
+/// Cheap to clone: the energy models are shared via [`Arc`].
+#[derive(Debug, Clone)]
+pub struct MecSystem {
+    topology: Topology,
+    energy: Vec<Arc<dyn EnergyModel>>,
+    /// `suitability[i][n] = σ_{i,n} ∈ (0, 1]`.
+    suitability: Vec<Vec<f64>>,
+    budget_per_slot: f64,
+    slot_hours: f64,
+}
+
+impl MecSystem {
+    /// Assembles a system from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component shapes disagree with the topology, any
+    /// suitability is outside `(0, 1]`, or the budget/slot length is not
+    /// positive.
+    pub fn new(
+        topology: Topology,
+        energy: Vec<Arc<dyn EnergyModel>>,
+        suitability: Vec<Vec<f64>>,
+        budget_per_slot: f64,
+        slot_hours: f64,
+    ) -> Self {
+        assert_eq!(energy.len(), topology.num_servers(), "one energy model per server");
+        assert_eq!(suitability.len(), topology.num_devices(), "one suitability row per device");
+        for row in &suitability {
+            assert_eq!(row.len(), topology.num_servers(), "one suitability per (device, server)");
+            assert!(
+                row.iter().all(|&s| s > 0.0 && s <= 1.0),
+                "suitability must lie in (0, 1]"
+            );
+        }
+        assert!(budget_per_slot > 0.0, "budget must be positive");
+        assert!(slot_hours > 0.0, "slot length must be positive");
+        Self { topology, energy, suitability, budget_per_slot, slot_hours }
+    }
+
+    /// Generates the paper's random instance from `config`, deterministically
+    /// from `seed`: random topology, perturbed-quadratic energy fleet scaled
+    /// by core count, and uniform suitabilities.
+    pub fn random(config: &SystemConfig, seed: u64) -> Self {
+        let topology = Topology::random(&config.topology, seed);
+        let mut rng = Pcg32::seed_stream(seed, 0x5757E);
+        let base = fit_i7_3770k();
+        let energy: Vec<Arc<dyn EnergyModel>> = topology
+            .server_ids()
+            .map(|n| {
+                let e = rng.standard_normal();
+                let scale = topology.server(n).cores as f64 / config.reference_cores;
+                Arc::new(Scaled::new(Box::new(base.perturbed(e)), scale)) as Arc<dyn EnergyModel>
+            })
+            .collect();
+        let suitability = (0..topology.num_devices())
+            .map(|_| {
+                (0..topology.num_servers())
+                    .map(|_| rng.uniform_in(config.suitability_range.0, config.suitability_range.1))
+                    .collect()
+            })
+            .collect();
+        Self::new(topology, energy, suitability, config.budget_per_slot, config.slot_hours)
+    }
+
+    /// The physical network.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Energy model `g_n` of server `n`.
+    pub fn energy_model(&self, n: ServerId) -> &dyn EnergyModel {
+        self.energy[n.index()].as_ref()
+    }
+
+    /// Suitability `σ_{i,n}` of running device `i`'s tasks on server `n`.
+    pub fn suitability(&self, i: DeviceId, n: ServerId) -> f64 {
+        self.suitability[i.index()][n.index()]
+    }
+
+    /// The time-average energy-cost budget `C̄` in dollars per slot.
+    pub fn budget_per_slot(&self) -> f64 {
+        self.budget_per_slot
+    }
+
+    /// Returns a copy of this system with a different budget (used by the
+    /// Fig. 9 budget sweep).
+    pub fn with_budget(mut self, budget_per_slot: f64) -> Self {
+        assert!(budget_per_slot > 0.0, "budget must be positive");
+        self.budget_per_slot = budget_per_slot;
+        self
+    }
+
+    /// Slot duration in hours.
+    pub fn slot_hours(&self) -> f64 {
+        self.slot_hours
+    }
+
+    /// Effective compute rate of server `n` at clock `freq_hz`, in cycles/s
+    /// (`cores × frequency`) — the `ω_{n,t}` entering eq. (7)/(18) once core
+    /// counts are accounted for.
+    pub fn compute_rate(&self, n: ServerId, freq_hz: f64) -> f64 {
+        self.topology.server(n).cores as f64 * freq_hz
+    }
+
+    /// Total fleet power in watts at the given per-server frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs_hz.len()` differs from the server count.
+    pub fn fleet_power_watts(&self, freqs_hz: &[f64]) -> f64 {
+        assert_eq!(freqs_hz.len(), self.topology.num_servers(), "one frequency per server");
+        self.energy.iter().zip(freqs_hz).map(|(m, &f)| m.power_watts(f)).sum()
+    }
+
+    /// Energy cost in dollars for one slot at price `price_per_kwh` and the
+    /// given frequencies — the paper's `C_t(Ω_t, p_t)` of eq. (13).
+    pub fn energy_cost(&self, price_per_kwh: f64, freqs_hz: &[f64]) -> f64 {
+        eotora_energy::energy_cost_dollars(
+            price_per_kwh,
+            self.fleet_power_watts(freqs_hz),
+            self.slot_hours,
+        )
+    }
+
+    /// The constraint excess `θ(t) = C_t − C̄` driving the virtual queue.
+    pub fn constraint_excess(&self, price_per_kwh: f64, freqs_hz: &[f64]) -> f64 {
+        self.energy_cost(price_per_kwh, freqs_hz) - self.budget_per_slot
+    }
+
+    /// All servers at their minimum frequency `Ω^L` (BDMA's starting point).
+    pub fn min_frequencies(&self) -> Vec<f64> {
+        self.topology.server_ids().map(|n| self.topology.server(n).freq_min_hz).collect()
+    }
+
+    /// All servers at their maximum frequency `Ω^U`.
+    pub fn max_frequencies(&self) -> Vec<f64> {
+        self.topology.server_ids().map(|n| self.topology.server(n).freq_max_hz).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eotora_energy::QuadraticEnergy;
+
+    #[test]
+    fn random_system_shapes() {
+        let s = MecSystem::random(&SystemConfig::paper_defaults(30), 3);
+        assert_eq!(s.topology().num_devices(), 30);
+        assert_eq!(s.topology().num_servers(), 16);
+        for i in s.topology().device_ids() {
+            for n in s.topology().server_ids() {
+                let sigma = s.suitability(i, n);
+                assert!((0.5..=1.0).contains(&sigma));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = MecSystem::random(&SystemConfig::paper_defaults(10), 5);
+        let b = MecSystem::random(&SystemConfig::paper_defaults(10), 5);
+        assert_eq!(a.topology(), b.topology());
+        assert_eq!(a.suitability(DeviceId(3), ServerId(7)), b.suitability(DeviceId(3), ServerId(7)));
+        let f = a.max_frequencies();
+        assert_eq!(a.fleet_power_watts(&f), b.fleet_power_watts(&f));
+    }
+
+    #[test]
+    fn power_scales_with_cores_and_frequency() {
+        let s = MecSystem::random(&SystemConfig::paper_defaults(10), 2);
+        let low = s.fleet_power_watts(&s.min_frequencies());
+        let high = s.fleet_power_watts(&s.max_frequencies());
+        assert!(high > low);
+        // 8×16 + 8×32 = 384 i7 packages at 27–78.5 W each.
+        assert!((8_000.0..14_000.0).contains(&low), "low {low}");
+        assert!((25_000.0..35_000.0).contains(&high), "high {high}");
+    }
+
+    #[test]
+    fn budget_brackets_fleet_cost_range() {
+        // The default budget should sit strictly between the min- and
+        // max-frequency cost at the mean price, so DPP has a real trade-off.
+        let s = MecSystem::random(&SystemConfig::paper_defaults(10), 2);
+        let mean_price = 0.048; // mean of the embedded NYISO-like profile
+        let low = s.energy_cost(mean_price, &s.min_frequencies());
+        let high = s.energy_cost(mean_price, &s.max_frequencies());
+        assert!(low < s.budget_per_slot() && s.budget_per_slot() < high,
+            "budget {} outside [{low}, {high}]", s.budget_per_slot());
+    }
+
+    #[test]
+    fn cost_and_excess_consistent() {
+        let s = MecSystem::random(&SystemConfig::paper_defaults(10), 2);
+        let f = s.min_frequencies();
+        let c = s.energy_cost(0.05, &f);
+        assert!((s.constraint_excess(0.05, &f) - (c - s.budget_per_slot())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_budget_replaces_budget() {
+        let s = MecSystem::random(&SystemConfig::paper_defaults(10), 2).with_budget(2.5);
+        assert_eq!(s.budget_per_slot(), 2.5);
+    }
+
+    #[test]
+    fn compute_rate_uses_cores() {
+        let s = MecSystem::random(&SystemConfig::paper_defaults(10), 2);
+        let n = ServerId(0);
+        let cores = s.topology().server(n).cores as f64;
+        assert_eq!(s.compute_rate(n, 2.0e9), cores * 2.0e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one energy model per server")]
+    fn mismatched_energy_panics() {
+        let topo = Topology::random(&RandomTopologyConfig::tiny(2), 1);
+        MecSystem::new(topo, vec![], vec![vec![1.0; 3]; 2], 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "suitability must lie")]
+    fn out_of_range_suitability_panics() {
+        let topo = Topology::random(&RandomTopologyConfig::tiny(1), 1);
+        let energy: Vec<Arc<dyn EnergyModel>> = (0..3)
+            .map(|_| Arc::new(QuadraticEnergy::new(1.0, 1.0, 1.0)) as Arc<dyn EnergyModel>)
+            .collect();
+        MecSystem::new(topo, energy, vec![vec![0.0, 0.5, 1.0]], 1.0, 1.0);
+    }
+}

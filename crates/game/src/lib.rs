@@ -1,0 +1,790 @@
+//! Weighted congestion games and the paper's CGBA algorithm (§V-B).
+//!
+//! Subproblem P2-A — choosing each device's (base station, server) pair to
+//! minimize total latency — is interpreted by the paper as a *weighted
+//! congestion game* `WCG = (D, {Z_i}, {T_i})`:
+//!
+//! * **Resources** `r ∈ R` are the compute capacity of each server and the
+//!   access/fronthaul bandwidth of each base station, each with a weight
+//!   `m_r` (`1/ω_n`, `1/W_k^A`, `1/W_k^F`).
+//! * **Players** are the devices; a strategy `z_i` picks a feasible resource
+//!   bundle (the server + the two link resources of the chosen station),
+//!   contributing a player-resource weight `p_{i,r}` to each.
+//! * **Cost** of player `i` is `T_i(z) = Σ_{r∈R_i(z_i)} m_r · p_{i,r} ·
+//!   p_r(z)`, where `p_r(z) = Σ_{j uses r} p_{j,r}` is the load.
+//!
+//! The identity `Σ_i T_i(z) = Σ_r m_r · p_r(z)²` makes the game's social
+//! cost exactly the latency `T_t` of eq. (18)–(19) (see `eotora-core::p2a`
+//! for the mapping; DESIGN.md documents the `p_{i,C_n}` typo fix).
+//!
+//! This game admits the **exact potential**
+//! `Φ(z) = ½ Σ_r m_r (p_r(z)² + Σ_{i∈I_r(z)} p_{i,r}²)`
+//! — every unilateral improvement decreases Φ by the same amount, which is
+//! why best-response dynamics terminate. [`cgba`] implements Algorithm 3:
+//! repeatedly move the player with the *largest* improvement gap until no
+//! player can improve its cost by more than a factor `λ`, giving the
+//! `2.62/(1−8λ)` approximation of Theorem 2 in
+//! `O((1/λ)·log(Φ₀/Φ_min))` iterations.
+//!
+//! # Examples
+//!
+//! ```
+//! use eotora_game::{CongestionGame, CgbaConfig, cgba};
+//! use eotora_util::rng::Pcg32;
+//!
+//! // Two players, two identical resources; each strategy uses one resource.
+//! let mut g = CongestionGame::new(vec![1.0, 1.0]);
+//! g.add_player(vec![vec![(0, 1.0)], vec![(1, 1.0)]]);
+//! g.add_player(vec![vec![(0, 1.0)], vec![(1, 1.0)]]);
+//! let report = cgba(&g, &CgbaConfig::default(), &mut Pcg32::seed(1));
+//! // The equilibrium spreads the players: total cost 1² + 1² = 2.
+//! assert_eq!(report.total_cost, 2.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use eotora_util::rng::Pcg32;
+
+/// A strategy: the resource bundle it uses, as `(resource index, p_{i,r})`
+/// pairs. Indices must be unique within a strategy.
+pub type Strategy = Vec<(usize, f64)>;
+
+/// Errors detected by [`CongestionGame::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// A strategy references a resource index `>= num_resources`.
+    DanglingResource {
+        /// Offending player.
+        player: usize,
+        /// Offending resource index.
+        resource: usize,
+    },
+    /// A player has no strategies.
+    NoStrategies {
+        /// Offending player.
+        player: usize,
+    },
+    /// A weight (`m_r` or `p_{i,r}`) is non-positive or non-finite.
+    BadWeight {
+        /// Human-readable description.
+        context: String,
+    },
+    /// A strategy uses the same resource twice.
+    DuplicateResource {
+        /// Offending player.
+        player: usize,
+    },
+}
+
+impl std::fmt::Display for GameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DanglingResource { player, resource } => {
+                write!(f, "player {player} references missing resource {resource}")
+            }
+            Self::NoStrategies { player } => write!(f, "player {player} has no strategies"),
+            Self::BadWeight { context } => write!(f, "bad weight: {context}"),
+            Self::DuplicateResource { player } => {
+                write!(f, "player {player} has a strategy with duplicate resources")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+/// A weighted congestion game with linear (load-proportional) resource costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionGame {
+    resource_weights: Vec<f64>,
+    players: Vec<Vec<Strategy>>,
+}
+
+impl CongestionGame {
+    /// Creates a game over resources with weights `m_r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource_weights` is empty.
+    pub fn new(resource_weights: Vec<f64>) -> Self {
+        assert!(!resource_weights.is_empty(), "need at least one resource");
+        Self { resource_weights, players: Vec::new() }
+    }
+
+    /// Adds a player with the given strategy set; returns its index.
+    pub fn add_player(&mut self, strategies: Vec<Strategy>) -> usize {
+        self.players.push(strategies);
+        self.players.len() - 1
+    }
+
+    /// Number of players `I`.
+    pub fn num_players(&self) -> usize {
+        self.players.len()
+    }
+
+    /// Number of resources `|R|`.
+    pub fn num_resources(&self) -> usize {
+        self.resource_weights.len()
+    }
+
+    /// The weight `m_r` of resource `r`.
+    pub fn resource_weight(&self, r: usize) -> f64 {
+        self.resource_weights[r]
+    }
+
+    /// Player `i`'s strategies.
+    pub fn strategies(&self, i: usize) -> &[Strategy] {
+        &self.players[i]
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GameError`] found.
+    pub fn validate(&self) -> Result<(), GameError> {
+        for (r, &m) in self.resource_weights.iter().enumerate() {
+            if m <= 0.0 || m.is_nan() || !m.is_finite() {
+                return Err(GameError::BadWeight { context: format!("resource {r} weight {m}") });
+            }
+        }
+        for (i, strategies) in self.players.iter().enumerate() {
+            if strategies.is_empty() {
+                return Err(GameError::NoStrategies { player: i });
+            }
+            for s in strategies {
+                let mut seen = vec![false; self.resource_weights.len()];
+                for &(r, w) in s {
+                    if r >= self.resource_weights.len() {
+                        return Err(GameError::DanglingResource { player: i, resource: r });
+                    }
+                    if seen[r] {
+                        return Err(GameError::DuplicateResource { player: i });
+                    }
+                    seen[r] = true;
+                    if w <= 0.0 || w.is_nan() || !w.is_finite() {
+                        return Err(GameError::BadWeight {
+                            context: format!("player {i} resource {r} weight {w}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A strategy profile with incrementally maintained resource loads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    choices: Vec<usize>,
+    loads: Vec<f64>,
+}
+
+impl Profile {
+    /// Builds a profile from per-player strategy indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices.len()` differs from the player count or any index
+    /// is out of range for its player.
+    pub fn from_choices(game: &CongestionGame, choices: Vec<usize>) -> Self {
+        assert_eq!(choices.len(), game.num_players(), "one choice per player");
+        let mut loads = vec![0.0; game.num_resources()];
+        for (i, &s) in choices.iter().enumerate() {
+            for &(r, w) in &game.players[i][s] {
+                loads[r] += w;
+            }
+        }
+        Self { choices, loads }
+    }
+
+    /// A uniformly random profile.
+    pub fn random(game: &CongestionGame, rng: &mut Pcg32) -> Self {
+        let choices = (0..game.num_players()).map(|i| rng.below(game.players[i].len())).collect();
+        Self::from_choices(game, choices)
+    }
+
+    /// Strategy index chosen by each player.
+    pub fn choices(&self) -> &[usize] {
+        &self.choices
+    }
+
+    /// Current load `p_r(z)` on each resource.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Switches player `i` to strategy `s`, updating loads incrementally.
+    pub fn switch(&mut self, game: &CongestionGame, i: usize, s: usize) {
+        for &(r, w) in &game.players[i][self.choices[i]] {
+            self.loads[r] -= w;
+        }
+        for &(r, w) in &game.players[i][s] {
+            self.loads[r] += w;
+        }
+        self.choices[i] = s;
+    }
+
+    /// Player `i`'s cost `T_i(z) = Σ_r m_r · p_{i,r} · p_r(z)`.
+    pub fn player_cost(&self, game: &CongestionGame, i: usize) -> f64 {
+        game.players[i][self.choices[i]]
+            .iter()
+            .map(|&(r, w)| game.resource_weights[r] * w * self.loads[r])
+            .sum()
+    }
+
+    /// Social cost `Σ_i T_i(z) = Σ_r m_r · p_r(z)²`.
+    pub fn total_cost(&self, game: &CongestionGame) -> f64 {
+        self.loads
+            .iter()
+            .zip(&game.resource_weights)
+            .map(|(&p, &m)| m * p * p)
+            .sum()
+    }
+
+    /// The exact potential
+    /// `Φ(z) = ½ Σ_r m_r (p_r(z)² + Σ_{i∈I_r(z)} p_{i,r}²)`.
+    ///
+    /// Any unilateral deviation changes Φ by exactly the deviating player's
+    /// cost change, so best-response dynamics strictly decrease Φ.
+    pub fn potential(&self, game: &CongestionGame) -> f64 {
+        let mut sum_sq = vec![0.0; game.num_resources()];
+        for (i, &s) in self.choices.iter().enumerate() {
+            for &(r, w) in &game.players[i][s] {
+                sum_sq[r] += w * w;
+            }
+        }
+        self.loads
+            .iter()
+            .zip(&game.resource_weights)
+            .zip(&sum_sq)
+            .map(|((&p, &m), &ss)| 0.5 * m * (p * p + ss))
+            .sum()
+    }
+
+    /// The best response of player `i` against the rest of the profile:
+    /// `(strategy index, resulting cost for i)`.
+    pub fn best_response(&self, game: &CongestionGame, i: usize) -> (usize, f64) {
+        let current = &game.players[i][self.choices[i]];
+        let mut best = (self.choices[i], f64::INFINITY);
+        for (s, strat) in game.players[i].iter().enumerate() {
+            let mut cost = 0.0;
+            for &(r, w) in strat {
+                // Load excluding i's current contribution on r (if any).
+                let own: f64 = current
+                    .iter()
+                    .find(|&&(cr, _)| cr == r)
+                    .map(|&(_, cw)| cw)
+                    .unwrap_or(0.0);
+                cost += game.resource_weights[r] * w * (self.loads[r] - own + w);
+            }
+            if cost < best.1 {
+                best = (s, cost);
+            }
+        }
+        best
+    }
+
+    /// Whether no player can reduce its cost by a factor of more than
+    /// `1/(1−λ)` — i.e. the CGBA stopping condition
+    /// `(1−λ)·T_i(z) ≤ min_{ẑ_i} T_i(ẑ_i, z_{−i})` for all `i`.
+    /// With `λ = 0` this is an exact Nash equilibrium (up to `tol`).
+    pub fn is_lambda_equilibrium(&self, game: &CongestionGame, lambda: f64, tol: f64) -> bool {
+        (0..game.num_players()).all(|i| {
+            let cost = self.player_cost(game, i);
+            let (_, best) = self.best_response(game, i);
+            (1.0 - lambda) * cost <= best + tol
+        })
+    }
+}
+
+/// How CGBA picks which improvable player moves next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulingRule {
+    /// The paper's Algorithm 3 line 3: the player with the largest absolute
+    /// improvement `T_i(z) − min T_i(·, z_{−i})`.
+    #[default]
+    MaxGain,
+    /// Cyclic scan (ablation baseline): first improvable player in index
+    /// order after the last mover.
+    RoundRobin,
+}
+
+/// Configuration for [`cgba`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CgbaConfig {
+    /// Approximation slack `λ ∈ [0, 0.125)`; larger converges faster with a
+    /// worse guarantee (Theorem 2).
+    pub lambda: f64,
+    /// Hard iteration cap (the potential argument guarantees finite
+    /// termination; this guards pathological float behaviour).
+    pub max_iterations: usize,
+    /// Player-selection rule.
+    pub scheduling: SchedulingRule,
+}
+
+impl Default for CgbaConfig {
+    fn default() -> Self {
+        Self { lambda: 0.0, max_iterations: 1_000_000, scheduling: SchedulingRule::MaxGain }
+    }
+}
+
+/// Outcome of a [`cgba`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CgbaReport {
+    /// Final profile `ẑ`.
+    pub profile: Profile,
+    /// Social cost `T(ẑ)` of the final profile.
+    pub total_cost: f64,
+    /// Social cost of the random initial profile.
+    pub initial_cost: f64,
+    /// Number of best-response moves performed.
+    pub iterations: usize,
+    /// Whether the λ-equilibrium condition was reached (vs. iteration cap).
+    pub converged: bool,
+}
+
+/// Runs CGBA(λ) (paper Algorithm 3) from a uniformly random initial profile.
+///
+/// # Panics
+///
+/// Panics if the game has no players, `λ ∉ [0, 1)`, or the game fails
+/// [`CongestionGame::validate`].
+pub fn cgba(game: &CongestionGame, config: &CgbaConfig, rng: &mut Pcg32) -> CgbaReport {
+    let initial = Profile::random(game, rng);
+    cgba_from(game, initial, config)
+}
+
+/// Runs CGBA(λ) from a caller-supplied initial profile (used for
+/// deterministic ablations and warm starts).
+///
+/// # Panics
+///
+/// Same conditions as [`cgba`].
+pub fn cgba_from(game: &CongestionGame, initial: Profile, config: &CgbaConfig) -> CgbaReport {
+    assert!(game.num_players() > 0, "game has no players");
+    assert!((0.0..1.0).contains(&config.lambda), "lambda must be in [0, 1)");
+    game.validate().expect("game must validate before solving");
+
+    let mut profile = initial;
+    let initial_cost = profile.total_cost(game);
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut rr_cursor = 0usize;
+    let n = game.num_players();
+
+    while iterations < config.max_iterations {
+        // Find the mover per the scheduling rule.
+        let mut mover: Option<(usize, usize)> = None; // (player, strategy)
+        match config.scheduling {
+            SchedulingRule::MaxGain => {
+                let mut best_gap = 0.0;
+                for i in 0..n {
+                    let cost = profile.player_cost(game, i);
+                    let (s, br) = profile.best_response(game, i);
+                    if (1.0 - config.lambda) * cost > br {
+                        let gap = cost - br;
+                        if gap > best_gap {
+                            best_gap = gap;
+                            mover = Some((i, s));
+                        }
+                    }
+                }
+            }
+            SchedulingRule::RoundRobin => {
+                for step in 0..n {
+                    let i = (rr_cursor + step) % n;
+                    let cost = profile.player_cost(game, i);
+                    let (s, br) = profile.best_response(game, i);
+                    if (1.0 - config.lambda) * cost > br {
+                        mover = Some((i, s));
+                        rr_cursor = (i + 1) % n;
+                        break;
+                    }
+                }
+            }
+        }
+        match mover {
+            Some((i, s)) => {
+                profile.switch(game, i, s);
+                iterations += 1;
+            }
+            None => {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    let total_cost = profile.total_cost(game);
+    CgbaReport { profile, total_cost, initial_cost, iterations, converged }
+}
+
+/// Exhaustively computes the social optimum of a *small* game.
+///
+/// Returns the optimal choices and cost. The profile space must not exceed
+/// `max_profiles` (guard against accidental exponential blowups).
+///
+/// # Errors
+///
+/// Returns the actual profile-space size when it exceeds `max_profiles`.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_game::{brute_force_optimum, CongestionGame};
+///
+/// let mut g = CongestionGame::new(vec![1.0, 1.0]);
+/// g.add_player(vec![vec![(0, 1.0)], vec![(1, 1.0)]]);
+/// g.add_player(vec![vec![(0, 1.0)], vec![(1, 1.0)]]);
+/// let (choices, cost) = brute_force_optimum(&g, 1_000_000).unwrap();
+/// assert_eq!(cost, 2.0); // spread across the two resources
+/// assert_ne!(choices[0], choices[1]);
+/// ```
+pub fn brute_force_optimum(
+    game: &CongestionGame,
+    max_profiles: u128,
+) -> Result<(Vec<usize>, f64), u128> {
+    let mut space: u128 = 1;
+    for i in 0..game.num_players() {
+        space = space.saturating_mul(game.strategies(i).len() as u128);
+        if space > max_profiles {
+            return Err(space);
+        }
+    }
+    let n = game.num_players();
+    let mut choices = vec![0usize; n];
+    let mut best_choices = choices.clone();
+    let mut best = f64::INFINITY;
+    loop {
+        let cost = Profile::from_choices(game, choices.clone()).total_cost(game);
+        if cost < best {
+            best = cost;
+            best_choices = choices.clone();
+        }
+        // Odometer increment over the mixed-radix strategy space.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return Ok((best_choices, best));
+            }
+            choices[i] += 1;
+            if choices[i] < game.strategies(i).len() {
+                break;
+            }
+            choices[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Empirical price-of-anarchy scan: runs CGBA(0) from `samples` random
+/// starts and compares the worst equilibrium found against the brute-force
+/// optimum. For weighted congestion games with affine costs the true PoA is
+/// at most 2.62 (the constant in the paper's Theorem 2).
+///
+/// # Errors
+///
+/// Propagates [`brute_force_optimum`]'s size guard.
+pub fn empirical_price_of_anarchy(
+    game: &CongestionGame,
+    samples: usize,
+    max_profiles: u128,
+    rng: &mut Pcg32,
+) -> Result<f64, u128> {
+    let (_, opt) = brute_force_optimum(game, max_profiles)?;
+    let mut worst: f64 = 1.0;
+    for _ in 0..samples {
+        let report = cgba(game, &CgbaConfig::default(), rng);
+        if opt > 0.0 {
+            worst = worst.max(report.total_cost / opt);
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eotora_util::assert_close;
+
+    /// I players, R resources, each strategy = exactly one resource, with
+    /// player weight `w[i]` on every resource.
+    fn singleton_game(weights: &[f64], m: &[f64]) -> CongestionGame {
+        let mut g = CongestionGame::new(m.to_vec());
+        for &w in weights {
+            let strategies = (0..m.len()).map(|r| vec![(r, w)]).collect();
+            g.add_player(strategies);
+        }
+        g
+    }
+
+    #[test]
+    fn social_cost_identity() {
+        // Σ_i T_i == Σ_r m_r p_r² for arbitrary profiles.
+        let g = singleton_game(&[1.0, 2.0, 3.0], &[0.5, 2.0]);
+        for choices in [[0, 0, 0], [0, 1, 0], [1, 1, 1], [0, 1, 1]] {
+            let p = Profile::from_choices(&g, choices.to_vec());
+            let by_players: f64 = (0..3).map(|i| p.player_cost(&g, i)).sum();
+            assert_close!(by_players, p.total_cost(&g), 1e-12);
+        }
+    }
+
+    #[test]
+    fn potential_change_equals_cost_change() {
+        let g = singleton_game(&[1.5, 2.5], &[1.0, 3.0]);
+        let mut p = Profile::from_choices(&g, vec![0, 0]);
+        let phi0 = p.potential(&g);
+        let c0 = p.player_cost(&g, 1);
+        p.switch(&g, 1, 1);
+        let phi1 = p.potential(&g);
+        let c1 = p.player_cost(&g, 1);
+        assert_close!(phi1 - phi0, c1 - c0, 1e-12);
+    }
+
+    #[test]
+    fn best_response_spreads_load() {
+        let g = singleton_game(&[1.0, 1.0], &[1.0, 1.0]);
+        let p = Profile::from_choices(&g, vec![0, 0]);
+        let (s, cost) = p.best_response(&g, 1);
+        assert_eq!(s, 1);
+        assert_close!(cost, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn cgba_reaches_nash_on_symmetric_game() {
+        let g = singleton_game(&[1.0; 4], &[1.0, 1.0]);
+        let mut rng = Pcg32::seed(5);
+        let r = cgba(&g, &CgbaConfig::default(), &mut rng);
+        assert!(r.converged);
+        assert!(r.profile.is_lambda_equilibrium(&g, 0.0, 1e-12));
+        // Balanced split: loads (2, 2) → total cost 8. Any imbalance is worse.
+        assert_close!(r.total_cost, 8.0, 1e-12);
+    }
+
+    #[test]
+    fn cgba_never_increases_cost_vs_start() {
+        let mut rng = Pcg32::seed(6);
+        for seed in 0..20u64 {
+            let mut wr = Pcg32::seed(seed);
+            let weights: Vec<f64> = (0..8).map(|_| wr.uniform_in(0.5, 3.0)).collect();
+            let m: Vec<f64> = (0..4).map(|_| wr.uniform_in(0.2, 2.0)).collect();
+            let g = singleton_game(&weights, &m);
+            let r = cgba(&g, &CgbaConfig::default(), &mut rng);
+            assert!(r.total_cost <= r.initial_cost + 1e-9);
+            assert!(r.converged);
+        }
+    }
+
+    #[test]
+    fn potential_decreases_along_cgba_moves() {
+        // Replay CGBA manually and check Φ strictly decreases.
+        let mut wr = Pcg32::seed(8);
+        let weights: Vec<f64> = (0..6).map(|_| wr.uniform_in(0.5, 2.0)).collect();
+        let m: Vec<f64> = (0..3).map(|_| wr.uniform_in(0.5, 2.0)).collect();
+        let g = singleton_game(&weights, &m);
+        let mut p = Profile::from_choices(&g, vec![0; 6]);
+        let mut phi = p.potential(&g);
+        for _ in 0..1000 {
+            let mut moved = false;
+            for i in 0..6 {
+                let cost = p.player_cost(&g, i);
+                let (s, br) = p.best_response(&g, i);
+                if br < cost - 1e-12 {
+                    p.switch(&g, i, s);
+                    let new_phi = p.potential(&g);
+                    assert!(new_phi < phi - 1e-12, "potential must strictly decrease");
+                    phi = new_phi;
+                    moved = true;
+                    break;
+                }
+            }
+            if !moved {
+                return;
+            }
+        }
+        panic!("best-response dynamics failed to converge");
+    }
+
+    #[test]
+    fn lambda_relaxes_convergence() {
+        let mut wr = Pcg32::seed(10);
+        let weights: Vec<f64> = (0..20).map(|_| wr.uniform_in(0.5, 3.0)).collect();
+        let m: Vec<f64> = (0..5).map(|_| wr.uniform_in(0.2, 2.0)).collect();
+        let g = singleton_game(&weights, &m);
+        let mut iters = Vec::new();
+        let mut costs = Vec::new();
+        for lambda in [0.0, 0.06, 0.12] {
+            // Average over several starts to smooth randomness.
+            let mut total_iters = 0;
+            let mut total_cost = 0.0;
+            for seed in 0..10u64 {
+                let mut rng = Pcg32::seed(seed);
+                let cfg = CgbaConfig { lambda, ..Default::default() };
+                let r = cgba(&g, &cfg, &mut rng);
+                assert!(r.converged);
+                assert!(r.profile.is_lambda_equilibrium(&g, lambda, 1e-9));
+                total_iters += r.iterations;
+                total_cost += r.total_cost;
+            }
+            iters.push(total_iters);
+            costs.push(total_cost);
+        }
+        // More slack → no more iterations than exact best response.
+        assert!(iters[2] <= iters[0], "iters {iters:?}");
+        // Final costs stay in the same ballpark (λ only weakens the
+        // guarantee; which equilibrium is hit is start-dependent).
+        assert!((costs[2] - costs[0]).abs() <= 0.05 * costs[0], "costs {costs:?}");
+    }
+
+    #[test]
+    fn round_robin_also_converges_to_nash() {
+        let mut wr = Pcg32::seed(11);
+        let weights: Vec<f64> = (0..10).map(|_| wr.uniform_in(0.5, 3.0)).collect();
+        let m: Vec<f64> = (0..4).map(|_| wr.uniform_in(0.2, 2.0)).collect();
+        let g = singleton_game(&weights, &m);
+        let mut rng = Pcg32::seed(12);
+        let cfg = CgbaConfig { scheduling: SchedulingRule::RoundRobin, ..Default::default() };
+        let r = cgba(&g, &cfg, &mut rng);
+        assert!(r.converged);
+        assert!(r.profile.is_lambda_equilibrium(&g, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn price_of_anarchy_within_theorem_bound() {
+        // Exhaustively compute the optimum on small instances and check
+        // T(ẑ) ≤ 2.62 · T(z*) for λ = 0 (Theorem 2).
+        for seed in 0..30u64 {
+            let mut wr = Pcg32::seed(seed);
+            let weights: Vec<f64> = (0..5).map(|_| wr.uniform_in(0.5, 3.0)).collect();
+            let m: Vec<f64> = (0..3).map(|_| wr.uniform_in(0.2, 2.0)).collect();
+            let g = singleton_game(&weights, &m);
+            // Brute force optimum over 3^5 profiles.
+            let mut opt = f64::INFINITY;
+            for code in 0..3usize.pow(5) {
+                let mut c = code;
+                let choices: Vec<usize> = (0..5)
+                    .map(|_| {
+                        let v = c % 3;
+                        c /= 3;
+                        v
+                    })
+                    .collect();
+                opt = opt.min(Profile::from_choices(&g, choices).total_cost(&g));
+            }
+            let mut rng = Pcg32::seed(seed + 1000);
+            let r = cgba(&g, &CgbaConfig::default(), &mut rng);
+            assert!(
+                r.total_cost <= 2.62 * opt + 1e-9,
+                "seed {seed}: {} > 2.62 × {opt}",
+                r.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn multi_resource_strategies() {
+        // Strategies that bundle resources (like BS + server in the paper).
+        let mut g = CongestionGame::new(vec![1.0, 1.0, 2.0]);
+        g.add_player(vec![vec![(0, 1.0), (2, 0.5)], vec![(1, 1.0), (2, 0.5)]]);
+        g.add_player(vec![vec![(0, 2.0), (2, 1.0)], vec![(1, 2.0), (2, 1.0)]]);
+        g.validate().unwrap();
+        let p = Profile::from_choices(&g, vec![0, 0]);
+        // Loads: r0 = 3, r2 = 1.5 → total = 1·9 + 2·2.25 = 13.5.
+        assert_close!(p.total_cost(&g), 13.5, 1e-12);
+        let identity: f64 = (0..2).map(|i| p.player_cost(&g, i)).sum();
+        assert_close!(identity, 13.5, 1e-12);
+        let mut rng = Pcg32::seed(1);
+        let r = cgba(&g, &CgbaConfig::default(), &mut rng);
+        assert!(r.converged);
+        // Spreading over r0/r1 is optimal; shared r2 load unchanged.
+        // loads: one on r0 (either 1 or 2 weight), other on r1, r2 = 1.5.
+        // cost = w1² + w2² + 2·1.5² = 1 + 4 + 4.5 = 9.5.
+        assert_close!(r.total_cost, 9.5, 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut g = CongestionGame::new(vec![1.0]);
+        g.add_player(vec![]);
+        assert!(matches!(g.validate(), Err(GameError::NoStrategies { player: 0 })));
+
+        let mut g = CongestionGame::new(vec![1.0]);
+        g.add_player(vec![vec![(3, 1.0)]]);
+        assert!(matches!(g.validate(), Err(GameError::DanglingResource { .. })));
+
+        let mut g = CongestionGame::new(vec![1.0, 1.0]);
+        g.add_player(vec![vec![(0, 1.0), (0, 2.0)]]);
+        assert!(matches!(g.validate(), Err(GameError::DuplicateResource { .. })));
+
+        let mut g = CongestionGame::new(vec![-1.0]);
+        g.add_player(vec![vec![(0, 1.0)]]);
+        assert!(matches!(g.validate(), Err(GameError::BadWeight { .. })));
+
+        let mut g = CongestionGame::new(vec![1.0]);
+        g.add_player(vec![vec![(0, 0.0)]]);
+        assert!(matches!(g.validate(), Err(GameError::BadWeight { .. })));
+    }
+
+    #[test]
+    fn brute_force_matches_known_optimum() {
+        let g = singleton_game(&[1.0, 2.0], &[1.0, 1.0]);
+        let (choices, cost) = brute_force_optimum(&g, 100).unwrap();
+        // Separating the players is optimal: 1² + 2² = 5.
+        assert_eq!(cost, 5.0);
+        assert_ne!(choices[0], choices[1]);
+    }
+
+    #[test]
+    fn brute_force_guards_against_blowup() {
+        let g = singleton_game(&[1.0; 30], &[1.0, 1.0]);
+        let err = brute_force_optimum(&g, 1_000).unwrap_err();
+        assert!(err > 1_000);
+    }
+
+    #[test]
+    fn empirical_poa_within_theorem_constant() {
+        let mut rng = Pcg32::seed(17);
+        for seed in 0..10u64 {
+            let mut wr = Pcg32::seed(seed);
+            let weights: Vec<f64> = (0..6).map(|_| wr.uniform_in(0.5, 3.0)).collect();
+            let m: Vec<f64> = (0..3).map(|_| wr.uniform_in(0.2, 2.0)).collect();
+            let g = singleton_game(&weights, &m);
+            let poa = empirical_price_of_anarchy(&g, 10, 1_000_000, &mut rng).unwrap();
+            assert!((1.0..=2.62 + 1e-9).contains(&poa), "PoA {poa}");
+        }
+    }
+
+    #[test]
+    fn iteration_cap_reported_as_not_converged() {
+        let g = singleton_game(&[1.0, 1.0, 1.0, 1.0], &[1.0, 1.0]);
+        let mut rng = Pcg32::seed(3);
+        let cfg = CgbaConfig { max_iterations: 0, ..Default::default() };
+        let r = cgba(&g, &cfg, &mut rng);
+        // With zero allowed iterations, convergence can only be claimed if
+        // the random start happened to be an equilibrium.
+        if !r.converged {
+            assert_eq!(r.iterations, 0);
+        }
+    }
+
+    #[test]
+    fn switch_keeps_loads_consistent() {
+        let mut wr = Pcg32::seed(14);
+        let weights: Vec<f64> = (0..7).map(|_| wr.uniform_in(0.5, 2.0)).collect();
+        let m: Vec<f64> = (0..3).map(|_| wr.uniform_in(0.5, 2.0)).collect();
+        let g = singleton_game(&weights, &m);
+        let mut p = Profile::from_choices(&g, vec![0; 7]);
+        let mut rng = Pcg32::seed(15);
+        for _ in 0..100 {
+            let i = rng.below(7);
+            let s = rng.below(3);
+            p.switch(&g, i, s);
+        }
+        let rebuilt = Profile::from_choices(&g, p.choices().to_vec());
+        for (a, b) in p.loads().iter().zip(rebuilt.loads()) {
+            assert_close!(*a, *b, 1e-9);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Real-root extraction for cubic polynomials.
+//!
+//! P2-B's KKT stationarity condition with a quadratic energy model is a
+//! cubic equation in the clock frequency (`V·A/ω² = Q·p·g'(ω)` multiplied
+//! through by `ω²`), so the frequency step admits a closed form. This module
+//! provides the root-finder behind that fast path: the trigonometric /
+//! hyperbolic Cardano method, with a Newton polish step for full `f64`
+//! accuracy.
+
+/// Returns all real roots of `c3·x³ + c2·x² + c1·x + c0 = 0`, ascending.
+///
+/// Degenerate leading coefficients fall back to the quadratic/linear case.
+/// Roots are polished with one Newton step; multiple roots are returned once
+/// per distinct value (within a relative tolerance).
+///
+/// # Examples
+///
+/// ```
+/// use eotora_optim::cubic::real_roots;
+///
+/// // (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6
+/// let roots = real_roots(1.0, -6.0, 11.0, -6.0);
+/// assert_eq!(roots.len(), 3);
+/// assert!((roots[0] - 1.0).abs() < 1e-9);
+/// assert!((roots[2] - 3.0).abs() < 1e-9);
+/// ```
+pub fn real_roots(c3: f64, c2: f64, c1: f64, c0: f64) -> Vec<f64> {
+    const EPS: f64 = 1e-300;
+    if c3.abs() < EPS {
+        // Quadratic (or lower) case.
+        if c2.abs() < EPS {
+            if c1.abs() < EPS {
+                return Vec::new(); // constant: no roots (or everything)
+            }
+            return vec![-c0 / c1];
+        }
+        let disc = c1 * c1 - 4.0 * c2 * c0;
+        if disc < 0.0 {
+            return Vec::new();
+        }
+        let sq = disc.sqrt();
+        let mut roots = vec![(-c1 - sq) / (2.0 * c2), (-c1 + sq) / (2.0 * c2)];
+        roots.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        roots.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0));
+        return roots;
+    }
+
+    // Depressed cubic t³ + p t + q with x = t − c2/(3 c3).
+    let a = c2 / c3;
+    let b = c1 / c3;
+    let c = c0 / c3;
+    let shift = a / 3.0;
+    let p = b - a * a / 3.0;
+    let q = 2.0 * a * a * a / 27.0 - a * b / 3.0 + c;
+
+    let mut roots = Vec::new();
+    let disc = (q / 2.0) * (q / 2.0) + (p / 3.0) * (p / 3.0) * (p / 3.0);
+    if disc > 0.0 {
+        // One real root (Cardano).
+        let s = disc.sqrt();
+        let u = (-q / 2.0 + s).cbrt();
+        let v = (-q / 2.0 - s).cbrt();
+        roots.push(u + v - shift);
+    } else if p.abs() < 1e-300 {
+        // Triple root.
+        roots.push(-shift);
+    } else {
+        // Three real roots (trigonometric form).
+        let r = (-p / 3.0).sqrt();
+        let arg = (3.0 * q / (2.0 * p * r)).clamp(-1.0, 1.0);
+        let phi = arg.acos();
+        for k in 0..3 {
+            let t = 2.0 * r * ((phi - 2.0 * std::f64::consts::PI * k as f64) / 3.0).cos();
+            roots.push(t - shift);
+        }
+    }
+
+    // One Newton polish per root, then sort and dedup near-equal roots.
+    for x in roots.iter_mut() {
+        let f = ((c3 * *x + c2) * *x + c1) * *x + c0;
+        let df = (3.0 * c3 * *x + 2.0 * c2) * *x + c1;
+        if df.abs() > 1e-300 {
+            let next = *x - f / df;
+            if next.is_finite() {
+                *x = next;
+            }
+        }
+    }
+    roots.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    roots.dedup_by(|a, b| (*a - *b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0));
+    roots
+}
+
+/// The smallest real root inside `[lo, hi]`, if any.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_optim::cubic::root_in_interval;
+///
+/// // x³ - x = x(x-1)(x+1): roots -1, 0, 1.
+/// assert_eq!(root_in_interval(1.0, 0.0, -1.0, 0.0, 0.5, 2.0), Some(1.0));
+/// assert_eq!(root_in_interval(1.0, 0.0, -1.0, 0.0, 2.0, 3.0), None);
+/// ```
+pub fn root_in_interval(c3: f64, c2: f64, c1: f64, c0: f64, lo: f64, hi: f64) -> Option<f64> {
+    real_roots(c3, c2, c1, c0).into_iter().find(|&x| (lo..=hi).contains(&x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eotora_util::rng::Pcg32;
+
+    fn eval(c3: f64, c2: f64, c1: f64, c0: f64, x: f64) -> f64 {
+        ((c3 * x + c2) * x + c1) * x + c0
+    }
+
+    #[test]
+    fn three_distinct_roots() {
+        let roots = real_roots(2.0, -12.0, 22.0, -12.0); // 2(x-1)(x-2)(x-3)
+        assert_eq!(roots.len(), 3);
+        for (r, expect) in roots.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((r - expect).abs() < 1e-9, "{r} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn single_real_root() {
+        // x³ + x + 1 has exactly one real root near -0.6823.
+        let roots = real_roots(1.0, 0.0, 1.0, 1.0);
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] + 0.682_327_803_828_019_3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triple_root() {
+        // (x-2)³ = x³ - 6x² + 12x - 8.
+        let roots = real_roots(1.0, -6.0, 12.0, -8.0);
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quadratic_fallback() {
+        let roots = real_roots(0.0, 1.0, -3.0, 2.0); // (x-1)(x-2)
+        assert_eq!(roots.len(), 2);
+        assert!((roots[0] - 1.0).abs() < 1e-12 && (roots[1] - 2.0).abs() < 1e-12);
+        assert!(real_roots(0.0, 1.0, 0.0, 1.0).is_empty()); // x²+1
+    }
+
+    #[test]
+    fn linear_and_constant_fallback() {
+        assert_eq!(real_roots(0.0, 0.0, 2.0, -4.0), vec![2.0]);
+        assert!(real_roots(0.0, 0.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn random_cubics_roots_verify() {
+        let mut rng = Pcg32::seed(8);
+        for _ in 0..500 {
+            let (c3, c2, c1, c0) = (
+                rng.uniform_in(-5.0, 5.0),
+                rng.uniform_in(-5.0, 5.0),
+                rng.uniform_in(-5.0, 5.0),
+                rng.uniform_in(-5.0, 5.0),
+            );
+            if c3.abs() < 1e-3 {
+                continue;
+            }
+            let roots = real_roots(c3, c2, c1, c0);
+            assert!(!roots.is_empty(), "odd-degree polynomial must have a real root");
+            let scale = c3.abs().max(c2.abs()).max(c1.abs()).max(c0.abs());
+            for r in roots {
+                let v = eval(c3, c2, c1, c0, r);
+                let rscale = scale * (1.0 + r.abs().powi(3));
+                assert!(v.abs() <= 1e-7 * rscale, "residual {v} at root {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_filter() {
+        assert!(root_in_interval(1.0, -6.0, 11.0, -6.0, 1.5, 2.5).is_some());
+        assert!(root_in_interval(1.0, -6.0, 11.0, -6.0, 3.5, 9.0).is_none());
+    }
+
+    #[test]
+    fn p2b_shaped_cubic() {
+        // 2a·c_w/1e18 · x³ + b·c_w/1e9 · x² − V·A = 0 at realistic scales.
+        let (a, b) = (4.6, 4.1);
+        let c_w = 40.0 * 0.06 * 1e-3; // Q·p·kwh
+        let va = 100.0 * 2e7;
+        let c3 = 2.0 * a * c_w / 1e18;
+        let c2 = b * c_w / 1e9;
+        let root = root_in_interval(c3, c2, 0.0, -va, 1.0, 1e12).expect("positive root exists");
+        // Verify stationarity: V·A/x² == c_w (2a x/1e18 + b/1e9).
+        let lhs = va / (root * root);
+        let rhs = c_w * (2.0 * a * root / 1e18 + b / 1e9);
+        assert!((lhs - rhs).abs() <= 1e-9 * lhs, "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Projected gradient descent for smooth constrained minimization.
+//!
+//! Serves two roles in the workspace: a *numerical oracle* that
+//! cross-validates the paper's closed-form resource allocations (Lemma 1)
+//! in tests, and a general fallback for convex subproblems without closed
+//! forms (e.g. experimenting with non-separable energy couplings).
+
+/// Configuration for [`minimize_projected`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientConfig {
+    /// Initial step size for backtracking line search.
+    pub initial_step: f64,
+    /// Multiplicative backtracking factor in `(0, 1)`.
+    pub backtrack: f64,
+    /// Armijo sufficient-decrease constant in `(0, 1)`.
+    pub armijo: f64,
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+    /// Stop when the projected step moves less than this (ℓ∞).
+    pub tol: f64,
+}
+
+impl Default for GradientConfig {
+    fn default() -> Self {
+        Self { initial_step: 1.0, backtrack: 0.5, armijo: 1e-4, max_iter: 2000, tol: 1e-10 }
+    }
+}
+
+/// Result of a projected-gradient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientResult {
+    /// Final iterate (feasible: it is the image of the projection).
+    pub x: Vec<f64>,
+    /// Objective value at the final iterate.
+    pub value: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Whether the movement tolerance was met before `max_iter`.
+    pub converged: bool,
+}
+
+/// Minimizes `f` over a convex set given by projection operator `project`,
+/// starting from `x0`, using gradient `grad` with Armijo backtracking.
+///
+/// `project` must map any point to the feasible set (e.g.
+/// [`crate::simplex::project_simplex`] or a box clamp). For convex `f` and
+/// convex feasible sets this converges to the constrained minimum.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty or the config has non-positive step/tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_optim::gradient::{minimize_projected, GradientConfig};
+///
+/// // min (x0-1)^2 + (x1+2)^2 over the box [0,1]^2 → optimum (1, 0).
+/// let clamp = |v: &[f64]| v.iter().map(|x| x.clamp(0.0, 1.0)).collect::<Vec<_>>();
+/// let r = minimize_projected(
+///     |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+///     |x| vec![2.0 * (x[0] - 1.0), 2.0 * (x[1] + 2.0)],
+///     clamp,
+///     &[0.5, 0.5],
+///     GradientConfig::default(),
+/// );
+/// assert!((r.x[0] - 1.0).abs() < 1e-6 && r.x[1].abs() < 1e-6);
+/// ```
+pub fn minimize_projected<F, G, P>(
+    mut f: F,
+    mut grad: G,
+    mut project: P,
+    x0: &[f64],
+    config: GradientConfig,
+) -> GradientResult
+where
+    F: FnMut(&[f64]) -> f64,
+    G: FnMut(&[f64]) -> Vec<f64>,
+    P: FnMut(&[f64]) -> Vec<f64>,
+{
+    assert!(!x0.is_empty(), "empty start point");
+    assert!(config.initial_step > 0.0 && config.tol > 0.0, "step and tol must be positive");
+    assert!((0.0..1.0).contains(&config.backtrack) && config.backtrack > 0.0, "backtrack in (0,1)");
+
+    let mut x = project(x0);
+    let mut fx = f(&x);
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for _ in 0..config.max_iter {
+        iterations += 1;
+        let g = grad(&x);
+        let mut step = config.initial_step;
+        let mut accepted = false;
+        // Backtrack until the Armijo condition holds for the projected step.
+        for _ in 0..60 {
+            let cand: Vec<f64> = x.iter().zip(&g).map(|(xi, gi)| xi - step * gi).collect();
+            let cand = project(&cand);
+            let fc = f(&cand);
+            let decrease: f64 = x
+                .iter()
+                .zip(&cand)
+                .map(|(xi, ci)| (xi - ci) * (xi - ci))
+                .sum::<f64>()
+                / step.max(1e-300);
+            if fc <= fx - config.armijo * decrease {
+                let moved = x
+                    .iter()
+                    .zip(&cand)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                x = cand;
+                fx = fc;
+                accepted = true;
+                if moved <= config.tol {
+                    converged = true;
+                }
+                break;
+            }
+            step *= config.backtrack;
+        }
+        if !accepted {
+            // Line search failed to find descent: stationary to precision.
+            converged = true;
+        }
+        if converged {
+            break;
+        }
+    }
+
+    GradientResult { x, value: fx, iterations, converged }
+}
+
+/// Clamps each coordinate of `v` into `[lo[i], hi[i]]` — the projection onto
+/// a box. Convenience for [`minimize_projected`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or any `lo[i] > hi[i]`.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_optim::gradient::project_box;
+///
+/// assert_eq!(project_box(&[-1.0, 5.0], &[0.0, 0.0], &[1.0, 1.0]), vec![0.0, 1.0]);
+/// ```
+pub fn project_box(v: &[f64], lo: &[f64], hi: &[f64]) -> Vec<f64> {
+    assert!(v.len() == lo.len() && v.len() == hi.len(), "length mismatch");
+    v.iter()
+        .zip(lo.iter().zip(hi))
+        .map(|(&x, (&l, &h))| {
+            assert!(l <= h, "box bound {l} > {h}");
+            x.clamp(l, h)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::project_simplex;
+    use eotora_util::assert_close;
+
+    #[test]
+    fn unconstrained_quadratic() {
+        let r = minimize_projected(
+            |x| (x[0] - 3.0).powi(2),
+            |x| vec![2.0 * (x[0] - 3.0)],
+            |v| v.to_vec(),
+            &[0.0],
+            GradientConfig::default(),
+        );
+        assert!(r.converged);
+        assert_close!(r.x[0], 3.0, 1e-6);
+    }
+
+    #[test]
+    fn box_constrained_active_bound() {
+        let r = minimize_projected(
+            |x| (x[0] - 5.0).powi(2),
+            |x| vec![2.0 * (x[0] - 5.0)],
+            |v| project_box(v, &[0.0], &[1.0]),
+            &[0.5],
+            GradientConfig::default(),
+        );
+        assert_close!(r.x[0], 1.0, 1e-9);
+    }
+
+    #[test]
+    fn simplex_constrained_matches_closed_form() {
+        // min Σ w_i / x_i over the simplex has solution x_i ∝ sqrt(w_i)
+        // — the exact structure behind Lemma 1 of the paper.
+        let w = [1.0, 4.0, 9.0];
+        let r = minimize_projected(
+            |x| w.iter().zip(x).map(|(wi, xi)| wi / xi.max(1e-9)).sum(),
+            |x| w.iter().zip(x).map(|(wi, xi)| -wi / (xi.max(1e-9) * xi.max(1e-9))).collect(),
+            |v| project_simplex(v, 1.0),
+            &[1.0 / 3.0; 3],
+            GradientConfig { max_iter: 20_000, tol: 1e-12, ..Default::default() },
+        );
+        let norm: f64 = w.iter().map(|wi| wi.sqrt()).sum();
+        for (xi, wi) in r.x.iter().zip(&w) {
+            assert_close!(*xi, wi.sqrt() / norm, 1e-4);
+        }
+    }
+
+    #[test]
+    fn respects_feasibility_throughout() {
+        let r = minimize_projected(
+            |x| x.iter().map(|v| v * v).sum(),
+            |x| x.iter().map(|v| 2.0 * v).collect(),
+            |v| project_simplex(v, 1.0),
+            &[0.7, 0.3],
+            GradientConfig::default(),
+        );
+        assert_close!(r.x.iter().sum::<f64>(), 1.0, 1e-9);
+        // Symmetric objective on the simplex → equal split.
+        assert_close!(r.x[0], 0.5, 1e-6);
+    }
+
+    #[test]
+    fn zero_gradient_converges_immediately() {
+        let r = minimize_projected(
+            |_| 7.0,
+            |x| vec![0.0; x.len()],
+            |v| v.to_vec(),
+            &[1.0, 2.0],
+            GradientConfig::default(),
+        );
+        assert!(r.converged);
+        assert_eq!(r.value, 7.0);
+        assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty start")]
+    fn empty_start_panics() {
+        minimize_projected(|_| 0.0, |_| vec![], |v: &[f64]| v.to_vec(), &[], GradientConfig::default());
+    }
+
+    #[test]
+    fn project_box_behaviour() {
+        assert_eq!(project_box(&[0.5], &[0.0], &[1.0]), vec![0.5]);
+        assert_eq!(project_box(&[2.0, -2.0], &[0.0, 0.0], &[1.0, 1.0]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn project_box_length_mismatch_panics() {
+        project_box(&[1.0], &[0.0, 0.0], &[1.0, 1.0]);
+    }
+}

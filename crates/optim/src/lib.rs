@@ -1,0 +1,49 @@
+//! Numerical-optimization substrate for the `eotora` workspace.
+//!
+//! The paper relies on two external solvers that this crate replaces with
+//! self-contained implementations:
+//!
+//! * **CVX** (used for subproblem P2-B) → [`scalar`]: derivative bisection,
+//!   golden-section search and Brent minimization for one-dimensional convex
+//!   problems. P2-B is separable per edge server, so these are all that is
+//!   needed — each server solves `min_ω V·A/ω + Q·p·g(ω)` on a box.
+//! * **Gurobi** (used for the optimal baseline in Fig. 4/5) →
+//!   [`branch_bound`]: a generic best-first branch-and-bound over sequential
+//!   discrete choices with admissible lower bounds, node budgets, and
+//!   incumbent/bound reporting.
+//!
+//! Supporting machinery:
+//!
+//! * [`linalg`] — a small dense matrix type with partially pivoted LU solve,
+//!   enough for the normal equations of low-degree polynomial fits.
+//! * [`least_squares`] — polynomial least squares (the paper's quadratic fit
+//!   of CPU power data in Fig. 3) plus goodness-of-fit.
+//! * [`simplex`] — Euclidean projection onto the probability simplex, used to
+//!   cross-check the closed-form allocations of Lemma 1 numerically.
+//! * [`gradient`] — projected gradient descent with backtracking line search
+//!   for box- or simplex-constrained smooth problems (test oracle for the
+//!   closed forms; also usable on its own).
+//!
+//! # Examples
+//!
+//! ```
+//! use eotora_optim::scalar::minimize_golden;
+//!
+//! // min (x-2)^2 on [0, 10]
+//! let m = minimize_golden(|x| (x - 2.0) * (x - 2.0), 0.0, 10.0, 1e-10, 200);
+//! assert!((m.x - 2.0).abs() < 1e-6);
+//! ```
+
+pub mod branch_bound;
+pub mod cubic;
+pub mod gradient;
+pub mod least_squares;
+pub mod linalg;
+pub mod scalar;
+pub mod simplex;
+
+pub use branch_bound::{BnbOutcome, BnbResult, BranchAndBound, SequentialProblem};
+pub use least_squares::{polyfit, PolyFit};
+pub use linalg::Matrix;
+pub use scalar::{minimize_bisection, minimize_brent, minimize_golden, ScalarMinimum};
+pub use simplex::project_simplex;

@@ -1,0 +1,308 @@
+//! A small dense-matrix type with LU-based solving.
+//!
+//! Deliberately minimal: the workspace only needs to solve the (d+1)×(d+1)
+//! normal equations of low-degree polynomial fits and a handful of similarly
+//! tiny systems, so a partially pivoted LU over a row-major `Vec<f64>` is the
+//! whole story. (This is the `ndarray` substitution noted in DESIGN.md.)
+
+use std::fmt;
+
+/// Errors produced by [`Matrix`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible with the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+    /// The system matrix is singular to working precision.
+    Singular,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            Self::Singular => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_optim::linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+/// let x = a.solve(&[2.0, 8.0]).unwrap();
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `rows` is empty or the rows
+    /// have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::ShapeMismatch { context: "empty matrix" });
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::ShapeMismatch { context: "ragged rows" });
+        }
+        let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Ok(Self { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch { context: "mul_vec dimension" });
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum())
+            .collect())
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch { context: "mul inner dimension" });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for non-square `A` or wrong `b`
+    /// length, and [`LinalgError::Singular`] when a pivot underflows.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::ShapeMismatch { context: "solve requires square matrix" });
+        }
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch { context: "solve rhs length" });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let at = |a: &[f64], i: usize, j: usize| a[i * n + j];
+
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at/below diag.
+            let mut pivot_row = col;
+            let mut pivot_val = at(&a, col, col).abs();
+            for r in (col + 1)..n {
+                let v = at(&a, r, col).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = at(&a, col, col);
+            for r in (col + 1)..n {
+                let factor = at(&a, r, col) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * at(&a, col, j);
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for (j, xj) in x.iter().enumerate().take(n).skip(col + 1) {
+                acc -= at(&a, col, j) * xj;
+            }
+            x[col] = acc / at(&a, col, col);
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eotora_util::assert_close;
+    use eotora_util::rng::Pcg32;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let i3 = Matrix::identity(3);
+        let x = i3.solve(&[1.0, -2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert_close!(x[0], 7.0, 1e-12);
+        assert_close!(x[1], 5.0, 1e-12);
+    }
+
+    #[test]
+    fn solve_random_systems_roundtrip() {
+        let mut rng = Pcg32::seed(21);
+        for n in [1usize, 2, 3, 5, 8] {
+            // Diagonally dominant => nonsingular.
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.uniform_in(-1.0, 1.0);
+                }
+                a[(i, i)] += n as f64 + 1.0;
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| rng.uniform_in(-5.0, 5.0)).collect();
+            let b = a.mul_vec(&x_true).unwrap();
+            let x = a.solve(&b).unwrap();
+            for (xs, xt) in x.iter().zip(&x_true) {
+                assert_close!(*xs, *xt, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(matches!(a.solve(&[1.0]), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(a.mul_vec(&[1.0]), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn transpose_and_mul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let at = a.transpose();
+        assert_eq!(at.rows(), 3);
+        assert_eq!(at.cols(), 2);
+        let ata = at.mul(&a).unwrap();
+        assert_eq!(ata.rows(), 3);
+        assert_close!(ata[(0, 0)], 17.0, 1e-12);
+        assert_close!(ata[(2, 1)], 36.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::identity(2);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+        let e = LinalgError::ShapeMismatch { context: "x" };
+        assert!(e.to_string().contains("shape mismatch"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Euclidean projection onto the scaled probability simplex.
+//!
+//! Used as the projection operator when cross-checking the paper's Lemma 1
+//! closed-form allocations with projected gradient descent: the bandwidth and
+//! compute shares live on `{φ ≥ 0, Σφ ≤ 1}`, and at the optimum the budget
+//! binds, so projecting onto `{φ ≥ 0, Σφ = s}` is the relevant operation.
+
+/// Projects `v` onto the simplex `{x : x ≥ 0, Σx = s}` in `O(n log n)`
+/// (Duchi, Shalev-Shwartz, Singer, Chandra, ICML 2008).
+///
+/// Returns the unique Euclidean projection.
+///
+/// # Panics
+///
+/// Panics if `s` is not positive, `v` is empty, or any entry is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_optim::simplex::project_simplex;
+///
+/// let p = project_simplex(&[0.5, 0.5], 1.0);
+/// assert_eq!(p, vec![0.5, 0.5]); // already feasible
+///
+/// let p = project_simplex(&[2.0, 0.0], 1.0);
+/// assert_eq!(p, vec![1.0, 0.0]);
+/// ```
+pub fn project_simplex(v: &[f64], s: f64) -> Vec<f64> {
+    assert!(s > 0.0, "simplex scale must be positive");
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    assert!(v.iter().all(|x| !x.is_nan()), "NaN in projection input");
+
+    let mut u: Vec<f64> = v.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("NaN filtered above"));
+    let mut css = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (i, &ui) in u.iter().enumerate() {
+        css += ui;
+        let t = (css - s) / (i as f64 + 1.0);
+        if ui - t > 0.0 {
+            rho = i;
+            theta = t;
+        }
+    }
+    let _ = rho;
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eotora_util::assert_close;
+    use eotora_util::rng::Pcg32;
+
+    fn sum(v: &[f64]) -> f64 {
+        v.iter().sum()
+    }
+
+    #[test]
+    fn feasible_point_unchanged() {
+        let p = project_simplex(&[0.2, 0.3, 0.5], 1.0);
+        for (a, b) in p.iter().zip([0.2, 0.3, 0.5]) {
+            assert_close!(*a, b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn projects_to_unit_sum() {
+        let mut rng = Pcg32::seed(2);
+        for _ in 0..200 {
+            let n = 1 + rng.below(10);
+            let v: Vec<f64> = (0..n).map(|_| rng.uniform_in(-3.0, 3.0)).collect();
+            let p = project_simplex(&v, 1.0);
+            assert_close!(sum(&p), 1.0, 1e-9);
+            assert!(p.iter().all(|&x| x >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn scaled_simplex() {
+        let p = project_simplex(&[10.0, 10.0], 4.0);
+        assert_close!(p[0], 2.0, 1e-12);
+        assert_close!(p[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn negative_entries_clamped() {
+        let p = project_simplex(&[-5.0, 1.0], 1.0);
+        assert_eq!(p[0], 0.0);
+        assert_close!(p[1], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let mut rng = Pcg32::seed(3);
+        for _ in 0..50 {
+            let v: Vec<f64> = (0..6).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+            let p1 = project_simplex(&v, 1.0);
+            let p2 = project_simplex(&p1, 1.0);
+            for (a, b) in p1.iter().zip(&p2) {
+                assert_close!(*a, *b, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_minimizes_distance() {
+        // Compare against a dense grid search on the 2-simplex.
+        let v = [0.9, -0.1, 0.4];
+        let p = project_simplex(&v, 1.0);
+        let d_opt: f64 = v.iter().zip(&p).map(|(a, b)| (a - b) * (a - b)).sum();
+        let m = 60;
+        for i in 0..=m {
+            for j in 0..=(m - i) {
+                let cand = [i as f64 / m as f64, j as f64 / m as f64, (m - i - j) as f64 / m as f64];
+                let d: f64 = v.iter().zip(&cand).map(|(a, b)| (a - b) * (a - b)).sum();
+                assert!(d + 1e-9 >= d_opt, "grid point beats projection");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        project_simplex(&[1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        project_simplex(&[], 1.0);
+    }
+}

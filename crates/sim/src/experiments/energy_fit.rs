@@ -1,0 +1,84 @@
+//! Fig. 3 — measured i7-3770K power, its quadratic fit, and perturbed
+//! per-server energy curves.
+
+use eotora_energy::{fit_i7_3770k, i7_3770k_points, EnergyModel, QuadraticEnergy};
+use eotora_util::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 3 data: measurement diamonds, fitted black curve, and dashed
+/// perturbed server curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyFitData {
+    /// Measured `(GHz, W)` points.
+    pub measured: Vec<(f64, f64)>,
+    /// Fitted quadratic coefficients `(a, b, c)` with `P = a·f² + b·f + c`.
+    pub fit_coefficients: (f64, f64, f64),
+    /// Fit evaluated on a dense grid of `(GHz, W)` samples.
+    pub fit_curve: Vec<(f64, f64)>,
+    /// Perturbed per-server curves on the same grid (paper: dashed lines).
+    pub perturbed_curves: Vec<Vec<(f64, f64)>>,
+}
+
+/// Builds the Fig. 3 dataset with `num_perturbed` random server curves.
+pub fn energy_fit(num_perturbed: usize, seed: u64) -> EnergyFitData {
+    let (freqs, watts) = i7_3770k_points();
+    let measured: Vec<(f64, f64)> = freqs.iter().copied().zip(watts).collect();
+    let fit = fit_i7_3770k();
+
+    let grid: Vec<f64> = (0..=90).map(|i| 1.8 + i as f64 * 0.02).collect();
+    let sample = |m: &QuadraticEnergy| -> Vec<(f64, f64)> {
+        grid.iter().map(|&g| (g, m.power_watts(g * 1e9))).collect()
+    };
+
+    let mut rng = Pcg32::seed_stream(seed, 0xF163);
+    let perturbed_curves =
+        (0..num_perturbed).map(|_| sample(&fit.perturbed(rng.standard_normal()))).collect();
+
+    EnergyFitData {
+        measured,
+        fit_coefficients: (fit.a, fit.b, fit.c),
+        fit_curve: sample(&fit),
+        perturbed_curves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_passes_through_measurements() {
+        let d = energy_fit(2, 1);
+        let (a, b, c) = d.fit_coefficients;
+        for &(f, p) in &d.measured {
+            let pred = a * f * f + b * f + c;
+            assert!((pred - p).abs() < 1.5, "at {f} GHz: {pred} vs {p}");
+        }
+    }
+
+    #[test]
+    fn curves_cover_dvfs_range() {
+        let d = energy_fit(2, 1);
+        assert_eq!(d.fit_curve.first().unwrap().0, 1.8);
+        assert!((d.fit_curve.last().unwrap().0 - 3.6).abs() < 1e-9);
+        assert_eq!(d.perturbed_curves.len(), 2);
+        for c in &d.perturbed_curves {
+            assert_eq!(c.len(), d.fit_curve.len());
+            // Perturbed curves stay physically plausible (positive power).
+            assert!(c.iter().all(|&(_, w)| w > 0.0));
+        }
+    }
+
+    #[test]
+    fn perturbed_curves_differ_from_fit() {
+        let d = energy_fit(3, 2);
+        for c in &d.perturbed_curves {
+            let max_diff = c
+                .iter()
+                .zip(&d.fit_curve)
+                .map(|(&(_, a), &(_, b))| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_diff > 0.1, "perturbation should be visible");
+        }
+    }
+}

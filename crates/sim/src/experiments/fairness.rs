@@ -1,0 +1,109 @@
+//! Per-device fairness of the equilibrium allocations (extension study).
+//!
+//! The paper optimizes *total* latency; a natural operator question is
+//! whether the congestion-game equilibrium starves individual devices. This
+//! harness measures Jain's index of per-device latencies under each DPP
+//! variant. Expected outcome: the square-root proportional allocation of
+//! Lemma 1 plus equilibrium load spreading yields high fairness for CGBA,
+//! noticeably higher than random placement.
+
+use eotora_core::dpp::SolverKind;
+use serde::{Deserialize, Serialize};
+
+use crate::runner::{run_many, SimulationResult};
+use crate::scenario::Scenario;
+
+/// Configuration of the fairness study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessConfig {
+    /// DPP variants to compare.
+    pub solvers: Vec<SolverKind>,
+    /// Number of devices `I`.
+    pub devices: usize,
+    /// Horizon in slots.
+    pub horizon: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl FairnessConfig {
+    /// Paper-scale study.
+    pub fn paper() -> Self {
+        Self {
+            solvers: vec![SolverKind::Cgba { lambda: 0.0 }, SolverKind::Ropt],
+            devices: 100,
+            horizon: 96,
+            seed: 1234,
+        }
+    }
+
+    /// Scaled-down study for tests.
+    pub fn small() -> Self {
+        Self { devices: 12, horizon: 24, ..Self::paper() }
+    }
+}
+
+/// One variant's fairness metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessRow {
+    /// DPP variant name.
+    pub algorithm: String,
+    /// Mean per-slot Jain's index over the run.
+    pub mean_jains_index: f64,
+    /// Worst (minimum) per-slot Jain's index over the run.
+    pub worst_jains_index: f64,
+    /// Time-average total latency (for the fairness/efficiency trade-off).
+    pub average_latency: f64,
+}
+
+/// Runs the fairness comparison.
+pub fn fairness(config: &FairnessConfig) -> Vec<FairnessRow> {
+    let scenarios: Vec<Scenario> = config
+        .solvers
+        .iter()
+        .map(|&solver| {
+            Scenario::paper(config.devices, config.seed)
+                .with_horizon(config.horizon)
+                .with_bdma_rounds(2)
+                .with_solver(solver)
+                .with_label(solver.name())
+        })
+        .collect();
+    let results: Vec<SimulationResult> = run_many(&scenarios);
+    config
+        .solvers
+        .iter()
+        .zip(results)
+        .map(|(&solver, r)| FairnessRow {
+            algorithm: solver.name().to_string(),
+            mean_jains_index: r.fairness.time_average(),
+            worst_jains_index: r.fairness.values().iter().cloned().fold(1.0, f64::min),
+            average_latency: r.average_latency,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cgba_is_fairer_than_random() {
+        let rows = fairness(&FairnessConfig::small());
+        assert_eq!(rows.len(), 2);
+        let (cgba, ropt) = (&rows[0], &rows[1]);
+        assert!(cgba.mean_jains_index > ropt.mean_jains_index,
+            "CGBA fairness {} should beat ROPT {}", cgba.mean_jains_index, ropt.mean_jains_index);
+        // And it is not buying fairness with latency: it wins both.
+        assert!(cgba.average_latency < ropt.average_latency);
+    }
+
+    #[test]
+    fn fairness_indices_in_unit_interval() {
+        for r in fairness(&FairnessConfig::small()) {
+            assert!((0.0..=1.0 + 1e-12).contains(&r.mean_jains_index));
+            assert!((0.0..=1.0 + 1e-12).contains(&r.worst_jains_index));
+            assert!(r.worst_jains_index <= r.mean_jains_index + 1e-12);
+        }
+    }
+}

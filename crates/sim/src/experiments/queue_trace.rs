@@ -1,0 +1,101 @@
+//! Fig. 7 — virtual-queue backlog `Q(t)` over time for different `V`.
+//!
+//! Paper shape: the backlog rises from zero, converges after a transient,
+//! and then oscillates with the (daily-periodic) electricity price — rising
+//! in expensive hours, draining in cheap ones.
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::run;
+use crate::scenario::Scenario;
+
+/// Configuration of the queue-trace experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueTraceConfig {
+    /// Penalty weights to trace (paper: 50 and 100).
+    pub vs: Vec<f64>,
+    /// Number of devices `I` (paper: 100).
+    pub devices: usize,
+    /// BDMA rounds `z` (paper: 5).
+    pub bdma_rounds: usize,
+    /// Horizon in slots.
+    pub horizon: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl QueueTraceConfig {
+    /// The paper's Fig. 7 setting.
+    pub fn paper() -> Self {
+        Self { vs: vec![50.0, 100.0], devices: 100, bdma_rounds: 5, horizon: 480, seed: 77 }
+    }
+
+    /// A fast scaled-down run for tests.
+    pub fn small() -> Self {
+        Self { vs: vec![20.0, 60.0], devices: 10, bdma_rounds: 1, horizon: 96, seed: 3 }
+    }
+}
+
+/// One traced run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueTrace {
+    /// Penalty weight `V` of this run.
+    pub v: f64,
+    /// Backlog `Q(t+1)` per slot.
+    pub queue: Vec<f64>,
+    /// Electricity price per slot (for the price-tracking overlay).
+    pub price: Vec<f64>,
+}
+
+/// Runs Fig. 7: one DPP trace per `V`.
+pub fn queue_trace(config: &QueueTraceConfig) -> Vec<QueueTrace> {
+    config
+        .vs
+        .iter()
+        .map(|&v| {
+            let scenario = Scenario::paper(config.devices, config.seed)
+                .with_v(v)
+                .with_horizon(config.horizon)
+                .with_bdma_rounds(config.bdma_rounds)
+                .with_label(format!("V={v}"));
+            let result = run(&scenario);
+            QueueTrace {
+                v,
+                queue: result.queue.values().to_vec(),
+                price: result.price.values().to_vec(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_rises_then_oscillates() {
+        let traces = queue_trace(&QueueTraceConfig::small());
+        for t in &traces {
+            assert_eq!(t.queue.len(), 96);
+            // Non-trivial backlog develops…
+            let peak = t.queue.iter().cloned().fold(0.0, f64::max);
+            assert!(peak > 0.0, "queue never rose for V={}", t.v);
+            // …and the tail is bounded (converged, not divergent).
+            let early_max = t.queue[..48].iter().cloned().fold(0.0, f64::max);
+            let late_max = t.queue[48..].iter().cloned().fold(0.0, f64::max);
+            assert!(late_max < 10.0 * early_max.max(1.0), "queue diverging for V={}", t.v);
+        }
+    }
+
+    #[test]
+    fn larger_v_carries_larger_backlog() {
+        let traces = queue_trace(&QueueTraceConfig::small());
+        let tail = |t: &QueueTrace| t.queue[48..].iter().sum::<f64>() / 48.0;
+        assert!(
+            tail(&traces[1]) > tail(&traces[0]),
+            "V=60 backlog should exceed V=20: {} vs {}",
+            tail(&traces[1]),
+            tail(&traces[0])
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Fig. 2 — the non-iid system-state traces (price and workload).
+//!
+//! The paper's Fig. 2 plots a real NYISO price trace and a YouTube
+//! view-count trace to motivate the periodic-plus-iid state model. This
+//! harness emits the same two series from the embedded shape-faithful
+//! profiles (see DESIGN.md's substitution table).
+
+use eotora_states::price::PriceModel;
+use eotora_states::process::PeriodicProcess;
+use eotora_states::profiles::DIURNAL_DEMAND_24H;
+use eotora_util::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 2 series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceData {
+    /// Hour index per sample.
+    pub hours: Vec<u64>,
+    /// Electricity price `p_t` in $/kWh.
+    pub price: Vec<f64>,
+    /// Workload demand multiplier (dimensionless, mean ≈ 1).
+    pub demand: Vec<f64>,
+}
+
+/// Generates `hours` hourly samples of the price and demand traces.
+///
+/// # Panics
+///
+/// Panics if `hours == 0`.
+pub fn traces(hours: u64, noise_rel: f64, seed: u64) -> TraceData {
+    assert!(hours > 0, "need at least one hour");
+    let mut price = PriceModel::nyiso_like(24, noise_rel, Pcg32::seed_stream(seed, 1));
+    let mut demand = PeriodicProcess::new(
+        DIURNAL_DEMAND_24H.to_vec(),
+        noise_rel,
+        Pcg32::seed_stream(seed, 2),
+    );
+    let hours_vec: Vec<u64> = (0..hours).collect();
+    TraceData {
+        price: hours_vec.iter().map(|&t| price.sample(t)).collect(),
+        demand: hours_vec.iter().map(|&t| demand.sample(t)).collect(),
+        hours: hours_vec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_lengths() {
+        let t = traces(72, 0.05, 1);
+        assert_eq!(t.hours.len(), 72);
+        assert_eq!(t.price.len(), 72);
+        assert_eq!(t.demand.len(), 72);
+        assert!(t.price.iter().all(|&p| p > 0.0));
+        assert!(t.demand.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn daily_periodicity_visible() {
+        // Autocorrelation at lag 24 should dominate lag 12 for both series.
+        let t = traces(24 * 30, 0.05, 2);
+        let autocorr =
+            |xs: &[f64], lag: usize| eotora_util::series::autocorrelation(xs, lag).unwrap();
+        assert!(autocorr(&t.price, 24) > autocorr(&t.price, 12));
+        assert!(autocorr(&t.demand, 24) > autocorr(&t.demand, 12));
+        assert!(autocorr(&t.price, 24) > 0.5, "strong daily period expected");
+    }
+
+    #[test]
+    fn peak_hours_exceed_night_hours() {
+        let t = traces(24, 0.0, 3);
+        assert!(t.price[17] > t.price[3]);
+        assert!(t.demand[19] > t.demand[3]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 8 — converged queue backlog and time-average latency versus `V`.
+//!
+//! Paper shape (and Theorem 4): the converged backlog grows roughly linearly
+//! in `V` (`O(V)` queue), while the average latency decreases in `V`
+//! (`O(1/V)` optimality gap).
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::{run_many, SimulationResult};
+use crate::scenario::Scenario;
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VSweepConfig {
+    /// Penalty weights (paper: 10, 50, 100, 150, 200, 500).
+    pub vs: Vec<f64>,
+    /// Number of devices `I` (paper: 100).
+    pub devices: usize,
+    /// BDMA rounds `z`.
+    pub bdma_rounds: usize,
+    /// Horizon in slots.
+    pub horizon: u64,
+    /// Tail window (slots) for the converged-backlog estimate.
+    pub tail_window: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl VSweepConfig {
+    /// The paper's Fig. 8 setting.
+    pub fn paper() -> Self {
+        Self {
+            vs: vec![10.0, 50.0, 100.0, 150.0, 200.0, 500.0],
+            devices: 100,
+            bdma_rounds: 5,
+            horizon: 480,
+            tail_window: 96,
+            seed: 88,
+        }
+    }
+
+    /// A fast scaled-down sweep for tests.
+    pub fn small() -> Self {
+        Self {
+            vs: vec![10.0, 60.0, 200.0],
+            devices: 10,
+            bdma_rounds: 1,
+            horizon: 120,
+            tail_window: 48,
+            seed: 4,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VSweepRow {
+    /// Penalty weight `V`.
+    pub v: f64,
+    /// Queue backlog averaged over the tail window.
+    pub converged_queue: f64,
+    /// Time-average latency over the whole run.
+    pub average_latency: f64,
+    /// Energy cost averaged over the converged second half of the run.
+    pub average_cost: f64,
+}
+
+/// Runs the Fig. 8 sweep (runs are independent, so they execute in
+/// parallel).
+pub fn v_sweep(config: &VSweepConfig) -> Vec<VSweepRow> {
+    let scenarios: Vec<Scenario> = config
+        .vs
+        .iter()
+        .map(|&v| {
+            Scenario::paper(config.devices, config.seed)
+                .with_v(v)
+                .with_horizon(config.horizon)
+                .with_bdma_rounds(config.bdma_rounds)
+                .with_label(format!("V={v}"))
+        })
+        .collect();
+    let results: Vec<SimulationResult> = run_many(&scenarios);
+    config
+        .vs
+        .iter()
+        .zip(results)
+        .map(|(&v, r)| VSweepRow {
+            v,
+            converged_queue: r.converged_queue(config.tail_window),
+            average_latency: r.average_latency,
+            average_cost: r.cost.tail_average((config.horizon / 2) as usize),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backlog_grows_latency_falls() {
+        let rows = v_sweep(&VSweepConfig::small());
+        assert_eq!(rows.len(), 3);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].converged_queue >= w[0].converged_queue,
+                "backlog should be non-decreasing in V: {rows:?}"
+            );
+            assert!(
+                w[1].average_latency <= w[0].average_latency + 1e-6,
+                "latency should be non-increasing in V: {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backlog_roughly_linear_in_v() {
+        let rows = v_sweep(&VSweepConfig::small());
+        // Between V=10 and V=200 (20×) the backlog should scale by an order
+        // of magnitude — linear up to constant slack (Fig. 8 left panel).
+        let ratio = rows[2].converged_queue / rows[0].converged_queue.max(1e-9);
+        assert!(ratio > 3.0, "expected near-linear growth, ratio {ratio}");
+    }
+}

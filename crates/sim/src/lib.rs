@@ -1,0 +1,38 @@
+//! Simulation engine and experiment harnesses for the `eotora` workspace.
+//!
+//! Layers:
+//!
+//! * [`scenario`] — a serializable bundle of everything a run needs (system,
+//!   states, controller, horizon, seeds).
+//! * [`runner`] — executes a scenario slot by slot, collecting per-slot
+//!   series (latency, energy cost, queue backlog, wall-clock solve time) and
+//!   summarizing them; [`runner::run_many`] fans independent scenarios out
+//!   over OS threads.
+//! * [`experiments`] — one module per figure of the paper's evaluation
+//!   (§VI): each returns plain data structs that the `figures` binary and
+//!   the Criterion benches render. EXPERIMENTS.md records paper-vs-measured
+//!   shapes for all of them.
+//! * [`report`] — minimal ASCII-table and CSV rendering for those results.
+//! * [`svg`] — dependency-free SVG line charts, so regenerated figures can
+//!   be compared visually with the paper's.
+//!
+//! # Examples
+//!
+//! ```
+//! use eotora_sim::scenario::Scenario;
+//! use eotora_sim::runner::run;
+//!
+//! let scenario = Scenario::paper(12, 1).with_horizon(5);
+//! let result = run(&scenario);
+//! assert_eq!(result.latency.len(), 5);
+//! assert!(result.latency.time_average() > 0.0);
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod svg;
+
+pub use runner::{run, run_many, SimulationResult};
+pub use scenario::Scenario;

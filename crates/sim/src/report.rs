@@ -1,0 +1,116 @@
+//! Plain-text rendering of experiment results: ASCII tables and CSV.
+
+/// Renders rows as an aligned ASCII table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_sim::report::ascii_table;
+///
+/// let s = ascii_table(&["x", "y"], &[vec!["1".into(), "2".into()]]);
+/// assert!(s.contains("| x | y |"));
+/// ```
+pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), header.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    let sep: String = {
+        let mut s = String::from("|");
+        for w in &widths {
+            s.push_str(&format!("{}-|", "-".repeat(w + 2 - 1)));
+        }
+        s.push('\n');
+        s
+    };
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Renders rows as CSV with the given header (no quoting — callers pass
+/// numeric cells).
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), header.len(), "ragged CSV row");
+    }
+    let mut out = header.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 4 significant-ish decimals for table cells.
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.001 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = ascii_table(
+            &["algo", "latency"],
+            &[vec!["CGBA".into(), "1.5".into()], vec!["ROPT".into(), "10.25".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{t}");
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let c = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        ascii_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(1.5), "1.5000");
+        assert!(num(12345.0).contains('e'));
+        assert!(num(0.00001).contains('e'));
+    }
+}

@@ -1,0 +1,199 @@
+//! Executes scenarios and collects per-slot metrics.
+
+use std::time::Instant;
+
+use eotora_core::dpp::EotoraDpp;
+use eotora_core::latency::latency_under;
+use eotora_core::system::MecSystem;
+use eotora_states::{StateProvider, SystemState};
+use eotora_util::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::Scenario;
+
+/// Per-slot series plus end-of-run aggregates for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// Scenario label.
+    pub label: String,
+    /// Latency `T_t` per slot (seconds).
+    pub latency: TimeSeries,
+    /// Energy cost `C_t` per slot (dollars).
+    pub cost: TimeSeries,
+    /// Queue backlog `Q(t+1)` after each slot.
+    pub queue: TimeSeries,
+    /// Electricity price `p_t` per slot ($/kWh).
+    pub price: TimeSeries,
+    /// Wall-clock solve time per slot (seconds).
+    pub solve_time: TimeSeries,
+    /// Jain's fairness index of per-device latencies, per slot (1 = all
+    /// devices see the same latency).
+    pub fairness: TimeSeries,
+    /// Fraction of devices that changed base station vs the previous slot
+    /// (handover rate; 0 for the first slot).
+    pub handover_rate: TimeSeries,
+    /// Fleet mean clock frequency per slot, in GHz.
+    pub mean_clock_ghz: TimeSeries,
+    /// The budget `C̄` in force.
+    pub budget: f64,
+    /// Final time-average latency.
+    pub average_latency: f64,
+    /// Final time-average energy cost.
+    pub average_cost: f64,
+}
+
+impl SimulationResult {
+    /// Queue backlog averaged over the last `window` slots (the "converged"
+    /// backlog of Fig. 8).
+    pub fn converged_queue(&self, window: usize) -> f64 {
+        self.queue.tail_average(window)
+    }
+
+    /// Whether the run honoured the budget on time average (with `tol`
+    /// absorbing the `O(V/T)` transient).
+    pub fn budget_satisfied(&self, tol: f64) -> bool {
+        self.average_cost <= self.budget + tol
+    }
+}
+
+/// Runs one scenario to completion.
+pub fn run(scenario: &Scenario) -> SimulationResult {
+    let system = MecSystem::random(&scenario.system, scenario.seed);
+    let mut states = StateProvider::paper(system.topology(), &scenario.states, scenario.seed);
+    run_with(scenario, system, &mut |slot, topo| states.observe(slot, topo))
+}
+
+/// Runs a scenario against a caller-supplied system and state source —
+/// the hook used by the mobility example and the dynamic-fronthaul tests.
+pub fn run_with(
+    scenario: &Scenario,
+    system: MecSystem,
+    observe: &mut dyn FnMut(u64, &eotora_topology::Topology) -> SystemState,
+) -> SimulationResult {
+    let budget = system.budget_per_slot();
+    let mut dpp = EotoraDpp::new(system, scenario.dpp);
+
+    let mut latency = TimeSeries::new("latency_s");
+    let mut cost = TimeSeries::new("cost_usd");
+    let mut queue = TimeSeries::new("queue_backlog");
+    let mut price = TimeSeries::new("price_usd_per_kwh");
+    let mut solve_time = TimeSeries::new("solve_time_s");
+    let mut fairness = TimeSeries::new("jains_index");
+    let mut handover_rate = TimeSeries::new("handover_rate");
+    let mut mean_clock_ghz = TimeSeries::new("mean_clock_ghz");
+    let mut previous_stations: Option<Vec<usize>> = None;
+
+    for slot in 0..scenario.horizon {
+        let beta = observe(slot, dpp.system().topology());
+        let started = Instant::now();
+        let step = dpp.step(&beta);
+        solve_time.push(started.elapsed().as_secs_f64());
+        latency.push(step.outcome.objective);
+        cost.push(step.outcome.constraint_excess + budget);
+        queue.push(step.queue_after);
+        price.push(beta.price_per_kwh);
+        let breakdown = latency_under(dpp.system(), &beta, &step.outcome.decision);
+        fairness.push(
+            eotora_util::stats::jains_index(&breakdown.per_device).unwrap_or(1.0),
+        );
+        let stations: Vec<usize> = step
+            .outcome
+            .decision
+            .assignments
+            .iter()
+            .map(|a| a.base_station.index())
+            .collect();
+        handover_rate.push(match &previous_stations {
+            Some(prev) => {
+                prev.iter().zip(&stations).filter(|(a, b)| a != b).count() as f64
+                    / stations.len() as f64
+            }
+            None => 0.0,
+        });
+        previous_stations = Some(stations);
+        let freqs = &step.outcome.decision.frequencies_hz;
+        mean_clock_ghz.push(freqs.iter().sum::<f64>() / freqs.len() as f64 / 1e9);
+    }
+
+    SimulationResult {
+        label: scenario.label.clone(),
+        average_latency: dpp.average_latency(),
+        average_cost: dpp.average_cost(),
+        latency,
+        cost,
+        queue,
+        price,
+        solve_time,
+        fairness,
+        handover_rate,
+        mean_clock_ghz,
+        budget,
+    }
+}
+
+/// Runs independent scenarios in parallel (one OS thread each, bounded by
+/// the scenario count; scenarios are independent by construction).
+pub fn run_many(scenarios: &[Scenario]) -> Vec<SimulationResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .map(|s| scope.spawn(move || run(s)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eotora_core::dpp::SolverKind;
+
+    #[test]
+    fn run_collects_all_series() {
+        let r = run(&Scenario::paper(8, 2).with_horizon(6).with_bdma_rounds(1));
+        assert_eq!(r.latency.len(), 6);
+        assert_eq!(r.cost.len(), 6);
+        assert_eq!(r.queue.len(), 6);
+        assert_eq!(r.price.len(), 6);
+        assert_eq!(r.solve_time.len(), 6);
+        assert_eq!(r.fairness.len(), 6);
+        assert!(r.fairness.values().iter().all(|&j| (0.0..=1.0 + 1e-12).contains(&j)));
+        assert_eq!(r.handover_rate.len(), 6);
+        assert_eq!(r.handover_rate.values()[0], 0.0);
+        assert!(r.handover_rate.values().iter().all(|&h| (0.0..=1.0).contains(&h)));
+        assert!(r.mean_clock_ghz.values().iter().all(|&g| (1.8..=3.6).contains(&g)));
+        assert!(r.average_latency > 0.0);
+        assert!(r.average_cost > 0.0);
+        assert!((r.average_latency - r.latency.time_average()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = Scenario::paper(8, 5).with_horizon(5).with_bdma_rounds(1);
+        let a = run(&s);
+        let b = run(&s);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.queue, b.queue);
+    }
+
+    #[test]
+    fn run_many_matches_run() {
+        let scenarios = vec![
+            Scenario::paper(6, 1).with_horizon(4).with_bdma_rounds(1),
+            Scenario::paper(6, 2).with_horizon(4).with_bdma_rounds(1).with_solver(SolverKind::Ropt),
+        ];
+        let parallel = run_many(&scenarios);
+        assert_eq!(parallel.len(), 2);
+        let serial0 = run(&scenarios[0]);
+        assert_eq!(parallel[0].latency, serial0.latency);
+    }
+
+    #[test]
+    fn converged_queue_uses_tail() {
+        let r = run(&Scenario::paper(6, 3).with_horizon(8).with_bdma_rounds(1));
+        let w = r.converged_queue(3);
+        let vals = r.queue.values();
+        let manual = vals[5..].iter().sum::<f64>() / 3.0;
+        assert!((w - manual).abs() < 1e-12);
+    }
+}

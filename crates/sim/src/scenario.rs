@@ -1,0 +1,107 @@
+//! Scenario definition: one self-contained, reproducible simulation run.
+
+use eotora_core::dpp::DppConfig;
+use eotora_core::system::SystemConfig;
+use eotora_states::PaperStateConfig;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to reproduce a run: system, states, controller, length.
+///
+/// Serializable so experiment configurations can be stored alongside their
+/// results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable label shown in reports.
+    pub label: String,
+    /// System-instance generator configuration.
+    pub system: SystemConfig,
+    /// State-process configuration.
+    pub states: PaperStateConfig,
+    /// Online-controller configuration.
+    pub dpp: DppConfig,
+    /// Number of slots to simulate.
+    pub horizon: u64,
+    /// Master seed: system, states, and solver seeds derive from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's default setup with `num_devices` devices.
+    pub fn paper(num_devices: usize, seed: u64) -> Self {
+        Self {
+            label: format!("paper-I{num_devices}"),
+            system: SystemConfig::paper_defaults(num_devices),
+            states: PaperStateConfig::default(),
+            dpp: DppConfig { seed, ..Default::default() },
+            horizon: 240,
+            seed,
+        }
+    }
+
+    /// Sets the simulation length in slots.
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the DPP penalty weight `V`.
+    pub fn with_v(mut self, v: f64) -> Self {
+        self.dpp.v = v;
+        self
+    }
+
+    /// Sets the energy budget `C̄` ($/slot).
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.system.budget_per_slot = budget;
+        self
+    }
+
+    /// Sets the P2-A solver variant.
+    pub fn with_solver(mut self, solver: eotora_core::dpp::SolverKind) -> Self {
+        self.dpp.solver = solver;
+        self
+    }
+
+    /// Sets the label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sets the BDMA round count `z`.
+    pub fn with_bdma_rounds(mut self, rounds: usize) -> Self {
+        self.dpp.bdma_rounds = rounds;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eotora_core::dpp::SolverKind;
+
+    #[test]
+    fn builder_chain() {
+        let s = Scenario::paper(50, 3)
+            .with_horizon(10)
+            .with_v(200.0)
+            .with_budget(1.5)
+            .with_solver(SolverKind::Ropt)
+            .with_bdma_rounds(2)
+            .with_label("x");
+        assert_eq!(s.horizon, 10);
+        assert_eq!(s.dpp.v, 200.0);
+        assert_eq!(s.system.budget_per_slot, 1.5);
+        assert_eq!(s.dpp.solver, SolverKind::Ropt);
+        assert_eq!(s.dpp.bdma_rounds, 2);
+        assert_eq!(s.label, "x");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Scenario::paper(20, 1);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,283 @@
+//! Dependency-free SVG line charts for experiment series.
+//!
+//! The `figures` binary prints ASCII tables; this module additionally emits
+//! standalone SVG plots (one polyline per series, axes, ticks, legend) so
+//! the regenerated figures can be *looked at* next to the paper's. Pure
+//! string generation — testable and deterministic.
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgSeries {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples; need not be sorted, but typically are.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart-level options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgChart {
+    /// Title rendered at the top.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for SvgChart {
+    fn default() -> Self {
+        Self {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 720,
+            height: 420,
+        }
+    }
+}
+
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+/// Renders a line chart as an SVG document.
+///
+/// # Panics
+///
+/// Panics if no series contains a point or any coordinate is non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_sim::svg::{render_line_chart, SvgChart, SvgSeries};
+///
+/// let svg = render_line_chart(
+///     &SvgChart { title: "queue".into(), ..Default::default() },
+///     &[SvgSeries { label: "V=50".into(), points: vec![(0.0, 0.0), (1.0, 2.0)] }],
+/// );
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("polyline"));
+/// ```
+pub fn render_line_chart(chart: &SvgChart, series: &[SvgSeries]) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+    assert!(
+        all.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
+        "non-finite coordinate"
+    );
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Degenerate ranges become unit boxes around the value.
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+    // Pad y for readability; anchor at zero when data is non-negative.
+    if y_min > 0.0 && y_min < 0.3 * y_max {
+        y_min = 0.0;
+    }
+    let (w, h) = (chart.width as f64, chart.height as f64);
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\" font-family=\"sans-serif\" font-size=\"12\">\n",
+        chart.width, chart.height, chart.width, chart.height
+    ));
+    out.push_str(&format!(
+        "<rect width=\"{}\" height=\"{}\" fill=\"white\"/>\n",
+        chart.width, chart.height
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+        w / 2.0,
+        escape(&chart.title)
+    ));
+
+    // Axes.
+    out.push_str(&format!(
+        "<line x1=\"{MARGIN_L}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"black\"/>\n",
+        h - MARGIN_B,
+        w - MARGIN_R,
+        h - MARGIN_B
+    ));
+    out.push_str(&format!(
+        "<line x1=\"{MARGIN_L}\" y1=\"{MARGIN_T}\" x2=\"{MARGIN_L}\" y2=\"{}\" stroke=\"black\"/>\n",
+        h - MARGIN_B
+    ));
+
+    // Ticks: 5 per axis with value labels.
+    for i in 0..=4 {
+        let fx = i as f64 / 4.0;
+        let xv = x_min + fx * (x_max - x_min);
+        let yv = y_min + fx * (y_max - y_min);
+        let px = sx(xv);
+        let py = sy(yv);
+        out.push_str(&format!(
+            "<line x1=\"{px}\" y1=\"{}\" x2=\"{px}\" y2=\"{}\" stroke=\"black\"/>\n",
+            h - MARGIN_B,
+            h - MARGIN_B + 4.0
+        ));
+        out.push_str(&format!(
+            "<text x=\"{px}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            h - MARGIN_B + 18.0,
+            tick(xv)
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{py}\" x2=\"{MARGIN_L}\" y2=\"{py}\" stroke=\"black\"/>\n",
+            MARGIN_L - 4.0
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>\n",
+            MARGIN_L - 8.0,
+            py + 4.0,
+            tick(yv)
+        ));
+    }
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+        MARGIN_L + plot_w / 2.0,
+        h - 8.0,
+        escape(&chart.x_label)
+    ));
+    out.push_str(&format!(
+        "<text x=\"14\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 14 {})\">{}</text>\n",
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        escape(&chart.y_label)
+    ));
+
+    // Series polylines + legend.
+    for (idx, s) in series.iter().enumerate() {
+        let color = PALETTE[idx % PALETTE.len()];
+        let pts: Vec<String> =
+            s.points.iter().map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y))).collect();
+        out.push_str(&format!(
+            "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\" points=\"{}\"/>\n",
+            pts.join(" ")
+        ));
+        let ly = MARGIN_T + 6.0 + idx as f64 * 16.0;
+        out.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{ly}\" x2=\"{}\" y2=\"{ly}\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+            w - MARGIN_R - 120.0,
+            w - MARGIN_R - 96.0
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\">{}</text>\n",
+            w - MARGIN_R - 90.0,
+            ly + 4.0,
+            escape(&s.label)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> SvgChart {
+        SvgChart {
+            title: "Q(t) vs t".into(),
+            x_label: "slot".into(),
+            y_label: "backlog".into(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn renders_all_series_points() {
+        let svg = render_line_chart(
+            &chart(),
+            &[
+                SvgSeries { label: "V=50".into(), points: (0..10).map(|t| (t as f64, t as f64 * 2.0)).collect() },
+                SvgSeries { label: "V=100".into(), points: (0..10).map(|t| (t as f64, t as f64 * 3.0)).collect() },
+            ],
+        );
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("V=50") && svg.contains("V=100"));
+        assert!(svg.contains("Q(t) vs t"));
+        // First polyline has 10 coordinate pairs.
+        let poly = svg.split("points=\"").nth(1).unwrap().split('"').next().unwrap();
+        assert_eq!(poly.split(' ').count(), 10);
+    }
+
+    #[test]
+    fn coordinates_stay_inside_canvas() {
+        let svg = render_line_chart(
+            &chart(),
+            &[SvgSeries { label: "s".into(), points: vec![(0.0, -5.0), (100.0, 5.0)] }],
+        );
+        let poly = svg.split("points=\"").nth(1).unwrap().split('"').next().unwrap();
+        for pair in poly.split(' ') {
+            let (x, y) = pair.split_once(',').unwrap();
+            let (x, y): (f64, f64) = (x.parse().unwrap(), y.parse().unwrap());
+            assert!((0.0..=720.0).contains(&x));
+            assert!((0.0..=420.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_divide_by_zero() {
+        let svg = render_line_chart(
+            &chart(),
+            &[SvgSeries { label: "flat".into(), points: vec![(1.0, 3.0), (1.0, 3.0)] }],
+        );
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut c = chart();
+        c.title = "a < b & c".into();
+        let svg = render_line_chart(&c, &[SvgSeries { label: "<s>".into(), points: vec![(0.0, 1.0)] }]);
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("&lt;s&gt;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_input_panics() {
+        render_line_chart(&chart(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_panics() {
+        render_line_chart(&chart(), &[SvgSeries { label: "x".into(), points: vec![(0.0, f64::NAN)] }]);
+    }
+}

@@ -1,0 +1,360 @@
+//! Access-channel spectral-efficiency models `h_{i,k,t}`.
+//!
+//! The paper's evaluation draws spectral efficiencies uniformly in
+//! 15–50 bit/s/Hz per device/base-station pair ([`UniformChannel`]).
+//! [`MobilityChannel`] additionally implements the physical story the
+//! formulation tells — devices move, so channels vary — via random-waypoint
+//! motion, log-distance path loss, and the Shannon spectral efficiency
+//! `log₂(1 + SNR)` clipped to a practical MCS ceiling.
+
+use eotora_topology::Topology;
+use eotora_util::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+use crate::mobility::RandomWaypoint;
+
+/// A source of per-slot access spectral efficiencies.
+///
+/// Implementations return a matrix `h[i][k]` in bit/s/Hz for device `i` and
+/// base station `k`.
+pub trait ChannelModel: std::fmt::Debug {
+    /// Samples `h_t` for slot `t` over the devices and stations of `topo`.
+    fn sample(&mut self, slot: u64, topo: &Topology) -> Vec<Vec<f64>>;
+}
+
+/// Uniform iid spectral efficiencies (the paper's §VI-A setting).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniformChannel {
+    num_devices: usize,
+    num_base_stations: usize,
+    range: (f64, f64),
+    rng: Pcg32,
+}
+
+impl UniformChannel {
+    /// Creates a model drawing each `h_{i,k,t}` uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts are zero or the range is reversed/non-positive.
+    pub fn new(num_devices: usize, num_base_stations: usize, range: (f64, f64), rng: Pcg32) -> Self {
+        assert!(num_devices > 0 && num_base_stations > 0, "empty channel matrix");
+        assert!(0.0 < range.0 && range.0 <= range.1, "invalid efficiency range");
+        Self { num_devices, num_base_stations, range, rng }
+    }
+}
+
+impl ChannelModel for UniformChannel {
+    fn sample(&mut self, _slot: u64, topo: &Topology) -> Vec<Vec<f64>> {
+        assert_eq!(topo.num_devices(), self.num_devices, "device count mismatch");
+        assert_eq!(topo.num_base_stations(), self.num_base_stations, "station count mismatch");
+        (0..self.num_devices)
+            .map(|_| {
+                (0..self.num_base_stations)
+                    .map(|_| self.rng.uniform_in(self.range.0, self.range.1))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Configuration of the physical [`MobilityChannel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityChannelConfig {
+    /// Path-loss exponent (urban macro ≈ 3.5).
+    pub path_loss_exponent: f64,
+    /// Reference SNR (linear) at `reference_distance_m`.
+    pub reference_snr: f64,
+    /// Reference distance in meters for `reference_snr`.
+    pub reference_distance_m: f64,
+    /// Log-normal shadowing standard deviation in dB.
+    pub shadowing_std_db: f64,
+    /// Spectral-efficiency ceiling in bit/s/Hz (MCS cap).
+    pub max_efficiency: f64,
+    /// Spectral-efficiency floor in bit/s/Hz (coverage edge).
+    pub min_efficiency: f64,
+    /// Device speed range in meters per slot.
+    pub speed_range: (f64, f64),
+}
+
+impl Default for MobilityChannelConfig {
+    fn default() -> Self {
+        Self {
+            path_loss_exponent: 3.5,
+            reference_snr: 1e6, // 60 dB at 10 m
+            reference_distance_m: 10.0,
+            shadowing_std_db: 4.0,
+            max_efficiency: 50.0,
+            min_efficiency: 0.5,
+            speed_range: (5.0, 30.0),
+        }
+    }
+}
+
+/// Spectral efficiency driven by random-waypoint motion and log-distance
+/// path loss with log-normal shadowing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityChannel {
+    config: MobilityChannelConfig,
+    mobility: RandomWaypoint,
+    rng: Pcg32,
+    last_slot: Option<u64>,
+}
+
+impl MobilityChannel {
+    /// Creates a channel for `num_devices` walkers in a square of side
+    /// `area_side_m`.
+    pub fn new(num_devices: usize, area_side_m: f64, config: MobilityChannelConfig, mut rng: Pcg32) -> Self {
+        let mobility = RandomWaypoint::new(num_devices, area_side_m, config.speed_range, rng.fork(0));
+        Self { config, mobility, rng, last_slot: None }
+    }
+
+    /// Current device positions (for visualization/diagnostics).
+    pub fn positions(&self) -> &[eotora_topology::Point] {
+        self.mobility.positions()
+    }
+}
+
+impl ChannelModel for MobilityChannel {
+    fn sample(&mut self, slot: u64, topo: &Topology) -> Vec<Vec<f64>> {
+        // Advance the walkers once per new slot (idempotent within a slot).
+        if self.last_slot != Some(slot) {
+            self.mobility.step();
+            self.last_slot = Some(slot);
+        }
+        let cfg = self.config;
+        let positions = self.mobility.positions().to_vec();
+        positions
+            .iter()
+            .map(|&pos| {
+                topo.base_station_ids()
+                    .map(|k| {
+                        let d = topo.base_station(k).position.distance_to(pos).max(1.0);
+                        let path_gain =
+                            (cfg.reference_distance_m / d).powf(cfg.path_loss_exponent);
+                        let shadow_db = self.rng.normal(0.0, cfg.shadowing_std_db);
+                        let snr = cfg.reference_snr * path_gain * 10f64.powf(shadow_db / 10.0);
+                        (1.0 + snr).log2().clamp(cfg.min_efficiency, cfg.max_efficiency)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Temporally correlated spectral efficiency: a per-pair Gauss–Markov
+/// (AR(1)) process in dB around a fixed mean, clipped to a feasible range.
+///
+/// The paper's evaluation redraws `h_{i,k,t}` independently each slot; real
+/// channels decorrelate over seconds-to-minutes. This model interpolates:
+/// `x_{t+1} = ρ·x_t + √(1−ρ²)·σ·ε`, applied in dB, so consecutive slots see
+/// similar channels for `ρ` near 1 and the paper's iid draws at `ρ = 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussMarkovChannel {
+    mean: Vec<Vec<f64>>,
+    deviation_db: Vec<Vec<f64>>,
+    rho: f64,
+    sigma_db: f64,
+    range: (f64, f64),
+    rng: Pcg32,
+    last_slot: Option<u64>,
+}
+
+impl GaussMarkovChannel {
+    /// Creates a channel with per-pair means drawn uniformly from `range`,
+    /// correlation `rho ∈ [0, 1)`, and innovation deviation `sigma_db`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty dimensions, invalid range, `rho ∉ [0, 1)`, or
+    /// negative `sigma_db`.
+    pub fn new(
+        num_devices: usize,
+        num_base_stations: usize,
+        range: (f64, f64),
+        rho: f64,
+        sigma_db: f64,
+        mut rng: Pcg32,
+    ) -> Self {
+        assert!(num_devices > 0 && num_base_stations > 0, "empty channel matrix");
+        assert!(0.0 < range.0 && range.0 <= range.1, "invalid efficiency range");
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+        assert!(sigma_db >= 0.0, "sigma must be non-negative");
+        let mean = (0..num_devices)
+            .map(|_| (0..num_base_stations).map(|_| rng.uniform_in(range.0, range.1)).collect())
+            .collect();
+        let deviation_db = vec![vec![0.0; num_base_stations]; num_devices];
+        Self { mean, deviation_db, rho, sigma_db, range, rng, last_slot: None }
+    }
+
+    fn advance(&mut self) {
+        let scale = (1.0 - self.rho * self.rho).sqrt() * self.sigma_db;
+        for row in self.deviation_db.iter_mut() {
+            for dev in row.iter_mut() {
+                *dev = self.rho * *dev + self.rng.normal(0.0, scale);
+            }
+        }
+    }
+
+    fn matrix(&self) -> Vec<Vec<f64>> {
+        self.mean
+            .iter()
+            .zip(&self.deviation_db)
+            .map(|(means, devs)| {
+                means
+                    .iter()
+                    .zip(devs)
+                    .map(|(&m, &d)| (m * 10f64.powf(d / 10.0)).clamp(self.range.0, self.range.1))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl ChannelModel for GaussMarkovChannel {
+    fn sample(&mut self, slot: u64, topo: &Topology) -> Vec<Vec<f64>> {
+        assert_eq!(topo.num_devices(), self.mean.len(), "device count mismatch");
+        // Advance once per new slot (idempotent within a slot).
+        if self.last_slot != Some(slot) {
+            self.advance();
+            self.last_slot = Some(slot);
+        }
+        self.matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eotora_topology::RandomTopologyConfig;
+
+    fn topo(devices: usize) -> Topology {
+        Topology::random(&RandomTopologyConfig::paper_defaults(devices), 11)
+    }
+
+    #[test]
+    fn uniform_channel_range_and_shape() {
+        let t = topo(7);
+        let mut c = UniformChannel::new(7, 6, (15.0, 50.0), Pcg32::seed(1));
+        let h = c.sample(0, &t);
+        assert_eq!(h.len(), 7);
+        assert_eq!(h[0].len(), 6);
+        for row in &h {
+            assert!(row.iter().all(|&v| (15.0..=50.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn uniform_channel_varies_over_time() {
+        let t = topo(3);
+        let mut c = UniformChannel::new(3, 6, (15.0, 50.0), Pcg32::seed(2));
+        let a = c.sample(0, &t);
+        let b = c.sample(1, &t);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "device count mismatch")]
+    fn uniform_channel_checks_topology() {
+        let t = topo(3);
+        let mut c = UniformChannel::new(5, 6, (15.0, 50.0), Pcg32::seed(2));
+        c.sample(0, &t);
+    }
+
+    #[test]
+    fn mobility_channel_bounds() {
+        let t = topo(5);
+        let mut c = MobilityChannel::new(5, 2000.0, MobilityChannelConfig::default(), Pcg32::seed(3));
+        for slot in 0..20 {
+            let h = c.sample(slot, &t);
+            for row in &h {
+                assert!(row.iter().all(|&v| (0.5..=50.0).contains(&v)), "row {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mobility_channel_closer_is_better_on_average() {
+        // One device pinned by zero speed; compare efficiencies toward the
+        // nearest vs farthest base station over many shadowing draws.
+        let t = topo(1);
+        let cfg = MobilityChannelConfig {
+            speed_range: (0.0, 0.0),
+            shadowing_std_db: 2.0,
+            ..Default::default()
+        };
+        let mut c = MobilityChannel::new(1, 2000.0, cfg, Pcg32::seed(4));
+        let pos = c.positions()[0];
+        let mut dists: Vec<(usize, f64)> = t
+            .base_station_ids()
+            .map(|k| (k.index(), t.base_station(k).position.distance_to(pos)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let (near, far) = (dists[0].0, dists[dists.len() - 1].0);
+        let mut near_sum = 0.0;
+        let mut far_sum = 0.0;
+        for slot in 0..300 {
+            let h = c.sample(slot, &t);
+            near_sum += h[0][near];
+            far_sum += h[0][far];
+        }
+        assert!(near_sum > far_sum, "near {near_sum} vs far {far_sum}");
+    }
+
+    #[test]
+    fn gauss_markov_bounds_and_correlation() {
+        let t = topo(3);
+        let mut c = GaussMarkovChannel::new(3, 6, (15.0, 50.0), 0.9, 3.0, Pcg32::seed(6));
+        let mut prev: Option<Vec<Vec<f64>>> = None;
+        let mut step_sizes = Vec::new();
+        for slot in 0..200 {
+            let h = c.sample(slot, &t);
+            for row in &h {
+                assert!(row.iter().all(|&v| (15.0..=50.0).contains(&v)));
+            }
+            if let Some(p) = prev {
+                step_sizes.push((h[0][0] - p[0][0]).abs());
+            }
+            prev = Some(h);
+        }
+        // High correlation ⇒ consecutive values usually move slowly relative
+        // to the full range.
+        let mean_step: f64 = step_sizes.iter().sum::<f64>() / step_sizes.len() as f64;
+        assert!(mean_step < 8.0, "mean step {mean_step} too jumpy for rho=0.9");
+    }
+
+    #[test]
+    fn gauss_markov_rho_zero_is_memoryless_scale() {
+        // rho = 0 decorrelates fully: lag-1 autocorrelation near zero.
+        let t = topo(1);
+        let mut c = GaussMarkovChannel::new(1, 6, (15.0, 50.0), 0.0, 2.0, Pcg32::seed(7));
+        let xs: Vec<f64> = (0..2000).map(|slot| c.sample(slot, &t)[0][0]).collect();
+        let ac = eotora_util::series::autocorrelation(&xs, 1).unwrap();
+        assert!(ac.abs() < 0.1, "lag-1 autocorrelation {ac}");
+    }
+
+    #[test]
+    fn gauss_markov_idempotent_within_slot() {
+        let t = topo(2);
+        let mut c = GaussMarkovChannel::new(2, 6, (15.0, 50.0), 0.5, 2.0, Pcg32::seed(8));
+        let a = c.sample(3, &t);
+        let b = c.sample(3, &t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn gauss_markov_rejects_rho_one() {
+        GaussMarkovChannel::new(1, 1, (1.0, 2.0), 1.0, 1.0, Pcg32::seed(0));
+    }
+
+    #[test]
+    fn mobility_channel_idempotent_within_slot() {
+        let t = topo(2);
+        let mut c = MobilityChannel::new(2, 1000.0, MobilityChannelConfig::default(), Pcg32::seed(5));
+        let _ = c.sample(0, &t);
+        let p1 = c.positions().to_vec();
+        let _ = c.sample(0, &t);
+        assert_eq!(p1, c.positions());
+    }
+}

@@ -1,0 +1,151 @@
+//! Random-waypoint mobility for mobile devices.
+//!
+//! The paper's channels vary because "the MDs move over time" (§III-A). Its
+//! evaluation abstracts this into uniform per-slot draws; this module
+//! provides the explicit movement model behind the alternative
+//! [`crate::channel::MobilityChannel`], used by the `mobility_scenario`
+//! example: each device repeatedly picks a uniform waypoint in the square
+//! deployment area and walks toward it at its own speed, one step per slot.
+
+use eotora_topology::Point;
+use eotora_util::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// Random-waypoint walker state for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Walker {
+    position: Point,
+    target: Point,
+    speed_m_per_slot: f64,
+}
+
+/// A random-waypoint mobility model over a square area.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_states::mobility::RandomWaypoint;
+/// use eotora_util::rng::Pcg32;
+///
+/// let mut m = RandomWaypoint::new(5, 1000.0, (10.0, 50.0), Pcg32::seed(1));
+/// let before = m.positions().to_vec();
+/// m.step();
+/// let after = m.positions();
+/// assert!(before.iter().zip(after).any(|(a, b)| a != b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypoint {
+    walkers: Vec<Walker>,
+    positions: Vec<Point>,
+    area_side_m: f64,
+    rng: Pcg32,
+}
+
+impl RandomWaypoint {
+    /// Creates `num_devices` walkers uniformly placed in a
+    /// `area_side_m × area_side_m` square, with per-device speeds drawn
+    /// uniformly from `speed_range` (meters per slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices == 0`, the area is non-positive, or the speed
+    /// range is reversed or negative.
+    pub fn new(num_devices: usize, area_side_m: f64, speed_range: (f64, f64), mut rng: Pcg32) -> Self {
+        assert!(num_devices > 0, "need at least one device");
+        assert!(area_side_m > 0.0, "area must be positive");
+        assert!(
+            0.0 <= speed_range.0 && speed_range.0 <= speed_range.1,
+            "invalid speed range"
+        );
+        let mut walkers = Vec::with_capacity(num_devices);
+        for _ in 0..num_devices {
+            let position =
+                Point::new(rng.uniform_in(0.0, area_side_m), rng.uniform_in(0.0, area_side_m));
+            let target =
+                Point::new(rng.uniform_in(0.0, area_side_m), rng.uniform_in(0.0, area_side_m));
+            let speed = rng.uniform_in(speed_range.0, speed_range.1);
+            walkers.push(Walker { position, target, speed_m_per_slot: speed });
+        }
+        let positions = walkers.iter().map(|w| w.position).collect();
+        Self { walkers, positions, area_side_m, rng }
+    }
+
+    /// Current positions, indexed by device.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Advances every walker by one slot; on reaching its waypoint a walker
+    /// draws a fresh uniform target.
+    pub fn step(&mut self) {
+        for w in &mut self.walkers {
+            let dist = w.position.distance_to(w.target);
+            if dist <= w.speed_m_per_slot {
+                w.position = w.target;
+                w.target = Point::new(
+                    self.rng.uniform_in(0.0, self.area_side_m),
+                    self.rng.uniform_in(0.0, self.area_side_m),
+                );
+            } else {
+                let t = w.speed_m_per_slot / dist;
+                w.position = w.position.lerp(w.target, t);
+            }
+        }
+        for (p, w) in self.positions.iter_mut().zip(&self.walkers) {
+            *p = w.position;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walkers_stay_in_area() {
+        let mut m = RandomWaypoint::new(10, 500.0, (5.0, 40.0), Pcg32::seed(7));
+        for _ in 0..1000 {
+            m.step();
+            for p in m.positions() {
+                assert!((0.0..=500.0).contains(&p.x) && (0.0..=500.0).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn step_moves_at_most_speed() {
+        let mut m = RandomWaypoint::new(5, 1000.0, (10.0, 10.0), Pcg32::seed(8));
+        let before = m.positions().to_vec();
+        m.step();
+        for (a, b) in before.iter().zip(m.positions()) {
+            assert!(a.distance_to(*b) <= 10.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_speed_stays_put() {
+        let mut m = RandomWaypoint::new(3, 100.0, (0.0, 0.0), Pcg32::seed(9));
+        let before = m.positions().to_vec();
+        for _ in 0..10 {
+            m.step();
+        }
+        assert_eq!(before, m.positions());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = RandomWaypoint::new(4, 200.0, (1.0, 5.0), Pcg32::seed(3));
+        let mut b = RandomWaypoint::new(4, 200.0, (1.0, 5.0), Pcg32::seed(3));
+        for _ in 0..50 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panics() {
+        RandomWaypoint::new(0, 100.0, (0.0, 1.0), Pcg32::seed(0));
+    }
+}

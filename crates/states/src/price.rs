@@ -1,0 +1,130 @@
+//! Electricity-price generator `p_t = p̄_t + e_t^p`.
+
+use eotora_util::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+use crate::process::PeriodicProcess;
+use crate::profiles::NYISO_LIKE_PRICE_24H;
+
+/// Generates electricity prices in $/kWh with the paper's periodic-plus-iid
+/// structure.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_states::price::PriceModel;
+/// use eotora_util::rng::Pcg32;
+///
+/// let mut m = PriceModel::nyiso_like(24, 0.0, Pcg32::seed(1));
+/// // Noiseless: exact daily periodicity.
+/// assert_eq!(m.sample(0), m.sample(24));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceModel {
+    process: PeriodicProcess,
+}
+
+impl PriceModel {
+    /// NYISO-shaped daily price curve resampled to `period` slots per day,
+    /// with relative Gaussian noise `noise_rel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `noise_rel < 0`.
+    pub fn nyiso_like(period: usize, noise_rel: f64, rng: Pcg32) -> Self {
+        assert!(period > 0, "period must be positive");
+        let trend: Vec<f64> = (0..period)
+            .map(|s| {
+                // Piecewise-linear resample of the 24-hour profile.
+                let pos = s as f64 * 24.0 / period as f64;
+                let lo = pos.floor() as usize % 24;
+                let hi = (lo + 1) % 24;
+                let frac = pos - pos.floor();
+                NYISO_LIKE_PRICE_24H[lo] * (1.0 - frac) + NYISO_LIKE_PRICE_24H[hi] * frac
+            })
+            .collect();
+        Self { process: PeriodicProcess::new(trend, noise_rel, rng) }
+    }
+
+    /// A constant price (handy for isolating latency effects in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `price` is not positive.
+    pub fn constant(price: f64) -> Self {
+        Self { process: PeriodicProcess::new(vec![price], 0.0, Pcg32::seed(0)) }
+    }
+
+    /// A custom trend with relative noise.
+    pub fn from_trend(trend: Vec<f64>, noise_rel: f64, rng: Pcg32) -> Self {
+        Self { process: PeriodicProcess::new(trend, noise_rel, rng) }
+    }
+
+    /// Period `D` of the trend.
+    pub fn period(&self) -> usize {
+        self.process.period()
+    }
+
+    /// Deterministic trend `p̄_t` at slot `t`.
+    pub fn trend_at(&self, slot: u64) -> f64 {
+        self.process.trend_at(slot)
+    }
+
+    /// Draws `p_t` for slot `t`.
+    pub fn sample(&mut self, slot: u64) -> f64 {
+        self.process.sample(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daily_period_and_positivity() {
+        let mut m = PriceModel::nyiso_like(24, 0.1, Pcg32::seed(2));
+        assert_eq!(m.period(), 24);
+        for t in 0..200 {
+            assert!(m.sample(t) > 0.0);
+        }
+    }
+
+    #[test]
+    fn resampling_to_other_period() {
+        let m48 = PriceModel::nyiso_like(48, 0.0, Pcg32::seed(0));
+        assert_eq!(m48.period(), 48);
+        // Slot 0 of the 48-slot day equals hour 0 of the profile.
+        assert_eq!(m48.trend_at(0), NYISO_LIKE_PRICE_24H[0]);
+        // Slot 2 equals hour 1.
+        assert_eq!(m48.trend_at(2), NYISO_LIKE_PRICE_24H[1]);
+        // Interpolated half-hour slot sits between its neighbours.
+        let mid = m48.trend_at(1);
+        let (a, b) = (NYISO_LIKE_PRICE_24H[0], NYISO_LIKE_PRICE_24H[1]);
+        assert!(mid >= a.min(b) && mid <= a.max(b));
+    }
+
+    #[test]
+    fn constant_price() {
+        let mut m = PriceModel::constant(0.05);
+        assert_eq!(m.sample(0), 0.05);
+        assert_eq!(m.sample(99), 0.05);
+    }
+
+    #[test]
+    fn noise_perturbs_but_tracks_trend() {
+        let mut m = PriceModel::nyiso_like(24, 0.05, Pcg32::seed(3));
+        let mut rel_errs = Vec::new();
+        for t in 0..24 * 200 {
+            let p = m.sample(t);
+            rel_errs.push((p - m.trend_at(t)) / m.trend_at(t));
+        }
+        let mean: f64 = rel_errs.iter().sum::<f64>() / rel_errs.len() as f64;
+        assert!(mean.abs() < 0.01, "noise should be zero-mean, got {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        PriceModel::nyiso_like(0, 0.0, Pcg32::seed(0));
+    }
+}

@@ -1,0 +1,84 @@
+//! Embedded daily profiles substituting the paper's external traces.
+//!
+//! The paper drives its simulations with (a) NYISO real-time hourly
+//! electricity prices and (b) an hourly YouTube view-count trace (its Fig. 2)
+//! to justify the periodic-plus-iid state model. Neither dataset ships with
+//! the paper, so this module embeds *shape-faithful* 24-hour profiles:
+//!
+//! * [`NYISO_LIKE_PRICE_24H`] follows the characteristic day-ahead LBMP
+//!   curve for NYC: an overnight trough (~$25/MWh), a morning ramp, and an
+//!   evening peak (~$70/MWh). Values are stored in $/kWh.
+//! * [`DIURNAL_DEMAND_24H`] is a dimensionless demand multiplier (mean ≈ 1)
+//!   with the two-hump work-hour/evening-leisure shape seen in the paper's
+//!   video-views trace: low 3 a.m. trough, evening maximum.
+//!
+//! DESIGN.md records this substitution; the algorithms only depend on the
+//! periodic-plus-iid *structure*, which these profiles preserve.
+
+/// NYISO-shaped hourly electricity prices in $/kWh (24 entries, midnight
+/// first).
+pub const NYISO_LIKE_PRICE_24H: [f64; 24] = [
+    0.031, 0.028, 0.026, 0.025, 0.026, 0.029, //  0–5: overnight trough
+    0.036, 0.045, 0.052, 0.055, 0.057, 0.058, //  6–11: morning ramp
+    0.059, 0.060, 0.062, 0.064, 0.067, 0.070, // 12–17: afternoon climb
+    0.069, 0.065, 0.058, 0.049, 0.041, 0.035, // 18–23: evening decline
+];
+
+/// Dimensionless diurnal demand multiplier (24 entries, midnight first);
+/// mean ≈ 1.0.
+pub const DIURNAL_DEMAND_24H: [f64; 24] = [
+    0.62, 0.50, 0.42, 0.38, 0.40, 0.50, //  0–5: night trough
+    0.68, 0.90, 1.08, 1.18, 1.22, 1.25, //  6–11: morning ramp-up
+    1.24, 1.20, 1.18, 1.20, 1.26, 1.35, // 12–17: workday plateau
+    1.45, 1.50, 1.42, 1.22, 0.98, 0.77, // 18–23: evening peak and decline
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_profile_shape() {
+        // Trough at night, peak late afternoon/evening.
+        let min_idx = NYISO_LIKE_PRICE_24H
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let max_idx = NYISO_LIKE_PRICE_24H
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((0..=5).contains(&min_idx), "trough at hour {min_idx}");
+        assert!((15..=20).contains(&max_idx), "peak at hour {max_idx}");
+        assert!(NYISO_LIKE_PRICE_24H.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn price_peak_to_trough_ratio_realistic() {
+        let max = NYISO_LIKE_PRICE_24H.iter().cloned().fold(0.0, f64::max);
+        let min = NYISO_LIKE_PRICE_24H.iter().cloned().fold(f64::INFINITY, f64::min);
+        let ratio = max / min;
+        assert!((2.0..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn demand_profile_mean_near_one() {
+        let mean: f64 = DIURNAL_DEMAND_24H.iter().sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn demand_profile_peaks_in_evening() {
+        let max_idx = DIURNAL_DEMAND_24H
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((17..=21).contains(&max_idx), "peak at hour {max_idx}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Replaying recorded traces as state processes.
+//!
+//! The paper drives its simulation from recorded data (NYISO prices, a
+//! video-workload trace). This module lets downstream users do the same:
+//! [`ReplayTrace`] wraps any recorded series as a repeating process (with
+//! optional noise, preserving the paper's periodic-plus-iid structure), and
+//! [`parse_csv_column`] pulls a column out of a simple CSV export so real
+//! NYISO files can be dropped in without extra dependencies.
+
+use eotora_util::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// A recorded series replayed cyclically, optionally with relative Gaussian
+/// noise on top (set `noise_rel = 0` for exact replay).
+///
+/// # Examples
+///
+/// ```
+/// use eotora_states::replay::ReplayTrace;
+/// use eotora_util::rng::Pcg32;
+///
+/// let mut t = ReplayTrace::new(vec![1.0, 2.0, 3.0], 0.0, Pcg32::seed(1)).unwrap();
+/// assert_eq!(t.sample(0), 1.0);
+/// assert_eq!(t.sample(4), 2.0); // cycles with period 3
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayTrace {
+    values: Vec<f64>,
+    noise_rel: f64,
+    rng: Pcg32,
+}
+
+impl ReplayTrace {
+    /// Wraps a recorded series.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the series is empty, contains non-finite or
+    /// non-positive values, or `noise_rel` is negative.
+    pub fn new(values: Vec<f64>, noise_rel: f64, rng: Pcg32) -> Result<Self, String> {
+        if values.is_empty() {
+            return Err("replay trace is empty".into());
+        }
+        if let Some(bad) = values.iter().find(|v| !v.is_finite() || **v <= 0.0) {
+            return Err(format!("replay trace contains invalid value {bad}"));
+        }
+        if noise_rel < 0.0 {
+            return Err("noise level must be non-negative".into());
+        }
+        Ok(Self { values, noise_rel, rng })
+    }
+
+    /// The replay period (number of recorded samples).
+    pub fn period(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The recorded value at slot `t` (no noise).
+    pub fn recorded_at(&self, slot: u64) -> f64 {
+        self.values[(slot % self.values.len() as u64) as usize]
+    }
+
+    /// Samples slot `t`: the recorded value, perturbed by relative Gaussian
+    /// noise and floored at 1% of the recorded value.
+    pub fn sample(&mut self, slot: u64) -> f64 {
+        let base = self.recorded_at(slot);
+        if self.noise_rel == 0.0 {
+            base
+        } else {
+            (base * (1.0 + self.rng.normal(0.0, self.noise_rel))).max(0.01 * base)
+        }
+    }
+}
+
+/// Extracts a numeric column from simple CSV text (comma-separated, one
+/// header row, no quoting — the format of NYISO's OASIS exports after
+/// trimming). Column selection is by header name, case-insensitive.
+///
+/// Rows whose cell fails to parse are skipped with their indices reported,
+/// so a stray footer line does not poison the whole file.
+///
+/// # Errors
+///
+/// Returns a message when the header is missing, the column name is not
+/// found, or no row parses.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_states::replay::parse_csv_column;
+///
+/// let csv = "time,lbmp\n00:00,25.1\n01:00,24.3\n";
+/// let (values, skipped) = parse_csv_column(csv, "LBMP").unwrap();
+/// assert_eq!(values, vec![25.1, 24.3]);
+/// assert!(skipped.is_empty());
+/// ```
+pub fn parse_csv_column(text: &str, column: &str) -> Result<(Vec<f64>, Vec<usize>), String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty CSV input")?;
+    let wanted = column.to_ascii_lowercase();
+    let idx = header
+        .split(',')
+        .position(|h| h.trim().to_ascii_lowercase() == wanted)
+        .ok_or_else(|| format!("column `{column}` not found in header `{header}`"))?;
+
+    let mut values = Vec::new();
+    let mut skipped = Vec::new();
+    for (row, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match line.split(',').nth(idx).map(str::trim).map(str::parse::<f64>) {
+            Some(Ok(v)) => values.push(v),
+            _ => skipped.push(row + 1),
+        }
+    }
+    if values.is_empty() {
+        return Err("no parsable rows".into());
+    }
+    Ok((values, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price::PriceModel;
+
+    #[test]
+    fn exact_replay_cycles() {
+        let mut t = ReplayTrace::new(vec![10.0, 20.0], 0.0, Pcg32::seed(0)).unwrap();
+        let got: Vec<f64> = (0..5).map(|s| t.sample(s)).collect();
+        assert_eq!(got, vec![10.0, 20.0, 10.0, 20.0, 10.0]);
+        assert_eq!(t.period(), 2);
+    }
+
+    #[test]
+    fn noisy_replay_centers_on_recording() {
+        let mut t = ReplayTrace::new(vec![100.0], 0.05, Pcg32::seed(1)).unwrap();
+        let mean: f64 = (0..20_000).map(|s| t.sample(s)).sum::<f64>() / 20_000.0;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn rejects_bad_traces() {
+        assert!(ReplayTrace::new(vec![], 0.0, Pcg32::seed(0)).is_err());
+        assert!(ReplayTrace::new(vec![1.0, -1.0], 0.0, Pcg32::seed(0)).is_err());
+        assert!(ReplayTrace::new(vec![1.0, f64::NAN], 0.0, Pcg32::seed(0)).is_err());
+        assert!(ReplayTrace::new(vec![1.0], -0.1, Pcg32::seed(0)).is_err());
+    }
+
+    #[test]
+    fn csv_column_extraction() {
+        let csv = "Time Stamp,Name,LBMP ($/MWHr)\n1,NYC,30.5\n2,NYC,28.25\n3,NYC,oops\n";
+        let (values, skipped) = parse_csv_column(csv, "lbmp ($/mwhr)").unwrap();
+        assert_eq!(values, vec![30.5, 28.25]);
+        assert_eq!(skipped, vec![3]);
+    }
+
+    #[test]
+    fn csv_errors() {
+        assert!(parse_csv_column("", "x").is_err());
+        assert!(parse_csv_column("a,b\n1,2\n", "c").is_err());
+        assert!(parse_csv_column("a,b\nx,y\n", "a").is_err());
+    }
+
+    #[test]
+    fn replayed_prices_feed_price_model() {
+        // A recorded daily curve can replace the synthetic NYISO profile.
+        let recorded: Vec<f64> = (0..24).map(|h| 0.02 + 0.002 * h as f64).collect();
+        let mut price = PriceModel::from_trend(recorded.clone(), 0.0, Pcg32::seed(2));
+        for t in 0..48 {
+            assert_eq!(price.sample(t), recorded[(t % 24) as usize]);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Typed index newtypes for topology entities.
+//!
+//! Using distinct id types (rather than bare `usize`) makes it impossible to
+//! hand a server index to an API expecting a base-station index — the class
+//! of bug most common in matrix-indexed offloading code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw zero-based index.
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                Self(i)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a base station (`B_k` in the paper, `k ∈ [K]`).
+    BaseStationId,
+    "B"
+);
+define_id!(
+    /// Index of an edge server (`S_n` in the paper, `n ∈ [N]`).
+    ServerId,
+    "S"
+);
+define_id!(
+    /// Index of an edge-server room/cluster (`m ∈ [M]`).
+    ClusterId,
+    "R"
+);
+define_id!(
+    /// Index of a mobile device (`D_i` in the paper, `i ∈ [I]`).
+    DeviceId,
+    "D"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_letters() {
+        assert_eq!(BaseStationId(3).to_string(), "B3");
+        assert_eq!(ServerId(0).to_string(), "S0");
+        assert_eq!(ClusterId(1).to_string(), "R1");
+        assert_eq!(DeviceId(42).to_string(), "D42");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let s: ServerId = 7usize.into();
+        assert_eq!(s.index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(DeviceId(1));
+        set.insert(DeviceId(1));
+        set.insert(DeviceId(2));
+        assert_eq!(set.len(), 2);
+        assert!(DeviceId(1) < DeviceId(2));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let id = ServerId(9);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: ServerId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

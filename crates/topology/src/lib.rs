@@ -1,0 +1,40 @@
+//! Network-topology model of the heterogeneous MEC system (paper §III-A).
+//!
+//! The system consists of `K` base stations, `M` edge-server rooms
+//! ("clusters") hosting `N` servers in total, and `I` mobile devices.
+//! Base stations reach mobile devices over *access links* and reach server
+//! clusters over *fronthaul links*; a base station may connect to one room
+//! (wired fiber) or several (wireless mmWave). A device can only offload to a
+//! server whose cluster is linked to the device's chosen base station — the
+//! paper's constraint `ν_i(y_t) ∈ N_i(x_t)` (eq. 3).
+//!
+//! This crate models only the static physical network. Time-varying state
+//! (channels, prices, workloads) lives in `eotora-states`; per-server energy
+//! functions live in `eotora-energy`; the optimization problem that ties them
+//! together lives in `eotora-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use eotora_topology::{RandomTopologyConfig, Topology};
+//!
+//! // The paper's §VI-A setting: 6 BSs, 2 rooms × 8 servers, 100 devices.
+//! let topo = Topology::random(&RandomTopologyConfig::paper_defaults(100), 42);
+//! assert_eq!(topo.num_base_stations(), 6);
+//! assert_eq!(topo.num_servers(), 16);
+//! assert_eq!(topo.num_devices(), 100);
+//! topo.validate().unwrap();
+//! ```
+
+pub mod geometry;
+pub mod ids;
+pub mod model;
+pub mod random;
+
+pub use geometry::Point;
+pub use ids::{BaseStationId, ClusterId, DeviceId, ServerId};
+pub use model::{
+    BaseStation, Cluster, CoverageModel, EdgeServer, MobileDevice, Topology, TopologyBuilder,
+    TopologyError,
+};
+pub use random::RandomTopologyConfig;

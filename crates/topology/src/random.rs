@@ -1,0 +1,229 @@
+//! Random topology generation matching the paper's §VI-A settings.
+
+use eotora_util::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Point;
+use crate::model::{CoverageModel, Topology, TopologyBuilder};
+use crate::ClusterId;
+
+/// Configuration for [`Topology::random`].
+///
+/// The defaults mirror the paper's simulation: six base stations, two server
+/// rooms with eight servers each (half with 64 cores, half with 128), access
+/// bandwidth uniform in 50–100 MHz, wired fronthaul 0.5–1 GHz at a fixed
+/// spectral efficiency of 10 bit/s/Hz, each base station wired to one random
+/// room, and server clocks scalable over 1.8–3.6 GHz (the i7-3770K range used
+/// for the energy model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomTopologyConfig {
+    /// Number of base stations `K`.
+    pub num_base_stations: usize,
+    /// Number of server rooms `M`.
+    pub num_clusters: usize,
+    /// Servers per room (`N = num_clusters × servers_per_cluster`).
+    pub servers_per_cluster: usize,
+    /// Number of mobile devices `I`.
+    pub num_devices: usize,
+    /// Uniform range for access bandwidth `W_k^A` in Hz.
+    pub access_bandwidth_hz: (f64, f64),
+    /// Uniform range for fronthaul bandwidth `W_k^F` in Hz.
+    pub fronthaul_bandwidth_hz: (f64, f64),
+    /// Fixed fronthaul spectral efficiency `h^F` in bit/s/Hz.
+    pub fronthaul_spectral_efficiency: f64,
+    /// Core counts to alternate across servers (paper: half 64, half 128).
+    pub core_options: Vec<u32>,
+    /// Server clock bounds `(F^L, F^U)` in Hz.
+    pub freq_bounds_hz: (f64, f64),
+    /// Side length in meters of the square deployment area.
+    pub area_side_m: f64,
+    /// Coverage radius assigned to every base station (meters); only matters
+    /// under [`CoverageModel::Radius`].
+    pub coverage_radius_m: f64,
+    /// Coverage model for the generated topology.
+    pub coverage: CoverageModel,
+    /// Number of clusters each base station links to (paper: wired ⇒ 1).
+    pub links_per_base_station: usize,
+}
+
+impl RandomTopologyConfig {
+    /// The paper's §VI-A parameters with `num_devices` devices.
+    pub fn paper_defaults(num_devices: usize) -> Self {
+        Self {
+            num_base_stations: 6,
+            num_clusters: 2,
+            servers_per_cluster: 8,
+            num_devices,
+            access_bandwidth_hz: (50e6, 100e6),
+            fronthaul_bandwidth_hz: (0.5e9, 1.0e9),
+            fronthaul_spectral_efficiency: 10.0,
+            core_options: vec![64, 128],
+            freq_bounds_hz: (1.8e9, 3.6e9),
+            area_side_m: 2_000.0,
+            coverage_radius_m: 1_500.0,
+            coverage: CoverageModel::Full,
+            links_per_base_station: 1,
+        }
+    }
+
+    /// A deliberately tiny instance for exact-baseline tests (2 BSs, 1 room,
+    /// 3 servers).
+    pub fn tiny(num_devices: usize) -> Self {
+        Self {
+            num_base_stations: 2,
+            num_clusters: 1,
+            servers_per_cluster: 3,
+            num_devices,
+            links_per_base_station: 1,
+            ..Self::paper_defaults(num_devices)
+        }
+    }
+}
+
+impl Topology {
+    /// Generates a random topology per `config`, deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has zero entities, empty `core_options`, or
+    /// `links_per_base_station` exceeding `num_clusters` — these indicate a
+    /// programming error in experiment setup, not runtime input.
+    pub fn random(config: &RandomTopologyConfig, seed: u64) -> Topology {
+        assert!(config.num_base_stations > 0, "need at least one base station");
+        assert!(config.num_clusters > 0, "need at least one cluster");
+        assert!(config.servers_per_cluster > 0, "need at least one server per cluster");
+        assert!(config.num_devices > 0, "need at least one device");
+        assert!(!config.core_options.is_empty(), "core_options must be non-empty");
+        assert!(
+            (1..=config.num_clusters).contains(&config.links_per_base_station),
+            "links_per_base_station must be in 1..=num_clusters"
+        );
+
+        let mut rng = Pcg32::seed_stream(seed, 0x70_70);
+        let mut b = TopologyBuilder::new().coverage(config.coverage);
+
+        for _ in 0..config.num_clusters {
+            let pos = Point::new(
+                rng.uniform_in(0.0, config.area_side_m),
+                rng.uniform_in(0.0, config.area_side_m),
+            );
+            b = b.cluster(pos);
+        }
+        let total_servers = config.num_clusters * config.servers_per_cluster;
+        for n in 0..total_servers {
+            let cluster = ClusterId(n / config.servers_per_cluster);
+            // Alternate core options so "half have 64 cores, half 128".
+            let cores = config.core_options[n % config.core_options.len()];
+            b = b.server(cluster, cores, config.freq_bounds_hz.0, config.freq_bounds_hz.1);
+        }
+        for _ in 0..config.num_base_stations {
+            let mut cluster_ids: Vec<ClusterId> = (0..config.num_clusters).map(ClusterId).collect();
+            rng.shuffle(&mut cluster_ids);
+            cluster_ids.truncate(config.links_per_base_station);
+            cluster_ids.sort_unstable();
+            let pos = Point::new(
+                rng.uniform_in(0.0, config.area_side_m),
+                rng.uniform_in(0.0, config.area_side_m),
+            );
+            b = b.base_station(
+                rng.uniform_in(config.access_bandwidth_hz.0, config.access_bandwidth_hz.1),
+                rng.uniform_in(config.fronthaul_bandwidth_hz.0, config.fronthaul_bandwidth_hz.1),
+                config.fronthaul_spectral_efficiency,
+                cluster_ids,
+                pos,
+                config.coverage_radius_m,
+            );
+        }
+        for _ in 0..config.num_devices {
+            let pos = Point::new(
+                rng.uniform_in(0.0, config.area_side_m),
+                rng.uniform_in(0.0, config.area_side_m),
+            );
+            b = b.device(pos);
+        }
+        b.build().expect("randomly generated topology must validate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_shape() {
+        let t = Topology::random(&RandomTopologyConfig::paper_defaults(100), 1);
+        assert_eq!(t.num_base_stations(), 6);
+        assert_eq!(t.num_clusters(), 2);
+        assert_eq!(t.num_servers(), 16);
+        assert_eq!(t.num_devices(), 100);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RandomTopologyConfig::paper_defaults(30);
+        let a = Topology::random(&cfg, 7);
+        let b = Topology::random(&cfg, 7);
+        assert_eq!(a, b);
+        let c = Topology::random(&cfg, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parameter_ranges_respected() {
+        let cfg = RandomTopologyConfig::paper_defaults(10);
+        let t = Topology::random(&cfg, 3);
+        for k in t.base_station_ids() {
+            let bs = t.base_station(k);
+            assert!((50e6..=100e6).contains(&bs.access_bandwidth_hz));
+            assert!((0.5e9..=1.0e9).contains(&bs.fronthaul_bandwidth_hz));
+            assert_eq!(bs.fronthaul_spectral_efficiency, 10.0);
+            assert_eq!(bs.linked_clusters.len(), 1);
+        }
+        for n in t.server_ids() {
+            let s = t.server(n);
+            assert!(s.cores == 64 || s.cores == 128);
+            assert_eq!(s.freq_min_hz, 1.8e9);
+            assert_eq!(s.freq_max_hz, 3.6e9);
+        }
+    }
+
+    #[test]
+    fn half_servers_each_core_count() {
+        let t = Topology::random(&RandomTopologyConfig::paper_defaults(10), 5);
+        let big = t.server_ids().filter(|&n| t.server(n).cores == 128).count();
+        assert_eq!(big, 8);
+    }
+
+    #[test]
+    fn multi_link_base_stations() {
+        let cfg = RandomTopologyConfig {
+            links_per_base_station: 2,
+            ..RandomTopologyConfig::paper_defaults(10)
+        };
+        let t = Topology::random(&cfg, 4);
+        for k in t.base_station_ids() {
+            assert_eq!(t.base_station(k).linked_clusters.len(), 2);
+            assert_eq!(t.servers_reachable_from(k).len(), 16);
+        }
+    }
+
+    #[test]
+    fn tiny_config_shape() {
+        let t = Topology::random(&RandomTopologyConfig::tiny(4), 2);
+        assert_eq!(t.num_base_stations(), 2);
+        assert_eq!(t.num_servers(), 3);
+        assert_eq!(t.num_devices(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "links_per_base_station")]
+    fn too_many_links_panics() {
+        let cfg = RandomTopologyConfig {
+            links_per_base_station: 5,
+            ..RandomTopologyConfig::paper_defaults(10)
+        };
+        Topology::random(&cfg, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the topology crate.
+
+use eotora_topology::{CoverageModel, RandomTopologyConfig, Topology};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = RandomTopologyConfig> {
+    (
+        1usize..8,   // base stations
+        1usize..4,   // clusters
+        1usize..6,   // servers per cluster
+        1usize..40,  // devices
+        1usize..4,   // links per bs (clamped below)
+        prop::bool::ANY,
+    )
+        .prop_map(|(k, m, spc, i, links, radius)| RandomTopologyConfig {
+            num_base_stations: k,
+            num_clusters: m,
+            servers_per_cluster: spc,
+            num_devices: i,
+            links_per_base_station: links.min(m),
+            coverage: if radius { CoverageModel::Radius } else { CoverageModel::Full },
+            ..RandomTopologyConfig::paper_defaults(i)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    /// Every randomly generated topology validates and has consistent counts.
+    #[test]
+    fn random_topologies_always_validate(config in arb_config(), seed in 0u64..1_000) {
+        let t = Topology::random(&config, seed);
+        prop_assert!(t.validate().is_ok());
+        prop_assert_eq!(t.num_base_stations(), config.num_base_stations);
+        prop_assert_eq!(t.num_clusters(), config.num_clusters);
+        prop_assert_eq!(t.num_servers(), config.num_clusters * config.servers_per_cluster);
+        prop_assert_eq!(t.num_devices(), config.num_devices);
+    }
+
+    /// Reachability is exactly the union of the linked clusters' servers:
+    /// sorted, deduplicated, and every reachable server's cluster is linked.
+    #[test]
+    fn reachability_is_union_of_linked_clusters(config in arb_config(), seed in 0u64..1_000) {
+        let t = Topology::random(&config, seed);
+        for k in t.base_station_ids() {
+            let reachable = t.servers_reachable_from(k);
+            prop_assert!(reachable.windows(2).all(|w| w[0] < w[1]), "sorted & deduped");
+            let linked = &t.base_station(k).linked_clusters;
+            let expected: usize =
+                linked.iter().map(|&m| t.cluster(m).servers.len()).sum();
+            prop_assert_eq!(reachable.len(), expected);
+            for n in reachable {
+                prop_assert!(linked.contains(&t.server(n).cluster));
+            }
+        }
+    }
+
+    /// Full coverage always yields every station; radius coverage yields a
+    /// subset consistent with distances.
+    #[test]
+    fn coverage_is_consistent(config in arb_config(), seed in 0u64..1_000) {
+        let t = Topology::random(&config, seed);
+        for i in t.device_ids() {
+            let covering = t.covering_base_stations(i);
+            match t.coverage() {
+                CoverageModel::Full => {
+                    prop_assert_eq!(covering.len(), t.num_base_stations())
+                }
+                CoverageModel::Radius => {
+                    for k in t.base_station_ids() {
+                        let bs = t.base_station(k);
+                        let within =
+                            bs.position.distance_to(t.device(i).position) <= bs.coverage_radius_m;
+                        prop_assert_eq!(covering.contains(&k), within);
+                    }
+                }
+            }
+        }
+    }
+
+    /// serde round-trips preserve the topology exactly.
+    #[test]
+    fn serde_roundtrip(config in arb_config(), seed in 0u64..100) {
+        let t = Topology::random(&config, seed);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

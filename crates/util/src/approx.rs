@@ -1,0 +1,103 @@
+//! Floating-point comparison helpers used throughout the test suites.
+
+/// Returns `true` when `a` and `b` are within `tol` absolutely **or**
+/// relatively (relative to the larger magnitude).
+///
+/// # Examples
+///
+/// ```
+/// use eotora_util::approx::approx_eq;
+///
+/// assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-10), 1e-9));
+/// assert!(!approx_eq(1.0, 1.1, 1e-3));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+/// Relative difference `|a − b| / max(|a|, |b|)`; `0.0` when both are zero.
+///
+/// # Examples
+///
+/// ```
+/// use eotora_util::approx::rel_diff;
+///
+/// assert_eq!(rel_diff(0.0, 0.0), 0.0);
+/// assert!((rel_diff(100.0, 101.0) - 1.0 / 101.0).abs() < 1e-12);
+/// ```
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+/// Asserts two floats are close (per [`approx_eq`]) with a helpful message.
+///
+/// ```
+/// use eotora_util::assert_close;
+///
+/// assert_close!(2.0_f64.sqrt() * 2.0_f64.sqrt(), 2.0, 1e-12);
+/// ```
+#[macro_export]
+macro_rules! assert_close {
+    ($a:expr, $b:expr, $tol:expr) => {{
+        let (a, b, tol) = ($a, $b, $tol);
+        assert!(
+            $crate::approx::approx_eq(a, b, tol),
+            "assert_close!({} = {a:?}, {} = {b:?}) failed with tol {tol:?}",
+            stringify!($a),
+            stringify!($b),
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_equality() {
+        assert!(approx_eq(0.0, 0.0, 0.0));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 1e-9));
+    }
+
+    #[test]
+    fn nan_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1e9));
+        assert!(!approx_eq(f64::NAN, 1.0, 1e9));
+    }
+
+    #[test]
+    fn absolute_tolerance_near_zero() {
+        assert!(approx_eq(1e-12, 0.0, 1e-9));
+        assert!(!approx_eq(1e-6, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn relative_tolerance_at_scale() {
+        assert!(approx_eq(1e9, 1e9 + 0.5, 1e-9));
+        assert!(!approx_eq(1e9, 1e9 * 1.01, 1e-9));
+    }
+
+    #[test]
+    fn rel_diff_symmetric() {
+        assert_eq!(rel_diff(3.0, 4.0), rel_diff(4.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "assert_close!")]
+    fn macro_panics_on_mismatch() {
+        assert_close!(1.0, 2.0, 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared numeric utilities for the `eotora` workspace.
+//!
+//! This crate provides the low-level plumbing every other crate builds on:
+//!
+//! * [`rng`] — a deterministic, seedable PCG-32 generator implementing
+//!   [`rand::Rng`], plus Gaussian sampling via Box–Muller. All simulation
+//!   results in the workspace are reproducible given a seed.
+//! * [`stats`] — streaming and batch descriptive statistics (mean, variance,
+//!   quantiles, confidence intervals) used by the experiment harnesses.
+//! * [`series`] — time-series helpers (cumulative/time averages, windowed
+//!   means) used to report the paper's time-average metrics.
+//! * [`approx`] — relative/absolute floating-point comparison helpers and the
+//!   [`assert_close!`] macro used pervasively in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use eotora_util::rng::Pcg32;
+//! use eotora_util::stats::Summary;
+//! use rand::RngExt;
+//!
+//! let mut rng = Pcg32::seed(7);
+//! let xs: Vec<f64> = (0..1000).map(|_| rng.random_range(0.0..1.0)).collect();
+//! let s = Summary::from_slice(&xs);
+//! assert!((s.mean - 0.5).abs() < 0.05);
+//! ```
+
+pub mod approx;
+pub mod rng;
+pub mod series;
+pub mod stats;
+
+pub use approx::{approx_eq, rel_diff};
+pub use rng::Pcg32;
+pub use series::TimeSeries;
+pub use stats::Summary;

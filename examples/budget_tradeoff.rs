@@ -1,0 +1,50 @@
+//! The latency/energy frontier: sweep the energy budget `C̄` and watch the
+//! controller trade latency for cost headroom (the paper's Fig. 9 story).
+//!
+//! ```text
+//! cargo run -p eotora-examples --release --bin budget_tradeoff
+//! ```
+
+use eotora_sim::report::{ascii_table, num};
+use eotora_sim::runner::run_many;
+use eotora_sim::scenario::Scenario;
+
+fn main() {
+    let budgets = [0.6, 0.8, 1.0, 1.2, 1.4];
+    let scenarios: Vec<Scenario> = budgets
+        .iter()
+        .map(|&b| {
+            Scenario::paper(40, 11)
+                .with_budget(b)
+                .with_horizon(120)
+                .with_v(100.0)
+                .with_bdma_rounds(3)
+                .with_label(format!("C̄=${b:.2}"))
+        })
+        .collect();
+
+    println!("running {} scenarios in parallel (120 slots each)...", scenarios.len());
+    let results = run_many(&scenarios);
+
+    let rows: Vec<Vec<String>> = budgets
+        .iter()
+        .zip(&results)
+        .map(|(&b, r)| {
+            vec![
+                format!("{b:.2}"),
+                num(r.latency.tail_average(48)),
+                num(r.average_cost),
+                if r.budget_satisfied(0.02) { "yes".into() } else { "NO".into() },
+                num(r.converged_queue(24)),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        ascii_table(
+            &["budget $/slot", "tail latency (s)", "avg cost ($)", "within budget", "queue"],
+            &rows
+        )
+    );
+    println!("A larger budget buys frequency headroom: latency falls, cost tracks the budget.");
+}

@@ -1,0 +1,19 @@
+//! Runnable examples for the `eotora` workspace.
+//!
+//! Each `[[bin]]` target is a self-contained scenario built on the public
+//! API:
+//!
+//! * `quickstart` — smallest end-to-end run: build the paper's system, step
+//!   the BDMA-based DPP controller for a day, print the metrics.
+//! * `compare_algorithms` — one P2-A slot solved by CGBA, MCBA, ROPT, and
+//!   branch-and-bound, with objectives and wall times (Fig. 4–5 in
+//!   miniature).
+//! * `budget_tradeoff` — the latency/energy-cost frontier as the budget `C̄`
+//!   sweeps (Fig. 9 in miniature).
+//! * `frequency_scaling` — P2-B in isolation: how optimal clock frequencies
+//!   respond to queue pressure and electricity price.
+//! * `mobility_scenario` — a hand-built city topology with radius coverage
+//!   and the random-waypoint mobility channel, exercising the time-varying
+//!   `h_{i,k,t}` path of the formulation.
+//!
+//! Run any of them with `cargo run -p eotora-examples --release --bin <name>`.

@@ -1,0 +1,51 @@
+//! Quickstart: the paper's system, one simulated day, three numbers.
+//!
+//! ```text
+//! cargo run -p eotora-examples --release --bin quickstart
+//! ```
+//!
+//! Builds the §VI-A evaluation setup (6 base stations, 2 rooms × 8 servers,
+//! 60 mobile devices), runs the BDMA-based DPP controller for 24 hourly
+//! slots, and reports average latency, average energy cost vs. the budget,
+//! and the final virtual-queue backlog.
+
+use eotora_core::dpp::{DppConfig, EotoraDpp};
+use eotora_core::system::{MecSystem, SystemConfig};
+use eotora_states::{PaperStateConfig, StateProvider};
+
+fn main() {
+    let seed = 42;
+    let system = MecSystem::random(&SystemConfig::paper_defaults(60), seed);
+    println!(
+        "system: {} base stations, {} rooms, {} servers, {} devices, budget ${:.2}/slot",
+        system.topology().num_base_stations(),
+        system.topology().num_clusters(),
+        system.topology().num_servers(),
+        system.topology().num_devices(),
+        system.budget_per_slot(),
+    );
+
+    let mut states = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+    let mut controller = EotoraDpp::new(system, DppConfig { v: 100.0, seed, ..Default::default() });
+
+    for slot in 0..24 {
+        let beta = states.observe(slot, controller.system().topology());
+        let step = controller.step(&beta);
+        println!(
+            "slot {slot:>2}: price ${:.3}/kWh  latency {:.3} s  cost ${:.3}  queue {:.3}",
+            beta.price_per_kwh,
+            step.outcome.objective,
+            step.outcome.constraint_excess + controller.system().budget_per_slot(),
+            step.queue_after,
+        );
+    }
+
+    println!("\nafter one day:");
+    println!("  average latency      : {:.4} s", controller.average_latency());
+    println!(
+        "  average energy cost  : ${:.4} (budget ${:.2})",
+        controller.average_cost(),
+        controller.system().budget_per_slot()
+    );
+    println!("  virtual-queue backlog: {:.4}", controller.queue_backlog());
+}

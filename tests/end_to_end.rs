@@ -1,0 +1,150 @@
+//! End-to-end integration of Algorithm 1: observe → BDMA → Lemma 1 → queue.
+
+use eotora_core::dpp::{DppConfig, EotoraDpp, SolverKind};
+use eotora_core::system::{MecSystem, SystemConfig};
+use eotora_sim::runner::run;
+use eotora_sim::scenario::Scenario;
+use eotora_states::{PaperStateConfig, StateProvider};
+
+#[test]
+fn budget_is_honored_over_long_horizon() {
+    let result = run(&Scenario::paper(10, 17).with_horizon(240).with_v(80.0).with_bdma_rounds(1));
+    // Theorem 4 eq. (29): time-average cost converges below the budget;
+    // allow the O(V/T) transient at this horizon.
+    assert!(
+        result.average_cost <= result.budget + 0.05,
+        "avg cost {} exceeds budget {}",
+        result.average_cost,
+        result.budget
+    );
+    // And the tail (converged regime) must be strictly within budget.
+    let tail_cost = result.cost.tail_average(96);
+    assert!(tail_cost <= result.budget + 0.03, "tail cost {tail_cost} vs budget {}", result.budget);
+}
+
+#[test]
+fn infeasibly_small_budget_throttles_to_floor() {
+    // A budget below the all-min-frequency cost cannot be met; DPP should
+    // pin the fleet near its minimum frequencies (cost floor) while the
+    // queue grows — but never crash or produce infeasible decisions.
+    let result =
+        run(&Scenario::paper(8, 18).with_horizon(60).with_budget(0.05).with_bdma_rounds(1));
+    let floor = {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(8), 18);
+        // Mean price of the embedded profile ≈ $0.048/kWh.
+        system.energy_cost(0.048, &system.min_frequencies())
+    };
+    let tail_cost = result.cost.tail_average(24);
+    assert!(
+        tail_cost <= floor * 1.35,
+        "throttled cost {tail_cost} should approach the floor {floor}"
+    );
+    // Queue grows roughly linearly (unsatisfiable constraint).
+    let q = result.queue.values();
+    assert!(q[59] > q[29], "queue should keep growing under an infeasible budget");
+}
+
+#[test]
+fn latency_monotone_in_v_across_three_levels() {
+    let latency = |v: f64| {
+        run(&Scenario::paper(12, 19).with_horizon(96).with_v(v).with_bdma_rounds(1))
+            .average_latency
+    };
+    let l10 = latency(10.0);
+    let l100 = latency(100.0);
+    let l1000 = latency(1000.0);
+    assert!(l100 <= l10 + 1e-9, "V=100 ({l100}) vs V=10 ({l10})");
+    assert!(l1000 <= l100 + 1e-9, "V=1000 ({l1000}) vs V=100 ({l100})");
+}
+
+#[test]
+fn every_slot_decision_is_feasible_for_all_solvers() {
+    for solver in [
+        SolverKind::Cgba { lambda: 0.05 },
+        SolverKind::Ropt,
+        SolverKind::Greedy,
+        SolverKind::Mcba { iterations: 200 },
+    ] {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(6), 20);
+        let mut states =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), 20);
+        let mut dpp = EotoraDpp::new(
+            system,
+            DppConfig { solver, bdma_rounds: 2, ..Default::default() },
+        );
+        for t in 0..8 {
+            let beta = states.observe(t, dpp.system().topology());
+            let step = dpp.step(&beta);
+            step.outcome.decision.validate(dpp.system()).unwrap_or_else(|e| {
+                panic!("{} produced infeasible decision at slot {t}: {e}", solver.name())
+            });
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let scenario = Scenario::paper(8, 21).with_horizon(12).with_bdma_rounds(2);
+    let a = run(&scenario);
+    let b = run(&scenario);
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.queue, b.queue);
+}
+
+#[test]
+fn scenario_and_result_serde_roundtrip() {
+    let scenario = Scenario::paper(6, 22).with_horizon(4).with_bdma_rounds(1);
+    let result = run(&scenario);
+    let sj = serde_json::to_string(&scenario).unwrap();
+    let rj = serde_json::to_string(&result).unwrap();
+    let s2: Scenario = serde_json::from_str(&sj).unwrap();
+    let r2: eotora_sim::SimulationResult = serde_json::from_str(&rj).unwrap();
+    assert_eq!(s2, scenario);
+    // Floats may lose the last ULP through JSON text; compare within 1e-12.
+    assert_eq!(r2.label, result.label);
+    assert_eq!(r2.budget, result.budget);
+    assert_eq!(r2.latency.len(), result.latency.len());
+    for (a, b) in r2.latency.values().iter().zip(result.latency.values()) {
+        assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+    }
+    for (a, b) in r2.queue.values().iter().zip(result.queue.values()) {
+        assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+    }
+}
+
+#[test]
+fn bdma_dpp_beats_ropt_dpp_on_latency() {
+    let bdma = run(&Scenario::paper(15, 23).with_horizon(48).with_bdma_rounds(2));
+    let ropt = run(&Scenario::paper(15, 23)
+        .with_horizon(48)
+        .with_bdma_rounds(2)
+        .with_solver(SolverKind::Ropt));
+    assert!(
+        bdma.average_latency < ropt.average_latency,
+        "BDMA {} should beat ROPT {}",
+        bdma.average_latency,
+        ropt.average_latency
+    );
+    // Both respect the budget (the constraint side is solver-independent).
+    assert!(ropt.average_cost <= ropt.budget + 0.08);
+}
+
+#[test]
+fn queue_tracks_price_after_convergence() {
+    // In the converged regime the queue should grow during expensive slots
+    // and shrink in cheap ones (the Fig. 7 narrative), measured as a
+    // positive correlation between price and queue increments.
+    let result = run(&Scenario::paper(12, 24).with_horizon(240).with_v(60.0).with_bdma_rounds(1));
+    let q = result.queue.values();
+    let p = result.price.values();
+    let (mut xs, mut ys) = (Vec::new(), Vec::new());
+    for t in 120..q.len() {
+        xs.push(p[t]);
+        ys.push(q[t] - q[t - 1]);
+    }
+    let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    assert!(cov > 0.0, "queue increments should correlate positively with price");
+}

@@ -1,0 +1,109 @@
+//! Lemma 1 against a numerical oracle: the closed-form allocation must
+//! match box/simplex-projected gradient descent on the true latency
+//! objective (eqs. (7)–(11)).
+
+use eotora_core::allocation::optimal_allocation;
+use eotora_core::decision::Assignment;
+use eotora_core::latency::latency_under;
+use eotora_optim::gradient::{minimize_projected, GradientConfig};
+use eotora_optim::simplex::project_simplex;
+use eotora_tests::support::tiny_system;
+use eotora_topology::BaseStationId;
+use eotora_util::rng::Pcg32;
+
+#[test]
+fn compute_shares_match_projected_gradient() {
+    let (system, state) = tiny_system(6, 501);
+    let topo = system.topology();
+    // Put everyone on one server via one base station so the compute
+    // allocation subproblem is a single simplex program.
+    let k = BaseStationId(0);
+    let n = topo.servers_reachable_from(k)[0];
+    let assignments = vec![Assignment { base_station: k, server: n }; 6];
+    let freqs = system.max_frequencies();
+    let closed = optimal_allocation(&system, &state, &assignments, &freqs);
+
+    // Numerical solve of min Σ_i w_i/φ_i over the simplex, where
+    // w_i = f_i / (rate · σ_{i,n}).
+    let rate = system.compute_rate(n, freqs[n.index()]);
+    let w: Vec<f64> = (0..6)
+        .map(|i| {
+            state.task_cycles[i] / (rate * system.suitability(eotora_topology::DeviceId(i), n))
+        })
+        .collect();
+    let numeric = minimize_projected(
+        |x| w.iter().zip(x).map(|(wi, xi)| wi / xi.max(1e-12)).sum(),
+        |x| w.iter().zip(x).map(|(wi, xi)| -wi / (xi.max(1e-12) * xi.max(1e-12))).collect(),
+        |v| project_simplex(v, 1.0),
+        &[1.0 / 6.0; 6],
+        GradientConfig { max_iter: 50_000, tol: 1e-13, ..Default::default() },
+    );
+    for (a, b) in closed.compute_share.iter().zip(&numeric.x) {
+        assert!((a - b).abs() < 1e-3, "closed {a} vs numeric {b}");
+    }
+}
+
+#[test]
+fn no_random_feasible_allocation_beats_lemma1() {
+    let (system, state) = tiny_system(10, 502);
+    let topo = system.topology();
+    let mut rng = Pcg32::seed(7);
+    let assignments: Vec<Assignment> = (0..10)
+        .map(|_| {
+            let k = BaseStationId(rng.below(topo.num_base_stations()));
+            let server = *rng.pick(&topo.servers_reachable_from(k)).unwrap();
+            Assignment { base_station: k, server }
+        })
+        .collect();
+    let freqs = system.max_frequencies();
+    let best = optimal_allocation(&system, &state, &assignments, &freqs);
+    let best_latency = latency_under(&system, &state, &best).total();
+
+    // 200 random feasible share vectors (renormalized per resource).
+    for _ in 0..200 {
+        let mut cand = best.clone();
+        let mut acc = vec![0.0; topo.num_base_stations()];
+        let mut fh = vec![0.0; topo.num_base_stations()];
+        let mut cmp = vec![0.0; topo.num_servers()];
+        for (i, a) in assignments.iter().enumerate() {
+            cand.access_share[i] = rng.uniform_in(0.05, 1.0);
+            cand.fronthaul_share[i] = rng.uniform_in(0.05, 1.0);
+            cand.compute_share[i] = rng.uniform_in(0.05, 1.0);
+            acc[a.base_station.index()] += cand.access_share[i];
+            fh[a.base_station.index()] += cand.fronthaul_share[i];
+            cmp[a.server.index()] += cand.compute_share[i];
+        }
+        for (i, a) in assignments.iter().enumerate() {
+            cand.access_share[i] /= acc[a.base_station.index()];
+            cand.fronthaul_share[i] /= fh[a.base_station.index()];
+            cand.compute_share[i] /= cmp[a.server.index()];
+        }
+        cand.validate(&system).unwrap();
+        let latency = latency_under(&system, &state, &cand).total();
+        assert!(
+            latency >= best_latency - 1e-9,
+            "random allocation beat Lemma 1: {latency} < {best_latency}"
+        );
+    }
+}
+
+#[test]
+fn bandwidth_shares_follow_square_root_rule() {
+    // ψ^A ∝ √(d/h): the ratio of any two co-located devices' shares equals
+    // the square root of the ratio of their d/h.
+    let (system, state) = tiny_system(8, 503);
+    let topo = system.topology();
+    let k = BaseStationId(1);
+    let n = topo.servers_reachable_from(k)[0];
+    let assignments = vec![Assignment { base_station: k, server: n }; 8];
+    let d = optimal_allocation(&system, &state, &assignments, &system.max_frequencies());
+    for i in 0..8 {
+        for j in 0..8 {
+            let expected = ((state.data_bits[i] / state.spectral_efficiency[i][k.index()])
+                / (state.data_bits[j] / state.spectral_efficiency[j][k.index()]))
+            .sqrt();
+            let actual = d.access_share[i] / d.access_share[j];
+            assert!((actual - expected).abs() < 1e-9, "{actual} vs {expected}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Cross-crate integration tests for the `eotora` workspace.
+//!
+//! The actual tests live in the sibling `[[test]]` targets:
+//!
+//! * `end_to_end` — the full Algorithm 1 pipeline: budget satisfaction,
+//!   V-monotonicity, per-slot feasibility, determinism.
+//! * `approximation` — CGBA against brute force / branch-and-bound on tiny
+//!   instances (Theorem 2's 2.62 bound, empirically ≈ 1.0x).
+//! * `lemma1_cross_check` — the closed-form allocation against a numerical
+//!   projected-gradient oracle from `eotora-optim`.
+//! * `dynamic_fronthaul` — the time-varying `h_k^F` path the paper claims
+//!   the algorithm handles.
+//! * `properties` — proptest invariants spanning crates (social-cost
+//!   identity, queue dynamics, allocation share structure).
+
+/// Common tiny-system helpers shared by the integration tests.
+pub mod support {
+    use eotora_core::system::{MecSystem, SystemConfig};
+    use eotora_states::{PaperStateConfig, StateProvider, SystemState};
+
+    /// Builds a small paper-shaped system plus its first observed state.
+    pub fn tiny_system(devices: usize, seed: u64) -> (MecSystem, SystemState) {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(devices), seed);
+        let mut provider =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+        let state = provider.observe(0, system.topology());
+        (system, state)
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based cross-crate invariants (proptest).
+
+use eotora_core::allocation::optimal_allocation;
+use eotora_core::decision::Assignment;
+use eotora_core::latency::{latency_under, optimal_latency};
+use eotora_core::p2a::P2aProblem;
+use eotora_core::p2b::solve_p2b;
+use eotora_core::system::{MecSystem, SystemConfig};
+use eotora_lyapunov::VirtualQueue;
+use eotora_states::{PaperStateConfig, StateProvider};
+use eotora_topology::BaseStationId;
+use eotora_util::rng::Pcg32;
+use proptest::prelude::*;
+
+/// Builds a deterministic instance from proptest-chosen knobs.
+fn instance(devices: usize, seed: u64) -> (MecSystem, eotora_states::SystemState) {
+    let system = MecSystem::random(&SystemConfig::paper_defaults(devices), seed);
+    let mut provider = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+    let state = provider.observe(0, system.topology());
+    (system, state)
+}
+
+fn random_assignments(system: &MecSystem, seed: u64) -> Vec<Assignment> {
+    let topo = system.topology();
+    let mut rng = Pcg32::seed(seed);
+    (0..topo.num_devices())
+        .map(|_| {
+            let k = BaseStationId(rng.below(topo.num_base_stations()));
+            let server = *rng.pick(&topo.servers_reachable_from(k)).unwrap();
+            Assignment { base_station: k, server }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..Default::default() })]
+
+    /// The Lemma 1 allocation is always feasible and reproduces the closed
+    /// form exactly (eq. (18)–(20) vs eqs. (7)–(11)).
+    #[test]
+    fn lemma1_feasible_and_consistent(devices in 2usize..20, seed in 0u64..1_000) {
+        let (system, state) = instance(devices, seed);
+        let assignments = random_assignments(&system, seed ^ 0xA5);
+        let freqs = system.max_frequencies();
+        let decision = optimal_allocation(&system, &state, &assignments, &freqs);
+        prop_assert!(decision.validate(&system).is_ok());
+        let general = latency_under(&system, &state, &decision).total();
+        let closed = optimal_latency(&system, &state, &assignments, &freqs).total();
+        prop_assert!((general - closed).abs() <= 1e-9 * closed.max(1.0));
+    }
+
+    /// The congestion-game social cost equals the closed-form latency for
+    /// every profile (the §V-B mapping identity).
+    #[test]
+    fn game_cost_identity(devices in 2usize..15, seed in 0u64..1_000) {
+        let (system, state) = instance(devices, seed);
+        let freqs = system.min_frequencies();
+        let p2a = P2aProblem::build(&system, &state, &freqs);
+        let mut rng = Pcg32::seed(seed);
+        let choices: Vec<usize> =
+            (0..devices).map(|i| rng.below(p2a.num_strategies(i))).collect();
+        let game_cost = p2a.total_latency(&choices);
+        let assignments = p2a.assignments_from_choices(&choices);
+        let direct = optimal_latency(&system, &state, &assignments, &freqs).total();
+        prop_assert!((game_cost - direct).abs() <= 1e-9 * direct.max(1.0));
+    }
+
+    /// P2-B returns in-bounds frequencies whose objective beats uniform
+    /// candidates (min, mid, max frequency fleets).
+    #[test]
+    fn p2b_beats_uniform_frequencies(
+        devices in 2usize..15,
+        seed in 0u64..500,
+        v in 1.0f64..500.0,
+        queue in 0.0f64..2_000.0,
+    ) {
+        let (system, state) = instance(devices, seed);
+        let assignments = random_assignments(&system, seed ^ 0x5A);
+        let sol = solve_p2b(&system, &state, &assignments, v, queue);
+        let topo = system.topology();
+        for (n, &f) in sol.freqs_hz.iter().enumerate() {
+            let s = topo.server(eotora_topology::ServerId(n));
+            prop_assert!(f >= s.freq_min_hz - 1.0 && f <= s.freq_max_hz + 1.0);
+        }
+        let objective = |freqs: &[f64]| {
+            v * optimal_latency(&system, &state, &assignments, freqs).total()
+                + queue * system.constraint_excess(state.price_per_kwh, freqs)
+        };
+        for fleet in [
+            system.min_frequencies(),
+            system.max_frequencies(),
+            system
+                .min_frequencies()
+                .iter()
+                .zip(system.max_frequencies())
+                .map(|(&a, b)| 0.5 * (a + b))
+                .collect::<Vec<_>>(),
+        ] {
+            prop_assert!(sol.objective <= objective(&fleet) + 1e-6);
+        }
+    }
+
+    /// Virtual-queue dynamics: Q stays non-negative and obeys the one-step
+    /// bound |Q(t+1) − Q(t)| ≤ |θ(t)|.
+    #[test]
+    fn queue_dynamics_bounded(excesses in prop::collection::vec(-10.0f64..10.0, 1..200)) {
+        let mut q = VirtualQueue::new(0.0);
+        let mut prev = 0.0;
+        for &e in &excesses {
+            let now = q.update(e);
+            prop_assert!(now >= 0.0);
+            prop_assert!((now - prev).abs() <= e.abs() + 1e-12);
+            prev = now;
+        }
+    }
+
+    /// Scaling every task size by c scales the processing latency by c
+    /// (homogeneity of eq. (18)).
+    #[test]
+    fn processing_latency_is_homogeneous(devices in 2usize..12, seed in 0u64..500, c in 1.1f64..4.0) {
+        let (system, mut state) = instance(devices, seed);
+        let assignments = random_assignments(&system, seed ^ 0x3C);
+        let freqs = system.max_frequencies();
+        let base = optimal_latency(&system, &state, &assignments, &freqs).processing;
+        for f in state.task_cycles.iter_mut() {
+            *f *= c;
+        }
+        let scaled = optimal_latency(&system, &state, &assignments, &freqs).processing;
+        prop_assert!((scaled - c * base).abs() <= 1e-9 * scaled.max(1.0));
+    }
+}
