@@ -18,8 +18,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for &devices in counts {
         let system = MecSystem::random(&SystemConfig::paper_defaults(devices), 11);
-        let mut states =
-            StateProvider::paper(system.topology(), &PaperStateConfig::default(), 11);
+        let mut states = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 11);
         let state = states.observe(0, system.topology());
         let p2a = P2aProblem::build(&system, &state, &system.min_frequencies());
         group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, _| {

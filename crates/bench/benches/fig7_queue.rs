@@ -15,8 +15,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for v in [50.0, 100.0] {
         let system = MecSystem::random(&SystemConfig::paper_defaults(devices), 77);
-        let mut states =
-            StateProvider::paper(system.topology(), &PaperStateConfig::default(), 77);
+        let mut states = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 77);
         let beta = states.observe(0, system.topology());
         group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
             b.iter_batched(

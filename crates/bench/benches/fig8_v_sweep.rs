@@ -13,10 +13,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_dpp_horizon");
     group.sample_size(10);
     for v in [10.0, 100.0, 500.0] {
-        let scenario = Scenario::paper(devices, 88)
-            .with_v(v)
-            .with_horizon(horizon)
-            .with_bdma_rounds(2);
+        let scenario =
+            Scenario::paper(devices, 88).with_v(v).with_horizon(horizon).with_bdma_rounds(2);
         group.bench_with_input(BenchmarkId::from_parameter(v), &scenario, |b, scenario| {
             b.iter(|| std::hint::black_box(run(scenario)));
         });

@@ -25,13 +25,9 @@ fn bench(c: &mut Criterion) {
                 .with_horizon(horizon)
                 .with_bdma_rounds(2)
                 .with_solver(solver);
-            group.bench_with_input(
-                BenchmarkId::new(name, budget),
-                &scenario,
-                |b, scenario| {
-                    b.iter(|| std::hint::black_box(run(scenario)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, budget), &scenario, |b, scenario| {
+                b.iter(|| std::hint::black_box(run(scenario)));
+            });
         }
     }
     group.finish();

@@ -32,8 +32,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let all = args.iter().any(|a| a == "--all") || args.iter().all(|a| a == "--quick");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
-    let svg_dir: Option<String> =
-        args.windows(2).find(|w| w[0] == "--svg").map(|w| w[1].clone());
+    let svg_dir: Option<String> = args.windows(2).find(|w| w[0] == "--svg").map(|w| w[1].clone());
     if let Some(dir) = &svg_dir {
         std::fs::create_dir_all(dir).expect("cannot create --svg directory");
     }
@@ -110,10 +109,7 @@ fn ablations(quick: bool) {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        ascii_table(&["variant", "mean Jain", "worst Jain", "avg latency (s)"], &rows)
-    );
+    println!("{}", ascii_table(&["variant", "mean Jain", "worst Jain", "avg latency (s)"], &rows));
 
     println!("\n=== Ablation F: DPP vs hindsight β-only policy (Lemma 2 / Thm 4) ===");
     let cfg = if quick { BetaOnlyGapConfig::small() } else { BetaOnlyGapConfig::paper() };
@@ -127,14 +123,9 @@ fn ablations(quick: bool) {
     let rows: Vec<Vec<String>> = g
         .dpp
         .iter()
-        .map(|&(v, lat, cost, ratio)| {
-            vec![num(v), num(lat), num(cost), format!("{ratio:.4}")]
-        })
+        .map(|&(v, lat, cost, ratio)| vec![num(v), num(lat), num(cost), format!("{ratio:.4}")])
         .collect();
-    println!(
-        "{}",
-        ascii_table(&["V", "DPP latency (s)", "DPP cost ($)", "latency ratio"], &rows)
-    );
+    println!("{}", ascii_table(&["V", "DPP latency (s)", "DPP cost ($)", "latency ratio"], &rows));
 }
 
 fn write_svg(dir: &str, name: &str, chart: &SvgChart, series: &[SvgSeries]) {
@@ -155,9 +146,7 @@ fn fig2(quick: bool, svg: Option<&str>) {
         .collect();
     println!("{}", ascii_table(&["hour", "price $/kWh", "demand xbase"], &rows));
     if let Some(dir) = svg {
-        let xs = |v: &[f64]| {
-            v.iter().enumerate().map(|(h, &y)| (h as f64, y)).collect::<Vec<_>>()
-        };
+        let xs = |v: &[f64]| v.iter().enumerate().map(|(h, &y)| (h as f64, y)).collect::<Vec<_>>();
         write_svg(
             dir,
             "fig2_traces",
@@ -197,13 +186,17 @@ fn fig3() {
         let pick = |ghz: f64| {
             curve
                 .iter()
-                .min_by(|x, y| {
-                    (x.0 - ghz).abs().partial_cmp(&(y.0 - ghz).abs()).expect("finite")
-                })
+                .min_by(|x, y| (x.0 - ghz).abs().partial_cmp(&(y.0 - ghz).abs()).expect("finite"))
                 .expect("non-empty curve")
                 .1
         };
-        println!("  server {}: {:.1} W / {:.1} W / {:.1} W", i + 1, pick(1.8), pick(2.7), pick(3.6));
+        println!(
+            "  server {}: {:.1} W / {:.1} W / {:.1} W",
+            i + 1,
+            pick(1.8),
+            pick(2.7),
+            pick(3.6)
+        );
     }
 }
 
@@ -248,10 +241,7 @@ fn fig4_fig5(quick: bool) {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        ascii_table(&["I", "CGBA", "MCBA", "ROPT", "OPT(B&B)", "OPT/CGBA"], &table)
-    );
+    println!("{}", ascii_table(&["I", "CGBA", "MCBA", "ROPT", "OPT(B&B)", "OPT/CGBA"], &table));
 }
 
 fn fig6(quick: bool) {
@@ -346,10 +336,7 @@ fn fig8(quick: bool, svg: Option<&str>) {
             vec![num(r.v), num(r.converged_queue), num(r.average_latency), num(r.average_cost)]
         })
         .collect();
-    println!(
-        "{}",
-        ascii_table(&["V", "converged Q", "avg latency (s)", "avg cost ($)"], &table)
-    );
+    println!("{}", ascii_table(&["V", "converged Q", "avg latency (s)", "avg cost ($)"], &table));
 }
 
 fn fig9(quick: bool) {

@@ -2,21 +2,27 @@
 //!
 //! ```text
 //! eotora template [--devices N] [--seed S]        # print a scenario JSON template
-//! eotora run <scenario.json> [--out results.json] [--csv prefix]
+//! eotora run <scenario.json> [--out results.json] [--csv prefix] [--trace t.jsonl]
+//! eotora trace <t.jsonl>                          # analyse a recorded trace
 //! eotora topology [--devices N] [--seed S]        # summarize the generated network
 //! eotora sweep <scenario.json> --budgets 0.7,1.0,1.3
 //! ```
 //!
 //! Scenario files are the serde form of [`eotora_sim::Scenario`]; `template`
 //! emits a starting point. `run` prints a summary table and optionally
-//! writes full per-slot series as JSON and/or CSV.
+//! writes full per-slot series as JSON and/or CSV, plus a JSONL event trace
+//! (`--trace`) that `eotora trace` turns into per-span latency quantiles, a
+//! BDMA iteration histogram, and a queue-drift plot.
 
 use std::process::ExitCode;
 
-use eotora_cli::{flag_value, parse_flag, parse_float_list};
+use eotora_cli::{
+    ascii_bar, ascii_plot, flag_value, format_seconds, parse_flag, parse_float_list,
+    require_flag_values,
+};
 use eotora_core::system::MecSystem;
-use eotora_sim::report::{ascii_table, csv, num};
-use eotora_sim::runner::{run, run_many};
+use eotora_sim::report::{ascii_table, num, slot_csv};
+use eotora_sim::runner::{run, run_many, run_traced, SimulationResult};
 use eotora_sim::scenario::Scenario;
 
 fn main() -> ExitCode {
@@ -24,6 +30,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("template") => cmd_template(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("topology") => cmd_topology(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -48,6 +55,8 @@ eotora — energy-aware online task offloading (ICDCS'23 reproduction)
 USAGE:
   eotora template [--devices N] [--seed S]
   eotora run <scenario.json> [--out results.json] [--csv prefix] [--svg prefix]
+             [--trace trace.jsonl]
+  eotora trace <trace.jsonl>                # span quantiles, BDMA rounds, queue drift
   eotora topology [--devices N] [--seed S]
   eotora sweep <scenario.json> --budgets 0.7,1.0,1.3
   eotora compare [--devices N] [--seed S]   # one-slot P2-A algorithm shoot-out
@@ -67,8 +76,20 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
+/// The always-printed one-line digest of a finished run.
+fn run_summary(result: &SimulationResult) -> String {
+    format!(
+        "summary: {} slots | p95 slot solve {} | mean BDMA rounds {:.2} | final Q(t) {}",
+        result.latency.len(),
+        format_seconds(result.solve_time_quantile(0.95).unwrap_or(0.0)),
+        result.mean_bdma_rounds,
+        num(result.queue.last().unwrap_or(0.0)),
+    )
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run requires a scenario file")?;
+    require_flag_values(args, &["--out", "--csv", "--trace"])?;
     let scenario = load_scenario(path)?;
     eprintln!(
         "running `{}`: {} devices, {} slots, V={}, budget ${:.2}/slot …",
@@ -78,7 +99,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         scenario.dpp.v,
         scenario.system.budget_per_slot
     );
-    let result = run(&scenario);
+    let result = match flag_value(args, "--trace") {
+        Some(trace_path) => {
+            let file = std::fs::File::create(trace_path)
+                .map_err(|e| format!("cannot create {trace_path}: {e}"))?;
+            let sink = eotora_obs::JsonlRecorder::new(std::io::BufWriter::new(file));
+            let result = run_traced(&scenario, &sink);
+            let events = sink.records_written();
+            sink.finish().map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+            eprintln!("wrote {trace_path} ({events} events)");
+            result
+        }
+        None => run(&scenario),
+    };
 
     let rows = vec![
         vec!["slots".into(), result.latency.len().to_string()],
@@ -94,6 +127,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         vec!["mean solve time (s)".into(), num(result.solve_time.time_average())],
     ];
     println!("{}", ascii_table(&["metric", "value"], &rows));
+    println!("{}", run_summary(&result));
 
     if let Some(out) = flag_value(args, "--out") {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
@@ -125,21 +159,70 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
     if let Some(prefix) = flag_value(args, "--csv") {
-        let header = ["slot", "latency_s", "cost_usd", "queue", "price"];
-        let rows: Vec<Vec<String>> = (0..result.latency.len())
-            .map(|t| {
-                vec![
-                    t.to_string(),
-                    result.latency.values()[t].to_string(),
-                    result.cost.values()[t].to_string(),
-                    result.queue.values()[t].to_string(),
-                    result.price.values()[t].to_string(),
-                ]
-            })
-            .collect();
         let path = format!("{prefix}_slots.csv");
-        std::fs::write(&path, csv(&header, &rows)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(&path, slot_csv(&result))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("trace requires a JSONL trace file")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let analysis = eotora_obs::TraceAnalysis::from_reader(std::io::BufReader::new(file))
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !analysis.malformed.is_empty() {
+        eprintln!(
+            "warning: {} malformed line(s), first at line {}: {}",
+            analysis.malformed.len(),
+            analysis.malformed[0].0,
+            analysis.malformed[0].1
+        );
+    }
+    println!("{path}: {} events over {} slots", analysis.records, analysis.slots);
+
+    let span_rows: Vec<Vec<String>> = analysis
+        .spans
+        .iter()
+        .map(|(name, h)| {
+            let q = |q: f64| format_seconds(h.quantile(q).unwrap_or(0.0) / 1e9);
+            vec![
+                name.clone(),
+                h.count().to_string(),
+                q(0.50),
+                q(0.95),
+                q(0.99),
+                format_seconds(h.sum() as f64 / 1e9),
+            ]
+        })
+        .collect();
+    println!("{}", ascii_table(&["span", "count", "p50", "p95", "p99", "total"], &span_rows));
+
+    if !analysis.counters.is_empty() {
+        let rows: Vec<Vec<String>> =
+            analysis.counters.iter().map(|(k, v)| vec![k.clone(), v.to_string()]).collect();
+        println!("{}", ascii_table(&["counter", "total"], &rows));
+    }
+
+    let rounds = &analysis.bdma_rounds_per_slot;
+    if rounds.count() > 0 {
+        println!(
+            "BDMA rounds per slot (mean {:.2}, max {}):",
+            rounds.mean().unwrap_or(0.0),
+            rounds.max().unwrap_or(0)
+        );
+        let peak = rounds.nonzero_buckets().map(|(_, n)| n).max().unwrap_or(1) as f64;
+        for (value, n) in rounds.nonzero_buckets() {
+            println!("  {value:>4} | {:<40} {n}", ascii_bar(n as f64, peak, 40));
+        }
+        println!();
+    }
+
+    if !analysis.queue_by_slot.is_empty() {
+        let queue: Vec<f64> = analysis.queue_by_slot.iter().map(|&(_, q)| q).collect();
+        println!("virtual-queue backlog Q(t), {} slots:", queue.len());
+        print!("{}", ascii_plot(&queue, 72, 12));
     }
     Ok(())
 }

@@ -47,8 +47,9 @@ pub fn optimal_allocation(
     let compute_root = |i: usize, a: &Assignment| {
         (state.task_cycles[i] / system.suitability(eotora_topology::DeviceId(i), a.server)).sqrt()
     };
-    let access_root =
-        |i: usize, a: &Assignment| (state.data_bits[i] / state.spectral_efficiency[i][a.base_station.index()]).sqrt();
+    let access_root = |i: usize, a: &Assignment| {
+        (state.data_bits[i] / state.spectral_efficiency[i][a.base_station.index()]).sqrt()
+    };
     let fronthaul_root = |i: usize, a: &Assignment| {
         (state.data_bits[i] / state.fronthaul_efficiency[a.base_station.index()]).sqrt()
     };
@@ -89,7 +90,8 @@ mod tests {
 
     fn setup(devices: usize, seed: u64) -> (MecSystem, SystemState, Vec<Assignment>) {
         let system = MecSystem::random(&SystemConfig::paper_defaults(devices), seed);
-        let mut provider = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+        let mut provider =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
         let state = provider.observe(0, system.topology());
         let topo = system.topology();
         let mut rng = Pcg32::seed(seed + 100);
@@ -143,13 +145,14 @@ mod tests {
         let (system, state, assignments) = setup(25, 3);
         let d = optimal_allocation(&system, &state, &assignments, &system.max_frequencies());
         for n in system.topology().server_ids() {
-            let on_server: Vec<usize> = (0..assignments.len())
-                .filter(|&i| assignments[i].server == n)
-                .collect();
+            let on_server: Vec<usize> =
+                (0..assignments.len()).filter(|&i| assignments[i].server == n).collect();
             for &i in &on_server {
                 for &j in &on_server {
-                    let wi = state.task_cycles[i] / system.suitability(eotora_topology::DeviceId(i), n);
-                    let wj = state.task_cycles[j] / system.suitability(eotora_topology::DeviceId(j), n);
+                    let wi =
+                        state.task_cycles[i] / system.suitability(eotora_topology::DeviceId(i), n);
+                    let wj =
+                        state.task_cycles[j] / system.suitability(eotora_topology::DeviceId(j), n);
                     if wi > wj {
                         assert!(d.compute_share[i] >= d.compute_share[j]);
                     }

@@ -143,7 +143,8 @@ mod tests {
     fn latency_increases_as_multiplier_grows() {
         let system = MecSystem::random(&SystemConfig::paper_defaults(10), 203);
         let states = record_states(&system, 24, 203);
-        let l = |mu: f64| BetaOnlyPolicy::new(system.clone(), mu).evaluate(&states, 3).average_latency;
+        let l =
+            |mu: f64| BetaOnlyPolicy::new(system.clone(), mu).evaluate(&states, 3).average_latency;
         assert!(l(0.0) <= l(10.0) + 1e-9);
         assert!(l(10.0) <= l(1000.0) + 1e-9);
     }
@@ -167,10 +168,7 @@ mod tests {
         }
         assert!(dpp.average_cost() <= budget * 1.12, "DPP cost {}", dpp.average_cost());
         let ratio = dpp.average_latency() / oracle.average_latency;
-        assert!(
-            ratio <= 1.10,
-            "DPP latency should approach the β-only benchmark: ratio {ratio}"
-        );
+        assert!(ratio <= 1.10, "DPP latency should approach the β-only benchmark: ratio {ratio}");
         // And the benchmark is genuinely meaningful: not slack.
         assert!(oracle.average_cost <= budget * (1.0 + 1e-6));
     }

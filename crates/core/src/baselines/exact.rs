@@ -150,6 +150,22 @@ impl P2aSolver for ExactSolver {
     fn solve(&mut self, problem: &P2aProblem, rng: &mut Pcg32) -> Vec<usize> {
         self.solve_with_report(problem, rng).choices
     }
+
+    fn solve_with(
+        &mut self,
+        problem: &P2aProblem,
+        rng: &mut Pcg32,
+        recorder: &dyn eotora_obs::Recorder,
+    ) -> Vec<usize> {
+        let report = self.solve_with_report(problem, rng);
+        if recorder.is_enabled() {
+            recorder.add("bnb_nodes", report.nodes_expanded as u64);
+            if report.proven_optimal {
+                recorder.add("bnb_proven_optimal", 1);
+            }
+        }
+        report.choices
+    }
 }
 
 #[cfg(test)]

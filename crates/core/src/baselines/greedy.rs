@@ -28,15 +28,11 @@ impl GreedySolver {
             .map(|i| {
                 game.strategies(i)
                     .iter()
-                    .map(|s| {
-                        s.iter().map(|&(r, w)| game.resource_weight(r) * w * w).sum::<f64>()
-                    })
+                    .map(|s| s.iter().map(|&(r, w)| game.resource_weight(r) * w * w).sum::<f64>())
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
-        order.sort_by(|&a, &b| {
-            standalone[b].partial_cmp(&standalone[a]).expect("finite costs")
-        });
+        order.sort_by(|&a, &b| standalone[b].partial_cmp(&standalone[a]).expect("finite costs"));
 
         let mut loads = vec![0.0; game.num_resources()];
         let mut choices = vec![0usize; n_players];

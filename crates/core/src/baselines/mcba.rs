@@ -11,6 +11,7 @@
 //! (the paper's Fig. 4–5 comparison, reproduced in the benches).
 
 use eotora_game::Profile;
+use eotora_obs::Recorder;
 use eotora_util::rng::Pcg32;
 
 use crate::bdma::P2aSolver;
@@ -54,6 +55,15 @@ impl P2aSolver for McbaSolver {
     }
 
     fn solve(&mut self, problem: &P2aProblem, rng: &mut Pcg32) -> Vec<usize> {
+        self.solve_with(problem, rng, &eotora_obs::NoopRecorder)
+    }
+
+    fn solve_with(
+        &mut self,
+        problem: &P2aProblem,
+        rng: &mut Pcg32,
+        recorder: &dyn Recorder,
+    ) -> Vec<usize> {
         let game = problem.game();
         let n = game.num_players();
         let mut profile = Profile::random(game, rng);
@@ -61,6 +71,7 @@ impl P2aSolver for McbaSolver {
         let mut best_choices = profile.choices().to_vec();
         let mut best_cost = cost;
         let mut temp = (cost / n as f64) * self.config.initial_temperature_rel;
+        let mut accepted = 0u64;
 
         for _ in 0..self.config.iterations {
             let i = rng.below(n);
@@ -76,10 +87,9 @@ impl P2aSolver for McbaSolver {
             profile.switch(game, i, proposal);
             let new_cost = profile.total_cost(game);
             let delta = new_cost - cost;
-            let accept = delta <= 0.0 || {
-                temp > 0.0 && rng.uniform() < (-delta / temp).exp()
-            };
+            let accept = delta <= 0.0 || { temp > 0.0 && rng.uniform() < (-delta / temp).exp() };
             if accept {
+                accepted += 1;
                 cost = new_cost;
                 if cost < best_cost {
                     best_cost = cost;
@@ -89,6 +99,10 @@ impl P2aSolver for McbaSolver {
                 profile.switch(game, i, old);
             }
             temp *= self.config.cooling;
+        }
+        if recorder.is_enabled() {
+            recorder.add("mcba_proposals", self.config.iterations as u64);
+            recorder.add("mcba_accepted", accepted);
         }
         best_choices
     }
@@ -112,9 +126,8 @@ mod tests {
     fn improves_over_random_start() {
         let (_, p2a) = setup(20, 61);
         let mut rng = Pcg32::seed(1);
-        let random_cost = p2a.total_latency(
-            &(0..20).map(|i| rng.below(p2a.num_strategies(i))).collect::<Vec<_>>(),
-        );
+        let random_cost = p2a
+            .total_latency(&(0..20).map(|i| rng.below(p2a.num_strategies(i))).collect::<Vec<_>>());
         let mut solver = McbaSolver::default();
         let choices = solver.solve(&p2a, &mut rng);
         let mcba_cost = p2a.total_latency(&choices);

@@ -17,6 +17,7 @@
 use std::fmt;
 
 use eotora_game::CgbaConfig;
+use eotora_obs::{NoopRecorder, Recorder, SpanGuard, TraceEvent};
 use eotora_states::SystemState;
 use eotora_util::rng::Pcg32;
 
@@ -35,6 +36,20 @@ pub trait P2aSolver: fmt::Debug {
 
     /// Produces one strategy choice per device.
     fn solve(&mut self, problem: &P2aProblem, rng: &mut Pcg32) -> Vec<usize>;
+
+    /// Like [`P2aSolver::solve`], additionally reporting solver-specific
+    /// counters (CGBA best-response iterations, MCBA proposal acceptances,
+    /// branch-and-bound nodes, ...) into `recorder`. The default ignores
+    /// the recorder.
+    fn solve_with(
+        &mut self,
+        problem: &P2aProblem,
+        rng: &mut Pcg32,
+        recorder: &dyn Recorder,
+    ) -> Vec<usize> {
+        let _ = recorder;
+        self.solve(problem, rng)
+    }
 }
 
 /// The paper's P2-A solver: CGBA(λ) best-response dynamics.
@@ -58,6 +73,22 @@ impl P2aSolver for CgbaSolver {
 
     fn solve(&mut self, problem: &P2aProblem, rng: &mut Pcg32) -> Vec<usize> {
         problem.solve_cgba(&self.config, rng).profile.choices().to_vec()
+    }
+
+    fn solve_with(
+        &mut self,
+        problem: &P2aProblem,
+        rng: &mut Pcg32,
+        recorder: &dyn Recorder,
+    ) -> Vec<usize> {
+        let report = problem.solve_cgba(&self.config, rng);
+        if recorder.is_enabled() {
+            recorder.add("cgba_iterations", report.iterations as u64);
+            if report.converged {
+                recorder.add("cgba_converged", 1);
+            }
+        }
+        report.profile.choices().to_vec()
     }
 }
 
@@ -91,6 +122,8 @@ pub struct P2Solution {
 
 /// Runs BDMA(z) for one slot with the given P2-A solver (Alg. 2).
 ///
+/// Convenience wrapper over [`solve_p2_with`] that records nothing.
+///
 /// # Panics
 ///
 /// Panics if `config.rounds == 0` or `v` is not positive.
@@ -103,6 +136,32 @@ pub fn solve_p2(
     p2a_solver: &mut dyn P2aSolver,
     rng: &mut Pcg32,
 ) -> P2Solution {
+    solve_p2_with(system, state, v, queue, config, p2a_solver, rng, 0, &NoopRecorder)
+}
+
+/// Runs BDMA(z) for one slot, reporting per-round instrumentation.
+///
+/// Each alternation round emits a `p2a` and a `p2b` span plus one
+/// `bdma_iteration` event carrying the candidate objective, whether it
+/// displaced the incumbent, and both phase durations; `bdma_rounds` /
+/// `bdma_accepted` counters track totals. `slot` only labels the emitted
+/// events — it does not affect the solve.
+///
+/// # Panics
+///
+/// Panics if `config.rounds == 0` or `v` is not positive.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_p2_with(
+    system: &MecSystem,
+    state: &SystemState,
+    v: f64,
+    queue: f64,
+    config: &BdmaConfig,
+    p2a_solver: &mut dyn P2aSolver,
+    rng: &mut Pcg32,
+    slot: u64,
+    recorder: &dyn Recorder,
+) -> P2Solution {
     assert!(config.rounds > 0, "BDMA needs at least one round");
     assert!(v > 0.0, "penalty weight must be positive");
 
@@ -110,13 +169,17 @@ pub fn solve_p2(
     let mut freqs = system.min_frequencies();
     let mut best: Option<P2Solution> = None;
 
-    for _ in 0..config.rounds {
+    for round in 0..config.rounds {
         // Line 3: solve P2-A at the current frequencies.
+        let p2a_span = SpanGuard::new(recorder, eotora_obs::SPAN_P2A);
         let p2a = P2aProblem::build(system, state, &freqs);
-        let choices = p2a_solver.solve(&p2a, rng);
+        let choices = p2a_solver.solve_with(&p2a, rng, recorder);
         let assignments = p2a.assignments_from_choices(&choices);
+        let p2a_nanos = p2a_span.finish().unwrap_or(0);
         // Line 4: solve P2-B at the chosen assignment.
+        let p2b_span = SpanGuard::new(recorder, eotora_obs::SPAN_P2B);
         let p2b = solve_p2b(system, state, &assignments, v, queue);
+        let p2b_nanos = p2b_span.finish().unwrap_or(0);
         freqs = p2b.freqs_hz.clone();
         // Lines 5–7: keep the incumbent with the best P2 objective.
         let latency =
@@ -129,7 +192,22 @@ pub fn solve_p2(
             latency,
             energy_cost,
         };
-        if best.as_ref().is_none_or(|b| candidate.objective < b.objective) {
+        let accepted = best.as_ref().is_none_or(|b| candidate.objective < b.objective);
+        if recorder.is_enabled() {
+            recorder.record(&TraceEvent::BdmaIteration {
+                slot,
+                round: round as u64 + 1,
+                objective: candidate.objective,
+                accepted,
+                p2a_nanos,
+                p2b_nanos,
+            });
+            recorder.add(eotora_obs::COUNTER_BDMA_ROUNDS, 1);
+            if accepted {
+                recorder.add(eotora_obs::COUNTER_BDMA_ACCEPTED, 1);
+            }
+        }
+        if accepted {
             best = Some(candidate);
         }
     }
@@ -150,7 +228,14 @@ mod tests {
         (system, state)
     }
 
-    fn run(system: &MecSystem, state: &SystemState, v: f64, q: f64, rounds: usize, seed: u64) -> P2Solution {
+    fn run(
+        system: &MecSystem,
+        state: &SystemState,
+        v: f64,
+        q: f64,
+        rounds: usize,
+        seed: u64,
+    ) -> P2Solution {
         let mut solver = CgbaSolver::default();
         let mut rng = Pcg32::seed(seed);
         solve_p2(system, state, v, q, &BdmaConfig { rounds }, &mut solver, &mut rng)
@@ -160,7 +245,8 @@ mod tests {
     fn solution_is_feasible() {
         let (system, state) = setup(25, 41);
         let sol = run(&system, &state, 100.0, 50.0, 5, 1);
-        let decision = crate::allocation::optimal_allocation(&system, &state, &sol.assignments, &sol.freqs_hz);
+        let decision =
+            crate::allocation::optimal_allocation(&system, &state, &sol.assignments, &sol.freqs_hz);
         decision.validate(&system).unwrap();
     }
 
@@ -169,7 +255,8 @@ mod tests {
         let (system, state) = setup(20, 42);
         // Identical RNG seeds: round r's trajectory is a prefix, so the
         // incumbent can only improve.
-        let obj: Vec<f64> = [1, 2, 5].iter().map(|&z| run(&system, &state, 100.0, 80.0, z, 7).objective).collect();
+        let obj: Vec<f64> =
+            [1, 2, 5].iter().map(|&z| run(&system, &state, 100.0, 80.0, z, 7).objective).collect();
         assert!(obj[1] <= obj[0] + 1e-9);
         assert!(obj[2] <= obj[1] + 1e-9);
     }
@@ -228,7 +315,8 @@ mod tests {
                     rng.uniform_in(s.freq_min_hz, s.freq_max_hz)
                 })
                 .collect();
-            let t_ref = crate::latency::optimal_latency(&system, &state, &assignments, &freqs).total();
+            let t_ref =
+                crate::latency::optimal_latency(&system, &state, &assignments, &freqs).total();
             let theta_ref = system.constraint_excess(state.price_per_kwh, &freqs);
             assert!(
                 sol.objective <= r * v * t_ref + q * theta_ref + 1e-6,

@@ -150,17 +150,29 @@ impl SlotDecision {
         }
         for (k, &tot) in access_tot.iter().enumerate() {
             if tot > 1.0 + TOL {
-                return Err(DecisionError::OverSubscribed { resource: "access link", index: k, total: tot });
+                return Err(DecisionError::OverSubscribed {
+                    resource: "access link",
+                    index: k,
+                    total: tot,
+                });
             }
         }
         for (k, &tot) in fronthaul_tot.iter().enumerate() {
             if tot > 1.0 + TOL {
-                return Err(DecisionError::OverSubscribed { resource: "fronthaul link", index: k, total: tot });
+                return Err(DecisionError::OverSubscribed {
+                    resource: "fronthaul link",
+                    index: k,
+                    total: tot,
+                });
             }
         }
         for (n, &tot) in compute_tot.iter().enumerate() {
             if tot > 1.0 + TOL {
-                return Err(DecisionError::OverSubscribed { resource: "server", index: n, total: tot });
+                return Err(DecisionError::OverSubscribed {
+                    resource: "server",
+                    index: n,
+                    total: tot,
+                });
             }
         }
 
@@ -211,7 +223,10 @@ mod tests {
         let s = system();
         let mut d = feasible(&s);
         d.access_share.pop();
-        assert!(matches!(d.validate(&s), Err(DecisionError::ShapeMismatch { field: "access_share" })));
+        assert!(matches!(
+            d.validate(&s),
+            Err(DecisionError::ShapeMismatch { field: "access_share" })
+        ));
     }
 
     #[test]

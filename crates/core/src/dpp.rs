@@ -10,14 +10,16 @@
 
 use std::fmt;
 
-use eotora_lyapunov::{ControllerCheckpoint, DppController, DppStep, SlotOutcome, SlotSolver};
+use eotora_lyapunov::{ControllerCheckpoint, DppStep, SlotOutcome, SlotSolver, VirtualQueue};
+use eotora_obs::{NoopRecorder, Recorder, SpanGuard, TraceEvent};
 use eotora_states::SystemState;
 use eotora_util::rng::Pcg32;
+use eotora_util::stats::Welford;
 use serde::{Deserialize, Serialize};
 
 use crate::allocation::optimal_allocation;
 use crate::baselines::{ExactSolver, GreedySolver, McbaConfig, McbaSolver, RoptSolver};
-use crate::bdma::{solve_p2, BdmaConfig, CgbaSolver, P2aSolver};
+use crate::bdma::{solve_p2_with, BdmaConfig, CgbaSolver, P2aSolver};
 use crate::decision::SlotDecision;
 use crate::system::MecSystem;
 
@@ -51,9 +53,9 @@ impl SolverKind {
             Self::Cgba { lambda } => Box::new(CgbaSolver::with_lambda(lambda)),
             Self::Ropt => Box::new(RoptSolver),
             Self::Greedy => Box::new(GreedySolver),
-            Self::Mcba { iterations } => Box::new(McbaSolver {
-                config: McbaConfig { iterations, ..Default::default() },
-            }),
+            Self::Mcba { iterations } => {
+                Box::new(McbaSolver { config: McbaConfig { iterations, ..Default::default() } })
+            }
             Self::Exact { node_budget } => Box::new(ExactSolver { node_budget, warm_start: true }),
         }
     }
@@ -114,12 +116,28 @@ impl fmt::Debug for EotoraSlotSolver {
     }
 }
 
-impl SlotSolver for EotoraSlotSolver {
-    type State = SystemState;
-    type Decision = SlotDecision;
-
-    fn solve(&mut self, state: &SystemState, v: f64, q: f64) -> SlotOutcome<SlotDecision> {
-        let sol = solve_p2(&self.system, state, v, q, &self.bdma, self.p2a.as_mut(), &mut self.rng);
+impl EotoraSlotSolver {
+    /// Solves one slot, emitting `p2a`/`p2b` spans and `bdma_iteration`
+    /// events into `recorder` (`slot` labels those events).
+    fn solve_recorded(
+        &mut self,
+        state: &SystemState,
+        v: f64,
+        q: f64,
+        slot: u64,
+        recorder: &dyn Recorder,
+    ) -> SlotOutcome<SlotDecision> {
+        let sol = solve_p2_with(
+            &self.system,
+            state,
+            v,
+            q,
+            &self.bdma,
+            self.p2a.as_mut(),
+            &mut self.rng,
+            slot,
+            recorder,
+        );
         let decision = optimal_allocation(&self.system, state, &sol.assignments, &sol.freqs_hz);
         debug_assert!(decision.validate(&self.system).is_ok());
         SlotOutcome {
@@ -127,6 +145,15 @@ impl SlotSolver for EotoraSlotSolver {
             objective: sol.latency,
             constraint_excess: sol.energy_cost - self.system.budget_per_slot(),
         }
+    }
+}
+
+impl SlotSolver for EotoraSlotSolver {
+    type State = SystemState;
+    type Decision = SlotDecision;
+
+    fn solve(&mut self, state: &SystemState, v: f64, q: f64) -> SlotOutcome<SlotDecision> {
+        self.solve_recorded(state, v, q, 0, &NoopRecorder)
     }
 }
 
@@ -149,26 +176,42 @@ impl SlotSolver for EotoraSlotSolver {
 /// ```
 #[derive(Debug)]
 pub struct EotoraDpp {
-    controller: DppController<EotoraSlotSolver>,
+    solver: EotoraSlotSolver,
+    queue: VirtualQueue,
+    slots: u64,
+    objective_avg: Welford,
+    excess_avg: Welford,
     config: DppConfig,
 }
 
 impl EotoraDpp {
     /// Builds the controller for `system` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.v` is not positive or `config.initial_queue` is
+    /// negative.
     pub fn new(system: MecSystem, config: DppConfig) -> Self {
+        assert!(config.v > 0.0, "penalty weight V must be positive");
         let solver = EotoraSlotSolver {
             system,
             bdma: BdmaConfig { rounds: config.bdma_rounds },
             p2a: config.solver.instantiate(),
             rng: Pcg32::seed_stream(config.seed, 0xD99),
         };
-        let controller = DppController::with_initial_queue(solver, config.v, config.initial_queue);
-        Self { controller, config }
+        Self {
+            solver,
+            queue: VirtualQueue::new(config.initial_queue),
+            slots: 0,
+            objective_avg: Welford::new(),
+            excess_avg: Welford::new(),
+            config,
+        }
     }
 
     /// The system instance being controlled.
     pub fn system(&self) -> &MecSystem {
-        &self.controller.solver().system
+        &self.solver.system
     }
 
     /// The configuration in force.
@@ -178,40 +221,75 @@ impl EotoraDpp {
 
     /// Executes one slot of Algorithm 1 for the observed state `β_t`.
     pub fn step(&mut self, state: &SystemState) -> DppStep<SlotDecision> {
-        self.controller.step(state)
+        self.step_with(state, &NoopRecorder)
+    }
+
+    /// Executes one slot, emitting instrumentation into `recorder`: the
+    /// BDMA `p2a`/`p2b` spans and `bdma_iteration` events from the P2
+    /// solve, plus a `queue_update` span and event for the virtual-queue
+    /// update `Q(t+1) = max{Q(t) + C_t − C̄, 0}` (eq. 21).
+    pub fn step_with(
+        &mut self,
+        state: &SystemState,
+        recorder: &dyn Recorder,
+    ) -> DppStep<SlotDecision> {
+        let slot = self.slots;
+        let queue_before = self.queue.backlog();
+        let outcome =
+            self.solver.solve_recorded(state, self.config.v, queue_before, slot, recorder);
+        let update_span = SpanGuard::new(recorder, eotora_obs::SPAN_QUEUE_UPDATE);
+        let queue_after = self.queue.update(outcome.constraint_excess);
+        update_span.finish();
+        if recorder.is_enabled() {
+            recorder.record(&TraceEvent::QueueUpdate {
+                slot,
+                before: queue_before,
+                after: queue_after,
+                excess: outcome.constraint_excess,
+            });
+        }
+        self.objective_avg.push(outcome.objective);
+        self.excess_avg.push(outcome.constraint_excess);
+        self.slots += 1;
+        DppStep { slot, queue_before, queue_after, outcome }
     }
 
     /// Current virtual-queue backlog `Q(t)`.
     pub fn queue_backlog(&self) -> f64 {
-        self.controller.queue_backlog()
+        self.queue.backlog()
     }
 
     /// Running time-average latency `(1/T) Σ T_t`.
     pub fn average_latency(&self) -> f64 {
-        self.controller.average_objective()
+        self.objective_avg.mean()
     }
 
     /// Running time-average constraint excess `(1/T) Σ (C_t − C̄)`.
     pub fn average_excess(&self) -> f64 {
-        self.controller.average_excess()
+        self.excess_avg.mean()
     }
 
     /// Running time-average energy cost `(1/T) Σ C_t`.
     pub fn average_cost(&self) -> f64 {
-        self.controller.average_excess() + self.system().budget_per_slot()
+        self.average_excess() + self.system().budget_per_slot()
     }
 
     /// Slots executed so far.
     pub fn slots(&self) -> u64 {
-        self.controller.slots()
+        self.slots
     }
 
     /// Snapshots everything needed to resume this controller after a
     /// restart: queue, averages, slot count, and the solver's RNG stream.
     pub fn checkpoint(&self) -> DppCheckpoint {
         DppCheckpoint {
-            controller: self.controller.checkpoint(),
-            rng: self.controller.solver().rng.clone(),
+            controller: ControllerCheckpoint {
+                queue: self.queue.backlog(),
+                slots: self.slots,
+                objective_avg: self.objective_avg,
+                excess_avg: self.excess_avg,
+            },
+            rng: self.solver.rng.clone(),
             config: self.config,
         }
     }
@@ -221,8 +299,11 @@ impl EotoraDpp {
     /// run exactly (asserted in tests).
     pub fn resume(system: MecSystem, checkpoint: &DppCheckpoint) -> Self {
         let mut dpp = Self::new(system, checkpoint.config);
-        dpp.controller.restore(&checkpoint.controller);
-        dpp.controller.solver_mut().rng = checkpoint.rng.clone();
+        dpp.queue = VirtualQueue::new(checkpoint.controller.queue);
+        dpp.slots = checkpoint.controller.slots;
+        dpp.objective_avg = checkpoint.controller.objective_avg;
+        dpp.excess_avg = checkpoint.controller.excess_avg;
+        dpp.solver.rng = checkpoint.rng.clone();
         dpp
     }
 }
@@ -248,10 +329,8 @@ mod tests {
     fn run(v: f64, solver: SolverKind, slots: u64, devices: usize) -> EotoraDpp {
         let system = MecSystem::random(&SystemConfig::paper_defaults(devices), 7);
         let mut states = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 7);
-        let mut dpp = EotoraDpp::new(
-            system,
-            DppConfig { v, solver, bdma_rounds: 2, ..Default::default() },
-        );
+        let mut dpp =
+            EotoraDpp::new(system, DppConfig { v, solver, bdma_rounds: 2, ..Default::default() });
         for t in 0..slots {
             let beta = states.observe(t, dpp.system().topology());
             let step = dpp.step(&beta);
@@ -332,7 +411,8 @@ mod tests {
         let config = DppConfig { bdma_rounds: 2, seed: 5, ..Default::default() };
 
         // Continuous 16-slot run.
-        let mut states = StateProvider::paper(mk_system().topology(), &PaperStateConfig::default(), 10);
+        let mut states =
+            StateProvider::paper(mk_system().topology(), &PaperStateConfig::default(), 10);
         let mut continuous = EotoraDpp::new(mk_system(), config);
         let mut reference = Vec::new();
         for t in 0..16 {
@@ -341,7 +421,8 @@ mod tests {
         }
 
         // 8 slots, serialize checkpoint, resume, 8 more.
-        let mut states = StateProvider::paper(mk_system().topology(), &PaperStateConfig::default(), 10);
+        let mut states =
+            StateProvider::paper(mk_system().topology(), &PaperStateConfig::default(), 10);
         let mut first = EotoraDpp::new(mk_system(), config);
         let mut observed = Vec::new();
         for t in 0..8 {
@@ -357,6 +438,43 @@ mod tests {
         }
         assert_eq!(observed, reference);
         assert_eq!(resumed.slots(), 16);
+    }
+
+    #[test]
+    fn step_with_emits_spans_events_and_counters() {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(8), 11);
+        let mut states = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 11);
+        let mut dpp = EotoraDpp::new(system, DppConfig { bdma_rounds: 2, ..Default::default() });
+        let rec = eotora_obs::MetricsRecorder::new();
+        for t in 0..4 {
+            let beta = states.observe(t, dpp.system().topology());
+            dpp.step_with(&beta, &rec);
+        }
+        // 4 slots × 2 BDMA rounds each.
+        assert_eq!(rec.span_count(eotora_obs::SPAN_P2A), 8);
+        assert_eq!(rec.span_count(eotora_obs::SPAN_P2B), 8);
+        assert_eq!(rec.span_count(eotora_obs::SPAN_QUEUE_UPDATE), 4);
+        assert_eq!(rec.counter(eotora_obs::COUNTER_BDMA_ROUNDS), 8);
+        assert!(rec.counter(eotora_obs::COUNTER_BDMA_ACCEPTED) >= 4);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_run() {
+        let mk = |recorded: bool| {
+            let system = MecSystem::random(&SystemConfig::paper_defaults(8), 12);
+            let mut states =
+                StateProvider::paper(system.topology(), &PaperStateConfig::default(), 12);
+            let mut dpp = EotoraDpp::new(system, DppConfig { seed: 3, ..Default::default() });
+            let rec = eotora_obs::MetricsRecorder::new();
+            let mut out = Vec::new();
+            for t in 0..6 {
+                let beta = states.observe(t, dpp.system().topology());
+                let step = if recorded { dpp.step_with(&beta, &rec) } else { dpp.step(&beta) };
+                out.push((step.outcome.objective, step.queue_after));
+            }
+            out
+        };
+        assert_eq!(mk(true), mk(false));
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl LatencyBreakdown {
 /// Panics if the state dimensions disagree with the system (this indicates
 /// mixing states from a different topology) or any share/frequency is
 /// non-positive where used.
-pub fn latency_under(system: &MecSystem, state: &SystemState, decision: &SlotDecision) -> LatencyBreakdown {
+pub fn latency_under(
+    system: &MecSystem,
+    state: &SystemState,
+    decision: &SlotDecision,
+) -> LatencyBreakdown {
     let topo = system.topology();
     assert_eq!(state.task_cycles.len(), topo.num_devices(), "state/topology device mismatch");
     assert_eq!(
@@ -160,7 +164,8 @@ pub fn optimal_latency(
         .iter()
         .enumerate()
         .map(|(k, &root)| {
-            root * root / topo.base_station(eotora_topology::BaseStationId(k)).fronthaul_bandwidth_hz
+            root * root
+                / topo.base_station(eotora_topology::BaseStationId(k)).fronthaul_bandwidth_hz
         })
         .sum();
 
@@ -289,8 +294,7 @@ mod tests {
         let topo = system.topology();
         let k = BaseStationId(0);
         let n = topo.servers_reachable_from(k)[0];
-        let all_same =
-            vec![Assignment { base_station: k, server: n }; topo.num_devices()];
+        let all_same = vec![Assignment { base_station: k, server: n }; topo.num_devices()];
         let freqs = system.max_frequencies();
         let t_same = optimal_latency(&system, &state, &all_same, &freqs).total();
         let mut rng = Pcg32::seed(13);

@@ -32,7 +32,6 @@ use crate::p2a::P2aProblem;
 use crate::system::MecSystem;
 use eotora_optim::scalar::minimize_bisection;
 
-
 /// Result of one multi-budget DPP step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiBudgetStep {
@@ -69,12 +68,14 @@ impl MultiBudgetDpp {
     ///
     /// Panics if `budgets.len()` differs from the cluster count, any budget
     /// is non-positive, or `v`/`bdma_rounds` are non-positive.
-    pub fn new(system: MecSystem, budgets: Vec<f64>, v: f64, bdma_rounds: usize, seed: u64) -> Self {
-        assert_eq!(
-            budgets.len(),
-            system.topology().num_clusters(),
-            "one budget per server room"
-        );
+    pub fn new(
+        system: MecSystem,
+        budgets: Vec<f64>,
+        v: f64,
+        bdma_rounds: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(budgets.len(), system.topology().num_clusters(), "one budget per server room");
         assert!(budgets.iter().all(|&b| b > 0.0), "budgets must be positive");
         assert!(v > 0.0, "penalty weight must be positive");
         assert!(bdma_rounds > 0, "BDMA needs at least one round");

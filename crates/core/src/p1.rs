@@ -143,7 +143,12 @@ impl SequentialProblem for P1Sequential<'_> {
         (vec![0.0; self.instance.num_stations()], 0.0)
     }
 
-    fn apply(&self, state: &Self::State, stage: usize, choice: usize) -> Option<(Self::State, f64)> {
+    fn apply(
+        &self,
+        state: &Self::State,
+        stage: usize,
+        choice: usize,
+    ) -> Option<(Self::State, f64)> {
         let (loads, cost) = state;
         let w = self.instance.weight(stage, choice);
         let inv_bw = 1.0 / self.instance.bandwidth_hz[choice];
@@ -198,8 +203,7 @@ mod tests {
         let game = p.as_game();
         for _ in 0..20 {
             let assignment: Vec<usize> = (0..6).map(|_| rng.below(2)).collect();
-            let via_game =
-                Profile::from_choices(&game, assignment.clone()).total_cost(&game);
+            let via_game = Profile::from_choices(&game, assignment.clone()).total_cost(&game);
             assert!((via_game - p.objective(&assignment)).abs() < 1e-9);
         }
     }
@@ -265,11 +269,7 @@ mod tests {
     #[test]
     fn heterogeneous_bandwidths_shift_load() {
         // A 4x-faster station should carry (weighted) more load at optimum.
-        let p = P1Instance::new(
-            vec![4.0, 1.0],
-            vec![1.0; 8],
-            vec![vec![1.0, 1.0]; 8],
-        );
+        let p = P1Instance::new(vec![4.0, 1.0], vec![1.0; 8], vec![vec![1.0, 1.0]; 8]);
         let (assignment, _, proven) = p.solve_exact(1_000_000);
         assert!(proven);
         let fast = assignment.iter().filter(|&&k| k == 0).count();

@@ -168,8 +168,7 @@ mod tests {
         let p2a = P2aProblem::build(&system, &state, &freqs);
         let mut rng = Pcg32::seed(3);
         for _ in 0..10 {
-            let choices: Vec<usize> =
-                (0..18).map(|i| rng.below(p2a.num_strategies(i))).collect();
+            let choices: Vec<usize> = (0..18).map(|i| rng.below(p2a.num_strategies(i))).collect();
             let game_cost = p2a.total_latency(&choices);
             let assignments = p2a.assignments_from_choices(&choices);
             let t = optimal_latency(&system, &state, &assignments, &freqs).total();
@@ -209,10 +208,7 @@ mod tests {
         let assignments = p2a.assignments_from_choices(&choices);
         assert_eq!(p2a.choices_from_assignments(&assignments), Some(choices));
         // Foreign assignment (unreachable pair) maps to None.
-        let bad = vec![
-            Assignment { base_station: BaseStationId(0), server: ServerId(0) };
-            8
-        ];
+        let bad = vec![Assignment { base_station: BaseStationId(0), server: ServerId(0) }; 8];
         assert_eq!(p2a.choices_from_assignments(&bad), None); // wrong length
     }
 

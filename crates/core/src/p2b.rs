@@ -34,19 +34,20 @@ pub struct P2bSolution {
 /// Per-server processing-load constants
 /// `A_n = (Σ_{i→n} √(f_i/σ_{i,n}))² / cores_n`, such that
 /// `T^P_t = Σ_n A_n / ω_n`.
-pub fn processing_loads(system: &MecSystem, state: &SystemState, assignments: &[Assignment]) -> Vec<f64> {
+pub fn processing_loads(
+    system: &MecSystem,
+    state: &SystemState,
+    assignments: &[Assignment],
+) -> Vec<f64> {
     let topo = system.topology();
     assert_eq!(assignments.len(), topo.num_devices(), "one assignment per device");
     let mut roots = vec![0.0; topo.num_servers()];
     for (i, a) in assignments.iter().enumerate() {
-        roots[a.server.index()] +=
-            (state.task_cycles[i] / system.suitability(eotora_topology::DeviceId(i), a.server)).sqrt();
+        roots[a.server.index()] += (state.task_cycles[i]
+            / system.suitability(eotora_topology::DeviceId(i), a.server))
+        .sqrt();
     }
-    roots
-        .iter()
-        .enumerate()
-        .map(|(n, &r)| r * r / topo.server(ServerId(n)).cores as f64)
-        .collect()
+    roots.iter().enumerate().map(|(n, &r)| r * r / topo.server(ServerId(n)).cores as f64).collect()
 }
 
 /// Solves P2-B exactly (to bisection tolerance) for the given assignment.
@@ -92,8 +93,14 @@ pub fn solve_p2b(
                 if let Some(q) = model.as_quadratic() {
                     let c3 = 2.0 * q.a * cost_w / 1e18;
                     let c2 = q.b * cost_w / 1e9;
-                    match root_in_interval(c3, c2, 0.0, -(v * a_n), srv.freq_min_hz, srv.freq_max_hz)
-                    {
+                    match root_in_interval(
+                        c3,
+                        c2,
+                        0.0,
+                        -(v * a_n),
+                        srv.freq_min_hz,
+                        srv.freq_max_hz,
+                    ) {
                         Some(w) => w,
                         // No interior stationary point: optimum at whichever
                         // bound the derivative sign selects.
@@ -216,13 +223,12 @@ mod tests {
             let srv = system.topology().server(n);
             let a_n = loads[n.index()];
             let obj = |w: f64| {
-                v * a_n / w
-                    + q * state.price_per_kwh * kwh * system.energy_model(n).power_watts(w)
+                v * a_n / w + q * state.price_per_kwh * kwh * system.energy_model(n).power_watts(w)
             };
             let ours = obj(sol.freqs_hz[n.index()]);
             for step in 0..=1000 {
-                let w = srv.freq_min_hz
-                    + (srv.freq_max_hz - srv.freq_min_hz) * step as f64 / 1000.0;
+                let w =
+                    srv.freq_min_hz + (srv.freq_max_hz - srv.freq_min_hz) * step as f64 / 1000.0;
                 assert!(obj(w) >= ours - 1e-9 * ours.abs().max(1.0), "grid beats bisection at {n}");
             }
         }
@@ -268,7 +274,8 @@ mod tests {
         let (system, state, assignments) = setup(8, 36);
         let (v, q) = (75.0, 120.0);
         let sol = solve_p2b(&system, &state, &assignments, v, q);
-        let lat = crate::latency::optimal_latency(&system, &state, &assignments, &sol.freqs_hz).total();
+        let lat =
+            crate::latency::optimal_latency(&system, &state, &assignments, &sol.freqs_hz).total();
         let excess = system.constraint_excess(state.price_per_kwh, &sol.freqs_hz);
         assert_close!(sol.objective, v * lat + q * excess, 1e-9);
     }
@@ -281,7 +288,8 @@ mod tests {
         // T^P at frequency ω equals Σ A_n/ω_n.
         let freqs = system.max_frequencies();
         let direct: f64 = loads.iter().zip(&freqs).map(|(&a, &w)| a / w).sum();
-        let closed = crate::latency::optimal_latency(&system, &state, &assignments, &freqs).processing;
+        let closed =
+            crate::latency::optimal_latency(&system, &state, &assignments, &freqs).processing;
         assert_close!(direct, closed, 1e-9);
     }
 }

@@ -20,6 +20,7 @@
 //! by bisection. The discrete `(x̄, ȳ)` comes from the same pluggable P2-A
 //! solver the DPP controller uses.
 
+use eotora_obs::{NoopRecorder, Recorder, SpanGuard};
 use eotora_states::SystemState;
 use eotora_util::rng::Pcg32;
 
@@ -99,17 +100,31 @@ impl PerSlotController {
     /// Executes one slot: pick `(x, y)` at minimum frequencies, then scale
     /// frequencies up as far as this slot's budget allows.
     pub fn step(&mut self, state: &SystemState) -> PerSlotStep {
+        self.step_with(state, &NoopRecorder)
+    }
+
+    /// Executes one slot, emitting a `p2a` span for the discrete solve and
+    /// a `p2b` span covering the whole multiplier search (each bisection
+    /// probe is one P2-B instance; `per_slot_probes` counts them).
+    pub fn step_with(&mut self, state: &SystemState, recorder: &dyn Recorder) -> PerSlotStep {
         let min_freqs = self.system.min_frequencies();
+        let p2a_span = SpanGuard::new(recorder, eotora_obs::SPAN_P2A);
         let p2a = P2aProblem::build(&self.system, state, &min_freqs);
-        let choices = self.p2a.solve(&p2a, &mut self.rng);
+        let choices = self.p2a.solve_with(&p2a, &mut self.rng, recorder);
         let assignments = p2a.assignments_from_choices(&choices);
+        p2a_span.finish();
 
         // Reuse the P2-B machinery: solve_p2b(v=1, queue=μ) minimizes
         // T_t + μ·(C_t − C̄), whose Ω-part is exactly our Lagrangian.
         let budget = self.system.budget_per_slot();
-        let solve_at = |mu: f64| solve_p2b(&self.system, state, &assignments, 1.0, mu);
+        let probes = std::cell::Cell::new(0u64);
+        let solve_at = |mu: f64| {
+            probes.set(probes.get() + 1);
+            solve_p2b(&self.system, state, &assignments, 1.0, mu)
+        };
         let cost_of = |freqs: &[f64]| self.system.energy_cost(state.price_per_kwh, freqs);
 
+        let p2b_span = SpanGuard::new(recorder, eotora_obs::SPAN_P2B);
         let free = solve_at(0.0);
         let (freqs, multiplier) = if cost_of(&free.freqs_hz) <= budget {
             (free.freqs_hz, 0.0)
@@ -138,8 +153,13 @@ impl PerSlotController {
             }
             (feasible, hi)
         };
+        p2b_span.finish();
+        if recorder.is_enabled() {
+            recorder.add("per_slot_probes", probes.get());
+        }
 
-        let latency = crate::latency::optimal_latency(&self.system, state, &assignments, &freqs).total();
+        let latency =
+            crate::latency::optimal_latency(&self.system, state, &assignments, &freqs).total();
         let energy_cost = cost_of(&freqs);
         let decision = optimal_allocation(&self.system, state, &assignments, &freqs);
         self.latency_sum += latency;
@@ -196,6 +216,22 @@ mod tests {
         let step = ctl.step(&beta);
         let floor = ctl.system().energy_cost(beta.price_per_kwh, &ctl.system().min_frequencies());
         assert!((step.energy_cost - floor).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_with_emits_phase_spans() {
+        let sys = system(10, 95, 0.9);
+        let mut states = StateProvider::paper(sys.topology(), &PaperStateConfig::default(), 95);
+        let mut ctl = PerSlotController::new(sys, 95);
+        let rec = eotora_obs::MetricsRecorder::new();
+        for t in 0..3 {
+            let beta = states.observe(t, ctl.system().topology());
+            ctl.step_with(&beta, &rec);
+        }
+        assert_eq!(rec.span_count(eotora_obs::SPAN_P2A), 3);
+        assert_eq!(rec.span_count(eotora_obs::SPAN_P2B), 3);
+        // At least the μ = 0 probe every slot.
+        assert!(rec.counter("per_slot_probes") >= 3);
     }
 
     #[test]

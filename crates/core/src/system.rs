@@ -42,7 +42,10 @@ impl SystemConfig {
 
     /// A tiny instance (2 BSs, 3 servers) for exact-baseline tests.
     pub fn tiny(num_devices: usize) -> Self {
-        Self { topology: RandomTopologyConfig::tiny(num_devices), ..Self::paper_defaults(num_devices) }
+        Self {
+            topology: RandomTopologyConfig::tiny(num_devices),
+            ..Self::paper_defaults(num_devices)
+        }
     }
 }
 
@@ -79,10 +82,7 @@ impl MecSystem {
         assert_eq!(suitability.len(), topology.num_devices(), "one suitability row per device");
         for row in &suitability {
             assert_eq!(row.len(), topology.num_servers(), "one suitability per (device, server)");
-            assert!(
-                row.iter().all(|&s| s > 0.0 && s <= 1.0),
-                "suitability must lie in (0, 1]"
-            );
+            assert!(row.iter().all(|&s| s > 0.0 && s <= 1.0), "suitability must lie in (0, 1]");
         }
         assert!(budget_per_slot > 0.0, "budget must be positive");
         assert!(slot_hours > 0.0, "slot length must be positive");
@@ -213,7 +213,10 @@ mod tests {
         let a = MecSystem::random(&SystemConfig::paper_defaults(10), 5);
         let b = MecSystem::random(&SystemConfig::paper_defaults(10), 5);
         assert_eq!(a.topology(), b.topology());
-        assert_eq!(a.suitability(DeviceId(3), ServerId(7)), b.suitability(DeviceId(3), ServerId(7)));
+        assert_eq!(
+            a.suitability(DeviceId(3), ServerId(7)),
+            b.suitability(DeviceId(3), ServerId(7))
+        );
         let f = a.max_frequencies();
         assert_eq!(a.fleet_power_watts(&f), b.fleet_power_watts(&f));
     }
@@ -237,8 +240,11 @@ mod tests {
         let mean_price = 0.048; // mean of the embedded NYISO-like profile
         let low = s.energy_cost(mean_price, &s.min_frequencies());
         let high = s.energy_cost(mean_price, &s.max_frequencies());
-        assert!(low < s.budget_per_slot() && s.budget_per_slot() < high,
-            "budget {} outside [{low}, {high}]", s.budget_per_slot());
+        assert!(
+            low < s.budget_per_slot() && s.budget_per_slot() < high,
+            "budget {} outside [{low}, {high}]",
+            s.budget_per_slot()
+        );
     }
 
     #[test]

@@ -411,7 +411,8 @@ mod tests {
 
     #[test]
     fn piecewise_linear_interpolates_and_clamps() {
-        let m = PiecewiseLinearEnergy::new(vec![(1.0e9, 10.0), (2.0e9, 20.0), (3.0e9, 40.0)]).unwrap();
+        let m =
+            PiecewiseLinearEnergy::new(vec![(1.0e9, 10.0), (2.0e9, 20.0), (3.0e9, 40.0)]).unwrap();
         assert_close!(m.power_watts(1.5e9), 15.0, 1e-9);
         assert_close!(m.power_watts(2.5e9), 30.0, 1e-9);
         // Outside range: linear extension of boundary segments.

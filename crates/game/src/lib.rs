@@ -236,11 +236,7 @@ impl Profile {
 
     /// Social cost `Σ_i T_i(z) = Σ_r m_r · p_r(z)²`.
     pub fn total_cost(&self, game: &CongestionGame) -> f64 {
-        self.loads
-            .iter()
-            .zip(&game.resource_weights)
-            .map(|(&p, &m)| m * p * p)
-            .sum()
+        self.loads.iter().zip(&game.resource_weights).map(|(&p, &m)| m * p * p).sum()
     }
 
     /// The exact potential
@@ -272,11 +268,8 @@ impl Profile {
             let mut cost = 0.0;
             for &(r, w) in strat {
                 // Load excluding i's current contribution on r (if any).
-                let own: f64 = current
-                    .iter()
-                    .find(|&&(cr, _)| cr == r)
-                    .map(|&(_, cw)| cw)
-                    .unwrap_or(0.0);
+                let own: f64 =
+                    current.iter().find(|&&(cr, _)| cr == r).map(|&(_, cw)| cw).unwrap_or(0.0);
                 cost += game.resource_weights[r] * w * (self.loads[r] - own + w);
             }
             if cost < best.1 {

@@ -1,0 +1,173 @@
+//! Structured JSONL event sink.
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::recorder::Recorder;
+
+struct JsonlInner<W: Write> {
+    writer: W,
+    seq: u64,
+    counters: std::collections::BTreeMap<String, u64>,
+    error: Option<io::Error>,
+}
+
+/// A [`Recorder`] that streams every event as one JSON object per line.
+///
+/// Each line is a [`TraceRecord`]: the event payload plus a sequence
+/// number (`seq`, dense from 0) and a wall-clock timestamp (`t_ns`,
+/// nanoseconds since the Unix epoch). Counter increments are written as
+/// running totals, so replaying a prefix of the file reproduces exact
+/// counter state.
+///
+/// Write errors are latched: the first failure stops further output and
+/// is returned by [`JsonlRecorder::finish`].
+pub struct JsonlRecorder<W: Write> {
+    inner: RefCell<JsonlInner<W>>,
+}
+
+fn unix_nanos() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Wraps `writer` (callers wanting buffering should pass a
+    /// `BufWriter`).
+    pub fn new(writer: W) -> Self {
+        JsonlRecorder {
+            inner: RefCell::new(JsonlInner {
+                writer,
+                seq: 0,
+                counters: std::collections::BTreeMap::new(),
+                error: None,
+            }),
+        }
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.inner.borrow().seq
+    }
+
+    /// Flushes and returns the writer, surfacing any latched write
+    /// error.
+    pub fn finish(self) -> io::Result<W> {
+        let mut inner = self.inner.into_inner();
+        if let Some(err) = inner.error {
+            return Err(err);
+        }
+        inner.writer.flush()?;
+        Ok(inner.writer)
+    }
+
+    fn write_event(&self, event: &TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.error.is_some() {
+            return;
+        }
+        let record = TraceRecord { seq: inner.seq, t_ns: unix_nanos(), event: event.clone() };
+        let mut line = match serde_json::to_string(&record) {
+            Ok(line) => line,
+            Err(err) => {
+                inner.error = Some(io::Error::other(err));
+                return;
+            }
+        };
+        line.push('\n');
+        match inner.writer.write_all(line.as_bytes()) {
+            Ok(()) => inner.seq += 1,
+            Err(err) => inner.error = Some(err),
+        }
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn span_ns(&self, name: &str, nanos: u64) {
+        self.write_event(&TraceEvent::Span { name: name.to_owned(), nanos });
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        let value = {
+            let mut inner = self.inner.borrow_mut();
+            let total = inner.counters.entry(name.to_owned()).or_insert(0);
+            *total += delta;
+            *total
+        };
+        self.write_event(&TraceEvent::Counter { name: name.to_owned(), value });
+    }
+
+    fn record(&self, event: &TraceEvent) {
+        self.write_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    fn lines_to_records(buf: &[u8]) -> Vec<TraceRecord> {
+        std::str::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(|line| TraceRecord::from_value(&serde_json::from_str(line).unwrap()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn events_roundtrip_line_by_line() {
+        let rec = JsonlRecorder::new(Vec::new());
+        rec.record(&TraceEvent::QueueUpdate { slot: 0, before: 0.0, after: 0.5, excess: 0.5 });
+        rec.span_ns("p2a", 123);
+        rec.add("bdma_rounds", 2);
+        rec.add("bdma_rounds", 3);
+        assert_eq!(rec.records_written(), 4);
+        let buf = rec.finish().unwrap();
+        let records = lines_to_records(&buf);
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[1].event, TraceEvent::Span { name: "p2a".into(), nanos: 123 });
+        // Counters are running totals.
+        assert_eq!(records[3].event, TraceEvent::Counter { name: "bdma_rounds".into(), value: 5 });
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_timestamps_monotone() {
+        let rec = JsonlRecorder::new(Vec::new());
+        for i in 0..10u64 {
+            rec.record(&TraceEvent::Span { name: "slot_solve".into(), nanos: i });
+        }
+        let buf = rec.finish().unwrap();
+        let records = lines_to_records(&buf);
+        for (i, pair) in records.windows(2).enumerate() {
+            assert_eq!(pair[0].seq, i as u64);
+            assert!(pair[1].t_ns >= pair[0].t_ns);
+        }
+    }
+
+    #[test]
+    fn write_errors_are_latched_and_reported() {
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(io::Error::other("disk full"));
+                }
+                self.0 -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let rec = JsonlRecorder::new(FailAfter(1));
+        rec.span_ns("ok", 1);
+        rec.span_ns("fails", 2);
+        rec.span_ns("skipped", 3);
+        assert_eq!(rec.records_written(), 1);
+        assert!(rec.finish().is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Observability for the eotora DPP/BDMA pipeline.
+//!
+//! This crate provides the recording side of the pipeline's
+//! instrumentation: a [`Recorder`] trait that the solvers and the
+//! simulation runner emit into, plus three implementations —
+//!
+//! * [`NoopRecorder`]: recording disabled; every hook is a no-op and
+//!   [`SpanGuard`]s skip the clock reads entirely, so instrumented code
+//!   costs nothing when tracing is off.
+//! * [`MetricsRecorder`]: in-memory aggregation — per-span log-linear
+//!   [`Histogram`]s with quantile readout, monotonic counters, and
+//!   per-slot per-stage solve-time series for
+//!   `SimulationResult::per_stage_solve_time`.
+//! * [`JsonlRecorder`]: a structured JSONL sink writing one
+//!   [`TraceRecord`] per line (`slot`, `span`, `counter`,
+//!   `queue_update`, `bdma_iteration` events with sequence numbers and
+//!   wall-clock nanos), replayable with [`trace::TraceAnalysis`].
+//!
+//! [`TeeRecorder`] fans a single event stream out to two recorders, so
+//! a run can aggregate metrics and stream JSONL simultaneously.
+
+mod event;
+mod histogram;
+mod jsonl;
+mod metrics;
+mod recorder;
+pub mod trace;
+
+pub use event::{TraceEvent, TraceRecord};
+pub use histogram::Histogram;
+pub use jsonl::JsonlRecorder;
+pub use metrics::MetricsRecorder;
+pub use recorder::{NoopRecorder, Recorder, SpanGuard, TeeRecorder};
+pub use trace::TraceAnalysis;
+
+/// Span name for one whole per-slot DPP solve.
+pub const SPAN_SLOT_SOLVE: &str = "slot_solve";
+/// Span name for a P2-A (discrete offloading/scheduling) solve.
+pub const SPAN_P2A: &str = "p2a";
+/// Span name for a P2-B (continuous frequency) solve.
+pub const SPAN_P2B: &str = "p2b";
+/// Span name for the virtual-queue update Q(t+1) = max{Q(t)+C_t-C̄, 0}.
+pub const SPAN_QUEUE_UPDATE: &str = "queue_update";
+
+/// Counter name for BDMA alternation rounds executed.
+pub const COUNTER_BDMA_ROUNDS: &str = "bdma_rounds";
+/// Counter name for BDMA rounds whose candidate improved the incumbent.
+pub const COUNTER_BDMA_ACCEPTED: &str = "bdma_accepted";
+/// Counter name for slots solved.
+pub const COUNTER_SLOTS: &str = "slots";

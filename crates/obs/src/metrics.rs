@@ -1,0 +1,252 @@
+//! In-memory metrics aggregation: span histograms, counters, and
+//! per-slot per-stage solve-time series.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use crate::event::TraceEvent;
+use crate::histogram::Histogram;
+use crate::recorder::Recorder;
+
+#[derive(Default)]
+struct MetricsInner {
+    spans: BTreeMap<String, Histogram>,
+    counters: BTreeMap<String, u64>,
+    /// Nanoseconds accumulated per span name since the last slot event.
+    stage_acc: BTreeMap<String, u64>,
+    /// Per-slot seconds spent in each stage, aligned by slot index.
+    stage_series: BTreeMap<String, Vec<f64>>,
+    /// BDMA alternation rounds observed since the last slot event.
+    rounds_this_slot: u64,
+    /// Per-slot BDMA round counts (slots that ran BDMA only).
+    bdma_rounds: Histogram,
+    slots: u64,
+    final_queue: Option<f64>,
+}
+
+/// Aggregating [`Recorder`]: builds per-span [`Histogram`]s, monotonic
+/// counters, and — keyed on the `slot` events that close each slot —
+/// per-slot time series of the seconds spent in every named stage.
+///
+/// Stage series are aligned: every series has exactly one entry per
+/// completed slot (zero for slots in which the stage never ran), so they
+/// convert directly into the runner's per-slot `TimeSeries`.
+#[derive(Default)]
+pub struct MetricsRecorder {
+    inner: RefCell<MetricsInner>,
+}
+
+impl MetricsRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of completed slots observed.
+    pub fn slots(&self) -> u64 {
+        self.inner.borrow().slots
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The `q`-quantile of a span's duration in seconds.
+    pub fn span_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let inner = self.inner.borrow();
+        Some(inner.spans.get(name)?.quantile(q)? / 1e9)
+    }
+
+    /// Mean duration of a span in seconds.
+    pub fn span_mean(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.borrow();
+        Some(inner.spans.get(name)?.mean()? / 1e9)
+    }
+
+    /// Number of recordings of a span.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.inner.borrow().spans.get(name).map_or(0, Histogram::count)
+    }
+
+    /// Mean BDMA alternation rounds per slot, over slots that ran BDMA.
+    pub fn mean_bdma_rounds(&self) -> Option<f64> {
+        self.inner.borrow().bdma_rounds.mean()
+    }
+
+    /// Virtual-queue backlog after the last completed slot.
+    pub fn final_queue(&self) -> Option<f64> {
+        self.inner.borrow().final_queue
+    }
+
+    /// Per-slot seconds spent in each recorded stage, one aligned series
+    /// per span name.
+    pub fn stage_series(&self) -> BTreeMap<String, Vec<f64>> {
+        self.inner.borrow().stage_series.clone()
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn span_ns(&self, name: &str, nanos: u64) {
+        let mut inner = self.inner.borrow_mut();
+        match inner.spans.get_mut(name) {
+            Some(hist) => hist.record(nanos),
+            None => {
+                let mut hist = Histogram::new();
+                hist.record(nanos);
+                inner.spans.insert(name.to_owned(), hist);
+            }
+        }
+        *inner.stage_acc.entry(name.to_owned()).or_insert(0) += nanos;
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.borrow_mut();
+        match inner.counters.get_mut(name) {
+            Some(total) => *total += delta,
+            None => {
+                inner.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    fn record(&self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Slot { queue, .. } => {
+                let mut inner = self.inner.borrow_mut();
+                let inner = &mut *inner;
+                let completed = inner.slots;
+                // One entry per slot in every series: new stages backfill
+                // zeros for the slots before they first appeared, and
+                // stages idle this slot append a zero.
+                for (name, acc) in &inner.stage_acc {
+                    let series = inner.stage_series.entry(name.clone()).or_default();
+                    series.resize(completed as usize, 0.0);
+                    series.push(*acc as f64 / 1e9);
+                }
+                for (name, series) in &mut inner.stage_series {
+                    if !inner.stage_acc.contains_key(name) {
+                        series.resize(completed as usize + 1, 0.0);
+                    }
+                }
+                inner.stage_acc.clear();
+                if inner.rounds_this_slot > 0 {
+                    inner.bdma_rounds.record(inner.rounds_this_slot);
+                    inner.rounds_this_slot = 0;
+                }
+                inner.slots += 1;
+                inner.final_queue = Some(*queue);
+            }
+            TraceEvent::BdmaIteration { .. } => {
+                self.inner.borrow_mut().rounds_this_slot += 1;
+            }
+            TraceEvent::Span { .. }
+            | TraceEvent::Counter { .. }
+            | TraceEvent::QueueUpdate { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn slot_event(slot: u64, queue: f64) -> TraceEvent {
+        TraceEvent::Slot { slot, objective: 0.0, latency: 0.0, cost: 0.0, queue }
+    }
+
+    #[test]
+    fn stage_series_align_per_slot() {
+        let rec = MetricsRecorder::new();
+        // Slot 0: only p2a runs.
+        rec.span_ns("p2a", 2_000_000_000);
+        rec.record(&slot_event(0, 1.0));
+        // Slot 1: p2a twice (two rounds) and p2b once.
+        rec.span_ns("p2a", 500_000_000);
+        rec.span_ns("p2a", 500_000_000);
+        rec.span_ns("p2b", 3_000_000_000);
+        rec.record(&slot_event(1, 2.0));
+        // Slot 2: neither runs.
+        rec.record(&slot_event(2, 0.5));
+
+        let series = rec.stage_series();
+        assert_eq!(series["p2a"], vec![2.0, 1.0, 0.0]);
+        assert_eq!(series["p2b"], vec![0.0, 3.0, 0.0]);
+        assert_eq!(rec.slots(), 3);
+        assert_eq!(rec.final_queue(), Some(0.5));
+    }
+
+    #[test]
+    fn bdma_rounds_average_over_active_slots() {
+        let rec = MetricsRecorder::new();
+        for round in 1..=3u64 {
+            rec.record(&TraceEvent::BdmaIteration {
+                slot: 0,
+                round,
+                objective: 0.0,
+                accepted: round == 1,
+                p2a_nanos: 0,
+                p2b_nanos: 0,
+            });
+        }
+        rec.record(&slot_event(0, 0.0));
+        rec.record(&TraceEvent::BdmaIteration {
+            slot: 1,
+            round: 1,
+            objective: 0.0,
+            accepted: true,
+            p2a_nanos: 0,
+            p2b_nanos: 0,
+        });
+        rec.record(&slot_event(1, 0.0));
+        assert_eq!(rec.mean_bdma_rounds(), Some(2.0));
+    }
+
+    #[test]
+    fn span_quantiles_convert_to_seconds() {
+        let rec = MetricsRecorder::new();
+        for _ in 0..100 {
+            rec.span_ns("slot_solve", 1_000_000_000);
+        }
+        let p95 = rec.span_quantile("slot_solve", 0.95).unwrap();
+        assert!((p95 - 1.0).abs() < 1e-9);
+        assert_eq!(rec.span_count("slot_solve"), 100);
+    }
+
+    proptest! {
+        /// Counters only ever increase, regardless of interleaving.
+        #[test]
+        fn counters_never_decrease(deltas in prop::collection::vec(0u64..1000, 1..50)) {
+            let rec = MetricsRecorder::new();
+            let mut prev = 0;
+            for &d in &deltas {
+                rec.add("bdma_rounds", d);
+                let now = rec.counter("bdma_rounds");
+                prop_assert!(now >= prev);
+                prop_assert_eq!(now, prev + d);
+                prev = now;
+            }
+        }
+
+        /// Every stage series has exactly one entry per completed slot.
+        #[test]
+        fn stage_series_lengths_match_slots(
+            pattern in prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 1..20),
+        ) {
+            let rec = MetricsRecorder::new();
+            for (i, &(run_a, run_b)) in pattern.iter().enumerate() {
+                if run_a {
+                    rec.span_ns("p2a", 10);
+                }
+                if run_b {
+                    rec.span_ns("p2b", 20);
+                }
+                rec.record(&slot_event(i as u64, 0.0));
+            }
+            for series in rec.stage_series().values() {
+                prop_assert_eq!(series.len(), pattern.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The [`Recorder`] trait, RAII span timing, and the no-op / tee
+//! recorders.
+
+use std::time::Instant;
+
+use crate::event::TraceEvent;
+
+/// Sink for instrumentation emitted by the pipeline.
+///
+/// Methods take `&self` so a single recorder can be threaded as a shared
+/// reference through solver layers that already borrow their state
+/// mutably; implementations use interior mutability. Recorders are not
+/// required to be thread-safe — each simulation run owns its own.
+pub trait Recorder {
+    /// Whether recording is active. When `false`, [`SpanGuard`]s skip
+    /// their clock reads and callers may skip event construction.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Records a completed timed span.
+    fn span_ns(&self, name: &str, nanos: u64);
+
+    /// Increments a monotonic counter.
+    fn add(&self, name: &str, delta: u64);
+
+    /// Records a structured event.
+    fn record(&self, event: &TraceEvent);
+}
+
+impl dyn Recorder + '_ {
+    /// Starts an RAII span; its wall-clock duration is recorded via
+    /// [`Recorder::span_ns`] when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard::new(self, name)
+    }
+}
+
+/// RAII timer: measures from construction to drop and reports the span
+/// to its recorder. On a disabled recorder the clock is never read.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard<'a> {
+    recorder: &'a dyn Recorder,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Starts timing a span named `name` against `recorder`.
+    pub fn new(recorder: &'a dyn Recorder, name: &'static str) -> Self {
+        let start = recorder.is_enabled().then(Instant::now);
+        SpanGuard { recorder, name, start }
+    }
+
+    /// Ends the span now, recording its duration and returning it in
+    /// nanoseconds (`None` when the recorder is disabled).
+    pub fn finish(mut self) -> Option<u64> {
+        self.finish_inner()
+    }
+
+    fn finish_inner(&mut self) -> Option<u64> {
+        let start = self.start.take()?;
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.recorder.span_ns(self.name, nanos);
+        Some(nanos)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+/// A recorder that records nothing and reports itself disabled.
+///
+/// This is the default wired through the pipeline: `is_enabled` is
+/// `false`, so span guards never read the clock and instrumented code
+/// paths cost a virtual call at most.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn span_ns(&self, _name: &str, _nanos: u64) {}
+
+    fn add(&self, _name: &str, _delta: u64) {}
+
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Fans every recording out to two recorders (e.g. in-memory metrics
+/// plus a JSONL sink).
+pub struct TeeRecorder<'a> {
+    first: &'a dyn Recorder,
+    second: &'a dyn Recorder,
+}
+
+impl<'a> TeeRecorder<'a> {
+    /// Tees recordings to `first` and `second`, in that order.
+    pub fn new(first: &'a dyn Recorder, second: &'a dyn Recorder) -> Self {
+        TeeRecorder { first, second }
+    }
+}
+
+impl Recorder for TeeRecorder<'_> {
+    fn is_enabled(&self) -> bool {
+        self.first.is_enabled() || self.second.is_enabled()
+    }
+
+    fn span_ns(&self, name: &str, nanos: u64) {
+        self.first.span_ns(name, nanos);
+        self.second.span_ns(name, nanos);
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        self.first.add(name, delta);
+        self.second.add(name, delta);
+    }
+
+    fn record(&self, event: &TraceEvent) {
+        self.first.record(event);
+        self.second.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Test double that logs every call.
+    #[derive(Default)]
+    struct LogRecorder {
+        calls: RefCell<Vec<String>>,
+    }
+
+    impl Recorder for LogRecorder {
+        fn span_ns(&self, name: &str, _nanos: u64) {
+            self.calls.borrow_mut().push(format!("span:{name}"));
+        }
+
+        fn add(&self, name: &str, delta: u64) {
+            self.calls.borrow_mut().push(format!("add:{name}:{delta}"));
+        }
+
+        fn record(&self, event: &TraceEvent) {
+            self.calls.borrow_mut().push(format!("event:{}", event.kind()));
+        }
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let rec = LogRecorder::default();
+        {
+            let _guard = SpanGuard::new(&rec, "p2a");
+        }
+        assert_eq!(rec.calls.borrow().as_slice(), ["span:p2a"]);
+    }
+
+    #[test]
+    fn span_guard_finish_records_once() {
+        let rec = LogRecorder::default();
+        let guard = SpanGuard::new(&rec, "p2b");
+        let nanos = guard.finish();
+        assert!(nanos.is_some());
+        assert_eq!(rec.calls.borrow().as_slice(), ["span:p2b"]);
+    }
+
+    #[test]
+    fn noop_recorder_skips_span_timing() {
+        let rec = NoopRecorder;
+        let guard = SpanGuard::new(&rec, "slot_solve");
+        assert_eq!(guard.finish(), None);
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let a = LogRecorder::default();
+        let b = LogRecorder::default();
+        let tee = TeeRecorder::new(&a, &b);
+        tee.add("slots", 1);
+        tee.record(&TraceEvent::Counter { name: "slots".into(), value: 1 });
+        let dyn_tee: &dyn Recorder = &tee;
+        dyn_tee.span("queue_update").finish();
+        assert_eq!(
+            a.calls.borrow().as_slice(),
+            ["add:slots:1", "event:counter", "span:queue_update"]
+        );
+        assert_eq!(a.calls.borrow().as_slice(), b.calls.borrow().as_slice());
+    }
+}

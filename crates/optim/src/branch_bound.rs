@@ -39,7 +39,8 @@ pub trait SequentialProblem {
 
     /// Applies `choice` at `stage`, returning the successor state and the new
     /// *cumulative* cost, or `None` if the choice is infeasible.
-    fn apply(&self, state: &Self::State, stage: usize, choice: usize) -> Option<(Self::State, f64)>;
+    fn apply(&self, state: &Self::State, stage: usize, choice: usize)
+        -> Option<(Self::State, f64)>;
 
     /// Admissible (never over-estimating) lower bound on the additional cost
     /// of completing stages `stage..num_stages` from `state`.
@@ -282,7 +283,8 @@ impl BranchAndBound {
             }
         }
 
-        let outcome = if best_choices.is_some() { BnbOutcome::Optimal } else { BnbOutcome::Infeasible };
+        let outcome =
+            if best_choices.is_some() { BnbOutcome::Optimal } else { BnbOutcome::Infeasible };
         BnbResult {
             lower_bound: if best_cost.is_finite() { best_cost } else { frontier_bound },
             best_choices,
@@ -345,7 +347,12 @@ mod tests {
         fn root_state(&self) -> Self::State {
             (vec![0.0; self.resources], 0.0)
         }
-        fn apply(&self, state: &Self::State, stage: usize, choice: usize) -> Option<(Self::State, f64)> {
+        fn apply(
+            &self,
+            state: &Self::State,
+            stage: usize,
+            choice: usize,
+        ) -> Option<(Self::State, f64)> {
             let (loads, cost) = state;
             let w = self.weights[stage][choice];
             let old = loads[choice];

@@ -97,18 +97,11 @@ where
             let cand: Vec<f64> = x.iter().zip(&g).map(|(xi, gi)| xi - step * gi).collect();
             let cand = project(&cand);
             let fc = f(&cand);
-            let decrease: f64 = x
-                .iter()
-                .zip(&cand)
-                .map(|(xi, ci)| (xi - ci) * (xi - ci))
-                .sum::<f64>()
-                / step.max(1e-300);
+            let decrease: f64 =
+                x.iter().zip(&cand).map(|(xi, ci)| (xi - ci) * (xi - ci)).sum::<f64>()
+                    / step.max(1e-300);
             if fc <= fx - config.armijo * decrease {
-                let moved = x
-                    .iter()
-                    .zip(&cand)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0f64, f64::max);
+                let moved = x.iter().zip(&cand).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
                 x = cand;
                 fx = fc;
                 accepted = true;
@@ -236,7 +229,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty start")]
     fn empty_start_panics() {
-        minimize_projected(|_| 0.0, |_| vec![], |v: &[f64]| v.to_vec(), &[], GradientConfig::default());
+        minimize_projected(
+            |_| 0.0,
+            |_| vec![],
+            |v: &[f64]| v.to_vec(),
+            &[],
+            GradientConfig::default(),
+        );
     }
 
     #[test]

@@ -152,7 +152,8 @@ mod tests {
     fn noisy_quadratic_recovers_coefficients() {
         let mut rng = Pcg32::seed(15);
         let xs: Vec<f64> = (0..200).map(|i| 1.0 + i as f64 * 0.01).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 4.0 + 3.0 * x + 2.0 * x * x + rng.normal(0.0, 0.01)).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|&x| 4.0 + 3.0 * x + 2.0 * x * x + rng.normal(0.0, 0.01)).collect();
         let fit = polyfit(&xs, &ys, 2).unwrap();
         assert_close!(fit.coeffs[0], 4.0, 0.05);
         assert_close!(fit.coeffs[1], 3.0, 0.05);

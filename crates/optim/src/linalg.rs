@@ -105,9 +105,7 @@ impl Matrix {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch { context: "mul_vec dimension" });
         }
-        Ok((0..self.rows)
-            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum())
-            .collect())
+        Ok((0..self.rows).map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum()).collect())
     }
 
     /// Matrix–matrix product `A·B`.

@@ -291,13 +291,18 @@ pub fn minimize_brent<F: FnMut(f64) -> f64>(
 /// assert!(is_convex_on(|x| x * x, -1.0, 1.0, 64, 1e-9));
 /// assert!(!is_convex_on(|x| -(x * x), -1.0, 1.0, 64, 1e-9));
 /// ```
-pub fn is_convex_on<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, samples: usize, tol: f64) -> bool {
+pub fn is_convex_on<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    samples: usize,
+    tol: f64,
+) -> bool {
     if samples < 3 || hi <= lo {
         return true;
     }
-    let xs: Vec<f64> = (0..samples)
-        .map(|i| lo + (hi - lo) * i as f64 / (samples - 1) as f64)
-        .collect();
+    let xs: Vec<f64> =
+        (0..samples).map(|i| lo + (hi - lo) * i as f64 / (samples - 1) as f64).collect();
     let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
     let scale = ys.iter().fold(1.0f64, |acc, &y| acc.max(y.abs()));
     for w in ys.windows(3) {
@@ -362,7 +367,14 @@ mod tests {
     #[test]
     fn bisection_clamps_to_lower_bound() {
         // f'(x) = 2(x+5) > 0 on [0, 4]: min at 0.
-        let m = minimize_bisection(|x| (x + 5.0) * (x + 5.0), |x| 2.0 * (x + 5.0), 0.0, 4.0, 1e-12, 100);
+        let m = minimize_bisection(
+            |x| (x + 5.0) * (x + 5.0),
+            |x| 2.0 * (x + 5.0),
+            0.0,
+            4.0,
+            1e-12,
+            100,
+        );
         assert_eq!(m.x, 0.0);
     }
 

@@ -113,7 +113,8 @@ mod tests {
         let m = 60;
         for i in 0..=m {
             for j in 0..=(m - i) {
-                let cand = [i as f64 / m as f64, j as f64 / m as f64, (m - i - j) as f64 / m as f64];
+                let cand =
+                    [i as f64 / m as f64, j as f64 / m as f64, (m - i - j) as f64 / m as f64];
                 let d: f64 = v.iter().zip(&cand).map(|(a, b)| (a - b) * (a - b)).sum();
                 assert!(d + 1e-9 >= d_opt, "grid point beats projection");
             }

@@ -78,35 +78,33 @@ pub struct SchedulingRow {
 
 /// Compares the paper's max-gain scheduling against round-robin.
 pub fn scheduling_rules(devices: usize, trials: usize, seed: u64) -> Vec<SchedulingRow> {
-    [
-        ("max-gain", SchedulingRule::MaxGain),
-        ("round-robin", SchedulingRule::RoundRobin),
-    ]
-    .into_iter()
-    .map(|(name, scheduling)| {
-        let mut objective = 0.0;
-        let mut iterations = 0.0;
-        for trial in 0..trials {
-            let s = seed + trial as u64 * 41;
-            let system = MecSystem::random(&SystemConfig::paper_defaults(devices), s);
-            let mut states =
-                StateProvider::paper(system.topology(), &PaperStateConfig::default(), s);
-            let state = states.observe(0, system.topology());
-            let p2a = eotora_core::p2a::P2aProblem::build(&system, &state, &system.min_frequencies());
-            let mut rng = Pcg32::seed(s);
-            let cfg = CgbaConfig { scheduling, ..Default::default() };
-            let report = p2a.solve_cgba(&cfg, &mut rng);
-            assert!(report.converged);
-            objective += report.total_cost;
-            iterations += report.iterations as f64;
-        }
-        SchedulingRow {
-            rule: name.to_string(),
-            objective: objective / trials as f64,
-            iterations: iterations / trials as f64,
-        }
-    })
-    .collect()
+    [("max-gain", SchedulingRule::MaxGain), ("round-robin", SchedulingRule::RoundRobin)]
+        .into_iter()
+        .map(|(name, scheduling)| {
+            let mut objective = 0.0;
+            let mut iterations = 0.0;
+            for trial in 0..trials {
+                let s = seed + trial as u64 * 41;
+                let system = MecSystem::random(&SystemConfig::paper_defaults(devices), s);
+                let mut states =
+                    StateProvider::paper(system.topology(), &PaperStateConfig::default(), s);
+                let state = states.observe(0, system.topology());
+                let p2a =
+                    eotora_core::p2a::P2aProblem::build(&system, &state, &system.min_frequencies());
+                let mut rng = Pcg32::seed(s);
+                let cfg = CgbaConfig { scheduling, ..Default::default() };
+                let report = p2a.solve_cgba(&cfg, &mut rng);
+                assert!(report.converged);
+                objective += report.total_cost;
+                iterations += report.iterations as f64;
+            }
+            SchedulingRow {
+                rule: name.to_string(),
+                objective: objective / trials as f64,
+                iterations: iterations / trials as f64,
+            }
+        })
+        .collect()
 }
 
 /// One row of the energy-family ablation.
@@ -211,15 +209,14 @@ pub struct PerSlotComparison {
 /// Compares DPP against the per-slot-budget controller at the same budget —
 /// quantifying what time-averaging buys (the Lyapunov design's core value).
 pub fn per_slot_vs_dpp(devices: usize, horizon: u64, budget: f64, seed: u64) -> PerSlotComparison {
-    let system = MecSystem::random(&SystemConfig::paper_defaults(devices), seed).with_budget(budget);
+    let system =
+        MecSystem::random(&SystemConfig::paper_defaults(devices), seed).with_budget(budget);
     let mut states_a = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
     let mut states_b = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
 
     let mut per_slot = PerSlotController::new(system.clone(), seed);
-    let mut dpp = EotoraDpp::new(
-        system,
-        DppConfig { v: 100.0, bdma_rounds: 2, seed, ..Default::default() },
-    );
+    let mut dpp =
+        EotoraDpp::new(system, DppConfig { v: 100.0, bdma_rounds: 2, seed, ..Default::default() });
     for t in 0..horizon {
         let beta = states_a.observe(t, per_slot.system().topology());
         per_slot.step(&beta);

@@ -55,8 +55,8 @@ pub struct BetaOnlyGap {
 
 /// Runs the study.
 pub fn beta_only_gap(config: &BetaOnlyGapConfig) -> BetaOnlyGap {
-    let system =
-        MecSystem::random(&SystemConfig::paper_defaults(config.devices), config.seed).with_budget(config.budget);
+    let system = MecSystem::random(&SystemConfig::paper_defaults(config.devices), config.seed)
+        .with_budget(config.budget);
     let mut provider =
         StateProvider::paper(system.topology(), &PaperStateConfig::default(), config.seed);
     let states: Vec<SystemState> =
@@ -76,7 +76,12 @@ pub fn beta_only_gap(config: &BetaOnlyGapConfig) -> BetaOnlyGap {
             for state in &states {
                 ctl.step(state);
             }
-            (v, ctl.average_latency(), ctl.average_cost(), ctl.average_latency() / oracle.average_latency)
+            (
+                v,
+                ctl.average_latency(),
+                ctl.average_cost(),
+                ctl.average_latency() / oracle.average_latency,
+            )
         })
         .collect();
 

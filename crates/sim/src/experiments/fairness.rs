@@ -92,8 +92,12 @@ mod tests {
         let rows = fairness(&FairnessConfig::small());
         assert_eq!(rows.len(), 2);
         let (cgba, ropt) = (&rows[0], &rows[1]);
-        assert!(cgba.mean_jains_index > ropt.mean_jains_index,
-            "CGBA fairness {} should beat ROPT {}", cgba.mean_jains_index, ropt.mean_jains_index);
+        assert!(
+            cgba.mean_jains_index > ropt.mean_jains_index,
+            "CGBA fairness {} should beat ROPT {}",
+            cgba.mean_jains_index,
+            ropt.mean_jains_index
+        );
         // And it is not buying fairness with latency: it wins both.
         assert!(cgba.average_latency < ropt.average_latency);
     }

@@ -131,8 +131,7 @@ pub fn p2a_comparison(config: &P2aComparisonConfig) -> Vec<P2aComparisonRow> {
 
                 // Warm-start the exact search with CGBA's solution (as one
                 // would hand Gurobi a MIP start): OPT ≤ CGBA by construction.
-                let exact =
-                    ExactSolver { node_budget: config.exact_node_budget, warm_start: true };
+                let exact = ExactSolver { node_budget: config.exact_node_budget, warm_start: true };
                 let started = Instant::now();
                 let report = exact.solve_with_report_from(&p2a, Some(&cgba_choices));
                 acc[3].0 += report.latency;
@@ -169,7 +168,11 @@ mod tests {
             // equilibrium (small profile space), so the CGBA-vs-MCBA leg is
             // asserted only at paper scale by the `figures` run; here both
             // must beat ROPT and respect the exact bounds.
-            assert!(r.exact.objective <= r.cgba.objective + 1e-9, "exact > cgba at I={}", r.devices);
+            assert!(
+                r.exact.objective <= r.cgba.objective + 1e-9,
+                "exact > cgba at I={}",
+                r.devices
+            );
             assert!(r.cgba.objective < r.ropt.objective, "cgba >= ropt at I={}", r.devices);
             assert!(r.mcba.objective < r.ropt.objective, "mcba >= ropt at I={}", r.devices);
             // Theorem 2 bound with certified LB.

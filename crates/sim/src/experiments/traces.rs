@@ -30,11 +30,8 @@ pub struct TraceData {
 pub fn traces(hours: u64, noise_rel: f64, seed: u64) -> TraceData {
     assert!(hours > 0, "need at least one hour");
     let mut price = PriceModel::nyiso_like(24, noise_rel, Pcg32::seed_stream(seed, 1));
-    let mut demand = PeriodicProcess::new(
-        DIURNAL_DEMAND_24H.to_vec(),
-        noise_rel,
-        Pcg32::seed_stream(seed, 2),
-    );
+    let mut demand =
+        PeriodicProcess::new(DIURNAL_DEMAND_24H.to_vec(), noise_rel, Pcg32::seed_stream(seed, 2));
     let hours_vec: Vec<u64> = (0..hours).collect();
     TraceData {
         price: hours_vec.iter().map(|&t| price.sample(t)).collect(),

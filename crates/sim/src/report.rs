@@ -1,5 +1,7 @@
 //! Plain-text rendering of experiment results: ASCII tables and CSV.
 
+use crate::runner::SimulationResult;
+
 /// Renders rows as an aligned ASCII table.
 ///
 /// # Panics
@@ -68,6 +70,33 @@ pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Renders a run's per-slot series as CSV: the headline series plus one
+/// `stage_<name>_s` column per instrumented solver stage (seconds spent in
+/// `p2a`, `p2b`, `queue_update`, ... each slot).
+pub fn slot_csv(result: &SimulationResult) -> String {
+    let mut header: Vec<String> =
+        ["slot", "latency_s", "cost_usd", "queue", "price", "solve_time_s"]
+            .map(String::from)
+            .to_vec();
+    header.extend(result.per_stage_solve_time.keys().map(|name| format!("stage_{name}_s")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..result.latency.len())
+        .map(|t| {
+            let mut row = vec![
+                t.to_string(),
+                result.latency.values()[t].to_string(),
+                result.cost.values()[t].to_string(),
+                result.queue.values()[t].to_string(),
+                result.price.values()[t].to_string(),
+                result.solve_time.values()[t].to_string(),
+            ];
+            row.extend(result.per_stage_solve_time.values().map(|s| s.values()[t].to_string()));
+            row
+        })
+        .collect();
+    csv(&header_refs, &rows)
+}
+
 /// Formats a float with 4 significant-ish decimals for table cells.
 pub fn num(v: f64) -> String {
     if v == 0.0 {
@@ -104,6 +133,23 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_panic() {
         ascii_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn slot_csv_includes_stage_columns() {
+        use crate::runner::run;
+        use crate::scenario::Scenario;
+        let r = run(&Scenario::paper(6, 11).with_horizon(3).with_bdma_rounds(1));
+        let text = slot_csv(&r);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let header: Vec<&str> = lines[0].split(',').collect();
+        for col in ["slot", "latency_s", "stage_p2a_s", "stage_p2b_s", "stage_queue_update_s"] {
+            assert!(header.contains(&col), "missing column {col} in {header:?}");
+        }
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), header.len());
+        }
     }
 
     #[test]

@@ -1,10 +1,17 @@
 //! Executes scenarios and collects per-slot metrics.
+//!
+//! Every run is instrumented: an in-memory
+//! [`MetricsRecorder`](eotora_obs::MetricsRecorder) aggregates the
+//! pipeline's spans into [`SimulationResult::per_stage_solve_time`], and
+//! [`run_traced`] additionally tees the event stream into any external
+//! [`Recorder`] (e.g. a JSONL sink for `eotora run --trace`).
 
-use std::time::Instant;
+use std::collections::BTreeMap;
 
 use eotora_core::dpp::EotoraDpp;
 use eotora_core::latency::latency_under;
 use eotora_core::system::MecSystem;
+use eotora_obs::{MetricsRecorder, Recorder, SpanGuard, TeeRecorder, TraceEvent};
 use eotora_states::{StateProvider, SystemState};
 use eotora_util::series::TimeSeries;
 use serde::{Deserialize, Serialize};
@@ -34,6 +41,12 @@ pub struct SimulationResult {
     pub handover_rate: TimeSeries,
     /// Fleet mean clock frequency per slot, in GHz.
     pub mean_clock_ghz: TimeSeries,
+    /// Per-slot seconds spent in each instrumented solver stage (`p2a`,
+    /// `p2b`, `queue_update`, ...), keyed by span name. Every series has
+    /// one entry per slot (zero where the stage did not run).
+    pub per_stage_solve_time: BTreeMap<String, TimeSeries>,
+    /// Mean BDMA alternation rounds per slot (0 when BDMA never ran).
+    pub mean_bdma_rounds: f64,
     /// The budget `C̄` in force.
     pub budget: f64,
     /// Final time-average latency.
@@ -54,6 +67,19 @@ impl SimulationResult {
     pub fn budget_satisfied(&self, tol: f64) -> bool {
         self.average_cost <= self.budget + tol
     }
+
+    /// The `q`-quantile of the per-slot wall-clock solve time, in seconds
+    /// (`None` for an empty run). Exact (sorting-based), unlike the
+    /// bucketed trace histograms.
+    pub fn solve_time_quantile(&self, q: f64) -> Option<f64> {
+        let mut sorted = self.solve_time.values().to_vec();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
 }
 
 /// Runs one scenario to completion.
@@ -63,6 +89,16 @@ pub fn run(scenario: &Scenario) -> SimulationResult {
     run_with(scenario, system, &mut |slot, topo| states.observe(slot, topo))
 }
 
+/// Runs one scenario while streaming every trace event into `sink` (in
+/// addition to the in-memory metrics every run collects). This is the entry
+/// point behind `eotora run --trace`: pass a
+/// [`JsonlRecorder`](eotora_obs::JsonlRecorder) to capture the run as JSONL.
+pub fn run_traced(scenario: &Scenario, sink: &dyn Recorder) -> SimulationResult {
+    let system = MecSystem::random(&scenario.system, scenario.seed);
+    let mut states = StateProvider::paper(system.topology(), &scenario.states, scenario.seed);
+    run_impl(scenario, system, &mut |slot, topo| states.observe(slot, topo), Some(sink))
+}
+
 /// Runs a scenario against a caller-supplied system and state source —
 /// the hook used by the mobility example and the dynamic-fronthaul tests.
 pub fn run_with(
@@ -70,8 +106,27 @@ pub fn run_with(
     system: MecSystem,
     observe: &mut dyn FnMut(u64, &eotora_topology::Topology) -> SystemState,
 ) -> SimulationResult {
+    run_impl(scenario, system, observe, None)
+}
+
+fn run_impl(
+    scenario: &Scenario,
+    system: MecSystem,
+    observe: &mut dyn FnMut(u64, &eotora_topology::Topology) -> SystemState,
+    sink: Option<&dyn Recorder>,
+) -> SimulationResult {
     let budget = system.budget_per_slot();
     let mut dpp = EotoraDpp::new(system, scenario.dpp);
+
+    let metrics = MetricsRecorder::new();
+    let tee;
+    let recorder: &dyn Recorder = match sink {
+        Some(sink) => {
+            tee = TeeRecorder::new(&metrics, sink);
+            &tee
+        }
+        None => &metrics,
+    };
 
     let mut latency = TimeSeries::new("latency_s");
     let mut cost = TimeSeries::new("cost_usd");
@@ -85,24 +140,27 @@ pub fn run_with(
 
     for slot in 0..scenario.horizon {
         let beta = observe(slot, dpp.system().topology());
-        let started = Instant::now();
-        let step = dpp.step(&beta);
-        solve_time.push(started.elapsed().as_secs_f64());
+        let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
+        let step = dpp.step_with(&beta, recorder);
+        let slot_nanos = slot_span.finish().unwrap_or(0);
+        solve_time.push(slot_nanos as f64 / 1e9);
+        recorder.add(eotora_obs::COUNTER_SLOTS, 1);
+        recorder.record(&TraceEvent::Slot {
+            slot,
+            objective: scenario.dpp.v * step.outcome.objective
+                + step.queue_before * step.outcome.constraint_excess,
+            latency: step.outcome.objective,
+            cost: step.outcome.constraint_excess + budget,
+            queue: step.queue_after,
+        });
         latency.push(step.outcome.objective);
         cost.push(step.outcome.constraint_excess + budget);
         queue.push(step.queue_after);
         price.push(beta.price_per_kwh);
         let breakdown = latency_under(dpp.system(), &beta, &step.outcome.decision);
-        fairness.push(
-            eotora_util::stats::jains_index(&breakdown.per_device).unwrap_or(1.0),
-        );
-        let stations: Vec<usize> = step
-            .outcome
-            .decision
-            .assignments
-            .iter()
-            .map(|a| a.base_station.index())
-            .collect();
+        fairness.push(eotora_util::stats::jains_index(&breakdown.per_device).unwrap_or(1.0));
+        let stations: Vec<usize> =
+            step.outcome.decision.assignments.iter().map(|a| a.base_station.index()).collect();
         handover_rate.push(match &previous_stations {
             Some(prev) => {
                 prev.iter().zip(&stations).filter(|(a, b)| a != b).count() as f64
@@ -114,6 +172,19 @@ pub fn run_with(
         let freqs = &step.outcome.decision.frequencies_hz;
         mean_clock_ghz.push(freqs.iter().sum::<f64>() / freqs.len() as f64 / 1e9);
     }
+
+    let per_stage_solve_time = metrics
+        .stage_series()
+        .into_iter()
+        .filter(|(name, _)| name != eotora_obs::SPAN_SLOT_SOLVE)
+        .map(|(name, seconds)| {
+            let mut series = TimeSeries::new(&name);
+            for s in seconds {
+                series.push(s);
+            }
+            (name, series)
+        })
+        .collect();
 
     SimulationResult {
         label: scenario.label.clone(),
@@ -127,6 +198,8 @@ pub fn run_with(
         fairness,
         handover_rate,
         mean_clock_ghz,
+        per_stage_solve_time,
+        mean_bdma_rounds: metrics.mean_bdma_rounds().unwrap_or(0.0),
         budget,
     }
 }
@@ -135,10 +208,7 @@ pub fn run_with(
 /// the scenario count; scenarios are independent by construction).
 pub fn run_many(scenarios: &[Scenario]) -> Vec<SimulationResult> {
     std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .iter()
-            .map(|s| scope.spawn(move || run(s)))
-            .collect();
+        let handles: Vec<_> = scenarios.iter().map(|s| scope.spawn(move || run(s))).collect();
         handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
     })
 }
@@ -186,6 +256,51 @@ mod tests {
         assert_eq!(parallel.len(), 2);
         let serial0 = run(&scenarios[0]);
         assert_eq!(parallel[0].latency, serial0.latency);
+    }
+
+    #[test]
+    fn per_stage_series_cover_every_slot() {
+        let r = run(&Scenario::paper(8, 7).with_horizon(5).with_bdma_rounds(2));
+        for name in ["p2a", "p2b", "queue_update"] {
+            let series = r
+                .per_stage_solve_time
+                .get(name)
+                .unwrap_or_else(|| panic!("missing stage series {name}"));
+            assert_eq!(series.len(), 5, "{name}");
+            assert!(series.values().iter().all(|&s| s >= 0.0));
+        }
+        // Stage times are components of the slot solve, never more than it.
+        for slot in 0..5 {
+            let stage_sum: f64 = r.per_stage_solve_time.values().map(|s| s.values()[slot]).sum();
+            assert!(
+                stage_sum <= r.solve_time.values()[slot] + 1e-6,
+                "slot {slot}: stages {stage_sum} vs total {}",
+                r.solve_time.values()[slot]
+            );
+        }
+        assert!(r.mean_bdma_rounds >= 1.0);
+    }
+
+    #[test]
+    fn run_traced_streams_valid_jsonl() {
+        let scenario = Scenario::paper(8, 9).with_horizon(4).with_bdma_rounds(2);
+        let sink = eotora_obs::JsonlRecorder::new(Vec::new());
+        let result = run_traced(&scenario, &sink);
+        let bytes = sink.finish().expect("in-memory sink cannot fail");
+        let analysis = eotora_obs::TraceAnalysis::from_reader(bytes.as_slice()).unwrap();
+        assert!(analysis.malformed.is_empty());
+        assert_eq!(analysis.slots, 4);
+        for name in ["p2a", "p2b", "queue_update", "slot_solve"] {
+            assert!(analysis.spans.contains_key(name), "missing span {name}");
+        }
+        assert!(analysis.bdma_rounds_per_slot.count() > 0);
+        // The trace's queue trajectory matches the in-memory series.
+        let traced: Vec<f64> = analysis.queue_by_slot.iter().map(|&(_, q)| q).collect();
+        assert_eq!(traced, result.queue.values());
+        // Tracing must not perturb the run itself.
+        let untraced = run(&scenario);
+        assert_eq!(untraced.latency, result.latency);
+        assert_eq!(untraced.queue, result.queue);
     }
 
     #[test]

@@ -68,10 +68,7 @@ const MARGIN_B: f64 = 48.0;
 pub fn render_line_chart(chart: &SvgChart, series: &[SvgSeries]) -> String {
     let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     assert!(!all.is_empty(), "nothing to plot");
-    assert!(
-        all.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
-        "non-finite coordinate"
-    );
+    assert!(all.iter().all(|&(x, y)| x.is_finite() && y.is_finite()), "non-finite coordinate");
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
     for &(x, y) in &all {
@@ -224,8 +221,14 @@ mod tests {
         let svg = render_line_chart(
             &chart(),
             &[
-                SvgSeries { label: "V=50".into(), points: (0..10).map(|t| (t as f64, t as f64 * 2.0)).collect() },
-                SvgSeries { label: "V=100".into(), points: (0..10).map(|t| (t as f64, t as f64 * 3.0)).collect() },
+                SvgSeries {
+                    label: "V=50".into(),
+                    points: (0..10).map(|t| (t as f64, t as f64 * 2.0)).collect(),
+                },
+                SvgSeries {
+                    label: "V=100".into(),
+                    points: (0..10).map(|t| (t as f64, t as f64 * 3.0)).collect(),
+                },
             ],
         );
         assert_eq!(svg.matches("<polyline").count(), 2);
@@ -264,7 +267,8 @@ mod tests {
     fn labels_are_escaped() {
         let mut c = chart();
         c.title = "a < b & c".into();
-        let svg = render_line_chart(&c, &[SvgSeries { label: "<s>".into(), points: vec![(0.0, 1.0)] }]);
+        let svg =
+            render_line_chart(&c, &[SvgSeries { label: "<s>".into(), points: vec![(0.0, 1.0)] }]);
         assert!(svg.contains("a &lt; b &amp; c"));
         assert!(svg.contains("&lt;s&gt;"));
     }
@@ -278,6 +282,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-finite")]
     fn non_finite_panics() {
-        render_line_chart(&chart(), &[SvgSeries { label: "x".into(), points: vec![(0.0, f64::NAN)] }]);
+        render_line_chart(
+            &chart(),
+            &[SvgSeries { label: "x".into(), points: vec![(0.0, f64::NAN)] }],
+        );
     }
 }

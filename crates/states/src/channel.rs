@@ -37,7 +37,12 @@ impl UniformChannel {
     /// # Panics
     ///
     /// Panics if counts are zero or the range is reversed/non-positive.
-    pub fn new(num_devices: usize, num_base_stations: usize, range: (f64, f64), rng: Pcg32) -> Self {
+    pub fn new(
+        num_devices: usize,
+        num_base_stations: usize,
+        range: (f64, f64),
+        rng: Pcg32,
+    ) -> Self {
         assert!(num_devices > 0 && num_base_stations > 0, "empty channel matrix");
         assert!(0.0 < range.0 && range.0 <= range.1, "invalid efficiency range");
         Self { num_devices, num_base_stations, range, rng }
@@ -104,8 +109,14 @@ pub struct MobilityChannel {
 impl MobilityChannel {
     /// Creates a channel for `num_devices` walkers in a square of side
     /// `area_side_m`.
-    pub fn new(num_devices: usize, area_side_m: f64, config: MobilityChannelConfig, mut rng: Pcg32) -> Self {
-        let mobility = RandomWaypoint::new(num_devices, area_side_m, config.speed_range, rng.fork(0));
+    pub fn new(
+        num_devices: usize,
+        area_side_m: f64,
+        config: MobilityChannelConfig,
+        mut rng: Pcg32,
+    ) -> Self {
+        let mobility =
+            RandomWaypoint::new(num_devices, area_side_m, config.speed_range, rng.fork(0));
         Self { config, mobility, rng, last_slot: None }
     }
 
@@ -130,8 +141,7 @@ impl ChannelModel for MobilityChannel {
                 topo.base_station_ids()
                     .map(|k| {
                         let d = topo.base_station(k).position.distance_to(pos).max(1.0);
-                        let path_gain =
-                            (cfg.reference_distance_m / d).powf(cfg.path_loss_exponent);
+                        let path_gain = (cfg.reference_distance_m / d).powf(cfg.path_loss_exponent);
                         let shadow_db = self.rng.normal(0.0, cfg.shadowing_std_db);
                         let snr = cfg.reference_snr * path_gain * 10f64.powf(shadow_db / 10.0);
                         (1.0 + snr).log2().clamp(cfg.min_efficiency, cfg.max_efficiency)
@@ -264,7 +274,8 @@ mod tests {
     #[test]
     fn mobility_channel_bounds() {
         let t = topo(5);
-        let mut c = MobilityChannel::new(5, 2000.0, MobilityChannelConfig::default(), Pcg32::seed(3));
+        let mut c =
+            MobilityChannel::new(5, 2000.0, MobilityChannelConfig::default(), Pcg32::seed(3));
         for slot in 0..20 {
             let h = c.sample(slot, &t);
             for row in &h {
@@ -351,7 +362,8 @@ mod tests {
     #[test]
     fn mobility_channel_idempotent_within_slot() {
         let t = topo(2);
-        let mut c = MobilityChannel::new(2, 1000.0, MobilityChannelConfig::default(), Pcg32::seed(5));
+        let mut c =
+            MobilityChannel::new(2, 1000.0, MobilityChannelConfig::default(), Pcg32::seed(5));
         let _ = c.sample(0, &t);
         let p1 = c.positions().to_vec();
         let _ = c.sample(0, &t);

@@ -50,13 +50,15 @@ impl RandomWaypoint {
     ///
     /// Panics if `num_devices == 0`, the area is non-positive, or the speed
     /// range is reversed or negative.
-    pub fn new(num_devices: usize, area_side_m: f64, speed_range: (f64, f64), mut rng: Pcg32) -> Self {
+    pub fn new(
+        num_devices: usize,
+        area_side_m: f64,
+        speed_range: (f64, f64),
+        mut rng: Pcg32,
+    ) -> Self {
         assert!(num_devices > 0, "need at least one device");
         assert!(area_side_m > 0.0, "area must be positive");
-        assert!(
-            0.0 <= speed_range.0 && speed_range.0 <= speed_range.1,
-            "invalid speed range"
-        );
+        assert!(0.0 <= speed_range.0 && speed_range.0 <= speed_range.1, "invalid speed range");
         let mut walkers = Vec::with_capacity(num_devices);
         for _ in 0..num_devices {
             let position =

@@ -81,10 +81,7 @@ impl WorkloadModel {
         rng: Pcg32,
     ) -> Self {
         assert!(num_devices > 0, "need at least one device");
-        assert!(
-            0.0 < cycles_range.0 && cycles_range.0 <= cycles_range.1,
-            "invalid cycles range"
-        );
+        assert!(0.0 < cycles_range.0 && cycles_range.0 <= cycles_range.1, "invalid cycles range");
         assert!(0.0 < bits_range.0 && bits_range.0 <= bits_range.1, "invalid bits range");
         Self { num_devices, mode: Mode::UniformIid { cycles_range, bits_range, rng } }
     }
@@ -151,7 +148,10 @@ impl WorkloadModel {
         assert!(0.0 < cycles_range.0 && cycles_range.0 <= cycles_range.1, "invalid cycles range");
         assert!(0.0 < bits_range.0 && bits_range.0 <= bits_range.1, "invalid bits range");
         assert!(burst_multiplier >= 1.0, "burst multiplier must be at least 1");
-        assert!((0.0..=1.0).contains(&p_enter) && (0.0..=1.0).contains(&p_exit), "invalid probability");
+        assert!(
+            (0.0..=1.0).contains(&p_enter) && (0.0..=1.0).contains(&p_exit),
+            "invalid probability"
+        );
         Self {
             num_devices,
             mode: Mode::Bursty {
@@ -175,10 +175,12 @@ impl WorkloadModel {
     pub fn sample(&mut self, slot: u64) -> WorkloadSample {
         match &mut self.mode {
             Mode::UniformIid { cycles_range, bits_range, rng } => {
-                let task_cycles =
-                    (0..self.num_devices).map(|_| rng.uniform_in(cycles_range.0, cycles_range.1)).collect();
-                let data_bits =
-                    (0..self.num_devices).map(|_| rng.uniform_in(bits_range.0, bits_range.1)).collect();
+                let task_cycles = (0..self.num_devices)
+                    .map(|_| rng.uniform_in(cycles_range.0, cycles_range.1))
+                    .collect();
+                let data_bits = (0..self.num_devices)
+                    .map(|_| rng.uniform_in(bits_range.0, bits_range.1))
+                    .collect();
                 WorkloadSample { task_cycles, data_bits }
             }
             Mode::Diurnal { cycles, bits } => WorkloadSample {
@@ -265,7 +267,8 @@ mod tests {
     fn bursty_state_persists_and_amplifies() {
         // With p_exit = 0 a device that enters a burst stays bursting, and
         // all its draws exceed the baseline maximum.
-        let mut w = WorkloadModel::bursty(4, (100.0, 200.0), (10.0, 20.0), 10.0, 0.5, 0.0, Pcg32::seed(6));
+        let mut w =
+            WorkloadModel::bursty(4, (100.0, 200.0), (10.0, 20.0), 10.0, 0.5, 0.0, Pcg32::seed(6));
         let mut ever_burst = [false; 4];
         for t in 0..50 {
             let s = w.sample(t);

@@ -283,7 +283,8 @@ impl Topology {
                     context: format!("base station B{k} has non-positive bandwidth"),
                 });
             }
-            if bs.fronthaul_spectral_efficiency <= 0.0 || bs.fronthaul_spectral_efficiency.is_nan() {
+            if bs.fronthaul_spectral_efficiency <= 0.0 || bs.fronthaul_spectral_efficiency.is_nan()
+            {
                 return Err(TopologyError::BadParameter {
                     context: format!("base station B{k} has non-positive fronthaul efficiency"),
                 });
@@ -298,7 +299,10 @@ impl Topology {
             if !self.clusters[srv.cluster.index()].servers.contains(&ServerId(n)) {
                 return Err(TopologyError::InconsistentMembership { server: ServerId(n) });
             }
-            if srv.freq_min_hz <= 0.0 || srv.freq_min_hz.is_nan() || srv.freq_max_hz < srv.freq_min_hz {
+            if srv.freq_min_hz <= 0.0
+                || srv.freq_min_hz.is_nan()
+                || srv.freq_max_hz < srv.freq_min_hz
+            {
                 return Err(TopologyError::BadParameter {
                     context: format!("server S{n} frequency bounds invalid"),
                 });
@@ -364,7 +368,13 @@ impl TopologyBuilder {
 
     /// Adds a server to `cluster` with the given core count and frequency
     /// bounds (Hz); registers it in the cluster's member list.
-    pub fn server(mut self, cluster: ClusterId, cores: u32, freq_min_hz: f64, freq_max_hz: f64) -> Self {
+    pub fn server(
+        mut self,
+        cluster: ClusterId,
+        cores: u32,
+        freq_min_hz: f64,
+        freq_max_hz: f64,
+    ) -> Self {
         let id = ServerId(self.servers.len());
         self.servers.push(EdgeServer { cluster, cores, freq_min_hz, freq_max_hz });
         if let Some(c) = self.clusters.get_mut(cluster.index()) {
@@ -436,7 +446,14 @@ mod tests {
             .server(ClusterId(0), 64, 1.8e9, 3.6e9)
             .server(ClusterId(1), 128, 1.8e9, 3.6e9)
             .base_station(50e6, 0.5e9, 10.0, vec![ClusterId(0)], Point::new(0.0, 0.0), 300.0)
-            .base_station(80e6, 1.0e9, 10.0, vec![ClusterId(0), ClusterId(1)], Point::new(50.0, 0.0), 300.0)
+            .base_station(
+                80e6,
+                1.0e9,
+                10.0,
+                vec![ClusterId(0), ClusterId(1)],
+                Point::new(50.0, 0.0),
+                300.0,
+            )
             .device(Point::new(1.0, 1.0))
             .device(Point::new(400.0, 0.0))
     }
@@ -454,19 +471,13 @@ mod tests {
     fn reachability_follows_fronthaul_links() {
         let t = tiny().build().unwrap();
         assert_eq!(t.servers_reachable_from(BaseStationId(0)), vec![ServerId(0)]);
-        assert_eq!(
-            t.servers_reachable_from(BaseStationId(1)),
-            vec![ServerId(0), ServerId(1)]
-        );
+        assert_eq!(t.servers_reachable_from(BaseStationId(1)), vec![ServerId(0), ServerId(1)]);
     }
 
     #[test]
     fn full_coverage_lists_all_stations() {
         let t = tiny().build().unwrap();
-        assert_eq!(
-            t.covering_base_stations(DeviceId(1)),
-            vec![BaseStationId(0), BaseStationId(1)]
-        );
+        assert_eq!(t.covering_base_stations(DeviceId(1)), vec![BaseStationId(0), BaseStationId(1)]);
     }
 
     #[test]

@@ -5,11 +5,11 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = RandomTopologyConfig> {
     (
-        1usize..8,   // base stations
-        1usize..4,   // clusters
-        1usize..6,   // servers per cluster
-        1usize..40,  // devices
-        1usize..4,   // links per bs (clamped below)
+        1usize..8,  // base stations
+        1usize..4,  // clusters
+        1usize..6,  // servers per cluster
+        1usize..40, // devices
+        1usize..4,  // links per bs (clamped below)
         prop::bool::ANY,
     )
         .prop_map(|(k, m, spc, i, links, radius)| RandomTopologyConfig {

@@ -99,10 +99,7 @@ impl TimeSeries {
     /// Panics if `block == 0`.
     pub fn block_averages(&self, block: usize) -> Vec<f64> {
         assert!(block > 0, "block size must be positive");
-        self.values
-            .chunks(block)
-            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
-            .collect()
+        self.values.chunks(block).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
     }
 
     /// Final sample, if any.

@@ -37,7 +37,13 @@ impl Summary {
     pub fn from_slice(xs: &[f64]) -> Self {
         let count = xs.len();
         if count == 0 {
-            return Self { count, mean: 0.0, std_dev: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY };
+            return Self {
+                count,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            };
         }
         let mean = xs.iter().sum::<f64>() / count as f64;
         let var = if count > 1 {

@@ -54,7 +54,17 @@ fn main() {
         if report.proven_optimal { "proven optimal" } else { "budget-limited incumbent" }
     );
     let cgba_latency = p2a.total_latency(&cgba_choices);
-    println!("\nCGBA vs best-known solution : {:.4}x (Theorem 2 guarantees ≤ 2.62x vs optimum)", cgba_latency / report.latency);
-    println!("CGBA vs certified lower bound: {:.4}x{}", cgba_latency / report.lower_bound,
-        if report.proven_optimal { "" } else { " (bound is loose when the search is budget-limited)" });
+    println!(
+        "\nCGBA vs best-known solution : {:.4}x (Theorem 2 guarantees ≤ 2.62x vs optimum)",
+        cgba_latency / report.latency
+    );
+    println!(
+        "CGBA vs certified lower bound: {:.4}x{}",
+        cgba_latency / report.lower_bound,
+        if report.proven_optimal {
+            ""
+        } else {
+            " (bound is loose when the search is budget-limited)"
+        }
+    );
 }

@@ -36,8 +36,7 @@ fn main() {
         for queue in [0.0, 3.0, 10.0, 30.0] {
             state.price_per_kwh = price;
             let sol = solve_p2b(&system, &state, &assignments, v, queue);
-            let mean_ghz =
-                sol.freqs_hz.iter().sum::<f64>() / sol.freqs_hz.len() as f64 / 1e9;
+            let mean_ghz = sol.freqs_hz.iter().sum::<f64>() / sol.freqs_hz.len() as f64 / 1e9;
             let power = system.fleet_power_watts(&sol.freqs_hz);
             let latency =
                 eotora_core::latency::optimal_latency(&system, &state, &assignments, &sol.freqs_hz);

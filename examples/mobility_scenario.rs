@@ -60,14 +60,18 @@ fn main() {
     let core_scales: Vec<f64> =
         topology.server_ids().map(|n| topology.server(n).cores as f64 / 4.0).collect();
     let energy: Vec<Arc<dyn eotora_energy::EnergyModel>> =
-        perturbed_fleet(topology.num_servers(), &core_scales, seed).into_iter().map(Arc::from).collect();
+        perturbed_fleet(topology.num_servers(), &core_scales, seed)
+            .into_iter()
+            .map(Arc::from)
+            .collect();
     let suitability: Vec<Vec<f64>> = (0..devices)
         .map(|_| (0..topology.num_servers()).map(|_| rng.uniform_in(0.5, 1.0)).collect())
         .collect();
     let system = MecSystem::new(topology, energy, suitability, 0.8, 1.0);
 
     // Moving devices drive the channel; workloads and prices as in the paper.
-    let workload = WorkloadModel::diurnal(devices, 24, (50e6, 200e6), (3e6, 10e6), 0.1, rng.fork(1));
+    let workload =
+        WorkloadModel::diurnal(devices, 24, (50e6, 200e6), (3e6, 10e6), 0.1, rng.fork(1));
     let channel = Box::new(MobilityChannel::new(
         devices,
         area,

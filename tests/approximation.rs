@@ -23,8 +23,8 @@ fn cgba_is_near_optimal_on_certifiable_instances() {
     for seed in 0..10u64 {
         let p2a = tiny_p2a(5, 200 + seed);
         let mut rng = Pcg32::seed(seed);
-        let report =
-            ExactSolver { node_budget: 2_000_000, warm_start: false }.solve_with_report(&p2a, &mut rng);
+        let report = ExactSolver { node_budget: 2_000_000, warm_start: false }
+            .solve_with_report(&p2a, &mut rng);
         assert!(report.proven_optimal, "instance must be certifiable");
         let mut rng = Pcg32::seed(seed + 50);
         let cgba = CgbaSolver::default().solve(&p2a, &mut rng);

@@ -13,9 +13,7 @@ fn controller_runs_with_time_varying_fronthaul() {
     let system = MecSystem::random(&SystemConfig::paper_defaults(8), 601);
     let k = system.topology().num_base_stations();
     let procs: Vec<PeriodicProcess> = (0..k)
-        .map(|i| {
-            PeriodicProcess::new(vec![6.0, 10.0, 14.0], 0.05, Pcg32::seed(601 + i as u64))
-        })
+        .map(|i| PeriodicProcess::new(vec![6.0, 10.0, 14.0], 0.05, Pcg32::seed(601 + i as u64)))
         .collect();
     let mut provider = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 601)
         .with_fronthaul_processes(procs);

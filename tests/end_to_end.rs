@@ -47,8 +47,7 @@ fn infeasibly_small_budget_throttles_to_floor() {
 #[test]
 fn latency_monotone_in_v_across_three_levels() {
     let latency = |v: f64| {
-        run(&Scenario::paper(12, 19).with_horizon(96).with_v(v).with_bdma_rounds(1))
-            .average_latency
+        run(&Scenario::paper(12, 19).with_horizon(96).with_v(v).with_bdma_rounds(1)).average_latency
     };
     let l10 = latency(10.0);
     let l100 = latency(100.0);
@@ -66,12 +65,9 @@ fn every_slot_decision_is_feasible_for_all_solvers() {
         SolverKind::Mcba { iterations: 200 },
     ] {
         let system = MecSystem::random(&SystemConfig::paper_defaults(6), 20);
-        let mut states =
-            StateProvider::paper(system.topology(), &PaperStateConfig::default(), 20);
-        let mut dpp = EotoraDpp::new(
-            system,
-            DppConfig { solver, bdma_rounds: 2, ..Default::default() },
-        );
+        let mut states = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 20);
+        let mut dpp =
+            EotoraDpp::new(system, DppConfig { solver, bdma_rounds: 2, ..Default::default() });
         for t in 0..8 {
             let beta = states.observe(t, dpp.system().topology());
             let step = dpp.step(&beta);

@@ -1,0 +1,187 @@
+//! Offline stand-in for the `rand` crate (0.10 API surface).
+//!
+//! The workspace brings its own generator (`eotora_util::rng::Pcg32`) and
+//! only relies on `rand` for the trait plumbing: implementing
+//! [`rand_core::TryRng`] yields [`Rng`] through a blanket impl for
+//! infallible generators, and [`RngExt::random_range`] provides uniform
+//! sampling over `Range` for the primitive numeric types.
+
+/// Core generator traits (mirrors the `rand_core` facade).
+pub mod rand_core {
+    /// A fallible random generator; the infallible case (`Error =
+    /// Infallible`) receives the [`crate::Rng`] blanket impl.
+    pub trait TryRng {
+        /// Error produced by the generator.
+        type Error;
+
+        /// Next 32 random bits.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+        /// Next 64 random bits.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+        /// Fills `dest` with random bytes.
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+/// An infallible random generator.
+pub trait Rng {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T> Rng for T
+where
+    T: rand_core::TryRng<Error = core::convert::Infallible>,
+{
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => {}
+            Err(e) => match e {},
+        }
+    }
+}
+
+/// Extension methods on [`Rng`] (mirrors `rand::RngExt`).
+pub trait RngExt: Rng {
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (or, for floats, non-finite).
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<T: Rng> RngExt for T {}
+
+/// Types uniformly samplable from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample_range<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Widening-multiply range reduction (bias < 2^-64, fine for
+                // simulation use).
+                let x = rng.next_u64() as u128;
+                let offset = (x * span) >> 64;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(
+                    lo.is_finite() && hi.is_finite() && lo < hi,
+                    "invalid range in random_range"
+                );
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = lo as f64 + (hi as f64 - lo as f64) * unit;
+                // Guard the open upper bound against rounding.
+                if v as $t >= hi { lo } else { v as $t }
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::convert::Infallible;
+
+    struct SplitMix(u64);
+
+    impl rand_core::TryRng for SplitMix {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            self.try_next_u64().map(|v| (v >> 32) as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            Ok(z ^ (z >> 31))
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for chunk in dest.chunks_mut(8) {
+                let w = self.try_next_u64()?.to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&x));
+            let y: u32 = rng.random_range(0..10);
+            assert!(y < 10);
+            let z: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = SplitMix(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_via_blanket_impl() {
+        let mut rng = SplitMix(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,483 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenTree` — no `syn`/`quote`
+//! (the build environment is offline). Supports the shapes this workspace
+//! uses: named/tuple/unit structs, enums with unit/newtype/tuple/struct
+//! variants, and simple generic type parameters (each parameter receives a
+//! `Serialize`/`Deserialize` bound). Container attributes, lifetimes, and
+//! where-clauses are rejected with a compile-time panic rather than
+//! silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Body),
+    Enum(Vec<(String, Body)>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(gen_serialize(&item))
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(gen_deserialize(&item))
+}
+
+fn render(code: String) -> TokenStream {
+    code.parse().unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("serde_derive: malformed attribute near {other:?}"),
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, context: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier ({context}), found {other:?}"),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let kind = cur.expect_ident("struct/enum keyword");
+    let name = cur.expect_ident("type name");
+    let generics = parse_generics(&mut cur);
+    match kind.as_str() {
+        "struct" => {
+            let body = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g = g.stream();
+                    cur.next();
+                    Body::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let g = g.stream();
+                    cur.next();
+                    Body::Tuple(count_tuple_fields(g))
+                }
+                _ => Body::Unit,
+            };
+            Item { name, generics, shape: Shape::Struct(body) }
+        }
+        "enum" => {
+            let variants = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item { name, generics, shape: Shape::Enum(variants) }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items (only struct/enum)"),
+    }
+}
+
+fn parse_generics(cur: &mut Cursor) -> Vec<String> {
+    if !cur.eat_punct('<') {
+        return Vec::new();
+    }
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while let Some(tok) = cur.next() {
+        match &tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return params;
+                    }
+                }
+                ',' if depth == 1 => at_param_start = true,
+                '\'' => panic!("serde_derive: lifetimes are not supported"),
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                if depth == 1 && at_param_start {
+                    let id = id.to_string();
+                    if id == "const" {
+                        panic!("serde_derive: const generics are not supported");
+                    }
+                    params.push(id);
+                    at_param_start = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive: unterminated generic parameter list");
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_visibility();
+        fields.push(cur.expect_ident("field name"));
+        if !cur.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{}`", fields.last().unwrap());
+        }
+        skip_type_until_comma(&mut cur);
+    }
+    fields
+}
+
+/// Consumes one type, stopping after the field-separating comma (or at the
+/// end of the stream). Tracks `<`/`>` nesting manually: at the token-tree
+/// level, angle brackets are plain punctuation while `()[]{}` arrive as
+/// whole groups.
+fn skip_type_until_comma(cur: &mut Cursor) {
+    let mut angle = 0usize;
+    while let Some(tok) = cur.next() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        cur.skip_attributes();
+        if cur.peek().is_none() {
+            return count;
+        }
+        cur.skip_visibility();
+        if cur.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type_until_comma(&mut cur);
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Body)> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let body = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                cur.next();
+                Body::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                cur.next();
+                Body::Tuple(count_tuple_fields(g))
+            }
+            _ => Body::Unit,
+        };
+        if cur.eat_punct('=') {
+            panic!("serde_derive: explicit discriminants are not supported");
+        }
+        cur.eat_punct(',');
+        variants.push((name, body));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounded: Vec<String> =
+            item.generics.iter().map(|g| format!("{g}: ::serde::{trait_name}")).collect();
+        let plain = item.generics.join(", ");
+        (format!("<{}>", bounded.join(", ")), format!("<{plain}>"))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let (params, args) = impl_header(item, "Serialize");
+    let body = match &item.shape {
+        Shape::Struct(Body::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Body::Named(fields)) => named_to_value(fields, "&self."),
+        Shape::Struct(Body::Tuple(1)) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, body)| {
+                    let tagged = |inner: String| {
+                        format!(
+                            "::serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), {inner})])"
+                        )
+                    };
+                    match body {
+                        Body::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Body::Named(fields) => {
+                            let pat: Vec<&str> = fields.iter().map(String::as_str).collect();
+                            let inner = named_to_value(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => {},",
+                                pat.join(", "),
+                                tagged(inner)
+                            )
+                        }
+                        Body::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => {},",
+                            tagged("::serde::Serialize::to_value(f0)".to_string())
+                        ),
+                        Body::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {},",
+                                binds.join(", "),
+                                tagged(format!(
+                                    "::serde::Value::Array(vec![{}])",
+                                    items.join(", ")
+                                ))
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{params} ::serde::Serialize for {name}{args} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_to_value(fields: &[String], accessor: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({accessor}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let (params, args) = impl_header(item, "Deserialize");
+    let body = match &item.shape {
+        Shape::Struct(Body::Unit) => format!(
+            "if v.is_null() {{ ::std::result::Result::Ok({name}) }} else {{ \
+             ::std::result::Result::Err(::serde::Error::expected(\"null\", \"{name}\", v)) }}"
+        ),
+        Shape::Struct(Body::Named(fields)) => format!(
+            "let fields = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\", v))?;\n\
+             ::std::result::Result::Ok({name} {{ {} }})",
+            named_from_value(name, fields)
+        ),
+        Shape::Struct(Body::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\", v))?;\n\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"expected {n} elements for {name}, found {{}}\", items.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, b)| matches!(b, Body::Unit))
+                .map(|(vname, _)| {
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, body)| match body {
+                    Body::Unit => None,
+                    Body::Named(fields) => Some(format!(
+                        "\"{vname}\" => {{\n\
+                           let fields = inner.as_object().ok_or_else(|| \
+                               ::serde::Error::expected(\"object\", \"{name}::{vname}\", inner))?;\n\
+                           ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                         }}",
+                        named_from_value(&format!("{name}::{vname}"), fields)
+                    )),
+                    Body::Tuple(1) => Some(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Body::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => {{\n\
+                               let items = inner.as_array().ok_or_else(|| \
+                                   ::serde::Error::expected(\"array\", \"{name}::{vname}\", inner))?;\n\
+                               if items.len() != {n} {{ return ::std::result::Result::Err(\
+                                   ::serde::Error::custom(\"wrong tuple-variant arity\")); }}\n\
+                               ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                   ::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                     let (tag, inner) = &fields[0];\n\
+                     match tag.as_str() {{\n\
+                       {}\n\
+                       other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                           \"unknown variant `{{other}}` of {name}\"))),\n\
+                     }}\n\
+                   }}\n\
+                   _ => ::std::result::Result::Err(::serde::Error::expected(\
+                       \"string or single-key object\", \"{name}\", v)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl{params} ::serde::Deserialize for {name}{args} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn named_from_value(ty_label: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::get_field(fields, \"{f}\", \"{ty_label}\")?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
