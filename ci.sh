@@ -17,4 +17,10 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> slot_solve bench smoke (quick mode)"
+EOTORA_QUICK=1 cargo bench -p eotora-bench --bench slot_solve
+
 echo "ci: all green"

@@ -1,0 +1,204 @@
+//! Per-slot solve benchmark for the zero-rebuild engine.
+//!
+//! Replays the same online DPP loop twice at each fleet scale:
+//!
+//! * **engine** — the production path: one persistent [`SlotWorkspace`]
+//!   reused across slots (`P2aProblem::rebuild` instead of fresh builds,
+//!   incremental CGBA gains, retained frequency buffer), and
+//! * **reference** — the pre-refactor path: fresh game build + full
+//!   validation every BDMA round, naive-rescan CGBA, per-round clones.
+//!
+//! Both consume identically seeded RNG streams, so the latency series must
+//! match bit for bit — asserted here, which makes the benchmark double as
+//! the at-scale equivalence check. p50/p95 per-slot solve times and the
+//! engine-vs-reference speedups land in `BENCH_slot_solve.json` at the repo
+//! root (or `target/BENCH_slot_solve.quick.json` under `EOTORA_QUICK`, with
+//! scaled-down sizes).
+//!
+//! Not a Criterion bench on purpose: the two paths must advance in
+//! lock-step through the same slot sequence (the workspace carries state
+//! across slots), which Criterion's iteration model cannot express.
+
+use std::time::Instant;
+
+use eotora_core::bdma::{solve_p2_in, solve_p2_reference, BdmaConfig, CgbaSolver};
+use eotora_core::system::{MecSystem, SystemConfig};
+use eotora_core::workspace::SlotWorkspace;
+use eotora_game::CgbaConfig;
+use eotora_states::{PaperStateConfig, StateProvider, SystemState};
+use eotora_util::rng::Pcg32;
+
+const SEED: u64 = 7001;
+const V: f64 = 100.0;
+const BDMA_ROUNDS: usize = 2;
+
+struct ScaleResult {
+    devices: usize,
+    horizon: u64,
+    engine_p50_s: f64,
+    engine_p95_s: f64,
+    reference_p50_s: f64,
+    reference_p95_s: f64,
+    p50_speedup: f64,
+    p95_speedup: f64,
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn record_states(system: &MecSystem, horizon: u64) -> Vec<SystemState> {
+    let mut provider = StateProvider::paper(system.topology(), &PaperStateConfig::default(), SEED);
+    (0..horizon).map(|t| provider.observe(t, system.topology())).collect()
+}
+
+/// Runs the online loop once, timing each slot's solve; returns the
+/// latency series and per-slot wall-clock seconds.
+fn run_loop(
+    system: &MecSystem,
+    states: &[SystemState],
+    mut solve: impl FnMut(
+        &MecSystem,
+        &SystemState,
+        f64,
+        u64,
+        &mut Pcg32,
+    ) -> eotora_core::bdma::P2Solution,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = Pcg32::seed_stream(SEED, 0xD99);
+    let budget = system.budget_per_slot();
+    let mut queue = 0.0;
+    let mut latencies = Vec::with_capacity(states.len());
+    let mut times = Vec::with_capacity(states.len());
+    for (slot, state) in states.iter().enumerate() {
+        let start = Instant::now();
+        let sol = solve(system, state, queue, slot as u64, &mut rng);
+        times.push(start.elapsed().as_secs_f64());
+        latencies.push(sol.latency);
+        // Same association as `VirtualQueue::update` (form the excess
+        // first) so the two loops share the queue trajectory exactly.
+        let excess = sol.energy_cost - budget;
+        queue = (queue + excess).max(0.0);
+    }
+    (latencies, times)
+}
+
+fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
+    let system = MecSystem::random(&SystemConfig::paper_defaults(devices), SEED);
+    let states = record_states(&system, horizon);
+    let bdma = BdmaConfig { rounds: BDMA_ROUNDS };
+    let cgba = CgbaConfig::default();
+
+    let mut workspace = SlotWorkspace::new();
+    let mut solver = CgbaSolver::default();
+    let (engine_lat, mut engine_times) =
+        run_loop(&system, &states, |sys, state, queue, slot, rng| {
+            solve_p2_in(
+                sys,
+                state,
+                V,
+                queue,
+                &bdma,
+                &mut solver,
+                rng,
+                slot,
+                &eotora_obs::NoopRecorder,
+                &mut workspace,
+            )
+        });
+
+    let (ref_lat, mut ref_times) = run_loop(&system, &states, |sys, state, queue, _slot, rng| {
+        solve_p2_reference(sys, state, V, queue, &bdma, &cgba, rng)
+    });
+
+    assert_eq!(
+        engine_lat, ref_lat,
+        "engine and reference latency series must be bit-identical at I={devices}"
+    );
+
+    engine_times.sort_by(f64::total_cmp);
+    ref_times.sort_by(f64::total_cmp);
+    let engine_p50_s = quantile(&engine_times, 0.50);
+    let engine_p95_s = quantile(&engine_times, 0.95);
+    let reference_p50_s = quantile(&ref_times, 0.50);
+    let reference_p95_s = quantile(&ref_times, 0.95);
+    ScaleResult {
+        devices,
+        horizon,
+        engine_p50_s,
+        engine_p95_s,
+        reference_p50_s,
+        reference_p95_s,
+        p50_speedup: reference_p50_s / engine_p50_s.max(1e-12),
+        p95_speedup: reference_p95_s / engine_p95_s.max(1e-12),
+    }
+}
+
+fn main() {
+    let quick = eotora_bench::quick_mode();
+    // Quick mode keeps the same two-scale shape at smoke-test sizes.
+    let scales: &[(usize, u64)] =
+        if quick { &[(10, 6), (20, 6)] } else { &[(30, 100), (200, 100)] };
+
+    let mut results = Vec::new();
+    for &(devices, horizon) in scales {
+        eprintln!("slot_solve: I={devices}, {horizon} slots, z={BDMA_ROUNDS} …");
+        let r = bench_scale(devices, horizon);
+        eprintln!(
+            "  engine p50 {:.3} ms / p95 {:.3} ms | reference p50 {:.3} ms / p95 {:.3} ms | speedup p50 {:.2}x",
+            r.engine_p50_s * 1e3,
+            r.engine_p95_s * 1e3,
+            r.reference_p50_s * 1e3,
+            r.reference_p95_s * 1e3,
+            r.p50_speedup,
+        );
+        results.push(r);
+    }
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"devices\": {},\n",
+                    "      \"horizon_slots\": {},\n",
+                    "      \"bdma_rounds\": {},\n",
+                    "      \"engine_p50_s\": {:e},\n",
+                    "      \"engine_p95_s\": {:e},\n",
+                    "      \"reference_p50_s\": {:e},\n",
+                    "      \"reference_p95_s\": {:e},\n",
+                    "      \"p50_speedup\": {:.3},\n",
+                    "      \"p95_speedup\": {:.3}\n",
+                    "    }}"
+                ),
+                r.devices,
+                r.horizon,
+                BDMA_ROUNDS,
+                r.engine_p50_s,
+                r.engine_p95_s,
+                r.reference_p50_s,
+                r.reference_p95_s,
+                r.p50_speedup,
+                r.p95_speedup,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"slot_solve\",\n  \"quick\": {},\n  \"seed\": {},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        quick,
+        SEED,
+        entries.join(",\n")
+    );
+
+    // Bench CWD is the package dir; the full-scale run records its numbers
+    // at the repo root where ISSUE/EXPERIMENTS expect them.
+    let out = if quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_slot_solve.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slot_solve.json")
+    };
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

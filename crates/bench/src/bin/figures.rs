@@ -9,8 +9,9 @@
 //! `--quick` runs the scaled-down configurations (useful for smoke tests);
 //! without it the paper-scale settings of each experiment run. Each figure
 //! prints the rows/series the paper plots; `--svg <dir>` additionally writes
-//! SVG plots of the line-chart figures (2, 7, 8) into `<dir>`.
-//! EXPERIMENTS.md records the paper-vs-measured comparison.
+//! SVG plots of the line-chart figures (2, 7, 8) into `<dir>`; `--jobs N`
+//! caps the worker pool the sweep experiments fan out on (default: all
+//! cores). EXPERIMENTS.md records the paper-vs-measured comparison.
 
 use eotora_sim::experiments::ablations::{
     bdma_rounds, energy_families, per_slot_vs_dpp, scheduling_rules,
@@ -35,6 +36,11 @@ fn main() {
     let svg_dir: Option<String> = args.windows(2).find(|w| w[0] == "--svg").map(|w| w[1].clone());
     if let Some(dir) = &svg_dir {
         std::fs::create_dir_all(dir).expect("cannot create --svg directory");
+    }
+    if let Some(raw) = args.windows(2).find(|w| w[0] == "--jobs").map(|w| w[1].as_str()) {
+        let jobs: usize = raw.parse().expect("--jobs expects a positive integer");
+        assert!(jobs >= 1, "--jobs must be at least 1");
+        eotora_util::pool::set_default_workers(jobs);
     }
 
     if want("--fig2") {

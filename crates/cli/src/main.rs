@@ -55,10 +55,10 @@ eotora — energy-aware online task offloading (ICDCS'23 reproduction)
 USAGE:
   eotora template [--devices N] [--seed S]
   eotora run <scenario.json> [--out results.json] [--csv prefix] [--svg prefix]
-             [--trace trace.jsonl]
+             [--trace trace.jsonl] [--jobs N]
   eotora trace <trace.jsonl>                # span quantiles, BDMA rounds, queue drift
   eotora topology [--devices N] [--seed S]
-  eotora sweep <scenario.json> --budgets 0.7,1.0,1.3
+  eotora sweep <scenario.json> --budgets 0.7,1.0,1.3 [--jobs N]
   eotora compare [--devices N] [--seed S]   # one-slot P2-A algorithm shoot-out
 ";
 
@@ -68,6 +68,20 @@ fn cmd_template(args: &[String]) -> Result<(), String> {
     let scenario = Scenario::paper(devices, seed);
     let json = serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?;
     println!("{json}");
+    Ok(())
+}
+
+/// Applies `--jobs N` (if present) to the process-wide worker-pool default
+/// that `run_many` and the sweep experiments size themselves by.
+fn apply_jobs_flag(args: &[String]) -> Result<(), String> {
+    if let Some(raw) = flag_value(args, "--jobs") {
+        let jobs: usize =
+            raw.parse().map_err(|_| format!("--jobs expects a positive integer, got `{raw}`"))?;
+        if jobs == 0 {
+            return Err("--jobs must be at least 1".into());
+        }
+        eotora_util::pool::set_default_workers(jobs);
+    }
     Ok(())
 }
 
@@ -89,7 +103,8 @@ fn run_summary(result: &SimulationResult) -> String {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run requires a scenario file")?;
-    require_flag_values(args, &["--out", "--csv", "--trace"])?;
+    require_flag_values(args, &["--out", "--csv", "--trace", "--jobs"])?;
+    apply_jobs_flag(args)?;
     let scenario = load_scenario(path)?;
     eprintln!(
         "running `{}`: {} devices, {} slots, V={}, budget ${:.2}/slot …",
@@ -290,6 +305,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("sweep requires a scenario file")?;
+    apply_jobs_flag(args)?;
     let base = load_scenario(path)?;
     let budgets =
         parse_float_list(flag_value(args, "--budgets").ok_or("sweep requires --budgets a,b,c")?)?;
@@ -297,7 +313,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|&b| base.clone().with_budget(b).with_label(format!("{} C̄={b}", base.label)))
         .collect();
-    eprintln!("running {} scenarios in parallel …", scenarios.len());
+    eprintln!(
+        "running {} scenarios on {} worker(s) …",
+        scenarios.len(),
+        eotora_util::pool::default_workers().min(scenarios.len().max(1))
+    );
     let results = run_many(&scenarios);
     let rows: Vec<Vec<String>> = budgets
         .iter()

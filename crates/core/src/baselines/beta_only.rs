@@ -20,9 +20,9 @@ use eotora_states::SystemState;
 use eotora_util::rng::Pcg32;
 
 use crate::bdma::{CgbaSolver, P2aSolver};
-use crate::p2a::P2aProblem;
 use crate::p2b::solve_p2b;
 use crate::system::MecSystem;
+use crate::workspace::SlotWorkspace;
 
 /// A tuned β-only (stationary Lagrangian) policy.
 #[derive(Debug)]
@@ -57,13 +57,14 @@ impl BetaOnlyPolicy {
         assert!(!states.is_empty(), "need at least one state");
         let mut solver = CgbaSolver::default();
         let mut rng = Pcg32::seed_stream(seed, 0xBE7A);
+        let mut workspace = SlotWorkspace::new();
         let mut latency_sum = 0.0;
         let mut cost_sum = 0.0;
         for state in states {
             // P2-A at minimum frequencies (as in BDMA round 1), then the
             // Lagrangian frequency step min T + μ·C == solve_p2b(v=1, q=μ).
-            let p2a = P2aProblem::build(&self.system, state, &self.system.min_frequencies());
-            let choices = solver.solve(&p2a, &mut rng);
+            let p2a = workspace.prepare(&self.system, state, &self.system.min_frequencies());
+            let choices = solver.solve(p2a, &mut rng);
             let assignments = p2a.assignments_from_choices(&choices);
             let sol = solve_p2b(&self.system, state, &assignments, 1.0, self.multiplier);
             latency_sum +=

@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use eotora_game::CgbaConfig;
+use eotora_game::{cgba_from_reference, cgba_from_with_scratch, CgbaConfig, CgbaScratch, Profile};
 use eotora_obs::{NoopRecorder, Recorder, SpanGuard, TraceEvent};
 use eotora_states::SystemState;
 use eotora_util::rng::Pcg32;
@@ -25,6 +25,7 @@ use crate::decision::Assignment;
 use crate::p2a::P2aProblem;
 use crate::p2b::solve_p2b;
 use crate::system::MecSystem;
+use crate::workspace::SlotWorkspace;
 
 /// A pluggable solver for the P2-A subproblem (the `(x, y)` step).
 ///
@@ -52,17 +53,22 @@ pub trait P2aSolver: fmt::Debug {
     }
 }
 
-/// The paper's P2-A solver: CGBA(λ) best-response dynamics.
+/// The paper's P2-A solver: CGBA(λ) best-response dynamics. Owns a
+/// [`CgbaScratch`] so repeated solves (rounds × slots) are allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct CgbaSolver {
     /// CGBA parameters (λ, iteration cap, scheduling rule).
     pub config: CgbaConfig,
+    scratch: CgbaScratch,
 }
 
 impl CgbaSolver {
     /// CGBA with the given λ and default scheduling.
     pub fn with_lambda(lambda: f64) -> Self {
-        Self { config: CgbaConfig { lambda, ..Default::default() } }
+        Self {
+            config: CgbaConfig { lambda, ..Default::default() },
+            scratch: CgbaScratch::default(),
+        }
     }
 }
 
@@ -72,7 +78,11 @@ impl P2aSolver for CgbaSolver {
     }
 
     fn solve(&mut self, problem: &P2aProblem, rng: &mut Pcg32) -> Vec<usize> {
-        problem.solve_cgba(&self.config, rng).profile.choices().to_vec()
+        let initial = Profile::random(problem.game(), rng);
+        cgba_from_with_scratch(problem.game(), initial, &self.config, &mut self.scratch)
+            .profile
+            .choices()
+            .to_vec()
     }
 
     fn solve_with(
@@ -81,7 +91,9 @@ impl P2aSolver for CgbaSolver {
         rng: &mut Pcg32,
         recorder: &dyn Recorder,
     ) -> Vec<usize> {
-        let report = problem.solve_cgba(&self.config, rng);
+        let initial = Profile::random(problem.game(), rng);
+        let report =
+            cgba_from_with_scratch(problem.game(), initial, &self.config, &mut self.scratch);
         if recorder.is_enabled() {
             recorder.add("cgba_iterations", report.iterations as u64);
             if report.converged {
@@ -162,25 +174,59 @@ pub fn solve_p2_with(
     slot: u64,
     recorder: &dyn Recorder,
 ) -> P2Solution {
+    let mut workspace = SlotWorkspace::new();
+    solve_p2_in(system, state, v, queue, config, p2a_solver, rng, slot, recorder, &mut workspace)
+}
+
+/// Runs BDMA(z) for one slot against a caller-owned [`SlotWorkspace`] — the
+/// zero-rebuild entry point. The first call builds the P2-A game; every
+/// later call (and every round within a call) refreshes its weights in
+/// place. Results are bit-identical to [`solve_p2_with`] /
+/// [`solve_p2_reference`] for the same inputs and RNG stream.
+///
+/// The workspace must always be passed the same `system` (a changed
+/// topology shape falls back to a fresh build).
+///
+/// # Panics
+///
+/// Panics if `config.rounds == 0` or `v` is not positive.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_p2_in(
+    system: &MecSystem,
+    state: &SystemState,
+    v: f64,
+    queue: f64,
+    config: &BdmaConfig,
+    p2a_solver: &mut dyn P2aSolver,
+    rng: &mut Pcg32,
+    slot: u64,
+    recorder: &dyn Recorder,
+    workspace: &mut SlotWorkspace,
+) -> P2Solution {
     assert!(config.rounds > 0, "BDMA needs at least one round");
     assert!(v > 0.0, "penalty weight must be positive");
 
-    // Line 1 of Alg. 2: Ω ← Ω^L.
-    let mut freqs = system.min_frequencies();
     let mut best: Option<P2Solution> = None;
 
     for round in 0..config.rounds {
         // Line 3: solve P2-A at the current frequencies.
         let p2a_span = SpanGuard::new(recorder, eotora_obs::SPAN_P2A);
-        let p2a = P2aProblem::build(system, state, &freqs);
-        let choices = p2a_solver.solve_with(&p2a, rng, recorder);
+        let p2a = if round == 0 {
+            // Line 1 of Alg. 2: Ω ← Ω^L.
+            workspace.prepare(system, state, &system.min_frequencies())
+        } else {
+            workspace.refresh_frequencies(system)
+        };
+        let choices = p2a_solver.solve_with(p2a, rng, recorder);
         let assignments = p2a.assignments_from_choices(&choices);
         let p2a_nanos = p2a_span.finish().unwrap_or(0);
         // Line 4: solve P2-B at the chosen assignment.
         let p2b_span = SpanGuard::new(recorder, eotora_obs::SPAN_P2B);
         let p2b = solve_p2b(system, state, &assignments, v, queue);
         let p2b_nanos = p2b_span.finish().unwrap_or(0);
-        freqs = p2b.freqs_hz.clone();
+        // Latch the new frequencies for the next round's refresh (this
+        // replaces the old per-round `freqs_hz.clone()`).
+        workspace.set_freqs(&p2b.freqs_hz);
         // Lines 5–7: keep the incumbent with the best P2 objective.
         let latency =
             crate::latency::optimal_latency(system, state, &assignments, &p2b.freqs_hz).total();
@@ -208,6 +254,57 @@ pub fn solve_p2_with(
             }
         }
         if accepted {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one round ran")
+}
+
+/// The pre-refactor BDMA(z) loop, verbatim: a fresh [`P2aProblem::build`]
+/// and full game validation every round, the naive-rescan
+/// [`cgba_from_reference`] as the P2-A step, and a frequency clone per
+/// round. Kept as the equivalence oracle and benchmark baseline for the
+/// zero-rebuild path — it must produce bit-identical [`P2Solution`]s to
+/// [`solve_p2_in`] with a [`CgbaSolver`] for the same inputs and RNG
+/// stream.
+///
+/// # Panics
+///
+/// Panics if `config.rounds == 0` or `v` is not positive.
+pub fn solve_p2_reference(
+    system: &MecSystem,
+    state: &SystemState,
+    v: f64,
+    queue: f64,
+    config: &BdmaConfig,
+    cgba_config: &CgbaConfig,
+    rng: &mut Pcg32,
+) -> P2Solution {
+    assert!(config.rounds > 0, "BDMA needs at least one round");
+    assert!(v > 0.0, "penalty weight must be positive");
+
+    // Line 1 of Alg. 2: Ω ← Ω^L.
+    let mut freqs = system.min_frequencies();
+    let mut best: Option<P2Solution> = None;
+
+    for _ in 0..config.rounds {
+        let p2a = P2aProblem::build(system, state, &freqs);
+        let initial = Profile::random(p2a.game(), rng);
+        let report = cgba_from_reference(p2a.game(), initial, cgba_config);
+        let assignments = p2a.assignments_from_choices(report.profile.choices());
+        let p2b = solve_p2b(system, state, &assignments, v, queue);
+        freqs = p2b.freqs_hz.clone();
+        let latency =
+            crate::latency::optimal_latency(system, state, &assignments, &p2b.freqs_hz).total();
+        let energy_cost = system.energy_cost(state.price_per_kwh, &p2b.freqs_hz);
+        let candidate = P2Solution {
+            assignments,
+            freqs_hz: p2b.freqs_hz,
+            objective: p2b.objective,
+            latency,
+            energy_cost,
+        };
+        if best.as_ref().is_none_or(|b| candidate.objective < b.objective) {
             best = Some(candidate);
         }
     }
@@ -332,5 +429,79 @@ mod tests {
     fn zero_rounds_panics() {
         let (system, state) = setup(4, 47);
         run(&system, &state, 1.0, 0.0, 0, 1);
+    }
+
+    #[test]
+    fn workspace_path_matches_reference_across_slots() {
+        // The zero-rebuild path (reused workspace + incremental CGBA) must
+        // be bit-identical to the pre-refactor loop across a stream of
+        // slots with varying states and queue backlogs.
+        use crate::workspace::SlotWorkspace;
+        use eotora_states::{PaperStateConfig, StateProvider};
+
+        let system = MecSystem::random(&crate::system::SystemConfig::paper_defaults(16), 48);
+        let mut provider =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), 48);
+        let config = BdmaConfig { rounds: 3 };
+        let mut solver = CgbaSolver::default();
+        let mut workspace = SlotWorkspace::new();
+        let mut rng_new = Pcg32::seed(9);
+        let mut rng_ref = Pcg32::seed(9);
+        let mut queue = 0.0;
+        for slot in 0..6u64 {
+            let state = provider.observe(slot, system.topology());
+            let v = 100.0;
+            let sol = solve_p2_in(
+                &system,
+                &state,
+                v,
+                queue,
+                &config,
+                &mut solver,
+                &mut rng_new,
+                slot,
+                &NoopRecorder,
+                &mut workspace,
+            );
+            let reference = solve_p2_reference(
+                &system,
+                &state,
+                v,
+                queue,
+                &config,
+                &solver.config,
+                &mut rng_ref,
+            );
+            assert_eq!(sol, reference, "slot {slot}");
+            // Evolve the queue like DPP would, so later slots see different
+            // backlogs.
+            queue = (queue + sol.energy_cost - system.budget_per_slot()).max(0.0);
+        }
+    }
+
+    #[test]
+    fn solve_p2_with_matches_reference() {
+        // The temp-workspace wrapper is the same computation.
+        let (system, state) = setup(12, 49);
+        let mut solver = CgbaSolver::default();
+        let sol = solve_p2(
+            &system,
+            &state,
+            80.0,
+            30.0,
+            &BdmaConfig { rounds: 2 },
+            &mut solver,
+            &mut Pcg32::seed(11),
+        );
+        let reference = solve_p2_reference(
+            &system,
+            &state,
+            80.0,
+            30.0,
+            &BdmaConfig { rounds: 2 },
+            &CgbaConfig::default(),
+            &mut Pcg32::seed(11),
+        );
+        assert_eq!(sol, reference);
     }
 }

@@ -19,9 +19,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::allocation::optimal_allocation;
 use crate::baselines::{ExactSolver, GreedySolver, McbaConfig, McbaSolver, RoptSolver};
-use crate::bdma::{solve_p2_with, BdmaConfig, CgbaSolver, P2aSolver};
+use crate::bdma::{solve_p2_in, BdmaConfig, CgbaSolver, P2aSolver};
 use crate::decision::SlotDecision;
 use crate::system::MecSystem;
+use crate::workspace::SlotWorkspace;
 
 /// Which P2-A algorithm drives the per-slot solve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -100,11 +101,14 @@ impl Default for DppConfig {
 }
 
 /// The EOTORA-specific slot solver handed to the generic DPP controller.
+/// Owns a [`SlotWorkspace`] so steady-state slots refresh the P2-A game in
+/// place instead of rebuilding it (see [`crate::workspace`]).
 pub struct EotoraSlotSolver {
     system: MecSystem,
     bdma: BdmaConfig,
     p2a: Box<dyn P2aSolver>,
     rng: Pcg32,
+    workspace: SlotWorkspace,
 }
 
 impl fmt::Debug for EotoraSlotSolver {
@@ -127,7 +131,7 @@ impl EotoraSlotSolver {
         slot: u64,
         recorder: &dyn Recorder,
     ) -> SlotOutcome<SlotDecision> {
-        let sol = solve_p2_with(
+        let sol = solve_p2_in(
             &self.system,
             state,
             v,
@@ -137,6 +141,7 @@ impl EotoraSlotSolver {
             &mut self.rng,
             slot,
             recorder,
+            &mut self.workspace,
         );
         let decision = optimal_allocation(&self.system, state, &sol.assignments, &sol.freqs_hz);
         debug_assert!(decision.validate(&self.system).is_ok());
@@ -198,6 +203,10 @@ impl EotoraDpp {
             bdma: BdmaConfig { rounds: config.bdma_rounds },
             p2a: config.solver.instantiate(),
             rng: Pcg32::seed_stream(config.seed, 0xD99),
+            // A fresh workspace is a pure cache: the first slot builds the
+            // P2-A game, later slots refresh it in place with identical
+            // numerics (so checkpoint/resume stays bit-exact).
+            workspace: SlotWorkspace::new(),
         };
         Self {
             solver,

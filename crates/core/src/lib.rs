@@ -23,6 +23,7 @@
 //! | [`p2b`] | §V-A | separable convex frequency scaling (the CVX substitute) |
 //! | [`bdma`] | Alg. 2 | BDMA(z): alternate P2-A and P2-B, keep the best |
 //! | [`dpp`] | Alg. 1 | BDMA-based DPP online controller (plugs into `eotora-lyapunov`) |
+//! | [`workspace`] | — | [`workspace::SlotWorkspace`]: reusable per-slot solver state (zero-rebuild engine) |
 //! | [`baselines`] | §VI | ROPT, MCBA (MCMC), and the exact branch-and-bound optimum |
 //!
 //! # Examples
@@ -55,9 +56,11 @@ pub mod p2a;
 pub mod p2b;
 pub mod per_slot;
 pub mod system;
+pub mod workspace;
 
 pub use decision::{Assignment, SlotDecision};
 pub use dpp::{DppConfig, EotoraDpp};
 pub use multi_budget::MultiBudgetDpp;
 pub use per_slot::PerSlotController;
 pub use system::{MecSystem, SystemConfig};
+pub use workspace::SlotWorkspace;

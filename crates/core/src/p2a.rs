@@ -27,12 +27,21 @@ use crate::system::MecSystem;
 
 /// The P2-A instance for one slot: the congestion game plus the maps between
 /// strategy indices and `(base station, server)` assignments.
+///
+/// The game's *shape* (which strategies exist, which resources each uses)
+/// is a pure function of the topology, so an instance built once can be
+/// [`P2aProblem::rebuild`]-refreshed for a new state (per slot) or have
+/// just its server weights updated for new frequencies
+/// ([`P2aProblem::update_frequencies`], per BDMA round) without
+/// reallocating anything — see [`crate::workspace::SlotWorkspace`].
 #[derive(Debug, Clone)]
 pub struct P2aProblem {
     game: CongestionGame,
     /// `strategy_map[i][s]` = the assignment realized by player `i`'s
     /// strategy `s`.
     strategy_map: Vec<Vec<Assignment>>,
+    num_servers: usize,
+    num_stations: usize,
 }
 
 impl P2aProblem {
@@ -91,9 +100,73 @@ impl P2aProblem {
             strategy_map.push(map);
         }
 
-        let problem = Self { game, strategy_map };
+        let problem = Self { game, strategy_map, num_servers: n_servers, num_stations: n_stations };
+        // Validation happens once, at construction; the per-round refresh
+        // paths (`rebuild`, `update_frequencies`) only debug-assert.
         problem.game.validate().expect("constructed game is valid");
         problem
+    }
+
+    /// Refreshes the server resource weights `m_{C_n} = 1/(cores_n·ω_n)` for
+    /// new frequencies, in place — the only game change between BDMA rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs_hz.len()` differs from the server count.
+    pub fn update_frequencies(&mut self, system: &MecSystem, freqs_hz: &[f64]) {
+        assert_eq!(freqs_hz.len(), self.num_servers, "one frequency per server");
+        for n in system.topology().server_ids() {
+            self.game
+                .set_resource_weight(n.index(), 1.0 / system.compute_rate(n, freqs_hz[n.index()]));
+        }
+    }
+
+    /// Refreshes every state-dependent weight in place for a new slot:
+    /// server resource weights for `freqs_hz` plus all per-player weights
+    /// for `state`. Equivalent to `P2aProblem::build(system, state,
+    /// freqs_hz)` but allocation-free — the strategy shape is topology-only
+    /// and must match (see [`P2aProblem::matches_system`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches between `self`, `system`, and `state`.
+    pub fn rebuild(&mut self, system: &MecSystem, state: &SystemState, freqs_hz: &[f64]) {
+        assert_eq!(state.task_cycles.len(), self.strategy_map.len(), "state/problem mismatch");
+        self.update_frequencies(system, freqs_hz);
+        let Self { game, strategy_map, .. } = self;
+        for (i, map) in strategy_map.iter().enumerate() {
+            let device = eotora_topology::DeviceId(i);
+            // Strategies are generated grouped by base station, so the two
+            // link weights can be computed once per station run.
+            let mut last_station = None;
+            let mut access_w = 0.0;
+            let mut fronthaul_w = 0.0;
+            for (s, a) in map.iter().enumerate() {
+                if last_station != Some(a.base_station) {
+                    access_w = (state.data_bits[i]
+                        / state.spectral_efficiency[i][a.base_station.index()])
+                    .sqrt();
+                    fronthaul_w = (state.data_bits[i]
+                        / state.fronthaul_efficiency[a.base_station.index()])
+                    .sqrt();
+                    last_station = Some(a.base_station);
+                }
+                let compute_w =
+                    (state.task_cycles[i] / system.suitability(device, a.server)).sqrt();
+                game.set_strategy_weights(i, s, &[compute_w, access_w, fronthaul_w]);
+            }
+        }
+        debug_assert!(self.game.validate().is_ok(), "rebuilt game is valid");
+    }
+
+    /// Whether this instance's shape matches `system`'s topology (device,
+    /// server, and station counts) — the precondition for
+    /// [`P2aProblem::rebuild`].
+    pub fn matches_system(&self, system: &MecSystem) -> bool {
+        let topo = system.topology();
+        self.num_servers == topo.num_servers()
+            && self.num_stations == topo.num_base_stations()
+            && self.strategy_map.len() == topo.num_devices()
     }
 
     /// The underlying congestion game.
@@ -221,6 +294,26 @@ mod tests {
         assert!(report.converged);
         assert!(report.total_cost <= report.initial_cost);
         assert!(report.profile.is_lambda_equilibrium(p2a.game(), 0.0, 1e-9));
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        // The zero-rebuild refresh path must reproduce `build` exactly —
+        // same game, bit for bit — across states and frequency changes.
+        let (system, state0) = setup(12, 27);
+        let mut provider =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), 91);
+        let state1 = provider.observe(5, system.topology());
+
+        let mut reused = P2aProblem::build(&system, &state0, &system.min_frequencies());
+        reused.update_frequencies(&system, &system.max_frequencies());
+        let fresh = P2aProblem::build(&system, &state0, &system.max_frequencies());
+        assert_eq!(reused.game(), fresh.game());
+
+        reused.rebuild(&system, &state1, &system.min_frequencies());
+        let fresh = P2aProblem::build(&system, &state1, &system.min_frequencies());
+        assert_eq!(reused.game(), fresh.game());
+        assert!(reused.matches_system(&system));
     }
 
     #[test]

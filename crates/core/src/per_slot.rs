@@ -27,9 +27,9 @@ use eotora_util::rng::Pcg32;
 use crate::allocation::optimal_allocation;
 use crate::bdma::{CgbaSolver, P2aSolver};
 use crate::decision::SlotDecision;
-use crate::p2a::P2aProblem;
 use crate::p2b::solve_p2b;
 use crate::system::MecSystem;
+use crate::workspace::SlotWorkspace;
 
 /// Result of one per-slot-budget step.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +51,7 @@ pub struct PerSlotController {
     system: MecSystem,
     p2a: Box<dyn P2aSolver>,
     rng: Pcg32,
+    workspace: SlotWorkspace,
     latency_sum: f64,
     cost_sum: f64,
     slots: u64,
@@ -68,6 +69,7 @@ impl PerSlotController {
             system,
             p2a,
             rng: Pcg32::seed_stream(seed, 0x9E51),
+            workspace: SlotWorkspace::new(),
             latency_sum: 0.0,
             cost_sum: 0.0,
             slots: 0,
@@ -109,8 +111,8 @@ impl PerSlotController {
     pub fn step_with(&mut self, state: &SystemState, recorder: &dyn Recorder) -> PerSlotStep {
         let min_freqs = self.system.min_frequencies();
         let p2a_span = SpanGuard::new(recorder, eotora_obs::SPAN_P2A);
-        let p2a = P2aProblem::build(&self.system, state, &min_freqs);
-        let choices = self.p2a.solve_with(&p2a, &mut self.rng, recorder);
+        let p2a = self.workspace.prepare(&self.system, state, &min_freqs);
+        let choices = self.p2a.solve_with(p2a, &mut self.rng, recorder);
         let assignments = p2a.assignments_from_choices(&choices);
         p2a_span.finish();
 

@@ -26,6 +26,18 @@
 //! `2.62/(1−8λ)` approximation of Theorem 2 in
 //! `O((1/λ)·log(Φ₀/Φ_min))` iterations.
 //!
+//! # Structure/weights split
+//!
+//! The game is stored as an immutable-shape [`GameStructure`] (players,
+//! strategies, and the resource→(player, strategy) `touching` index) plus a
+//! mutable [`ResourceWeights`] view. The BDMA alternation only changes the
+//! per-server `m_r` between rounds, and across slots only the per-player
+//! weights change — neither perturbs the shape, so solvers can reuse the
+//! structure (and the incremental-scheduling caches keyed on it) without a
+//! rebuild. [`GameRef`] abstracts over "owns both halves"
+//! ([`CongestionGame`]) and "borrows them separately" ([`SplitGame`]); every
+//! [`Profile`] method and the CGBA entry points are generic over it.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,7 +55,15 @@
 
 use serde::{Deserialize, Serialize};
 
-use eotora_util::rng::Pcg32;
+mod cgba;
+mod profile;
+
+pub use cgba::{
+    brute_force_optimum, cgba, cgba_from, cgba_from_reference, cgba_from_with_scratch,
+    cgba_reference, empirical_price_of_anarchy, CgbaConfig, CgbaReport, CgbaScratch,
+    SchedulingRule,
+};
+pub use profile::Profile;
 
 /// A strategy: the resource bundle it uses, as `(resource index, p_{i,r})`
 /// pairs. Indices must be unique within a strategy.
@@ -93,28 +113,58 @@ impl std::fmt::Display for GameError {
 
 impl std::error::Error for GameError {}
 
-/// A weighted congestion game with linear (load-proportional) resource costs.
+/// The shape of a congestion game: every player's strategy set (with the
+/// per-player weights `p_{i,r}`) plus the inverted resource→(player,
+/// strategy) index the incremental CGBA scheduler dirties from.
+///
+/// The *shape* (which resources each strategy touches) is immutable after
+/// construction; the per-player weights may be refreshed in place via
+/// [`GameStructure::set_strategy_weights`] — across slots the P2-A mapping
+/// changes only those, never the shape, so the `touching` index stays valid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CongestionGame {
-    resource_weights: Vec<f64>,
+pub struct GameStructure {
+    num_resources: usize,
     players: Vec<Vec<Strategy>>,
+    /// `touching[r]` = every `(player, strategy)` whose strategy uses `r`.
+    /// `u32` halves the footprint; player/strategy counts stay far below
+    /// `u32::MAX`.
+    touching: Vec<Vec<(u32, u32)>>,
 }
 
-impl CongestionGame {
-    /// Creates a game over resources with weights `m_r`.
+impl GameStructure {
+    /// Builds and validates a structure over `num_resources` resources.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `resource_weights` is empty.
-    pub fn new(resource_weights: Vec<f64>) -> Self {
-        assert!(!resource_weights.is_empty(), "need at least one resource");
-        Self { resource_weights, players: Vec::new() }
+    /// Returns the first structural [`GameError`] found (dangling or
+    /// duplicate resources, empty strategy sets, bad player weights).
+    pub fn new(num_resources: usize, players: Vec<Vec<Strategy>>) -> Result<Self, GameError> {
+        let mut structure = Self::empty(num_resources);
+        for strategies in players {
+            structure.push_player_unchecked(strategies);
+        }
+        structure.validate()?;
+        Ok(structure)
     }
 
-    /// Adds a player with the given strategy set; returns its index.
-    pub fn add_player(&mut self, strategies: Vec<Strategy>) -> usize {
+    fn empty(num_resources: usize) -> Self {
+        Self { num_resources, players: Vec::new(), touching: vec![Vec::new(); num_resources] }
+    }
+
+    /// Appends a player without validating (the lazy [`CongestionGame`]
+    /// construction path). Dangling resource indices are tolerated here and
+    /// reported by [`GameStructure::validate`].
+    fn push_player_unchecked(&mut self, strategies: Vec<Strategy>) -> usize {
+        let player = self.players.len();
+        for (s, strategy) in strategies.iter().enumerate() {
+            for &(r, _) in strategy {
+                if let Some(index) = self.touching.get_mut(r) {
+                    index.push((player as u32, s as u32));
+                }
+            }
+        }
         self.players.push(strategies);
-        self.players.len() - 1
+        player
     }
 
     /// Number of players `I`.
@@ -124,12 +174,7 @@ impl CongestionGame {
 
     /// Number of resources `|R|`.
     pub fn num_resources(&self) -> usize {
-        self.resource_weights.len()
-    }
-
-    /// The weight `m_r` of resource `r`.
-    pub fn resource_weight(&self, r: usize) -> f64 {
-        self.resource_weights[r]
+        self.num_resources
     }
 
     /// Player `i`'s strategies.
@@ -137,25 +182,42 @@ impl CongestionGame {
         &self.players[i]
     }
 
-    /// Checks structural invariants.
+    /// Every `(player, strategy)` pair whose strategy uses resource `r`.
+    pub fn touching(&self, r: usize) -> &[(u32, u32)] {
+        &self.touching[r]
+    }
+
+    /// Overwrites the per-resource player weights of strategy `s` of player
+    /// `i` in place, preserving the resource shape (`weights[j]` replaces
+    /// the weight of the `j`-th resource of the strategy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the strategy's resource count.
+    pub fn set_strategy_weights(&mut self, i: usize, s: usize, weights: &[f64]) {
+        let strategy = &mut self.players[i][s];
+        assert_eq!(weights.len(), strategy.len(), "one weight per strategy resource");
+        for (slot, &w) in strategy.iter_mut().zip(weights) {
+            debug_assert!(w > 0.0 && w.is_finite(), "player weight must be positive and finite");
+            slot.1 = w;
+        }
+    }
+
+    /// Checks the structural invariants (player side of
+    /// [`CongestionGame::validate`]).
     ///
     /// # Errors
     ///
     /// Returns the first [`GameError`] found.
     pub fn validate(&self) -> Result<(), GameError> {
-        for (r, &m) in self.resource_weights.iter().enumerate() {
-            if m <= 0.0 || m.is_nan() || !m.is_finite() {
-                return Err(GameError::BadWeight { context: format!("resource {r} weight {m}") });
-            }
-        }
         for (i, strategies) in self.players.iter().enumerate() {
             if strategies.is_empty() {
                 return Err(GameError::NoStrategies { player: i });
             }
             for s in strategies {
-                let mut seen = vec![false; self.resource_weights.len()];
+                let mut seen = vec![false; self.num_resources];
                 for &(r, w) in s {
-                    if r >= self.resource_weights.len() {
+                    if r >= self.num_resources {
                         return Err(GameError::DanglingResource { player: i, resource: r });
                     }
                     if seen[r] {
@@ -174,333 +236,249 @@ impl CongestionGame {
     }
 }
 
-/// A strategy profile with incrementally maintained resource loads.
+/// The mutable half of the split game: the resource weights `m_r`. BDMA
+/// rounds refresh only the `N` server entries via [`ResourceWeights::set`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Profile {
-    choices: Vec<usize>,
-    loads: Vec<f64>,
+pub struct ResourceWeights {
+    weights: Vec<f64>,
 }
 
-impl Profile {
-    /// Builds a profile from per-player strategy indices.
+impl ResourceWeights {
+    /// Builds and validates a weight vector.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `choices.len()` differs from the player count or any index
-    /// is out of range for its player.
-    pub fn from_choices(game: &CongestionGame, choices: Vec<usize>) -> Self {
-        assert_eq!(choices.len(), game.num_players(), "one choice per player");
-        let mut loads = vec![0.0; game.num_resources()];
-        for (i, &s) in choices.iter().enumerate() {
-            for &(r, w) in &game.players[i][s] {
-                loads[r] += w;
-            }
-        }
-        Self { choices, loads }
+    /// Returns [`GameError::BadWeight`] on a non-positive or non-finite
+    /// entry.
+    pub fn new(weights: Vec<f64>) -> Result<Self, GameError> {
+        let unchecked = Self::from_raw(weights);
+        unchecked.validate()?;
+        Ok(unchecked)
     }
 
-    /// A uniformly random profile.
-    pub fn random(game: &CongestionGame, rng: &mut Pcg32) -> Self {
-        let choices = (0..game.num_players()).map(|i| rng.below(game.players[i].len())).collect();
-        Self::from_choices(game, choices)
+    /// Wraps a weight vector without validating (the lazy
+    /// [`CongestionGame::new`] path; [`ResourceWeights::validate`] reports
+    /// bad entries later).
+    pub fn from_raw(weights: Vec<f64>) -> Self {
+        Self { weights }
     }
 
-    /// Strategy index chosen by each player.
-    pub fn choices(&self) -> &[usize] {
-        &self.choices
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.weights.len()
     }
 
-    /// Current load `p_r(z)` on each resource.
-    pub fn loads(&self) -> &[f64] {
-        &self.loads
+    /// Whether there are no resources.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
     }
 
-    /// Switches player `i` to strategy `s`, updating loads incrementally.
-    pub fn switch(&mut self, game: &CongestionGame, i: usize, s: usize) {
-        for &(r, w) in &game.players[i][self.choices[i]] {
-            self.loads[r] -= w;
-        }
-        for &(r, w) in &game.players[i][s] {
-            self.loads[r] += w;
-        }
-        self.choices[i] = s;
+    /// The weight `m_r` of resource `r`.
+    #[inline]
+    pub fn get(&self, r: usize) -> f64 {
+        self.weights[r]
     }
 
-    /// Player `i`'s cost `T_i(z) = Σ_r m_r · p_{i,r} · p_r(z)`.
-    pub fn player_cost(&self, game: &CongestionGame, i: usize) -> f64 {
-        game.players[i][self.choices[i]]
-            .iter()
-            .map(|&(r, w)| game.resource_weights[r] * w * self.loads[r])
-            .sum()
+    /// All weights, in resource order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
     }
 
-    /// Social cost `Σ_i T_i(z) = Σ_r m_r · p_r(z)²`.
-    pub fn total_cost(&self, game: &CongestionGame) -> f64 {
-        self.loads.iter().zip(&game.resource_weights).map(|(&p, &m)| m * p * p).sum()
+    /// Overwrites the weight of resource `r` in place.
+    #[inline]
+    pub fn set(&mut self, r: usize, m: f64) {
+        debug_assert!(m > 0.0 && m.is_finite(), "resource weight must be positive and finite");
+        self.weights[r] = m;
     }
 
-    /// The exact potential
-    /// `Φ(z) = ½ Σ_r m_r (p_r(z)² + Σ_{i∈I_r(z)} p_{i,r}²)`.
+    /// Checks every weight is positive and finite.
     ///
-    /// Any unilateral deviation changes Φ by exactly the deviating player's
-    /// cost change, so best-response dynamics strictly decrease Φ.
-    pub fn potential(&self, game: &CongestionGame) -> f64 {
-        let mut sum_sq = vec![0.0; game.num_resources()];
-        for (i, &s) in self.choices.iter().enumerate() {
-            for &(r, w) in &game.players[i][s] {
-                sum_sq[r] += w * w;
+    /// # Errors
+    ///
+    /// Returns [`GameError::BadWeight`] for the first offending entry.
+    pub fn validate(&self) -> Result<(), GameError> {
+        for (r, &m) in self.weights.iter().enumerate() {
+            if m <= 0.0 || m.is_nan() || !m.is_finite() {
+                return Err(GameError::BadWeight { context: format!("resource {r} weight {m}") });
             }
         }
-        self.loads
-            .iter()
-            .zip(&game.resource_weights)
-            .zip(&sum_sq)
-            .map(|((&p, &m), &ss)| 0.5 * m * (p * p + ss))
-            .sum()
-    }
-
-    /// The best response of player `i` against the rest of the profile:
-    /// `(strategy index, resulting cost for i)`.
-    pub fn best_response(&self, game: &CongestionGame, i: usize) -> (usize, f64) {
-        let current = &game.players[i][self.choices[i]];
-        let mut best = (self.choices[i], f64::INFINITY);
-        for (s, strat) in game.players[i].iter().enumerate() {
-            let mut cost = 0.0;
-            for &(r, w) in strat {
-                // Load excluding i's current contribution on r (if any).
-                let own: f64 =
-                    current.iter().find(|&&(cr, _)| cr == r).map(|&(_, cw)| cw).unwrap_or(0.0);
-                cost += game.resource_weights[r] * w * (self.loads[r] - own + w);
-            }
-            if cost < best.1 {
-                best = (s, cost);
-            }
-        }
-        best
-    }
-
-    /// Whether no player can reduce its cost by a factor of more than
-    /// `1/(1−λ)` — i.e. the CGBA stopping condition
-    /// `(1−λ)·T_i(z) ≤ min_{ẑ_i} T_i(ẑ_i, z_{−i})` for all `i`.
-    /// With `λ = 0` this is an exact Nash equilibrium (up to `tol`).
-    pub fn is_lambda_equilibrium(&self, game: &CongestionGame, lambda: f64, tol: f64) -> bool {
-        (0..game.num_players()).all(|i| {
-            let cost = self.player_cost(game, i);
-            let (_, best) = self.best_response(game, i);
-            (1.0 - lambda) * cost <= best + tol
-        })
+        Ok(())
     }
 }
 
-/// How CGBA picks which improvable player moves next.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum SchedulingRule {
-    /// The paper's Algorithm 3 line 3: the player with the largest absolute
-    /// improvement `T_i(z) − min T_i(·, z_{−i})`.
-    #[default]
-    MaxGain,
-    /// Cyclic scan (ablation baseline): first improvable player in index
-    /// order after the last mover.
-    RoundRobin,
+/// Read access to the two halves of a congestion game. [`Profile`] and the
+/// CGBA solvers are generic over this, so they work both on an owned
+/// [`CongestionGame`] and on separately borrowed halves ([`SplitGame`]).
+pub trait GameRef {
+    /// The immutable-shape half: players, strategies, `touching` index.
+    fn structure(&self) -> &GameStructure;
+    /// The mutable half: the resource weights `m_r`.
+    fn weights(&self) -> &ResourceWeights;
 }
 
-/// Configuration for [`cgba`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct CgbaConfig {
-    /// Approximation slack `λ ∈ [0, 0.125)`; larger converges faster with a
-    /// worse guarantee (Theorem 2).
-    pub lambda: f64,
-    /// Hard iteration cap (the potential argument guarantees finite
-    /// termination; this guards pathological float behaviour).
-    pub max_iterations: usize,
-    /// Player-selection rule.
-    pub scheduling: SchedulingRule,
-}
-
-impl Default for CgbaConfig {
-    fn default() -> Self {
-        Self { lambda: 0.0, max_iterations: 1_000_000, scheduling: SchedulingRule::MaxGain }
+impl<G: GameRef + ?Sized> GameRef for &G {
+    fn structure(&self) -> &GameStructure {
+        (**self).structure()
+    }
+    fn weights(&self) -> &ResourceWeights {
+        (**self).weights()
     }
 }
 
-/// Outcome of a [`cgba`] run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CgbaReport {
-    /// Final profile `ẑ`.
-    pub profile: Profile,
-    /// Social cost `T(ẑ)` of the final profile.
-    pub total_cost: f64,
-    /// Social cost of the random initial profile.
-    pub initial_cost: f64,
-    /// Number of best-response moves performed.
-    pub iterations: usize,
-    /// Whether the λ-equilibrium condition was reached (vs. iteration cap).
-    pub converged: bool,
-}
-
-/// Runs CGBA(λ) (paper Algorithm 3) from a uniformly random initial profile.
-///
-/// # Panics
-///
-/// Panics if the game has no players, `λ ∉ [0, 1)`, or the game fails
-/// [`CongestionGame::validate`].
-pub fn cgba(game: &CongestionGame, config: &CgbaConfig, rng: &mut Pcg32) -> CgbaReport {
-    let initial = Profile::random(game, rng);
-    cgba_from(game, initial, config)
-}
-
-/// Runs CGBA(λ) from a caller-supplied initial profile (used for
-/// deterministic ablations and warm starts).
-///
-/// # Panics
-///
-/// Same conditions as [`cgba`].
-pub fn cgba_from(game: &CongestionGame, initial: Profile, config: &CgbaConfig) -> CgbaReport {
-    assert!(game.num_players() > 0, "game has no players");
-    assert!((0.0..1.0).contains(&config.lambda), "lambda must be in [0, 1)");
-    game.validate().expect("game must validate before solving");
-
-    let mut profile = initial;
-    let initial_cost = profile.total_cost(game);
-    let mut iterations = 0;
-    let mut converged = false;
-    let mut rr_cursor = 0usize;
-    let n = game.num_players();
-
-    while iterations < config.max_iterations {
-        // Find the mover per the scheduling rule.
-        let mut mover: Option<(usize, usize)> = None; // (player, strategy)
-        match config.scheduling {
-            SchedulingRule::MaxGain => {
-                let mut best_gap = 0.0;
-                for i in 0..n {
-                    let cost = profile.player_cost(game, i);
-                    let (s, br) = profile.best_response(game, i);
-                    if (1.0 - config.lambda) * cost > br {
-                        let gap = cost - br;
-                        if gap > best_gap {
-                            best_gap = gap;
-                            mover = Some((i, s));
-                        }
-                    }
-                }
-            }
-            SchedulingRule::RoundRobin => {
-                for step in 0..n {
-                    let i = (rr_cursor + step) % n;
-                    let cost = profile.player_cost(game, i);
-                    let (s, br) = profile.best_response(game, i);
-                    if (1.0 - config.lambda) * cost > br {
-                        mover = Some((i, s));
-                        rr_cursor = (i + 1) % n;
-                        break;
-                    }
-                }
-            }
-        }
-        match mover {
-            Some((i, s)) => {
-                profile.switch(game, i, s);
-                iterations += 1;
-            }
-            None => {
-                converged = true;
-                break;
-            }
-        }
-    }
-
-    let total_cost = profile.total_cost(game);
-    CgbaReport { profile, total_cost, initial_cost, iterations, converged }
-}
-
-/// Exhaustively computes the social optimum of a *small* game.
-///
-/// Returns the optimal choices and cost. The profile space must not exceed
-/// `max_profiles` (guard against accidental exponential blowups).
-///
-/// # Errors
-///
-/// Returns the actual profile-space size when it exceeds `max_profiles`.
+/// A congestion game borrowed as its two halves — lets a caller hold the
+/// weights mutably elsewhere between solves while sharing one structure.
 ///
 /// # Examples
 ///
 /// ```
-/// use eotora_game::{brute_force_optimum, CongestionGame};
+/// use eotora_game::{cgba_from, CgbaConfig, GameStructure, Profile, ResourceWeights, SplitGame};
 ///
-/// let mut g = CongestionGame::new(vec![1.0, 1.0]);
-/// g.add_player(vec![vec![(0, 1.0)], vec![(1, 1.0)]]);
-/// g.add_player(vec![vec![(0, 1.0)], vec![(1, 1.0)]]);
-/// let (choices, cost) = brute_force_optimum(&g, 1_000_000).unwrap();
-/// assert_eq!(cost, 2.0); // spread across the two resources
-/// assert_ne!(choices[0], choices[1]);
+/// let structure = GameStructure::new(
+///     2,
+///     vec![vec![vec![(0, 1.0)], vec![(1, 1.0)]], vec![vec![(0, 1.0)], vec![(1, 1.0)]]],
+/// )
+/// .unwrap();
+/// let mut weights = ResourceWeights::new(vec![1.0, 1.0]).unwrap();
+/// weights.set(1, 0.5); // in-place weight update, no game rebuild
+/// let game = SplitGame { structure: &structure, weights: &weights };
+/// let initial = Profile::from_choices(&game, vec![0, 0]);
+/// let report = cgba_from(&game, initial, &CgbaConfig::default());
+/// assert!(report.converged);
 /// ```
-pub fn brute_force_optimum(
-    game: &CongestionGame,
-    max_profiles: u128,
-) -> Result<(Vec<usize>, f64), u128> {
-    let mut space: u128 = 1;
-    for i in 0..game.num_players() {
-        space = space.saturating_mul(game.strategies(i).len() as u128);
-        if space > max_profiles {
-            return Err(space);
-        }
+#[derive(Debug, Clone, Copy)]
+pub struct SplitGame<'a> {
+    /// The immutable-shape half.
+    pub structure: &'a GameStructure,
+    /// The resource weights.
+    pub weights: &'a ResourceWeights,
+}
+
+impl GameRef for SplitGame<'_> {
+    fn structure(&self) -> &GameStructure {
+        self.structure
     }
-    let n = game.num_players();
-    let mut choices = vec![0usize; n];
-    let mut best_choices = choices.clone();
-    let mut best = f64::INFINITY;
-    loop {
-        let cost = Profile::from_choices(game, choices.clone()).total_cost(game);
-        if cost < best {
-            best = cost;
-            best_choices = choices.clone();
-        }
-        // Odometer increment over the mixed-radix strategy space.
-        let mut i = 0;
-        loop {
-            if i == n {
-                return Ok((best_choices, best));
-            }
-            choices[i] += 1;
-            if choices[i] < game.strategies(i).len() {
-                break;
-            }
-            choices[i] = 0;
-            i += 1;
-        }
+    fn weights(&self) -> &ResourceWeights {
+        self.weights
     }
 }
 
-/// Empirical price-of-anarchy scan: runs CGBA(0) from `samples` random
-/// starts and compares the worst equilibrium found against the brute-force
-/// optimum. For weighted congestion games with affine costs the true PoA is
-/// at most 2.62 (the constant in the paper's Theorem 2).
+/// Validates the two halves of a game together, in the order the original
+/// monolithic check used: resource weights first, then the player side.
 ///
 /// # Errors
 ///
-/// Propagates [`brute_force_optimum`]'s size guard.
-pub fn empirical_price_of_anarchy(
-    game: &CongestionGame,
-    samples: usize,
-    max_profiles: u128,
-    rng: &mut Pcg32,
-) -> Result<f64, u128> {
-    let (_, opt) = brute_force_optimum(game, max_profiles)?;
-    let mut worst: f64 = 1.0;
-    for _ in 0..samples {
-        let report = cgba(game, &CgbaConfig::default(), rng);
-        if opt > 0.0 {
-            worst = worst.max(report.total_cost / opt);
+/// Returns the first [`GameError`] found.
+pub fn validate_parts(
+    structure: &GameStructure,
+    weights: &ResourceWeights,
+) -> Result<(), GameError> {
+    weights.validate()?;
+    structure.validate()
+}
+
+/// A weighted congestion game with linear (load-proportional) resource
+/// costs: a [`GameStructure`] plus its [`ResourceWeights`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionGame {
+    structure: GameStructure,
+    weights: ResourceWeights,
+}
+
+impl CongestionGame {
+    /// Creates a game over resources with weights `m_r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource_weights` is empty.
+    pub fn new(resource_weights: Vec<f64>) -> Self {
+        assert!(!resource_weights.is_empty(), "need at least one resource");
+        Self {
+            structure: GameStructure::empty(resource_weights.len()),
+            weights: ResourceWeights::from_raw(resource_weights),
         }
     }
-    Ok(worst)
+
+    /// Assembles a game from pre-validated halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the halves disagree on the resource count.
+    pub fn from_parts(structure: GameStructure, weights: ResourceWeights) -> Self {
+        assert_eq!(structure.num_resources(), weights.len(), "structure/weights resource count");
+        Self { structure, weights }
+    }
+
+    /// Adds a player with the given strategy set; returns its index.
+    pub fn add_player(&mut self, strategies: Vec<Strategy>) -> usize {
+        self.structure.push_player_unchecked(strategies)
+    }
+
+    /// Number of players `I`.
+    pub fn num_players(&self) -> usize {
+        self.structure.num_players()
+    }
+
+    /// Number of resources `|R|`.
+    pub fn num_resources(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The weight `m_r` of resource `r`.
+    pub fn resource_weight(&self, r: usize) -> f64 {
+        self.weights.get(r)
+    }
+
+    /// Overwrites the weight `m_r` of resource `r` in place (the BDMA
+    /// round-to-round server-weight refresh).
+    pub fn set_resource_weight(&mut self, r: usize, m: f64) {
+        self.weights.set(r, m);
+    }
+
+    /// Overwrites the per-resource player weights of strategy `s` of player
+    /// `i` in place (see [`GameStructure::set_strategy_weights`]).
+    pub fn set_strategy_weights(&mut self, i: usize, s: usize, weights: &[f64]) {
+        self.structure.set_strategy_weights(i, s, weights);
+    }
+
+    /// Player `i`'s strategies.
+    pub fn strategies(&self, i: usize) -> &[Strategy] {
+        self.structure.strategies(i)
+    }
+
+    /// The immutable-shape half of the game.
+    pub fn structure(&self) -> &GameStructure {
+        &self.structure
+    }
+
+    /// The resource-weight half of the game.
+    pub fn weights(&self) -> &ResourceWeights {
+        &self.weights
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GameError`] found.
+    pub fn validate(&self) -> Result<(), GameError> {
+        validate_parts(&self.structure, &self.weights)
+    }
+}
+
+impl GameRef for CongestionGame {
+    fn structure(&self) -> &GameStructure {
+        &self.structure
+    }
+    fn weights(&self) -> &ResourceWeights {
+        &self.weights
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use eotora_util::assert_close;
+    use eotora_util::rng::Pcg32;
 
     /// I players, R resources, each strategy = exactly one resource, with
     /// player weight `w[i]` on every resource.
@@ -721,6 +699,58 @@ mod tests {
     }
 
     #[test]
+    fn structure_construction_validates_eagerly() {
+        assert!(matches!(
+            GameStructure::new(1, vec![vec![vec![(3, 1.0)]]]),
+            Err(GameError::DanglingResource { player: 0, resource: 3 })
+        ));
+        assert!(matches!(GameStructure::new(1, vec![vec![]]), Err(GameError::NoStrategies { .. })));
+        assert!(matches!(
+            ResourceWeights::new(vec![1.0, f64::NAN]),
+            Err(GameError::BadWeight { .. })
+        ));
+        let st = GameStructure::new(2, vec![vec![vec![(0, 1.0)], vec![(1, 2.0)]]]).unwrap();
+        assert_eq!(st.num_players(), 1);
+        assert_eq!(st.touching(0), &[(0, 0)]);
+        assert_eq!(st.touching(1), &[(0, 1)]);
+    }
+
+    #[test]
+    fn touching_index_covers_every_strategy_resource() {
+        let mut wr = Pcg32::seed(31);
+        let weights: Vec<f64> = (0..9).map(|_| wr.uniform_in(0.5, 2.0)).collect();
+        let m: Vec<f64> = (0..4).map(|_| wr.uniform_in(0.5, 2.0)).collect();
+        let g = singleton_game(&weights, &m);
+        let st = g.structure();
+        for i in 0..st.num_players() {
+            for (s, strategy) in st.strategies(i).iter().enumerate() {
+                for &(r, _) in strategy {
+                    assert!(st.touching(r).contains(&(i as u32, s as u32)));
+                }
+            }
+        }
+        let total: usize = (0..st.num_resources()).map(|r| st.touching(r).len()).sum();
+        let expected: usize =
+            (0..st.num_players()).flat_map(|i| st.strategies(i).iter().map(Vec::len)).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn in_place_weight_updates_preserve_shape() {
+        let mut g = singleton_game(&[1.0, 2.0], &[1.0, 1.0]);
+        let before = g.structure().clone();
+        g.set_resource_weight(0, 3.0);
+        g.set_strategy_weights(1, 0, &[5.0]);
+        assert_eq!(g.resource_weight(0), 3.0);
+        assert_eq!(g.strategies(1)[0], vec![(0, 5.0)]);
+        // Only the weight payloads changed; the touching index is intact.
+        for r in 0..2 {
+            assert_eq!(g.structure().touching(r), before.touching(r));
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
     fn brute_force_matches_known_optimum() {
         let g = singleton_game(&[1.0, 2.0], &[1.0, 1.0]);
         let (choices, cost) = brute_force_optimum(&g, 100).unwrap();
@@ -778,6 +808,31 @@ mod tests {
         let rebuilt = Profile::from_choices(&g, p.choices().to_vec());
         for (a, b) in p.loads().iter().zip(rebuilt.loads()) {
             assert_close!(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One scratch across games of different shapes and weight updates
+        // must behave exactly like a fresh scratch per call.
+        let mut scratch = CgbaScratch::default();
+        for seed in 0..10u64 {
+            let mut wr = Pcg32::seed(seed);
+            let players = 2 + (seed as usize % 5);
+            let resources = 2 + (seed as usize % 3);
+            let weights: Vec<f64> = (0..players).map(|_| wr.uniform_in(0.5, 3.0)).collect();
+            let m: Vec<f64> = (0..resources).map(|_| wr.uniform_in(0.2, 2.0)).collect();
+            let mut g = singleton_game(&weights, &m);
+            for round in 0..3 {
+                let initial = Profile::random(&g, &mut Pcg32::seed(seed * 10 + round));
+                let cfg = CgbaConfig::default();
+                let reused = cgba_from_with_scratch(&g, initial.clone(), &cfg, &mut scratch);
+                let fresh = cgba_from_with_scratch(&g, initial, &cfg, &mut CgbaScratch::default());
+                assert_eq!(reused, fresh);
+                // Perturb a resource weight in place before the next round.
+                let r = wr.below(resources);
+                g.set_resource_weight(r, wr.uniform_in(0.2, 2.0));
+            }
         }
     }
 }

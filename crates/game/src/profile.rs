@@ -1,0 +1,143 @@
+//! Strategy profiles with incrementally maintained resource loads.
+
+use serde::{Deserialize, Serialize};
+
+use eotora_util::rng::Pcg32;
+
+use crate::GameRef;
+
+/// A strategy profile with incrementally maintained resource loads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    pub(crate) choices: Vec<usize>,
+    pub(crate) loads: Vec<f64>,
+}
+
+impl Profile {
+    /// Builds a profile from per-player strategy indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices.len()` differs from the player count or any index
+    /// is out of range for its player.
+    pub fn from_choices<G: GameRef>(game: &G, choices: Vec<usize>) -> Self {
+        let structure = game.structure();
+        assert_eq!(choices.len(), structure.num_players(), "one choice per player");
+        let mut loads = vec![0.0; structure.num_resources()];
+        for (i, &s) in choices.iter().enumerate() {
+            for &(r, w) in &structure.strategies(i)[s] {
+                loads[r] += w;
+            }
+        }
+        Self { choices, loads }
+    }
+
+    /// A uniformly random profile.
+    pub fn random<G: GameRef>(game: &G, rng: &mut Pcg32) -> Self {
+        let structure = game.structure();
+        let choices = (0..structure.num_players())
+            .map(|i| rng.below(structure.strategies(i).len()))
+            .collect();
+        Self::from_choices(game, choices)
+    }
+
+    /// Strategy index chosen by each player.
+    pub fn choices(&self) -> &[usize] {
+        &self.choices
+    }
+
+    /// Current load `p_r(z)` on each resource.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Switches player `i` to strategy `s`, updating loads incrementally.
+    pub fn switch<G: GameRef>(&mut self, game: &G, i: usize, s: usize) {
+        let structure = game.structure();
+        for &(r, w) in &structure.strategies(i)[self.choices[i]] {
+            self.loads[r] -= w;
+        }
+        for &(r, w) in &structure.strategies(i)[s] {
+            self.loads[r] += w;
+        }
+        self.choices[i] = s;
+    }
+
+    /// Player `i`'s cost `T_i(z) = Σ_r m_r · p_{i,r} · p_r(z)`.
+    pub fn player_cost<G: GameRef>(&self, game: &G, i: usize) -> f64 {
+        game.structure().strategies(i)[self.choices[i]]
+            .iter()
+            .map(|&(r, w)| game.weights().get(r) * w * self.loads[r])
+            .sum()
+    }
+
+    /// Social cost `Σ_i T_i(z) = Σ_r m_r · p_r(z)²`.
+    pub fn total_cost<G: GameRef>(&self, game: &G) -> f64 {
+        self.loads.iter().zip(game.weights().as_slice()).map(|(&p, &m)| m * p * p).sum()
+    }
+
+    /// The exact potential
+    /// `Φ(z) = ½ Σ_r m_r (p_r(z)² + Σ_{i∈I_r(z)} p_{i,r}²)`.
+    ///
+    /// Any unilateral deviation changes Φ by exactly the deviating player's
+    /// cost change, so best-response dynamics strictly decrease Φ.
+    pub fn potential<G: GameRef>(&self, game: &G) -> f64 {
+        let structure = game.structure();
+        let mut sum_sq = vec![0.0; structure.num_resources()];
+        for (i, &s) in self.choices.iter().enumerate() {
+            for &(r, w) in &structure.strategies(i)[s] {
+                sum_sq[r] += w * w;
+            }
+        }
+        self.loads
+            .iter()
+            .zip(game.weights().as_slice())
+            .zip(&sum_sq)
+            .map(|((&p, &m), &ss)| 0.5 * m * (p * p + ss))
+            .sum()
+    }
+
+    /// The cost player `i` would pay for strategy `s` against the rest of
+    /// the profile — the single-entry building block of
+    /// [`Profile::best_response`]. The incremental CGBA scheduler calls this
+    /// exact expression when refreshing dirty cache entries, so cached and
+    /// freshly scanned values are bit-identical.
+    pub(crate) fn strategy_cost<G: GameRef>(&self, game: &G, i: usize, s: usize) -> f64 {
+        let structure = game.structure();
+        let weights = game.weights();
+        let current = &structure.strategies(i)[self.choices[i]];
+        let mut cost = 0.0;
+        for &(r, w) in &structure.strategies(i)[s] {
+            // Load excluding i's current contribution on r (if any).
+            let own: f64 =
+                current.iter().find(|&&(cr, _)| cr == r).map(|&(_, cw)| cw).unwrap_or(0.0);
+            cost += weights.get(r) * w * (self.loads[r] - own + w);
+        }
+        cost
+    }
+
+    /// The best response of player `i` against the rest of the profile:
+    /// `(strategy index, resulting cost for i)`.
+    pub fn best_response<G: GameRef>(&self, game: &G, i: usize) -> (usize, f64) {
+        let mut best = (self.choices[i], f64::INFINITY);
+        for s in 0..game.structure().strategies(i).len() {
+            let cost = self.strategy_cost(game, i, s);
+            if cost < best.1 {
+                best = (s, cost);
+            }
+        }
+        best
+    }
+
+    /// Whether no player can reduce its cost by a factor of more than
+    /// `1/(1−λ)` — i.e. the CGBA stopping condition
+    /// `(1−λ)·T_i(z) ≤ min_{ẑ_i} T_i(ẑ_i, z_{−i})` for all `i`.
+    /// With `λ = 0` this is an exact Nash equilibrium (up to `tol`).
+    pub fn is_lambda_equilibrium<G: GameRef>(&self, game: &G, lambda: f64, tol: f64) -> bool {
+        (0..game.structure().num_players()).all(|i| {
+            let cost = self.player_cost(game, i);
+            let (_, best) = self.best_response(game, i);
+            (1.0 - lambda) * cost <= best + tol
+        })
+    }
+}

@@ -10,7 +10,7 @@ const SUB_BUCKETS: usize = 16;
 /// boundaries.
 ///
 /// Values below 16 get exact unit buckets; above that, each power-of-two
-/// range `[2^k, 2^(k+1))` splits into [`SUB_BUCKETS`] equal sub-buckets,
+/// range `[2^k, 2^(k+1))` splits into 16 equal sub-buckets,
 /// bounding relative quantile error at 1/16. Exact `min`/`max`/`sum`
 /// are tracked alongside, so `quantile(0.0)` and `quantile(1.0)` are
 /// exact and `mean` has no bucketing error.

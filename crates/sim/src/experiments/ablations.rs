@@ -34,35 +34,34 @@ pub struct BdmaRoundsRow {
     pub objective: f64,
 }
 
-/// Sweeps the BDMA round count `z` on a fixed slot problem.
+/// Sweeps the BDMA round count `z` on a fixed slot problem. Each round
+/// count is an independent, fully seeded job, so the sweep runs on the
+/// bounded worker pool with results in round-count order.
 pub fn bdma_rounds(devices: usize, trials: usize, seed: u64) -> Vec<BdmaRoundsRow> {
     let rounds_list = [1usize, 2, 3, 5, 8];
-    rounds_list
-        .iter()
-        .map(|&rounds| {
-            let mut total = 0.0;
-            for trial in 0..trials {
-                let s = seed + trial as u64 * 37;
-                let system = MecSystem::random(&SystemConfig::paper_defaults(devices), s);
-                let mut states =
-                    StateProvider::paper(system.topology(), &PaperStateConfig::default(), s);
-                let state = states.observe(0, system.topology());
-                let mut solver = CgbaSolver::default();
-                let mut rng = Pcg32::seed(s);
-                let sol = solve_p2(
-                    &system,
-                    &state,
-                    100.0,
-                    20.0,
-                    &BdmaConfig { rounds },
-                    &mut solver,
-                    &mut rng,
-                );
-                total += sol.objective;
-            }
-            BdmaRoundsRow { rounds, objective: total / trials as f64 }
-        })
-        .collect()
+    eotora_util::pool::WorkerPool::with_default().map(&rounds_list, |&rounds| {
+        let mut total = 0.0;
+        for trial in 0..trials {
+            let s = seed + trial as u64 * 37;
+            let system = MecSystem::random(&SystemConfig::paper_defaults(devices), s);
+            let mut states =
+                StateProvider::paper(system.topology(), &PaperStateConfig::default(), s);
+            let state = states.observe(0, system.topology());
+            let mut solver = CgbaSolver::default();
+            let mut rng = Pcg32::seed(s);
+            let sol = solve_p2(
+                &system,
+                &state,
+                100.0,
+                20.0,
+                &BdmaConfig { rounds },
+                &mut solver,
+                &mut rng,
+            );
+            total += sol.objective;
+        }
+        BdmaRoundsRow { rounds, objective: total / trials as f64 }
+    })
 }
 
 /// One row of the CGBA-scheduling ablation.
@@ -76,35 +75,35 @@ pub struct SchedulingRow {
     pub iterations: f64,
 }
 
-/// Compares the paper's max-gain scheduling against round-robin.
+/// Compares the paper's max-gain scheduling against round-robin. The two
+/// rules are independent jobs on the bounded worker pool.
 pub fn scheduling_rules(devices: usize, trials: usize, seed: u64) -> Vec<SchedulingRow> {
-    [("max-gain", SchedulingRule::MaxGain), ("round-robin", SchedulingRule::RoundRobin)]
-        .into_iter()
-        .map(|(name, scheduling)| {
-            let mut objective = 0.0;
-            let mut iterations = 0.0;
-            for trial in 0..trials {
-                let s = seed + trial as u64 * 41;
-                let system = MecSystem::random(&SystemConfig::paper_defaults(devices), s);
-                let mut states =
-                    StateProvider::paper(system.topology(), &PaperStateConfig::default(), s);
-                let state = states.observe(0, system.topology());
-                let p2a =
-                    eotora_core::p2a::P2aProblem::build(&system, &state, &system.min_frequencies());
-                let mut rng = Pcg32::seed(s);
-                let cfg = CgbaConfig { scheduling, ..Default::default() };
-                let report = p2a.solve_cgba(&cfg, &mut rng);
-                assert!(report.converged);
-                objective += report.total_cost;
-                iterations += report.iterations as f64;
-            }
-            SchedulingRow {
-                rule: name.to_string(),
-                objective: objective / trials as f64,
-                iterations: iterations / trials as f64,
-            }
-        })
-        .collect()
+    let rules =
+        [("max-gain", SchedulingRule::MaxGain), ("round-robin", SchedulingRule::RoundRobin)];
+    eotora_util::pool::WorkerPool::with_default().map(&rules, |&(name, scheduling)| {
+        let mut objective = 0.0;
+        let mut iterations = 0.0;
+        for trial in 0..trials {
+            let s = seed + trial as u64 * 41;
+            let system = MecSystem::random(&SystemConfig::paper_defaults(devices), s);
+            let mut states =
+                StateProvider::paper(system.topology(), &PaperStateConfig::default(), s);
+            let state = states.observe(0, system.topology());
+            let p2a =
+                eotora_core::p2a::P2aProblem::build(&system, &state, &system.min_frequencies());
+            let mut rng = Pcg32::seed(s);
+            let cfg = CgbaConfig { scheduling, ..Default::default() };
+            let report = p2a.solve_cgba(&cfg, &mut rng);
+            assert!(report.converged);
+            objective += report.total_cost;
+            iterations += report.iterations as f64;
+        }
+        SchedulingRow {
+            rule: name.to_string(),
+            objective: objective / trials as f64,
+            iterations: iterations / trials as f64,
+        }
+    })
 }
 
 /// One row of the energy-family ablation.
@@ -135,43 +134,42 @@ pub fn energy_families(devices: usize, horizon: u64, seed: u64) -> Vec<EnergyFam
         ("cubic DVFS", Arc::new(cubic)),
     ];
 
-    families
-        .into_iter()
-        .map(|(name, base)| {
-            let reference = MecSystem::random(&SystemConfig::paper_defaults(devices), seed);
-            let topo = reference.topology().clone();
-            let energy: Vec<Arc<dyn EnergyModel>> = topo
-                .server_ids()
-                .map(|n| {
-                    let scale = topo.server(n).cores as f64 / 4.0;
-                    Arc::new(ScaledArc { inner: base.clone(), scale }) as Arc<dyn EnergyModel>
-                })
-                .collect();
-            let suitability: Vec<Vec<f64>> = (0..devices)
-                .map(|i| {
-                    topo.server_ids()
-                        .map(|n| reference.suitability(eotora_topology::DeviceId(i), n))
-                        .collect()
-                })
-                .collect();
-            let system = MecSystem::new(topo, energy, suitability, 1.0, 1.0);
-            let mut states =
-                StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
-            let mut dpp = EotoraDpp::new(
-                system,
-                DppConfig { v: 100.0, bdma_rounds: 1, seed, ..Default::default() },
-            );
-            for t in 0..horizon {
-                let beta = states.observe(t, dpp.system().topology());
-                dpp.step(&beta);
-            }
-            EnergyFamilyRow {
-                family: name.to_string(),
-                average_latency: dpp.average_latency(),
-                average_cost: dpp.average_cost(),
-            }
-        })
-        .collect()
+    // Each family is a full DPP run on its own system — independent, seeded
+    // jobs for the bounded worker pool (results in family order).
+    eotora_util::pool::WorkerPool::with_default().map(&families, |(name, base)| {
+        let reference = MecSystem::random(&SystemConfig::paper_defaults(devices), seed);
+        let topo = reference.topology().clone();
+        let energy: Vec<Arc<dyn EnergyModel>> = topo
+            .server_ids()
+            .map(|n| {
+                let scale = topo.server(n).cores as f64 / 4.0;
+                Arc::new(ScaledArc { inner: base.clone(), scale }) as Arc<dyn EnergyModel>
+            })
+            .collect();
+        let suitability: Vec<Vec<f64>> = (0..devices)
+            .map(|i| {
+                topo.server_ids()
+                    .map(|n| reference.suitability(eotora_topology::DeviceId(i), n))
+                    .collect()
+            })
+            .collect();
+        let system = MecSystem::new(topo, energy, suitability, 1.0, 1.0);
+        let mut states =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+        let mut dpp = EotoraDpp::new(
+            system,
+            DppConfig { v: 100.0, bdma_rounds: 1, seed, ..Default::default() },
+        );
+        for t in 0..horizon {
+            let beta = states.observe(t, dpp.system().topology());
+            dpp.step(&beta);
+        }
+        EnergyFamilyRow {
+            family: name.to_string(),
+            average_latency: dpp.average_latency(),
+            average_cost: dpp.average_cost(),
+        }
+    })
 }
 
 /// `Arc`-sharing scale wrapper (the `eotora_energy::Scaled` owns a `Box`,
@@ -211,23 +209,37 @@ pub struct PerSlotComparison {
 pub fn per_slot_vs_dpp(devices: usize, horizon: u64, budget: f64, seed: u64) -> PerSlotComparison {
     let system =
         MecSystem::random(&SystemConfig::paper_defaults(devices), seed).with_budget(budget);
-    let mut states_a = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
-    let mut states_b = StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
 
-    let mut per_slot = PerSlotController::new(system.clone(), seed);
-    let mut dpp =
-        EotoraDpp::new(system, DppConfig { v: 100.0, bdma_rounds: 2, seed, ..Default::default() });
-    for t in 0..horizon {
-        let beta = states_a.observe(t, per_slot.system().topology());
-        per_slot.step(&beta);
-        let beta = states_b.observe(t, dpp.system().topology());
-        dpp.step(&beta);
-    }
+    // The two controllers consume identically seeded (but independent)
+    // state streams, so they are two jobs for the worker pool; index 0 is
+    // per-slot, index 1 is DPP.
+    let runs = eotora_util::pool::WorkerPool::with_default().map_indexed(2, |which| {
+        let mut states =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+        if which == 0 {
+            let mut per_slot = PerSlotController::new(system.clone(), seed);
+            for t in 0..horizon {
+                let beta = states.observe(t, per_slot.system().topology());
+                per_slot.step(&beta);
+            }
+            (per_slot.average_latency(), per_slot.average_cost())
+        } else {
+            let mut dpp = EotoraDpp::new(
+                system.clone(),
+                DppConfig { v: 100.0, bdma_rounds: 2, seed, ..Default::default() },
+            );
+            for t in 0..horizon {
+                let beta = states.observe(t, dpp.system().topology());
+                dpp.step(&beta);
+            }
+            (dpp.average_latency(), dpp.average_cost())
+        }
+    });
     PerSlotComparison {
-        dpp_latency: dpp.average_latency(),
-        dpp_cost: dpp.average_cost(),
-        per_slot_latency: per_slot.average_latency(),
-        per_slot_cost: per_slot.average_cost(),
+        dpp_latency: runs[1].0,
+        dpp_cost: runs[1].1,
+        per_slot_latency: runs[0].0,
+        per_slot_cost: runs[0].1,
         budget,
     }
 }

@@ -53,7 +53,9 @@ pub struct LambdaSweepRow {
 }
 
 /// Runs the Fig. 6 sweep. All λ values share the same instances and initial
-/// profiles (seed-aligned), isolating the effect of λ.
+/// profiles (seed-aligned), isolating the effect of λ. The λ points are
+/// independent (each trial reseeds its own RNG), so they run on the bounded
+/// worker pool; results come back in `config.lambdas` order.
 pub fn lambda_sweep(config: &LambdaSweepConfig) -> Vec<LambdaSweepRow> {
     let instances: Vec<P2aProblem> = (0..config.trials)
         .map(|trial| {
@@ -66,24 +68,20 @@ pub fn lambda_sweep(config: &LambdaSweepConfig) -> Vec<LambdaSweepRow> {
         })
         .collect();
 
-    config
-        .lambdas
-        .iter()
-        .map(|&lambda| {
-            let mut objective = 0.0;
-            let mut iterations = 0.0;
-            for (trial, p2a) in instances.iter().enumerate() {
-                let mut rng = Pcg32::seed(config.seed + trial as u64);
-                let cfg = CgbaConfig { lambda, ..Default::default() };
-                let report = p2a.solve_cgba(&cfg, &mut rng);
-                assert!(report.converged, "CGBA must converge");
-                objective += report.total_cost;
-                iterations += report.iterations as f64;
-            }
-            let n = config.trials as f64;
-            LambdaSweepRow { lambda, objective: objective / n, iterations: iterations / n }
-        })
-        .collect()
+    eotora_util::pool::WorkerPool::with_default().map(&config.lambdas, |&lambda| {
+        let mut objective = 0.0;
+        let mut iterations = 0.0;
+        for (trial, p2a) in instances.iter().enumerate() {
+            let mut rng = Pcg32::seed(config.seed + trial as u64);
+            let cfg = CgbaConfig { lambda, ..Default::default() };
+            let report = p2a.solve_cgba(&cfg, &mut rng);
+            assert!(report.converged, "CGBA must converge");
+            objective += report.total_cost;
+            iterations += report.iterations as f64;
+        }
+        let n = config.trials as f64;
+        LambdaSweepRow { lambda, objective: objective / n, iterations: iterations / n }
+    })
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Executes scenarios and collects per-slot metrics.
 //!
 //! Every run is instrumented: an in-memory
-//! [`MetricsRecorder`](eotora_obs::MetricsRecorder) aggregates the
+//! [`MetricsRecorder`] aggregates the
 //! pipeline's spans into [`SimulationResult::per_stage_solve_time`], and
 //! [`run_traced`] additionally tees the event stream into any external
 //! [`Recorder`] (e.g. a JSONL sink for `eotora run --trace`).
@@ -204,13 +204,25 @@ fn run_impl(
     }
 }
 
-/// Runs independent scenarios in parallel (one OS thread each, bounded by
-/// the scenario count; scenarios are independent by construction).
+/// Runs independent scenarios in parallel on the process-default worker
+/// pool (scenarios are independent by construction; results come back in
+/// scenario order). Equivalent to `run_many_jobs(scenarios, None)`.
 pub fn run_many(scenarios: &[Scenario]) -> Vec<SimulationResult> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios.iter().map(|s| scope.spawn(move || run(s))).collect();
-        handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
-    })
+    run_many_jobs(scenarios, None)
+}
+
+/// Runs independent scenarios on a bounded worker pool of `jobs` threads
+/// (`None` → the process default, see
+/// [`eotora_util::pool::default_workers`]). Concurrency is capped at the
+/// worker count regardless of how many scenarios are queued, and results
+/// are returned in scenario order, so the output is identical to running
+/// each scenario serially with [`run`].
+pub fn run_many_jobs(scenarios: &[Scenario], jobs: Option<usize>) -> Vec<SimulationResult> {
+    let pool = match jobs {
+        Some(n) => eotora_util::pool::WorkerPool::new(n),
+        None => eotora_util::pool::WorkerPool::with_default(),
+    };
+    pool.map(scenarios, run)
 }
 
 #[cfg(test)]
@@ -256,6 +268,23 @@ mod tests {
         assert_eq!(parallel.len(), 2);
         let serial0 = run(&scenarios[0]);
         assert_eq!(parallel[0].latency, serial0.latency);
+    }
+
+    #[test]
+    fn run_many_jobs_is_deterministic_across_worker_counts() {
+        // More scenarios than workers: the pool must queue rather than
+        // spawn-per-job, and the result order must stay scenario order.
+        let scenarios: Vec<Scenario> = (0..5)
+            .map(|i| Scenario::paper(6, 20 + i).with_horizon(3).with_bdma_rounds(1))
+            .collect();
+        let serial = run_many_jobs(&scenarios, Some(1));
+        let bounded = run_many_jobs(&scenarios, Some(2));
+        assert_eq!(serial.len(), 5);
+        for (a, b) in serial.iter().zip(&bounded) {
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.queue, b.queue);
+            assert_eq!(a.label, b.label);
+        }
     }
 
     #[test]

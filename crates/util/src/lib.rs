@@ -11,6 +11,9 @@
 //!   means) used to report the paper's time-average metrics.
 //! * [`approx`] — relative/absolute floating-point comparison helpers and the
 //!   [`assert_close!`] macro used pervasively in tests.
+//! * [`pool`] — a bounded worker pool over scoped std threads with
+//!   deterministic result ordering, used by the sweep/experiment layers
+//!   (and sized by the CLI's `--jobs` flag).
 //!
 //! # Examples
 //!
@@ -26,11 +29,13 @@
 //! ```
 
 pub mod approx;
+pub mod pool;
 pub mod rng;
 pub mod series;
 pub mod stats;
 
 pub use approx::{approx_eq, rel_diff};
+pub use pool::WorkerPool;
 pub use rng::Pcg32;
 pub use series::TimeSeries;
 pub use stats::Summary;

@@ -1,0 +1,91 @@
+//! Refactored-vs-reference equivalence: the zero-rebuild engine (reused
+//! `SlotWorkspace`, incremental CGBA, in-place weight refreshes) must
+//! reproduce the pre-refactor solve path bit for bit, across a full online
+//! DPP run.
+
+use eotora_core::bdma::{solve_p2_reference, BdmaConfig};
+use eotora_core::dpp::{DppConfig, EotoraDpp};
+use eotora_core::system::{MecSystem, SystemConfig};
+use eotora_game::CgbaConfig;
+use eotora_states::{PaperStateConfig, StateProvider};
+use eotora_util::rng::Pcg32;
+
+/// Replays Algorithm 1 with the pre-refactor per-slot solve: fresh P2-A
+/// build + full validation every BDMA round, naive-rescan CGBA, explicit
+/// queue recursion `Q(t+1) = max{Q(t) + C_t − C̄, 0}`.
+fn reference_run(
+    system: &MecSystem,
+    config: &DppConfig,
+    horizon: u64,
+    state_seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut provider =
+        StateProvider::paper(system.topology(), &PaperStateConfig::default(), state_seed);
+    // Same dedicated stream the DPP controller seeds its solver RNG with.
+    let mut rng = Pcg32::seed_stream(config.seed, 0xD99);
+    let bdma = BdmaConfig { rounds: config.bdma_rounds };
+    let cgba = CgbaConfig::default();
+    let mut queue = config.initial_queue;
+    let mut latencies = Vec::new();
+    let mut queues = Vec::new();
+    for slot in 0..horizon {
+        let state = provider.observe(slot, system.topology());
+        let sol = solve_p2_reference(system, &state, config.v, queue, &bdma, &cgba, &mut rng);
+        latencies.push(sol.latency);
+        // Same association as `VirtualQueue::update`: the excess is formed
+        // first, then added to the backlog (float addition isn't
+        // associative, and this test demands bit equality).
+        let excess = sol.energy_cost - system.budget_per_slot();
+        queue = (queue + excess).max(0.0);
+        queues.push(queue);
+    }
+    (latencies, queues)
+}
+
+#[test]
+fn dpp_run_is_bit_identical_to_reference_loop() {
+    let horizon = 20;
+    let system = MecSystem::random(&SystemConfig::paper_defaults(18), 301);
+    let config = DppConfig { v: 120.0, bdma_rounds: 3, seed: 301, ..Default::default() };
+    let (ref_latencies, ref_queues) = reference_run(&system, &config, horizon, 301);
+
+    let mut provider = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 301);
+    let mut dpp = EotoraDpp::new(system, config);
+    for slot in 0..horizon {
+        let state = provider.observe(slot, dpp.system().topology());
+        let step = dpp.step(&state);
+        // Exact float equality on purpose: the refactor promises the same
+        // numbers, not merely close ones.
+        assert_eq!(
+            step.outcome.objective, ref_latencies[slot as usize],
+            "latency diverged at slot {slot}"
+        );
+        assert_eq!(dpp.queue_backlog(), ref_queues[slot as usize], "queue diverged at slot {slot}");
+    }
+}
+
+#[test]
+fn single_round_bdma_also_matches_reference() {
+    // rounds = 1 exercises the build-only path (no between-round frequency
+    // refresh); a second config exercises a different V / seed.
+    for (v, rounds, seed) in [(60.0, 1, 311u64), (250.0, 2, 312u64)] {
+        let horizon = 12;
+        let system = MecSystem::random(&SystemConfig::paper_defaults(11), seed);
+        let config = DppConfig { v, bdma_rounds: rounds, seed, ..Default::default() };
+        let (ref_latencies, ref_queues) = reference_run(&system, &config, horizon, seed);
+
+        let mut provider =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), seed);
+        let mut dpp = EotoraDpp::new(system, config);
+        let mut latencies = Vec::new();
+        let mut queues = Vec::new();
+        for slot in 0..horizon {
+            let state = provider.observe(slot, dpp.system().topology());
+            let step = dpp.step(&state);
+            latencies.push(step.outcome.objective);
+            queues.push(dpp.queue_backlog());
+        }
+        assert_eq!(latencies, ref_latencies, "v={v} rounds={rounds}");
+        assert_eq!(queues, ref_queues, "v={v} rounds={rounds}");
+    }
+}
