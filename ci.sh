@@ -23,4 +23,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> slot_solve bench smoke (quick mode)"
 EOTORA_QUICK=1 cargo bench -p eotora-bench --bench slot_solve
 
+echo "==> slot_solve regression guard (engine p50 speedup >= 1.5x at 30 devices)"
+awk '
+  /"devices":/ { dev = $2; gsub(/[^0-9]/, "", dev) }
+  /"p50_speedup":/ && dev == 30 {
+    val = $2; gsub(/[^0-9.]/, "", val); found = 1
+    if (val + 0 < 1.5) {
+      printf "FAIL: engine p50 speedup %.2fx < 1.5x at 30 devices\n", val
+      exit 1
+    }
+    printf "OK: engine p50 speedup %.2fx at 30 devices\n", val
+  }
+  END { if (!found) { print "FAIL: no 30-device row in quick bench output"; exit 1 } }
+' target/BENCH_slot_solve.quick.json
+
 echo "ci: all green"

@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
                     &state,
                     100.0,
                     20.0,
-                    &BdmaConfig { rounds: z },
+                    &BdmaConfig { rounds: z, ..Default::default() },
                     &mut solver,
                     &mut rng,
                 ))

@@ -1,18 +1,25 @@
 //! Per-slot solve benchmark for the zero-rebuild engine.
 //!
-//! Replays the same online DPP loop twice at each fleet scale:
+//! Replays the same online DPP loop three times at each fleet scale:
 //!
-//! * **engine** — the production path: one persistent [`SlotWorkspace`]
-//!   reused across slots (`P2aProblem::rebuild` instead of fresh builds,
-//!   incremental CGBA gains, retained frequency buffer), and
+//! * **engine** — the production cold path: one persistent
+//!   [`SlotWorkspace`] reused across slots (`P2aProblem::rebuild` instead
+//!   of fresh builds, incremental CGBA gains, retained frequency buffer),
 //! * **reference** — the pre-refactor path: fresh game build + full
-//!   validation every BDMA round, naive-rescan CGBA, per-round clones.
+//!   validation every BDMA round, naive-rescan CGBA, per-round clones, and
+//! * **warm** — the cross-slot warm-start path (`StartPolicy::Warm` at the
+//!   paper's z = 5 with ε-termination), which seeds each slot from the
+//!   previous slot's incumbent and stops alternating once rounds stop
+//!   paying.
 //!
-//! Both consume identically seeded RNG streams, so the latency series must
-//! match bit for bit — asserted here, which makes the benchmark double as
-//! the at-scale equivalence check. p50/p95 per-slot solve times and the
-//! engine-vs-reference speedups land in `BENCH_slot_solve.json` at the repo
-//! root (or `target/BENCH_slot_solve.quick.json` under `EOTORA_QUICK`, with
+//! Engine and reference consume identically seeded RNG streams, so their
+//! latency series must match bit for bit — asserted here, which makes the
+//! benchmark double as the at-scale equivalence check. The warm arm takes
+//! different (equally valid) decisions, so it reports `rounds_used_mean`
+//! and `warm_speedup` (vs the cold engine's p50) instead of bit-identity.
+//! p50/p95 per-slot solve times and the speedups land in
+//! `BENCH_slot_solve.json` at the repo root (or
+//! `target/BENCH_slot_solve.quick.json` under `EOTORA_QUICK`, with
 //! scaled-down sizes).
 //!
 //! Not a Criterion bench on purpose: the two paths must advance in
@@ -21,7 +28,7 @@
 
 use std::time::Instant;
 
-use eotora_core::bdma::{solve_p2_in, solve_p2_reference, BdmaConfig, CgbaSolver};
+use eotora_core::bdma::{solve_p2_in, solve_p2_reference, BdmaConfig, CgbaSolver, StartPolicy};
 use eotora_core::system::{MecSystem, SystemConfig};
 use eotora_core::workspace::SlotWorkspace;
 use eotora_game::CgbaConfig;
@@ -31,6 +38,9 @@ use eotora_util::rng::Pcg32;
 const SEED: u64 = 7001;
 const V: f64 = 100.0;
 const BDMA_ROUNDS: usize = 2;
+/// The warm arm runs the paper's full z = 5 and lets ε-termination decide
+/// how many rounds each slot actually needs.
+const WARM_ROUNDS: usize = 5;
 
 struct ScaleResult {
     devices: usize,
@@ -41,6 +51,10 @@ struct ScaleResult {
     reference_p95_s: f64,
     p50_speedup: f64,
     p95_speedup: f64,
+    warm_p50_s: f64,
+    warm_p95_s: f64,
+    rounds_used_mean: f64,
+    warm_speedup: f64,
 }
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -54,7 +68,8 @@ fn record_states(system: &MecSystem, horizon: u64) -> Vec<SystemState> {
 }
 
 /// Runs the online loop once, timing each slot's solve; returns the
-/// latency series and per-slot wall-clock seconds.
+/// latency series, per-slot wall-clock seconds, and per-slot BDMA rounds
+/// actually executed.
 fn run_loop(
     system: &MecSystem,
     states: &[SystemState],
@@ -65,34 +80,36 @@ fn run_loop(
         u64,
         &mut Pcg32,
     ) -> eotora_core::bdma::P2Solution,
-) -> (Vec<f64>, Vec<f64>) {
+) -> (Vec<f64>, Vec<f64>, Vec<usize>) {
     let mut rng = Pcg32::seed_stream(SEED, 0xD99);
     let budget = system.budget_per_slot();
     let mut queue = 0.0;
     let mut latencies = Vec::with_capacity(states.len());
     let mut times = Vec::with_capacity(states.len());
+    let mut rounds = Vec::with_capacity(states.len());
     for (slot, state) in states.iter().enumerate() {
         let start = Instant::now();
         let sol = solve(system, state, queue, slot as u64, &mut rng);
         times.push(start.elapsed().as_secs_f64());
         latencies.push(sol.latency);
+        rounds.push(sol.rounds_used);
         // Same association as `VirtualQueue::update` (form the excess
         // first) so the two loops share the queue trajectory exactly.
         let excess = sol.energy_cost - budget;
         queue = (queue + excess).max(0.0);
     }
-    (latencies, times)
+    (latencies, times, rounds)
 }
 
 fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
     let system = MecSystem::random(&SystemConfig::paper_defaults(devices), SEED);
     let states = record_states(&system, horizon);
-    let bdma = BdmaConfig { rounds: BDMA_ROUNDS };
+    let bdma = BdmaConfig { rounds: BDMA_ROUNDS, ..Default::default() };
     let cgba = CgbaConfig::default();
 
     let mut workspace = SlotWorkspace::new();
     let mut solver = CgbaSolver::default();
-    let (engine_lat, mut engine_times) =
+    let (engine_lat, mut engine_times, _) =
         run_loop(&system, &states, |sys, state, queue, slot, rng| {
             solve_p2_in(
                 sys,
@@ -108,21 +125,46 @@ fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
             )
         });
 
-    let (ref_lat, mut ref_times) = run_loop(&system, &states, |sys, state, queue, _slot, rng| {
-        solve_p2_reference(sys, state, V, queue, &bdma, &cgba, rng)
-    });
+    let (ref_lat, mut ref_times, _) =
+        run_loop(&system, &states, |sys, state, queue, _slot, rng| {
+            solve_p2_reference(sys, state, V, queue, &bdma, &cgba, rng)
+        });
 
     assert_eq!(
         engine_lat, ref_lat,
         "engine and reference latency series must be bit-identical at I={devices}"
     );
 
+    // Warm arm: fresh workspace and solver (nothing carried over from the
+    // cold loops), the paper's z with ε-termination deciding the rest.
+    let warm_bdma = BdmaConfig { rounds: WARM_ROUNDS, epsilon: 1e-9, start: StartPolicy::Warm };
+    let mut warm_workspace = SlotWorkspace::new();
+    let mut warm_solver = CgbaSolver::default();
+    let (_, mut warm_times, warm_rounds) =
+        run_loop(&system, &states, |sys, state, queue, slot, rng| {
+            solve_p2_in(
+                sys,
+                state,
+                V,
+                queue,
+                &warm_bdma,
+                &mut warm_solver,
+                rng,
+                slot,
+                &eotora_obs::NoopRecorder,
+                &mut warm_workspace,
+            )
+        });
+
     engine_times.sort_by(f64::total_cmp);
     ref_times.sort_by(f64::total_cmp);
+    warm_times.sort_by(f64::total_cmp);
     let engine_p50_s = quantile(&engine_times, 0.50);
     let engine_p95_s = quantile(&engine_times, 0.95);
     let reference_p50_s = quantile(&ref_times, 0.50);
     let reference_p95_s = quantile(&ref_times, 0.95);
+    let warm_p50_s = quantile(&warm_times, 0.50);
+    let warm_p95_s = quantile(&warm_times, 0.95);
     ScaleResult {
         devices,
         horizon,
@@ -132,18 +174,25 @@ fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
         reference_p95_s,
         p50_speedup: reference_p50_s / engine_p50_s.max(1e-12),
         p95_speedup: reference_p95_s / engine_p95_s.max(1e-12),
+        warm_p50_s,
+        warm_p95_s,
+        rounds_used_mean: warm_rounds.iter().sum::<usize>() as f64 / warm_rounds.len() as f64,
+        warm_speedup: engine_p50_s / warm_p50_s.max(1e-12),
     }
 }
 
 fn main() {
     let quick = eotora_bench::quick_mode();
-    // Quick mode keeps the same two-scale shape at smoke-test sizes.
+    // Quick mode keeps the two-scale shape at smoke-test sizes; the
+    // 30-device row is what ci.sh's speedup regression guard reads.
     let scales: &[(usize, u64)] =
-        if quick { &[(10, 6), (20, 6)] } else { &[(30, 100), (200, 100)] };
+        if quick { &[(10, 6), (30, 20)] } else { &[(30, 100), (200, 100)] };
 
     let mut results = Vec::new();
     for &(devices, horizon) in scales {
-        eprintln!("slot_solve: I={devices}, {horizon} slots, z={BDMA_ROUNDS} …");
+        eprintln!(
+            "slot_solve: I={devices}, {horizon} slots, z={BDMA_ROUNDS} (warm z={WARM_ROUNDS}) …"
+        );
         let r = bench_scale(devices, horizon);
         eprintln!(
             "  engine p50 {:.3} ms / p95 {:.3} ms | reference p50 {:.3} ms / p95 {:.3} ms | speedup p50 {:.2}x",
@@ -152,6 +201,13 @@ fn main() {
             r.reference_p50_s * 1e3,
             r.reference_p95_s * 1e3,
             r.p50_speedup,
+        );
+        eprintln!(
+            "  warm p50 {:.3} ms / p95 {:.3} ms | rounds_used mean {:.2} | warm speedup {:.2}x over engine",
+            r.warm_p50_s * 1e3,
+            r.warm_p95_s * 1e3,
+            r.rounds_used_mean,
+            r.warm_speedup,
         );
         results.push(r);
     }
@@ -170,7 +226,12 @@ fn main() {
                     "      \"reference_p50_s\": {:e},\n",
                     "      \"reference_p95_s\": {:e},\n",
                     "      \"p50_speedup\": {:.3},\n",
-                    "      \"p95_speedup\": {:.3}\n",
+                    "      \"p95_speedup\": {:.3},\n",
+                    "      \"warm_bdma_rounds\": {},\n",
+                    "      \"warm_p50_s\": {:e},\n",
+                    "      \"warm_p95_s\": {:e},\n",
+                    "      \"rounds_used_mean\": {:.3},\n",
+                    "      \"warm_speedup\": {:.3}\n",
                     "    }}"
                 ),
                 r.devices,
@@ -182,6 +243,11 @@ fn main() {
                 r.reference_p95_s,
                 r.p50_speedup,
                 r.p95_speedup,
+                WARM_ROUNDS,
+                r.warm_p50_s,
+                r.warm_p95_s,
+                r.rounds_used_mean,
+                r.warm_speedup,
             )
         })
         .collect();

@@ -55,7 +55,7 @@ eotora — energy-aware online task offloading (ICDCS'23 reproduction)
 USAGE:
   eotora template [--devices N] [--seed S]
   eotora run <scenario.json> [--out results.json] [--csv prefix] [--svg prefix]
-             [--trace trace.jsonl] [--jobs N]
+             [--trace trace.jsonl] [--jobs N] [--cold-start] [--bdma-eps X]
   eotora trace <trace.jsonl>                # span quantiles, BDMA rounds, queue drift
   eotora topology [--devices N] [--seed S]
   eotora sweep <scenario.json> --budgets 0.7,1.0,1.3 [--jobs N]
@@ -103,16 +103,25 @@ fn run_summary(result: &SimulationResult) -> String {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run requires a scenario file")?;
-    require_flag_values(args, &["--out", "--csv", "--trace", "--jobs"])?;
+    require_flag_values(args, &["--out", "--csv", "--trace", "--jobs", "--bdma-eps"])?;
     apply_jobs_flag(args)?;
-    let scenario = load_scenario(path)?;
+    let mut scenario = load_scenario(path)?;
+    // `--cold-start` pins the paper-faithful solver regardless of what the
+    // scenario file's `start` field says (it is a presence flag — no value —
+    // so it must stay out of `require_flag_values`); `--bdma-eps` overrides
+    // the warm-mode early-termination threshold.
+    if args.iter().any(|a| a == "--cold-start") {
+        scenario.dpp.start = eotora_core::bdma::StartPolicy::Cold;
+    }
+    scenario.dpp.bdma_epsilon = parse_flag(args, "--bdma-eps", scenario.dpp.bdma_epsilon)?;
     eprintln!(
-        "running `{}`: {} devices, {} slots, V={}, budget ${:.2}/slot …",
+        "running `{}`: {} devices, {} slots, V={}, budget ${:.2}/slot, start {:?} …",
         scenario.label,
         scenario.system.topology.num_devices,
         scenario.horizon,
         scenario.dpp.v,
-        scenario.system.budget_per_slot
+        scenario.system.budget_per_slot,
+        scenario.dpp.start
     );
     let result = match flag_value(args, "--trace") {
         Some(trace_path) => {
@@ -140,6 +149,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         ],
         vec!["final queue backlog".into(), num(result.queue.last().unwrap_or(0.0))],
         vec!["mean solve time (s)".into(), num(result.solve_time.time_average())],
+        vec!["mean BDMA rounds used".into(), num(result.rounds_used.time_average())],
     ];
     println!("{}", ascii_table(&["metric", "value"], &rows));
     println!("{}", run_summary(&result));
@@ -222,8 +232,10 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 
     let rounds = &analysis.bdma_rounds_per_slot;
     if rounds.count() > 0 {
+        let saved =
+            analysis.counters.get(eotora_obs::COUNTER_BDMA_ROUNDS_SAVED).copied().unwrap_or(0);
         println!(
-            "BDMA rounds per slot (mean {:.2}, max {}):",
+            "BDMA rounds_used per slot (mean {:.2}, max {}, {saved} saved by ε-termination):",
             rounds.mean().unwrap_or(0.0),
             rounds.max().unwrap_or(0)
         );

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::allocation::optimal_allocation;
 use crate::baselines::{ExactSolver, GreedySolver, McbaConfig, McbaSolver, RoptSolver};
-use crate::bdma::{solve_p2_in, BdmaConfig, CgbaSolver, P2aSolver};
+use crate::bdma::{solve_p2_in, BdmaConfig, CgbaSolver, P2aSolver, StartPolicy};
 use crate::decision::SlotDecision;
 use crate::system::MecSystem;
 use crate::workspace::SlotWorkspace;
@@ -82,6 +82,13 @@ pub struct DppConfig {
     pub initial_queue: f64,
     /// BDMA alternation rounds `z`.
     pub bdma_rounds: usize,
+    /// Relative ε for BDMA early termination under a warm start policy
+    /// (see [`BdmaConfig::epsilon`]; ignored under [`StartPolicy::Cold`]).
+    pub bdma_epsilon: f64,
+    /// Cross-slot warm-start policy for the per-slot BDMA solve. The
+    /// default `Cold` keeps runs bit-identical to the paper-faithful
+    /// reference path; figure runs stay on it for paper fidelity.
+    pub start: StartPolicy,
     /// P2-A solver plugged into BDMA.
     pub solver: SolverKind,
     /// RNG seed for the solver's internal randomness.
@@ -94,6 +101,8 @@ impl Default for DppConfig {
             v: 100.0,
             initial_queue: 0.0,
             bdma_rounds: 5,
+            bdma_epsilon: 1e-9,
+            start: StartPolicy::Cold,
             solver: SolverKind::Cgba { lambda: 0.0 },
             seed: 0,
         }
@@ -200,7 +209,11 @@ impl EotoraDpp {
         assert!(config.v > 0.0, "penalty weight V must be positive");
         let solver = EotoraSlotSolver {
             system,
-            bdma: BdmaConfig { rounds: config.bdma_rounds },
+            bdma: BdmaConfig {
+                rounds: config.bdma_rounds,
+                epsilon: config.bdma_epsilon,
+                start: config.start,
+            },
             p2a: config.solver.instantiate(),
             rng: Pcg32::seed_stream(config.seed, 0xD99),
             // A fresh workspace is a pure cache: the first slot builds the

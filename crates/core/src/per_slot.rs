@@ -25,7 +25,7 @@ use eotora_states::SystemState;
 use eotora_util::rng::Pcg32;
 
 use crate::allocation::optimal_allocation;
-use crate::bdma::{CgbaSolver, P2aSolver};
+use crate::bdma::{CgbaSolver, P2aSolver, StartPolicy};
 use crate::decision::SlotDecision;
 use crate::p2b::solve_p2b;
 use crate::system::MecSystem;
@@ -52,6 +52,7 @@ pub struct PerSlotController {
     p2a: Box<dyn P2aSolver>,
     rng: Pcg32,
     workspace: SlotWorkspace,
+    start: StartPolicy,
     latency_sum: f64,
     cost_sum: f64,
     slots: u64,
@@ -70,10 +71,21 @@ impl PerSlotController {
             p2a,
             rng: Pcg32::seed_stream(seed, 0x9E51),
             workspace: SlotWorkspace::new(),
+            start: StartPolicy::Cold,
             latency_sum: 0.0,
             cost_sum: 0.0,
             slots: 0,
         }
+    }
+
+    /// Sets the cross-slot warm-start policy for the P2-A solve (the P2-A
+    /// game here always sits at `Ω^L`, so only the profile seed applies;
+    /// `Cold`, the default, reproduces the pre-warm-start behaviour
+    /// exactly).
+    #[must_use]
+    pub fn with_start_policy(mut self, start: StartPolicy) -> Self {
+        self.start = start;
+        self
     }
 
     /// The system under control.
@@ -110,11 +122,19 @@ impl PerSlotController {
     /// probe is one P2-B instance; `per_slot_probes` counts them).
     pub fn step_with(&mut self, state: &SystemState, recorder: &dyn Recorder) -> PerSlotStep {
         let min_freqs = self.system.min_frequencies();
+        let seed: Option<Vec<usize>> = if self.start == StartPolicy::Cold {
+            None
+        } else {
+            self.workspace.retained_choices().map(<[usize]>::to_vec)
+        };
         let p2a_span = SpanGuard::new(recorder, eotora_obs::SPAN_P2A);
         let p2a = self.workspace.prepare(&self.system, state, &min_freqs);
-        let choices = self.p2a.solve_with(p2a, &mut self.rng, recorder);
+        let choices = self.p2a.solve_seeded(p2a, seed.as_deref(), &mut self.rng, recorder);
         let assignments = p2a.assignments_from_choices(&choices);
         p2a_span.finish();
+        if self.start != StartPolicy::Cold {
+            self.workspace.retain_solution(&choices, &min_freqs);
+        }
 
         // Reuse the P2-B machinery: solve_p2b(v=1, queue=μ) minimizes
         // T_t + μ·(C_t − C̄), whose Ω-part is exactly our Lagrangian.

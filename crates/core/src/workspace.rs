@@ -26,6 +26,18 @@ use crate::system::MecSystem;
 pub struct SlotWorkspace {
     problem: Option<P2aProblem>,
     freqs: Vec<f64>,
+    /// Strategy choices of the previous slot's incumbent P2 solution —
+    /// the warm seed for the next slot's P2-A solve (empty until a warm
+    /// solve retains one).
+    retained_choices: Vec<usize>,
+    has_retained_choices: bool,
+    /// Frequencies `Ω̄` of the previous slot's incumbent — the warm
+    /// replacement for the `Ω ← Ω^L` initialization of Alg. 2 line 1.
+    retained_freqs: Vec<f64>,
+    /// Whether the previous slot's cold probe beat the warm chain — a
+    /// signal that the retained basin is going stale, so the next slot
+    /// should probe even if its baseline probe rate would skip it.
+    probe_hot: bool,
 }
 
 impl SlotWorkspace {
@@ -83,6 +95,51 @@ impl SlotWorkspace {
     pub fn problem(&self) -> Option<&P2aProblem> {
         self.problem.as_ref()
     }
+
+    /// Retains the incumbent `(choices, Ω̄)` of a completed slot solve as
+    /// the warm seed for the next slot (see
+    /// [`crate::bdma::StartPolicy::Warm`]). Reuses the internal buffers, so
+    /// steady-state retention is allocation-free.
+    pub fn retain_solution(&mut self, choices: &[usize], freqs_hz: &[f64]) {
+        self.retained_choices.clear();
+        self.retained_choices.extend_from_slice(choices);
+        self.has_retained_choices = true;
+        self.retained_freqs.clear();
+        self.retained_freqs.extend_from_slice(freqs_hz);
+    }
+
+    /// The retained previous-slot strategy choices, if a warm solve has
+    /// retained any. Repair against the current game is the consumer's job
+    /// ([`eotora_game::Profile::from_retained_choices`]).
+    pub fn retained_choices(&self) -> Option<&[usize]> {
+        self.has_retained_choices.then_some(self.retained_choices.as_slice())
+    }
+
+    /// The retained previous-slot frequencies, if any.
+    pub fn retained_freqs(&self) -> Option<&[f64]> {
+        (!self.retained_freqs.is_empty()).then_some(self.retained_freqs.as_slice())
+    }
+
+    /// Whether the previous slot's exploration probe beat the warm chain
+    /// (see [`crate::bdma::StartPolicy::Warm`]'s probe schedule).
+    pub fn probe_hot(&self) -> bool {
+        self.probe_hot
+    }
+
+    /// Records whether this slot's probe beat the warm chain, raising the
+    /// next slot's probe rate while probes keep winning.
+    pub fn set_probe_hot(&mut self, hot: bool) {
+        self.probe_hot = hot;
+    }
+
+    /// Drops any retained warm-start state (the next warm slot falls back
+    /// to a cold start). Used when the controlled system changes shape.
+    pub fn clear_retained(&mut self) {
+        self.retained_choices.clear();
+        self.has_retained_choices = false;
+        self.retained_freqs.clear();
+        self.probe_hot = false;
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +178,19 @@ mod tests {
         let refreshed = ws.refresh_frequencies(&system);
         let fresh = P2aProblem::build(&system, &state, &freqs);
         assert_eq!(refreshed.game(), fresh.game());
+    }
+
+    #[test]
+    fn retained_solution_round_trips() {
+        let mut ws = SlotWorkspace::new();
+        assert!(ws.retained_choices().is_none());
+        assert!(ws.retained_freqs().is_none());
+        ws.retain_solution(&[1, 0, 2], &[2.0e9, 3.0e9]);
+        assert_eq!(ws.retained_choices(), Some(&[1usize, 0, 2][..]));
+        assert_eq!(ws.retained_freqs(), Some(&[2.0e9, 3.0e9][..]));
+        ws.clear_retained();
+        assert!(ws.retained_choices().is_none());
+        assert!(ws.retained_freqs().is_none());
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub struct CgbaReport {
     pub profile: Profile,
     /// Social cost `T(ẑ)` of the final profile.
     pub total_cost: f64,
-    /// Social cost of the random initial profile.
+    /// Social cost of the *seed* profile the dynamics started from — a
+    /// uniformly random profile under [`cgba`], the caller-supplied (e.g.
+    /// retained previous-slot) profile under [`cgba_from`] and the warm
+    /// entry points.
     pub initial_cost: f64,
     /// Number of best-response moves performed.
     pub iterations: usize,
@@ -89,6 +92,19 @@ pub struct CgbaScratch {
     moves: Vec<(usize, usize)>,
     /// Move-local buffer of `(resource, pre-move load bits)` pairs.
     touched: Vec<(usize, u64)>,
+    /// Warm-start snapshot of the last tracked run (see
+    /// [`cgba_warm_from_with_scratch`]): when the next warm call starts from
+    /// the snapshotted profile, only entries whose inputs changed bit
+    /// pattern since that run need a rescan.
+    snap_valid: bool,
+    snap_choices: Vec<usize>,
+    snap_loads: Vec<u64>,
+    snap_weights: Vec<u64>,
+    /// Flattened `(resource, weight bits)` of every strategy, in
+    /// `(player, strategy, entry)` order — guards against structure drift
+    /// and detects per-player weight updates exactly.
+    snap_strat_resources: Vec<usize>,
+    snap_strat_weights: Vec<u64>,
 }
 
 impl CgbaScratch {
@@ -117,6 +133,119 @@ impl CgbaScratch {
         self.player_dirty.clear();
         self.player_dirty.resize(n, true);
         self.moves.clear();
+        // A cold start means the caches will be rebuilt for an arbitrary
+        // profile; any retained warm snapshot no longer describes them.
+        self.snap_valid = false;
+    }
+
+    /// Attempts the warm first-iteration fast path: when `initial` is
+    /// exactly the profile the last tracked run converged to, the caches in
+    /// this scratch are still *valid* for every entry whose inputs (resource
+    /// weight, resource load, own strategy weights) kept the same bit
+    /// pattern — [`Profile::strategy_cost`] is deterministic, so a rescan
+    /// would reproduce the cached float exactly. Marks dirty precisely the
+    /// entries touching a changed resource or owned by a player whose
+    /// strategy weights changed, and returns `true`.
+    ///
+    /// Returns `false` (caller must [`CgbaScratch::reset`]) when there is no
+    /// snapshot, the seed differs from the snapshotted profile, or the game
+    /// structure drifted (player/resource/strategy shape mismatch).
+    fn try_warm<G: GameRef>(&mut self, game: &G, initial: &Profile) -> bool {
+        if !self.snap_valid {
+            return false;
+        }
+        let structure = game.structure();
+        let weights = game.weights();
+        let n = structure.num_players();
+        if self.snap_choices != initial.choices
+            || self.snap_weights.len() != structure.num_resources()
+            || self.offsets.len() != n + 1
+        {
+            return false;
+        }
+        for i in 0..n {
+            if self.offsets[i + 1] - self.offsets[i] != structure.strategies(i).len() {
+                return false;
+            }
+        }
+
+        self.entry_dirty.iter_mut().for_each(|e| *e = false);
+        self.cur_dirty.iter_mut().for_each(|e| *e = false);
+        self.player_dirty.iter_mut().for_each(|e| *e = false);
+        self.moves.clear();
+
+        // Pass 1: resources whose weight or load changed bit pattern dirty
+        // every entry that touches them (and the current cost of players
+        // whose *chosen* strategy touches them).
+        for r in 0..self.snap_weights.len() {
+            if weights.get(r).to_bits() == self.snap_weights[r]
+                && initial.loads[r].to_bits() == self.snap_loads[r]
+            {
+                continue;
+            }
+            for &(p, ps) in structure.touching(r) {
+                let (p, ps) = (p as usize, ps as usize);
+                self.entry_dirty[self.offsets[p] + ps] = true;
+                self.player_dirty[p] = true;
+                if ps == initial.choices[p] {
+                    self.cur_dirty[p] = true;
+                }
+            }
+        }
+
+        // Pass 2: per-player strategy weights. A changed weight in strategy
+        // `s` dirties entry `(i, s)`; a change in the *chosen* strategy also
+        // shifts the `own` term of every entry of `i` and `i`'s current
+        // cost. Any drift in the resource lists themselves means this is a
+        // different structure — bail out to a full reset.
+        let mut idx = 0;
+        for i in 0..n {
+            for (s, strategy) in structure.strategies(i).iter().enumerate() {
+                for &(r, w) in strategy {
+                    if idx >= self.snap_strat_resources.len() || self.snap_strat_resources[idx] != r
+                    {
+                        return false;
+                    }
+                    if w.to_bits() != self.snap_strat_weights[idx] {
+                        self.entry_dirty[self.offsets[i] + s] = true;
+                        self.player_dirty[i] = true;
+                        if s == initial.choices[i] {
+                            for e in &mut self.entry_dirty[self.offsets[i]..self.offsets[i + 1]] {
+                                *e = true;
+                            }
+                            self.cur_dirty[i] = true;
+                        }
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        idx == self.snap_strat_resources.len()
+    }
+
+    /// Records the converged profile plus the weight/load bit patterns its
+    /// caches were computed against, enabling [`CgbaScratch::try_warm`] on
+    /// the next call.
+    fn store_snapshot<G: GameRef>(&mut self, game: &G, profile: &Profile) {
+        let structure = game.structure();
+        let weights = game.weights();
+        self.snap_choices.clear();
+        self.snap_choices.extend_from_slice(&profile.choices);
+        self.snap_loads.clear();
+        self.snap_loads.extend(profile.loads.iter().map(|l| l.to_bits()));
+        self.snap_weights.clear();
+        self.snap_weights.extend((0..structure.num_resources()).map(|r| weights.get(r).to_bits()));
+        self.snap_strat_resources.clear();
+        self.snap_strat_weights.clear();
+        for i in 0..structure.num_players() {
+            for strategy in structure.strategies(i) {
+                for &(r, w) in strategy {
+                    self.snap_strat_resources.push(r);
+                    self.snap_strat_weights.push(w.to_bits());
+                }
+            }
+        }
+        self.snap_valid = true;
     }
 
     /// The `(player, strategy)` moves of the most recent run, in order —
@@ -221,6 +350,53 @@ pub fn cgba_from_with_scratch<G: GameRef>(
         SchedulingRule::MaxGain => cgba_max_gain(game, initial, config, scratch),
         SchedulingRule::RoundRobin => cgba_round_robin(game, initial, config, scratch),
     }
+}
+
+/// Runs CGBA(λ) from a caller-supplied profile with the warm
+/// first-iteration fast path: when `initial` equals the profile the
+/// previous call through this entry point converged to, only cache entries
+/// whose inputs changed bit pattern since then are rescanned (the
+/// scratch's `try_warm` step); everything else is reused. Falls back to a
+/// full scratch reset whenever the snapshot does not apply, so the
+/// result is *always* bit-identical to [`cgba_from_reference`] for the same
+/// game, initial profile, and config — warm starts change how fast the
+/// mover sequence is found, never which moves are made.
+///
+/// Only the MaxGain scheduler has an incremental cache to warm; RoundRobin
+/// degrades to the cold path.
+///
+/// # Panics
+///
+/// Same conditions as [`cgba`].
+pub fn cgba_warm_from_with_scratch<G: GameRef>(
+    game: &G,
+    initial: Profile,
+    config: &CgbaConfig,
+    scratch: &mut CgbaScratch,
+) -> CgbaReport {
+    assert!(game.structure().num_players() > 0, "game has no players");
+    assert!((0.0..1.0).contains(&config.lambda), "lambda must be in [0, 1)");
+    debug_assert!(
+        validate_parts(game.structure(), game.weights()).is_ok(),
+        "game must validate before solving"
+    );
+    let warm = config.scheduling == SchedulingRule::MaxGain && scratch.try_warm(game, &initial);
+    if !warm {
+        scratch.reset(game.structure());
+    }
+    let report = match config.scheduling {
+        SchedulingRule::MaxGain => cgba_max_gain(game, initial, config, scratch),
+        SchedulingRule::RoundRobin => cgba_round_robin(game, initial, config, scratch),
+    };
+    // Only a converged MaxGain run leaves every cache entry clean (the
+    // final no-mover scan refreshed them all); an iteration-capped exit
+    // leaves stale entries behind and cannot seed the fast path.
+    if report.converged && config.scheduling == SchedulingRule::MaxGain {
+        scratch.store_snapshot(game, &report.profile);
+    } else {
+        scratch.snap_valid = false;
+    }
+    report
 }
 
 /// Incremental MaxGain loop: refresh dirty cache entries, pick the max-gap

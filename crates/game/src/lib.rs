@@ -60,8 +60,8 @@ mod profile;
 
 pub use cgba::{
     brute_force_optimum, cgba, cgba_from, cgba_from_reference, cgba_from_with_scratch,
-    cgba_reference, empirical_price_of_anarchy, CgbaConfig, CgbaReport, CgbaScratch,
-    SchedulingRule,
+    cgba_reference, cgba_warm_from_with_scratch, empirical_price_of_anarchy, CgbaConfig,
+    CgbaReport, CgbaScratch, SchedulingRule,
 };
 pub use profile::Profile;
 

@@ -32,6 +32,27 @@ impl Profile {
         Self { choices, loads }
     }
 
+    /// Rebuilds a profile from per-player choices retained from an earlier
+    /// (possibly stale) solve, repairing them against the current game:
+    /// out-of-range strategy indices are clamped to the player's last
+    /// strategy, and loads are recomputed from the current weights.
+    ///
+    /// Returns `None` when the player count no longer matches — the retained
+    /// choices belong to a different game and cannot be repaired, so callers
+    /// should fall back to a cold start.
+    pub fn from_retained_choices<G: GameRef>(game: &G, choices: &[usize]) -> Option<Self> {
+        let structure = game.structure();
+        if choices.len() != structure.num_players() {
+            return None;
+        }
+        let repaired = choices
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s.min(structure.strategies(i).len() - 1))
+            .collect();
+        Some(Self::from_choices(game, repaired))
+    }
+
     /// A uniformly random profile.
     pub fn random<G: GameRef>(game: &G, rng: &mut Pcg32) -> Self {
         let structure = game.structure();

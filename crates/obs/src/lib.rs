@@ -46,5 +46,10 @@ pub const SPAN_QUEUE_UPDATE: &str = "queue_update";
 pub const COUNTER_BDMA_ROUNDS: &str = "bdma_rounds";
 /// Counter name for BDMA rounds whose candidate improved the incumbent.
 pub const COUNTER_BDMA_ACCEPTED: &str = "bdma_accepted";
+/// Counter name for BDMA rounds skipped by ε early termination
+/// (`z − rounds_used`, accumulated across slots).
+pub const COUNTER_BDMA_ROUNDS_SAVED: &str = "bdma.rounds_saved";
+/// Counter name for best-response moves made by warm-seeded CGBA solves.
+pub const COUNTER_CGBA_WARM_MOVES: &str = "cgba.warm.moves_to_converge";
 /// Counter name for slots solved.
 pub const COUNTER_SLOTS: &str = "slots";

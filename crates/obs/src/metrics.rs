@@ -20,6 +20,9 @@ struct MetricsInner {
     rounds_this_slot: u64,
     /// Per-slot BDMA round counts (slots that ran BDMA only).
     bdma_rounds: Histogram,
+    /// Per-slot BDMA round counts, one entry per completed slot (0 for
+    /// slots that never ran BDMA) — the `rounds_used` series.
+    rounds_series: Vec<f64>,
     slots: u64,
     final_queue: Option<f64>,
 }
@@ -72,6 +75,13 @@ impl MetricsRecorder {
     /// Mean BDMA alternation rounds per slot, over slots that ran BDMA.
     pub fn mean_bdma_rounds(&self) -> Option<f64> {
         self.inner.borrow().bdma_rounds.mean()
+    }
+
+    /// BDMA rounds used per completed slot (`rounds_used ≤ z` under ε early
+    /// termination; 0 for slots that never ran BDMA). One entry per slot,
+    /// aligned with [`MetricsRecorder::stage_series`].
+    pub fn bdma_rounds_series(&self) -> Vec<f64> {
+        self.inner.borrow().rounds_series.clone()
     }
 
     /// Virtual-queue backlog after the last completed slot.
@@ -130,6 +140,7 @@ impl Recorder for MetricsRecorder {
                     }
                 }
                 inner.stage_acc.clear();
+                inner.rounds_series.push(inner.rounds_this_slot as f64);
                 if inner.rounds_this_slot > 0 {
                     inner.bdma_rounds.record(inner.rounds_this_slot);
                     inner.rounds_this_slot = 0;

@@ -54,7 +54,7 @@ pub fn bdma_rounds(devices: usize, trials: usize, seed: u64) -> Vec<BdmaRoundsRo
                 &state,
                 100.0,
                 20.0,
-                &BdmaConfig { rounds },
+                &BdmaConfig { rounds, ..Default::default() },
                 &mut solver,
                 &mut rng,
             );

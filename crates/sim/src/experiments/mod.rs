@@ -18,6 +18,7 @@
 //! | [`ablations`] | (extensions) | BDMA rounds, CGBA scheduling, energy families, per-slot vs time-average budget |
 //! | [`fairness`] | (extensions) | per-device Jain fairness of equilibria vs random placement |
 //! | [`beta_only_gap`] | (theory check) | DPP vs the hindsight β-only policy of Lemma 2; O(1/V) gap |
+//! | [`warm_ab`] | (extensions) | warm-started solves match cold control quality within 1% |
 
 pub mod ablations;
 pub mod beta_only_gap;
@@ -29,3 +30,4 @@ pub mod p2a_comparison;
 pub mod queue_trace;
 pub mod traces;
 pub mod v_sweep;
+pub mod warm_ab;

@@ -70,12 +70,14 @@ pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Renders a run's per-slot series as CSV: the headline series plus one
-/// `stage_<name>_s` column per instrumented solver stage (seconds spent in
-/// `p2a`, `p2b`, `queue_update`, ... each slot).
+/// Renders a run's per-slot series as CSV: the headline series plus
+/// `bdma_rounds` (alternation rounds actually executed, which the warm
+/// ε-termination can cut below the configured `z`) and one `stage_<name>_s`
+/// column per instrumented solver stage (seconds spent in `p2a`, `p2b`,
+/// `queue_update`, ... each slot).
 pub fn slot_csv(result: &SimulationResult) -> String {
     let mut header: Vec<String> =
-        ["slot", "latency_s", "cost_usd", "queue", "price", "solve_time_s"]
+        ["slot", "latency_s", "cost_usd", "queue", "price", "solve_time_s", "bdma_rounds"]
             .map(String::from)
             .to_vec();
     header.extend(result.per_stage_solve_time.keys().map(|name| format!("stage_{name}_s")));
@@ -89,6 +91,7 @@ pub fn slot_csv(result: &SimulationResult) -> String {
                 result.queue.values()[t].to_string(),
                 result.price.values()[t].to_string(),
                 result.solve_time.values()[t].to_string(),
+                result.rounds_used.values()[t].to_string(),
             ];
             row.extend(result.per_stage_solve_time.values().map(|s| s.values()[t].to_string()));
             row
@@ -144,7 +147,14 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4);
         let header: Vec<&str> = lines[0].split(',').collect();
-        for col in ["slot", "latency_s", "stage_p2a_s", "stage_p2b_s", "stage_queue_update_s"] {
+        for col in [
+            "slot",
+            "latency_s",
+            "bdma_rounds",
+            "stage_p2a_s",
+            "stage_p2b_s",
+            "stage_queue_update_s",
+        ] {
             assert!(header.contains(&col), "missing column {col} in {header:?}");
         }
         for line in &lines[1..] {

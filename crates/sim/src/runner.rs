@@ -45,6 +45,10 @@ pub struct SimulationResult {
     /// `p2b`, `queue_update`, ...), keyed by span name. Every series has
     /// one entry per slot (zero where the stage did not run).
     pub per_stage_solve_time: BTreeMap<String, TimeSeries>,
+    /// BDMA alternation rounds actually executed per slot (0 for slots
+    /// where BDMA never ran; under warm starts the ε-termination makes this
+    /// vary from slot to slot, cold runs pin it at the configured `z`).
+    pub rounds_used: TimeSeries,
     /// Mean BDMA alternation rounds per slot (0 when BDMA never ran).
     pub mean_bdma_rounds: f64,
     /// The budget `C̄` in force.
@@ -186,6 +190,11 @@ fn run_impl(
         })
         .collect();
 
+    let mut rounds_used = TimeSeries::new("bdma_rounds");
+    for r in metrics.bdma_rounds_series() {
+        rounds_used.push(r);
+    }
+
     SimulationResult {
         label: scenario.label.clone(),
         average_latency: dpp.average_latency(),
@@ -199,6 +208,7 @@ fn run_impl(
         handover_rate,
         mean_clock_ghz,
         per_stage_solve_time,
+        rounds_used,
         mean_bdma_rounds: metrics.mean_bdma_rounds().unwrap_or(0.0),
         budget,
     }
@@ -308,6 +318,9 @@ mod tests {
             );
         }
         assert!(r.mean_bdma_rounds >= 1.0);
+        // Cold runs (the default) execute the configured z every slot.
+        assert_eq!(r.rounds_used.len(), 5);
+        assert!(r.rounds_used.values().iter().all(|&z| z == 2.0));
     }
 
     #[test]

@@ -73,6 +73,20 @@ impl Scenario {
         self.dpp.bdma_rounds = rounds;
         self
     }
+
+    /// Sets the cross-slot warm-start policy (`Cold`, the default,
+    /// reproduces the pre-warm-start solver bit for bit).
+    pub fn with_start_policy(mut self, start: eotora_core::bdma::StartPolicy) -> Self {
+        self.dpp.start = start;
+        self
+    }
+
+    /// Sets the relative BDMA early-termination threshold `ε` (only
+    /// consulted under warm starts).
+    pub fn with_bdma_epsilon(mut self, epsilon: f64) -> Self {
+        self.dpp.bdma_epsilon = epsilon;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -88,12 +102,16 @@ mod tests {
             .with_budget(1.5)
             .with_solver(SolverKind::Ropt)
             .with_bdma_rounds(2)
+            .with_start_policy(eotora_core::bdma::StartPolicy::Warm)
+            .with_bdma_epsilon(1e-6)
             .with_label("x");
         assert_eq!(s.horizon, 10);
         assert_eq!(s.dpp.v, 200.0);
         assert_eq!(s.system.budget_per_slot, 1.5);
         assert_eq!(s.dpp.solver, SolverKind::Ropt);
         assert_eq!(s.dpp.bdma_rounds, 2);
+        assert_eq!(s.dpp.start, eotora_core::bdma::StartPolicy::Warm);
+        assert_eq!(s.dpp.bdma_epsilon, 1e-6);
         assert_eq!(s.label, "x");
     }
 

@@ -49,8 +49,24 @@ fn bdma_more_rounds_and_lambda_zero_never_lose_to_lambda_high() {
     let mut weak = CgbaSolver::with_lambda(0.12);
     let mut rng_a = Pcg32::seed(1);
     let mut rng_b = Pcg32::seed(1);
-    let good = solve_p2(&system, &state, v, q, &BdmaConfig { rounds: 5 }, &mut strong, &mut rng_a);
-    let rough = solve_p2(&system, &state, v, q, &BdmaConfig { rounds: 1 }, &mut weak, &mut rng_b);
+    let good = solve_p2(
+        &system,
+        &state,
+        v,
+        q,
+        &BdmaConfig { rounds: 5, ..Default::default() },
+        &mut strong,
+        &mut rng_a,
+    );
+    let rough = solve_p2(
+        &system,
+        &state,
+        v,
+        q,
+        &BdmaConfig { rounds: 1, ..Default::default() },
+        &mut weak,
+        &mut rng_b,
+    );
     assert!(good.objective <= rough.objective + 1e-9);
 }
 

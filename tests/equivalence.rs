@@ -23,7 +23,7 @@ fn reference_run(
         StateProvider::paper(system.topology(), &PaperStateConfig::default(), state_seed);
     // Same dedicated stream the DPP controller seeds its solver RNG with.
     let mut rng = Pcg32::seed_stream(config.seed, 0xD99);
-    let bdma = BdmaConfig { rounds: config.bdma_rounds };
+    let bdma = BdmaConfig { rounds: config.bdma_rounds, ..Default::default() };
     let cgba = CgbaConfig::default();
     let mut queue = config.initial_queue;
     let mut latencies = Vec::new();
