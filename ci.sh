@@ -37,4 +37,38 @@ awk '
   END { if (!found) { print "FAIL: no 30-device row in quick bench output"; exit 1 } }
 ' target/BENCH_slot_solve.quick.json
 
+echo "==> chaos smoke (seeded fault trace through the robust engine)"
+# Short scripted trace: a server crash, a fronthaul flap, and a corrupt-state
+# burst over 40 slots. Gate: the run completes (zero panics), every fault
+# class fires, and the virtual queue stays bounded. The release binary was
+# built by the first step.
+CHAOS_DIR="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_DIR"' EXIT
+./target/release/eotora template --devices 10 --seed 11 \
+  | sed 's/"horizon": [0-9]*/"horizon": 40/' > "$CHAOS_DIR/scenario.json"
+cat > "$CHAOS_DIR/faults.json" <<'EOF'
+{"events": [
+  {"slot": 5,  "action": {"ServerDown": {"server": 1}}},
+  {"slot": 10, "action": {"LinkDown": {"station": 0, "server": 3}}},
+  {"slot": 14, "action": {"CorruptState": {"slots": 3}}},
+  {"slot": 20, "action": {"ServerUp": {"server": 1}}},
+  {"slot": 24, "action": {"LinkUp": {"station": 0, "server": 3}}}
+]}
+EOF
+./target/release/eotora run "$CHAOS_DIR/scenario.json" \
+  --fault-trace "$CHAOS_DIR/faults.json" --slot-deadline-ms 250 \
+  --out "$CHAOS_DIR/result.json" > "$CHAOS_DIR/summary.txt"
+cat "$CHAOS_DIR/summary.txt"
+python3 - "$CHAOS_DIR/result.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+c = r["counters"]
+assert len(r["latency"]["values"]) == 40, "chaos run did not complete 40 slots"
+assert all(v > 0 and v == v for v in r["latency"]["values"]), "non-finite slot latency"
+assert c.get("fault.masked_resources", 0) > 0, "masking never fired"
+assert c.get("fault.state_substitutions", 0) > 0, "sanitizer never fired"
+assert max(r["queue"]["values"]) < 50.0, "virtual queue wound up"
+print("OK: chaos smoke — 40 slots, masking + sanitization fired, queue bounded")
+EOF
+
 echo "ci: all green"

@@ -22,7 +22,9 @@ use eotora_cli::{
 };
 use eotora_core::system::MecSystem;
 use eotora_sim::report::{ascii_table, num, slot_csv};
-use eotora_sim::runner::{run, run_many, run_traced, SimulationResult};
+use eotora_sim::runner::{
+    robust_config, run, run_many, run_robust, run_robust_traced, run_traced, SimulationResult,
+};
 use eotora_sim::scenario::Scenario;
 
 fn main() -> ExitCode {
@@ -56,6 +58,7 @@ USAGE:
   eotora template [--devices N] [--seed S]
   eotora run <scenario.json> [--out results.json] [--csv prefix] [--svg prefix]
              [--trace trace.jsonl] [--jobs N] [--cold-start] [--bdma-eps X]
+             [--fault-trace faults.json] [--slot-deadline-ms MS]
   eotora trace <trace.jsonl>                # span quantiles, BDMA rounds, queue drift
   eotora topology [--devices N] [--seed S]
   eotora sweep <scenario.json> --budgets 0.7,1.0,1.3 [--jobs N]
@@ -90,20 +93,46 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-/// The always-printed one-line digest of a finished run.
+/// The always-printed one-line digest of a finished run. Fault and deadline
+/// counters are appended only when nonzero, so fault-free runs read exactly
+/// as before.
 fn run_summary(result: &SimulationResult) -> String {
-    format!(
+    let mut line = format!(
         "summary: {} slots | p95 slot solve {} | mean BDMA rounds {:.2} | final Q(t) {}",
         result.latency.len(),
         format_seconds(result.solve_time_quantile(0.95).unwrap_or(0.0)),
         result.mean_bdma_rounds,
         num(result.queue.last().unwrap_or(0.0)),
-    )
+    );
+    for (name, value) in &result.counters {
+        if *value > 0 && (name.starts_with("fault.") || name.starts_with("deadline.")) {
+            line.push_str(&format!(" | {name} {value}"));
+        }
+    }
+    line
+}
+
+/// Loads a JSON [`FaultSchedule`](eotora_core::fault::FaultSchedule) file
+/// (the serde form: `{"events": [{"slot": 10, "action": {...}}, ...]}`).
+fn load_fault_trace(path: &str) -> Result<eotora_core::fault::FaultSchedule, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run requires a scenario file")?;
-    require_flag_values(args, &["--out", "--csv", "--trace", "--jobs", "--bdma-eps"])?;
+    require_flag_values(
+        args,
+        &[
+            "--out",
+            "--csv",
+            "--trace",
+            "--jobs",
+            "--bdma-eps",
+            "--fault-trace",
+            "--slot-deadline-ms",
+        ],
+    )?;
     apply_jobs_flag(args)?;
     let mut scenario = load_scenario(path)?;
     // `--cold-start` pins the paper-faithful solver regardless of what the
@@ -123,17 +152,46 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         scenario.system.budget_per_slot,
         scenario.dpp.start
     );
+    // `--fault-trace` and/or `--slot-deadline-ms` switch to the robust slot
+    // engine: failures are masked per slot, corrupt state is sanitized, and
+    // each slot's solve honours the wall-clock deadline by returning its
+    // best checkpointed incumbent.
+    let fault_trace = flag_value(args, "--fault-trace").map(load_fault_trace).transpose()?;
+    let deadline = match flag_value(args, "--slot-deadline-ms") {
+        Some(raw) => {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|_| format!("--slot-deadline-ms expects milliseconds, got `{raw}`"))?;
+            Some(std::time::Duration::from_millis(ms))
+        }
+        None => None,
+    };
+    let robust_mode = fault_trace.is_some() || deadline.is_some();
+    let faults = fault_trace.unwrap_or_default();
+    let robust = robust_config(&scenario, deadline);
+    if robust_mode {
+        eprintln!(
+            "robust mode: {} fault event(s), slot deadline {}",
+            faults.events.len(),
+            deadline.map_or("none".into(), |d| format!("{} ms", d.as_millis())),
+        );
+    }
     let result = match flag_value(args, "--trace") {
         Some(trace_path) => {
             let file = std::fs::File::create(trace_path)
                 .map_err(|e| format!("cannot create {trace_path}: {e}"))?;
             let sink = eotora_obs::JsonlRecorder::new(std::io::BufWriter::new(file));
-            let result = run_traced(&scenario, &sink);
+            let result = if robust_mode {
+                run_robust_traced(&scenario, &faults, &robust, &sink)
+            } else {
+                run_traced(&scenario, &sink)
+            };
             let events = sink.records_written();
             sink.finish().map_err(|e| format!("cannot write {trace_path}: {e}"))?;
             eprintln!("wrote {trace_path} ({events} events)");
             result
         }
+        None if robust_mode => run_robust(&scenario, &faults, &robust),
         None => run(&scenario),
     };
 

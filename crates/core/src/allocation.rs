@@ -17,6 +17,7 @@
 use eotora_states::SystemState;
 
 use crate::decision::{Assignment, SlotDecision};
+use crate::error::SolveError;
 use crate::system::MecSystem;
 
 /// Computes the Lemma 1 allocation and packages the full feasible
@@ -28,7 +29,9 @@ use crate::system::MecSystem;
 ///
 /// # Panics
 ///
-/// Panics if the argument dimensions disagree with the system.
+/// Panics if the argument dimensions disagree with the system or the state
+/// contains non-finite entries (the fault-tolerant path uses
+/// [`try_optimal_allocation`] instead and recovers).
 pub fn optimal_allocation(
     system: &MecSystem,
     state: &SystemState,
@@ -38,6 +41,57 @@ pub fn optimal_allocation(
     let topo = system.topology();
     assert_eq!(assignments.len(), topo.num_devices(), "one assignment per device");
     assert_eq!(freqs_hz.len(), topo.num_servers(), "one frequency per server");
+    match try_optimal_allocation(system, state, assignments, freqs_hz) {
+        Ok(decision) => decision,
+        Err(e) => panic!("optimal_allocation on malformed input: {e}"),
+    }
+}
+
+/// The fallible form of [`optimal_allocation`]: instead of panicking on
+/// mis-shaped inputs or corrupt state, returns a typed [`SolveError`] so the
+/// fault-tolerant path can fall back down the degradation ladder. On valid
+/// input the result is bit-identical to [`optimal_allocation`] (it computes
+/// the exact same expressions).
+pub fn try_optimal_allocation(
+    system: &MecSystem,
+    state: &SystemState,
+    assignments: &[Assignment],
+    freqs_hz: &[f64],
+) -> Result<SlotDecision, SolveError> {
+    let topo = system.topology();
+    let shape = |context: &'static str, expected: usize, actual: usize| {
+        if expected == actual {
+            Ok(())
+        } else {
+            Err(SolveError::ShapeMismatch { context, expected, actual })
+        }
+    };
+    shape("assignments", topo.num_devices(), assignments.len())?;
+    shape("freqs_hz", topo.num_servers(), freqs_hz.len())?;
+    shape("task_cycles", topo.num_devices(), state.task_cycles.len())?;
+    shape("data_bits", topo.num_devices(), state.data_bits.len())?;
+    shape("spectral_efficiency", topo.num_devices(), state.spectral_efficiency.len())?;
+    for row in &state.spectral_efficiency {
+        shape("spectral_efficiency row", topo.num_base_stations(), row.len())?;
+    }
+    shape("fronthaul_efficiency", topo.num_base_stations(), state.fronthaul_efficiency.len())?;
+    for (i, a) in assignments.iter().enumerate() {
+        if a.server.index() >= topo.num_servers() {
+            return Err(SolveError::ShapeMismatch {
+                context: "assignment server index",
+                expected: topo.num_servers(),
+                actual: a.server.index(),
+            });
+        }
+        if a.base_station.index() >= topo.num_base_stations() {
+            return Err(SolveError::ShapeMismatch {
+                context: "assignment base-station index",
+                expected: topo.num_base_stations(),
+                actual: a.base_station.index(),
+            });
+        }
+        let _ = i;
+    }
 
     // Denominators: Σ_j √(·) per resource.
     let mut compute_denom = vec![0.0; topo.num_servers()];
@@ -63,19 +117,41 @@ pub fn optimal_allocation(
     let mut access_share = Vec::with_capacity(assignments.len());
     let mut fronthaul_share = Vec::with_capacity(assignments.len());
     let mut compute_share = Vec::with_capacity(assignments.len());
+    let checked = |share: f64, context: &'static str, i: usize| {
+        // A corrupt state entry (NaN, zero, negative) surfaces here as a
+        // non-finite or non-positive share — the division by the √-sum
+        // denominator is the first place it becomes undeniable.
+        if share.is_finite() && share > 0.0 {
+            Ok(share)
+        } else {
+            Err(SolveError::NonFinite { context, index: i })
+        }
+    };
     for (i, a) in assignments.iter().enumerate() {
-        compute_share.push(compute_root(i, a) / compute_denom[a.server.index()]);
-        access_share.push(access_root(i, a) / access_denom[a.base_station.index()]);
-        fronthaul_share.push(fronthaul_root(i, a) / fronthaul_denom[a.base_station.index()]);
+        compute_share.push(checked(
+            compute_root(i, a) / compute_denom[a.server.index()],
+            "compute_share",
+            i,
+        )?);
+        access_share.push(checked(
+            access_root(i, a) / access_denom[a.base_station.index()],
+            "access_share",
+            i,
+        )?);
+        fronthaul_share.push(checked(
+            fronthaul_root(i, a) / fronthaul_denom[a.base_station.index()],
+            "fronthaul_share",
+            i,
+        )?);
     }
 
-    SlotDecision {
+    Ok(SlotDecision {
         assignments: assignments.to_vec(),
         access_share,
         fronthaul_share,
         compute_share,
         frequencies_hz: freqs_hz.to_vec(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -189,6 +265,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_allocation_matches_panicking_path_bit_for_bit() {
+        let (system, state, assignments) = setup(18, 6);
+        let freqs = system.max_frequencies();
+        let a = optimal_allocation(&system, &state, &assignments, &freqs);
+        let b = try_optimal_allocation(&system, &state, &assignments, &freqs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_allocation_reports_shape_mismatch() {
+        let (system, state, assignments) = setup(10, 7);
+        let err =
+            try_optimal_allocation(&system, &state, &assignments[..5], &system.max_frequencies())
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SolveError::ShapeMismatch { context: "assignments", .. }
+        ));
+        let err = try_optimal_allocation(&system, &state, &assignments, &[1.0e9]).unwrap_err();
+        assert!(matches!(err, crate::error::SolveError::ShapeMismatch { context: "freqs_hz", .. }));
+    }
+
+    #[test]
+    fn try_allocation_reports_corrupt_state_instead_of_nan_shares() {
+        let (system, mut state, assignments) = setup(10, 8);
+        state.task_cycles[3] = f64::NAN;
+        let err = try_optimal_allocation(&system, &state, &assignments, &system.max_frequencies())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SolveError::NonFinite { context: "compute_share", .. }
+        ));
     }
 
     #[test]

@@ -17,10 +17,12 @@ use eotora_util::rng::Pcg32;
 use eotora_util::stats::Welford;
 use serde::{Deserialize, Serialize};
 
-use crate::allocation::optimal_allocation;
+use crate::allocation::{optimal_allocation, try_optimal_allocation};
 use crate::baselines::{ExactSolver, GreedySolver, McbaConfig, McbaSolver, RoptSolver};
 use crate::bdma::{solve_p2_in, BdmaConfig, CgbaSolver, P2aSolver, StartPolicy};
 use crate::decision::SlotDecision;
+use crate::fault::AvailabilityMask;
+use crate::robust::{equal_share_decision, solve_p2_robust, RobustConfig, RobustReport};
 use crate::system::MecSystem;
 use crate::workspace::SlotWorkspace;
 
@@ -276,6 +278,80 @@ impl EotoraDpp {
         DppStep { slot, queue_before, queue_after, outcome }
     }
 
+    /// Executes one slot through the fault-tolerant path (see
+    /// [`crate::robust`]): `mask` excludes failed components from the
+    /// solve, `robust.deadline` bounds the slot's wall-clock with a
+    /// checkpointed incumbent, and the virtual queue is charged only for
+    /// energy actually spent (down servers draw nothing). This path never
+    /// panics on degraded inputs: a solve that cannot even seed an
+    /// incumbent (corrupt state that bypassed sanitization) falls back to
+    /// the topology-only lifeboat decision, and a failed Lemma 1
+    /// allocation falls back to equal shares.
+    ///
+    /// Callers should sanitize observations first
+    /// ([`crate::sanitize::StateSanitizer`]); the fallbacks here are the
+    /// last line of defense, not the intended recovery path.
+    pub fn step_robust(
+        &mut self,
+        state: &SystemState,
+        mask: &AvailabilityMask,
+        robust: &RobustConfig,
+        recorder: &dyn Recorder,
+    ) -> (DppStep<SlotDecision>, RobustReport) {
+        let slot = self.slots;
+        let queue_before = self.queue.backlog();
+        let down = mask.down_server_flags(self.solver.system.topology().num_servers());
+        let report = solve_p2_robust(
+            &self.solver.system,
+            state,
+            self.config.v,
+            queue_before,
+            mask,
+            robust,
+            &mut self.solver.workspace,
+            slot,
+            recorder,
+        )
+        .unwrap_or_else(|_| {
+            crate::robust::lifeboat_report(
+                &self.solver.system,
+                state,
+                self.config.v,
+                queue_before,
+                &down,
+            )
+        });
+        let system = &self.solver.system;
+        let decision = try_optimal_allocation(
+            system,
+            state,
+            &report.solution.assignments,
+            &report.solution.freqs_hz,
+        )
+        .unwrap_or_else(|_| {
+            equal_share_decision(system, &report.solution.assignments, &report.solution.freqs_hz)
+        });
+        debug_assert!(decision.validate(system).is_ok());
+        let excess = report.solution.energy_cost - system.budget_per_slot();
+        let update_span = SpanGuard::new(recorder, eotora_obs::SPAN_QUEUE_UPDATE);
+        let queue_after = self.queue.update(excess);
+        update_span.finish();
+        if recorder.is_enabled() {
+            recorder.record(&TraceEvent::QueueUpdate {
+                slot,
+                before: queue_before,
+                after: queue_after,
+                excess,
+            });
+        }
+        self.objective_avg.push(report.solution.latency);
+        self.excess_avg.push(excess);
+        self.slots += 1;
+        let outcome =
+            SlotOutcome { decision, objective: report.solution.latency, constraint_excess: excess };
+        (DppStep { slot, queue_before, queue_after, outcome }, report)
+    }
+
     /// Current virtual-queue backlog `Q(t)`.
     pub fn queue_backlog(&self) -> f64 {
         self.queue.backlog()
@@ -497,6 +573,56 @@ mod tests {
             out
         };
         assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn robust_steps_stay_feasible_through_a_crash_window() {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(12), 21);
+        let mut states = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 21);
+        let mut dpp = EotoraDpp::new(system, DppConfig { bdma_rounds: 2, ..Default::default() });
+        let robust = crate::robust::RobustConfig { rounds: 2, ..Default::default() };
+        for t in 0..12 {
+            let beta = states.observe(t, dpp.system().topology());
+            let mask = if (4..8).contains(&t) {
+                AvailabilityMask {
+                    down_servers: vec![0, 3],
+                    down_stations: vec![],
+                    severed_links: vec![],
+                }
+            } else {
+                AvailabilityMask::default()
+            };
+            let (step, report) = dpp.step_robust(&beta, &mask, &robust, &NoopRecorder);
+            step.outcome.decision.validate(dpp.system()).unwrap();
+            assert!(step.queue_after >= 0.0);
+            if (4..8).contains(&t) {
+                assert!(report.masked_resources >= 2);
+                for a in &step.outcome.decision.assignments {
+                    assert!(a.server.index() != 0 && a.server.index() != 3);
+                }
+            }
+        }
+        assert_eq!(dpp.slots(), 12);
+    }
+
+    #[test]
+    fn robust_queue_charges_only_masked_energy() {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(10), 22);
+        let mut states = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 22);
+        let mut dpp = EotoraDpp::new(system, DppConfig::default());
+        let beta = states.observe(0, dpp.system().topology());
+        let mask = AvailabilityMask {
+            down_servers: vec![2],
+            down_stations: vec![],
+            severed_links: vec![],
+        };
+        let (step, report) =
+            dpp.step_robust(&beta, &mask, &crate::robust::RobustConfig::default(), &NoopRecorder);
+        let down = mask.down_server_flags(dpp.system().topology().num_servers());
+        let masked_cost =
+            dpp.system().energy_cost_masked(beta.price_per_kwh, &report.solution.freqs_hz, &down);
+        let expected = (masked_cost - dpp.system().budget_per_slot()).max(0.0);
+        assert!((step.queue_after - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! Failure model: per-slot availability masks and scripted fault traces.
+//!
+//! A production fleet loses servers, base stations, and fronthaul links at
+//! runtime. The controller's game formulation encodes those components as
+//! resources (`0..N` servers, `N..N+K` access links, `N+K..N+2K` fronthaul
+//! links — see [`crate::p2a`]), so a failure is *masked*, not rebuilt: an
+//! [`AvailabilityMask`] is lowered to an
+//! [`eotora_game::StrategyFilter`] that disallows every strategy touching a
+//! failed resource, leaving the game's shape (and every cache keyed on it)
+//! untouched. [`FaultSchedule`] scripts when components fail and recover,
+//! plus corrupt-state bursts for the sanitization layer
+//! ([`crate::sanitize`]).
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use eotora_game::StrategyFilter;
+use serde::{Deserialize, Serialize};
+
+use crate::p2a::P2aProblem;
+
+/// Which components are unavailable during one slot.
+///
+/// Indices are raw server/base-station indices; entries out of range for
+/// the actual topology are ignored (a trace written for a larger system
+/// degrades gracefully on a smaller one).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AvailabilityMask {
+    /// Crashed edge servers (their compute resource is unusable and they
+    /// draw no billable power).
+    pub down_servers: Vec<usize>,
+    /// Down base stations (both their access and fronthaul links are
+    /// unusable).
+    pub down_stations: Vec<usize>,
+    /// Severed `(station, server)` fronthaul edges: both endpoints are up,
+    /// but tasks cannot route between this specific pair.
+    pub severed_links: Vec<(usize, usize)>,
+}
+
+/// What lowering a mask onto a concrete P2-A instance produced.
+#[derive(Debug, Clone)]
+pub struct MaskEffect {
+    /// The per-(player, strategy) filter for the CGBA solve.
+    pub filter: StrategyFilter,
+    /// `down[n]` marks server `n` crashed (excluded from energy accounting).
+    pub down_servers: Vec<bool>,
+    /// Number of masked game resources this slot.
+    pub masked_resources: u64,
+    /// Devices whose entire strategy set was masked and were re-allowed
+    /// best-effort (the model has no local-execution strategy, so such a
+    /// device must use nominally-failed resources rather than have no
+    /// move).
+    pub best_effort_players: u64,
+}
+
+impl AvailabilityMask {
+    /// Whether the mask disables nothing.
+    pub fn is_empty(&self) -> bool {
+        self.down_servers.is_empty()
+            && self.down_stations.is_empty()
+            && self.severed_links.is_empty()
+    }
+
+    /// Per-resource unavailability flags under the P2-A resource indexing
+    /// (`0..N` servers, `N..N+K` access links, `N+K..N+2K` fronthaul
+    /// links).
+    pub fn masked_resources(&self, num_servers: usize, num_stations: usize) -> Vec<bool> {
+        let mut masked = vec![false; num_servers + 2 * num_stations];
+        for &n in &self.down_servers {
+            if n < num_servers {
+                masked[n] = true;
+            }
+        }
+        for &k in &self.down_stations {
+            if k < num_stations {
+                masked[num_servers + k] = true;
+                masked[num_servers + num_stations + k] = true;
+            }
+        }
+        masked
+    }
+
+    /// `down[n]` flags per server, for masked energy accounting
+    /// ([`crate::system::MecSystem::energy_cost_masked`]).
+    pub fn down_server_flags(&self, num_servers: usize) -> Vec<bool> {
+        let mut down = vec![false; num_servers];
+        for &n in &self.down_servers {
+            if n < num_servers {
+                down[n] = true;
+            }
+        }
+        down
+    }
+
+    /// Lowers this mask onto `problem`: masked resources disallow every
+    /// strategy touching them, severed links disallow the specific
+    /// `(station, server)` strategies, and any player left with nothing is
+    /// re-allowed wholesale (best-effort, counted).
+    pub fn strategy_filter(&self, problem: &P2aProblem) -> MaskEffect {
+        let num_servers = problem.num_servers();
+        let num_stations = problem.num_stations();
+        let masked = self.masked_resources(num_servers, num_stations);
+        let masked_resources = masked.iter().filter(|&&m| m).count() as u64;
+        let structure = problem.game().structure();
+        let mut filter = StrategyFilter::from_masked_resources(structure, &masked);
+        if !self.severed_links.is_empty() {
+            for i in 0..structure.num_players() {
+                for s in 0..problem.num_strategies(i) {
+                    let a = problem.assignment(i, s);
+                    if self
+                        .severed_links
+                        .iter()
+                        .any(|&(k, n)| a.base_station.index() == k && a.server.index() == n)
+                    {
+                        filter.disallow(i, s);
+                    }
+                }
+            }
+        }
+        let mut best_effort_players = 0;
+        for i in 0..structure.num_players() {
+            if filter.first_allowed(i).is_none() {
+                filter.allow_all_for_player(i);
+                best_effort_players += 1;
+            }
+        }
+        MaskEffect {
+            filter,
+            down_servers: self.down_server_flags(num_servers),
+            masked_resources,
+            best_effort_players,
+        }
+    }
+
+    fn retain(v: &mut Vec<usize>, x: usize) {
+        v.retain(|&e| e != x);
+    }
+
+    fn apply(&mut self, action: &FaultAction) {
+        match *action {
+            FaultAction::ServerDown { server } => {
+                if !self.down_servers.contains(&server) {
+                    self.down_servers.push(server);
+                }
+            }
+            FaultAction::ServerUp { server } => Self::retain(&mut self.down_servers, server),
+            FaultAction::StationDown { station } => {
+                if !self.down_stations.contains(&station) {
+                    self.down_stations.push(station);
+                }
+            }
+            FaultAction::StationUp { station } => Self::retain(&mut self.down_stations, station),
+            FaultAction::LinkDown { station, server } => {
+                if !self.severed_links.contains(&(station, server)) {
+                    self.severed_links.push((station, server));
+                }
+            }
+            FaultAction::LinkUp { station, server } => {
+                self.severed_links.retain(|&e| e != (station, server));
+            }
+            FaultAction::CorruptState { .. } => {}
+        }
+    }
+}
+
+/// One scripted failure or recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Server crashes (stays down until the matching `ServerUp`).
+    ServerDown {
+        /// Server index.
+        server: usize,
+    },
+    /// Server recovers.
+    ServerUp {
+        /// Server index.
+        server: usize,
+    },
+    /// Base station goes dark (access + fronthaul links down).
+    StationDown {
+        /// Base-station index.
+        station: usize,
+    },
+    /// Base station recovers.
+    StationUp {
+        /// Base-station index.
+        station: usize,
+    },
+    /// One `(station, server)` fronthaul edge is severed.
+    LinkDown {
+        /// Base-station index.
+        station: usize,
+        /// Server index.
+        server: usize,
+    },
+    /// The severed edge heals.
+    LinkUp {
+        /// Base-station index.
+        station: usize,
+        /// Server index.
+        server: usize,
+    },
+    /// The observed state vector arrives corrupted (NaN/negative/garbage
+    /// entries) for `slots` consecutive slots starting at the event slot.
+    CorruptState {
+        /// Burst length in slots.
+        slots: u64,
+    },
+}
+
+/// A fault action pinned to the slot it takes effect.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// First slot at which the action is in force.
+    pub slot: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A scripted fault trace: a time-ordered (not required, but conventional)
+/// list of events replayed against each slot.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// The scripted events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Whether the schedule contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The availability mask in force at `slot`: every event with
+    /// `event.slot <= slot` applied in list order.
+    pub fn mask_at(&self, slot: u64) -> AvailabilityMask {
+        let mut mask = AvailabilityMask::default();
+        for event in self.events.iter().filter(|e| e.slot <= slot) {
+            mask.apply(&event.action);
+        }
+        mask
+    }
+
+    /// Whether `slot` falls inside any corrupt-state burst.
+    pub fn corrupt_at(&self, slot: u64) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.action, FaultAction::CorruptState { slots }
+                if e.slot <= slot && slot < e.slot.saturating_add(slots))
+        })
+    }
+
+    /// The default chaos trace used by the `chaos` experiment and the CI
+    /// smoke gate, scaled to `horizon`: two server crashes (one overlapping
+    /// window), one link flap, one station outage, and one corrupt-state
+    /// burst. Deterministic; indices are taken modulo the component counts.
+    pub fn chaos_default(horizon: u64, num_servers: usize, num_stations: usize) -> Self {
+        let at = |frac_num: u64, frac_den: u64| horizon * frac_num / frac_den;
+        let server_a = 0 % num_servers.max(1);
+        let server_b = 3 % num_servers.max(1);
+        let station_a = 1 % num_stations.max(1);
+        let station_b = 0 % num_stations.max(1);
+        let events = vec![
+            FaultEvent { slot: at(1, 5), action: FaultAction::ServerDown { server: server_a } },
+            FaultEvent { slot: at(8, 25), action: FaultAction::ServerUp { server: server_a } },
+            FaultEvent {
+                slot: at(2, 5),
+                action: FaultAction::LinkDown { station: station_b, server: server_b },
+            },
+            FaultEvent {
+                slot: at(2, 5) + (horizon / 50).max(1),
+                action: FaultAction::LinkUp { station: station_b, server: server_b },
+            },
+            FaultEvent {
+                slot: at(1, 2),
+                action: FaultAction::CorruptState { slots: (horizon / 50).max(2) },
+            },
+            FaultEvent { slot: at(3, 5), action: FaultAction::ServerDown { server: server_b } },
+            FaultEvent { slot: at(18, 25), action: FaultAction::ServerUp { server: server_b } },
+            FaultEvent { slot: at(4, 5), action: FaultAction::StationDown { station: station_a } },
+            FaultEvent { slot: at(21, 25), action: FaultAction::StationUp { station: station_a } },
+        ];
+        Self { events }
+    }
+
+    /// A random fault trace: `crashes` server crash/recover pairs, `flaps`
+    /// link down/up pairs, and `bursts` corrupt-state bursts, at
+    /// deterministic pseudo-random slots drawn from `seed`.
+    pub fn random(
+        seed: u64,
+        horizon: u64,
+        num_servers: usize,
+        num_stations: usize,
+        crashes: usize,
+        flaps: usize,
+        bursts: usize,
+    ) -> Self {
+        let mut rng = eotora_util::rng::Pcg32::seed_stream(seed, 0xFA17);
+        let mut events = Vec::new();
+        let span = horizon.max(2);
+        let window = |rng: &mut eotora_util::rng::Pcg32| {
+            let start = rng.below((span - 1) as usize) as u64;
+            let len = 1 + rng.below((span / 5).max(1) as usize) as u64;
+            (start, (start + len).min(span - 1))
+        };
+        for _ in 0..crashes {
+            let (down, up) = window(&mut rng);
+            let server = rng.below(num_servers.max(1));
+            events.push(FaultEvent { slot: down, action: FaultAction::ServerDown { server } });
+            events.push(FaultEvent { slot: up, action: FaultAction::ServerUp { server } });
+        }
+        for _ in 0..flaps {
+            let (down, up) = window(&mut rng);
+            let station = rng.below(num_stations.max(1));
+            let server = rng.below(num_servers.max(1));
+            events
+                .push(FaultEvent { slot: down, action: FaultAction::LinkDown { station, server } });
+            events.push(FaultEvent { slot: up, action: FaultAction::LinkUp { station, server } });
+        }
+        for _ in 0..bursts {
+            let (start, end) = window(&mut rng);
+            events.push(FaultEvent {
+                slot: start,
+                action: FaultAction::CorruptState { slots: end - start + 1 },
+            });
+        }
+        events.sort_by_key(|e| e.slot);
+        Self { events }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use crate::system::{MecSystem, SystemConfig};
+    use eotora_states::{PaperStateConfig, StateProvider};
+
+    #[test]
+    fn mask_replay_tracks_down_and_up() {
+        let schedule = FaultSchedule {
+            events: vec![
+                FaultEvent { slot: 5, action: FaultAction::ServerDown { server: 2 } },
+                FaultEvent { slot: 10, action: FaultAction::ServerUp { server: 2 } },
+                FaultEvent { slot: 7, action: FaultAction::LinkDown { station: 1, server: 3 } },
+            ],
+        };
+        assert!(schedule.mask_at(4).is_empty());
+        assert_eq!(schedule.mask_at(5).down_servers, vec![2]);
+        assert_eq!(schedule.mask_at(8).severed_links, vec![(1, 3)]);
+        assert!(schedule.mask_at(10).down_servers.is_empty());
+        assert_eq!(schedule.mask_at(10).severed_links, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn corrupt_bursts_cover_their_window() {
+        let schedule = FaultSchedule {
+            events: vec![FaultEvent { slot: 3, action: FaultAction::CorruptState { slots: 2 } }],
+        };
+        assert!(!schedule.corrupt_at(2));
+        assert!(schedule.corrupt_at(3));
+        assert!(schedule.corrupt_at(4));
+        assert!(!schedule.corrupt_at(5));
+    }
+
+    #[test]
+    fn masked_resources_use_p2a_indexing() {
+        let mask = AvailabilityMask {
+            down_servers: vec![1],
+            down_stations: vec![0],
+            severed_links: vec![],
+        };
+        let masked = mask.masked_resources(3, 2);
+        // Servers 0..3, access 3..5, fronthaul 5..7.
+        assert_eq!(masked, vec![false, true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn out_of_range_indices_are_ignored() {
+        let mask = AvailabilityMask {
+            down_servers: vec![99],
+            down_stations: vec![99],
+            severed_links: vec![(99, 99)],
+        };
+        assert!(mask.masked_resources(3, 2).iter().all(|&m| !m));
+        assert!(mask.down_server_flags(3).iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn strategy_filter_excludes_down_server_and_severed_link() {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(6), 41);
+        let mut provider =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), 41);
+        let state = provider.observe(0, system.topology());
+        let problem = crate::p2a::P2aProblem::build(&system, &state, &system.min_frequencies());
+        let mask = AvailabilityMask {
+            down_servers: vec![0],
+            down_stations: vec![],
+            severed_links: vec![(1, 2)],
+        };
+        let effect = mask.strategy_filter(&problem);
+        assert!(effect.masked_resources >= 1);
+        assert!(effect.down_servers[0]);
+        for i in 0..6 {
+            for s in 0..problem.num_strategies(i) {
+                if effect.filter.is_allowed(i, s) {
+                    continue;
+                }
+                let a = problem.assignment(i, s);
+                assert!(
+                    a.server.index() == 0 || (a.base_station.index() == 1 && a.server.index() == 2),
+                    "strategy ({i}, {s}) disallowed without cause: {a:?}"
+                );
+            }
+            // The paper topology leaves plenty of alternatives.
+            assert!(effect.filter.first_allowed(i).is_some());
+        }
+        assert_eq!(effect.best_effort_players, 0);
+    }
+
+    #[test]
+    fn fully_masked_player_is_re_allowed_best_effort() {
+        let system = MecSystem::random(&SystemConfig::paper_defaults(4), 42);
+        let mut provider =
+            StateProvider::paper(system.topology(), &PaperStateConfig::default(), 42);
+        let state = provider.observe(0, system.topology());
+        let problem = crate::p2a::P2aProblem::build(&system, &state, &system.min_frequencies());
+        // Mask every station: nobody can reach anything.
+        let mask = AvailabilityMask {
+            down_servers: vec![],
+            down_stations: (0..system.topology().num_base_stations()).collect(),
+            severed_links: vec![],
+        };
+        let effect = mask.strategy_filter(&problem);
+        assert_eq!(effect.best_effort_players, 4);
+        for i in 0..4 {
+            assert!(effect.filter.first_allowed(i).is_some());
+        }
+    }
+
+    #[test]
+    fn chaos_default_has_required_ingredients() {
+        let s = FaultSchedule::chaos_default(500, 16, 6);
+        let crashes =
+            s.events.iter().filter(|e| matches!(e.action, FaultAction::ServerDown { .. })).count();
+        let flaps =
+            s.events.iter().filter(|e| matches!(e.action, FaultAction::LinkDown { .. })).count();
+        let bursts = s
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::CorruptState { .. }))
+            .count();
+        assert!(crashes >= 2);
+        assert!(flaps >= 1);
+        assert!(bursts >= 1);
+        // Every fault heals before the horizon ends.
+        assert!(s.mask_at(499).is_empty());
+    }
+
+    #[test]
+    fn schedule_roundtrips_through_serde() {
+        let s = FaultSchedule::chaos_default(100, 4, 2);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_and_bounded() {
+        let a = FaultSchedule::random(9, 200, 16, 6, 2, 1, 1);
+        let b = FaultSchedule::random(9, 200, 16, 6, 2, 1, 1);
+        assert_eq!(a, b);
+        // 2 crashes and 1 flap each emit a down/up pair; 1 burst is a single event.
+        assert_eq!(a.events.len(), 7);
+        assert!(a.events.iter().all(|e| e.slot < 200));
+    }
+}

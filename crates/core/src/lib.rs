@@ -25,6 +25,10 @@
 //! | [`dpp`] | Alg. 1 | BDMA-based DPP online controller (plugs into `eotora-lyapunov`) |
 //! | [`workspace`] | — | [`workspace::SlotWorkspace`]: reusable per-slot solver state (zero-rebuild engine) |
 //! | [`baselines`] | §VI | ROPT, MCBA (MCMC), and the exact branch-and-bound optimum |
+//! | [`fault`] | — | [`fault::AvailabilityMask`] + [`fault::FaultSchedule`]: failure model and scripted traces |
+//! | [`robust`] | — | [`robust::solve_p2_robust`]: fault-masked anytime solve with checkpointed incumbents |
+//! | [`sanitize`] | — | [`sanitize::StateSanitizer`]: `β_t` validation with last-known-good substitution |
+//! | [`error`] | — | [`error::SolveError`]: typed recoverable failures for the degradation ladder |
 //!
 //! # Examples
 //!
@@ -49,18 +53,26 @@ pub mod baselines;
 pub mod bdma;
 pub mod decision;
 pub mod dpp;
+pub mod error;
+pub mod fault;
 pub mod latency;
 pub mod multi_budget;
 pub mod p1;
 pub mod p2a;
 pub mod p2b;
 pub mod per_slot;
+pub mod robust;
+pub mod sanitize;
 pub mod system;
 pub mod workspace;
 
 pub use decision::{Assignment, SlotDecision};
 pub use dpp::{DppConfig, EotoraDpp};
+pub use error::SolveError;
+pub use fault::{AvailabilityMask, FaultAction, FaultEvent, FaultSchedule};
 pub use multi_budget::MultiBudgetDpp;
 pub use per_slot::PerSlotController;
+pub use robust::{solve_p2_robust, RobustConfig, RobustReport};
+pub use sanitize::{SanitizeLimits, StateSanitizer};
 pub use system::{MecSystem, SystemConfig};
 pub use workspace::SlotWorkspace;

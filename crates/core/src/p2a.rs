@@ -174,6 +174,17 @@ impl P2aProblem {
         &self.game
     }
 
+    /// Number of servers in the instance (resources `0..num_servers`).
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of base stations in the instance (access links
+    /// `N..N+K`, fronthaul links `N+K..N+2K`).
+    pub fn num_stations(&self) -> usize {
+        self.num_stations
+    }
+
     /// Number of strategies available to player `i`.
     pub fn num_strategies(&self, i: usize) -> usize {
         self.strategy_map[i].len()

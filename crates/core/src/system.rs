@@ -174,6 +174,36 @@ impl MecSystem {
         )
     }
 
+    /// Fleet power excluding crashed servers (`down[n]` marks server `n`
+    /// dead: it draws no billable power while unavailable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the server count.
+    pub fn fleet_power_watts_masked(&self, freqs_hz: &[f64], down: &[bool]) -> f64 {
+        assert_eq!(freqs_hz.len(), self.topology.num_servers(), "one frequency per server");
+        assert_eq!(down.len(), self.topology.num_servers(), "one down flag per server");
+        self.energy
+            .iter()
+            .zip(freqs_hz)
+            .zip(down)
+            .filter(|&(_, &d)| !d)
+            .map(|((m, &f), _)| m.power_watts(f))
+            .sum()
+    }
+
+    /// Energy cost for one slot charging only servers that are actually up —
+    /// the fault-path variant of [`MecSystem::energy_cost`], so the virtual
+    /// queue is charged only for energy actually spent. With no server down
+    /// it equals `energy_cost` exactly.
+    pub fn energy_cost_masked(&self, price_per_kwh: f64, freqs_hz: &[f64], down: &[bool]) -> f64 {
+        eotora_energy::energy_cost_dollars(
+            price_per_kwh,
+            self.fleet_power_watts_masked(freqs_hz, down),
+            self.slot_hours,
+        )
+    }
+
     /// The constraint excess `θ(t) = C_t − C̄` driving the virtual queue.
     pub fn constraint_excess(&self, price_per_kwh: f64, freqs_hz: &[f64]) -> f64 {
         self.energy_cost(price_per_kwh, freqs_hz) - self.budget_per_slot
@@ -253,6 +283,19 @@ mod tests {
         let f = s.min_frequencies();
         let c = s.energy_cost(0.05, &f);
         assert!((s.constraint_excess(0.05, &f) - (c - s.budget_per_slot())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_energy_excludes_down_servers() {
+        let s = MecSystem::random(&SystemConfig::paper_defaults(10), 2);
+        let f = s.max_frequencies();
+        let all_up = vec![false; f.len()];
+        assert_eq!(s.energy_cost_masked(0.05, &f, &all_up), s.energy_cost(0.05, &f));
+        let mut down = all_up;
+        down[0] = true;
+        let masked = s.energy_cost_masked(0.05, &f, &down);
+        assert!(masked < s.energy_cost(0.05, &f));
+        assert!(masked > 0.0);
     }
 
     #[test]

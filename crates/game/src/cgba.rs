@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use eotora_util::rng::Pcg32;
 
-use crate::{validate_parts, GameRef, GameStructure, Profile};
+use crate::{validate_parts, GameRef, GameStructure, Profile, StrategyFilter};
 
 /// How CGBA picks which improvable player moves next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -597,6 +597,93 @@ pub fn cgba_from_reference<G: GameRef>(
                     let i = (rr_cursor + step) % n;
                     let cost = profile.player_cost(game, i);
                     let (s, br) = profile.best_response(game, i);
+                    if (1.0 - config.lambda) * cost > br {
+                        mover = Some((i, s));
+                        rr_cursor = (i + 1) % n;
+                        break;
+                    }
+                }
+            }
+        }
+        match mover {
+            Some((i, s)) => {
+                profile.switch(game, i, s);
+                iterations += 1;
+            }
+            None => {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    let total_cost = profile.total_cost(game);
+    CgbaReport { profile, total_cost, initial_cost, iterations, converged }
+}
+
+/// The [`cgba_from_reference`] loop with two fault-tolerance hooks: a
+/// [`StrategyFilter`] restricting each player's best-response scan to
+/// allowed strategies, and a `should_stop` predicate polled once per
+/// iteration (the anytime-deadline hook — returning `true` breaks out with
+/// `converged == false` and the best-so-far profile).
+///
+/// With an all-allowing filter and a never-stopping predicate this is
+/// bit-identical to [`cgba_from_reference`] from the same initial profile:
+/// same scan order, same float expressions, same mover selection
+/// (property-tested in `tests/masking.rs`). Players the filter leaves with
+/// *no* allowed strategy never move; callers must seed `initial` with those
+/// players already on a deliberate (best-effort) strategy.
+///
+/// # Panics
+///
+/// Same conditions as [`cgba_reference`].
+pub fn cgba_from_filtered<G: GameRef>(
+    game: &G,
+    initial: Profile,
+    config: &CgbaConfig,
+    filter: &StrategyFilter,
+    mut should_stop: impl FnMut() -> bool,
+) -> CgbaReport {
+    let n = game.structure().num_players();
+    assert!(n > 0, "game has no players");
+    assert!((0.0..1.0).contains(&config.lambda), "lambda must be in [0, 1)");
+    validate_parts(game.structure(), game.weights()).expect("game must validate before solving");
+
+    let mut profile = initial;
+    let initial_cost = profile.total_cost(game);
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut rr_cursor = 0usize;
+
+    while iterations < config.max_iterations {
+        if should_stop() {
+            break;
+        }
+        let mut mover: Option<(usize, usize)> = None; // (player, strategy)
+        match config.scheduling {
+            SchedulingRule::MaxGain => {
+                let mut best_gap = 0.0;
+                for i in 0..n {
+                    let cost = profile.player_cost(game, i);
+                    let Some((s, br)) = profile.best_response_filtered(game, i, filter) else {
+                        continue;
+                    };
+                    if (1.0 - config.lambda) * cost > br {
+                        let gap = cost - br;
+                        if gap > best_gap {
+                            best_gap = gap;
+                            mover = Some((i, s));
+                        }
+                    }
+                }
+            }
+            SchedulingRule::RoundRobin => {
+                for step in 0..n {
+                    let i = (rr_cursor + step) % n;
+                    let cost = profile.player_cost(game, i);
+                    let Some((s, br)) = profile.best_response_filtered(game, i, filter) else {
+                        continue;
+                    };
                     if (1.0 - config.lambda) * cost > br {
                         mover = Some((i, s));
                         rr_cursor = (i + 1) % n;

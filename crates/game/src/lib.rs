@@ -56,13 +56,15 @@
 use serde::{Deserialize, Serialize};
 
 mod cgba;
+mod mask;
 mod profile;
 
 pub use cgba::{
-    brute_force_optimum, cgba, cgba_from, cgba_from_reference, cgba_from_with_scratch,
-    cgba_reference, cgba_warm_from_with_scratch, empirical_price_of_anarchy, CgbaConfig,
-    CgbaReport, CgbaScratch, SchedulingRule,
+    brute_force_optimum, cgba, cgba_from, cgba_from_filtered, cgba_from_reference,
+    cgba_from_with_scratch, cgba_reference, cgba_warm_from_with_scratch,
+    empirical_price_of_anarchy, CgbaConfig, CgbaReport, CgbaScratch, SchedulingRule,
 };
+pub use mask::StrategyFilter;
 pub use profile::Profile;
 
 /// A strategy: the resource bundle it uses, as `(resource index, p_{i,r})`

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use eotora_util::rng::Pcg32;
 
-use crate::GameRef;
+use crate::{GameRef, StrategyFilter};
 
 /// A strategy profile with incrementally maintained resource loads.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -148,6 +148,99 @@ impl Profile {
             }
         }
         best
+    }
+
+    /// [`Profile::best_response`] restricted to strategies `filter` allows.
+    ///
+    /// Scans strategies in the same order with the same float expression and
+    /// the same strict-improvement update rule, so with an all-allowing
+    /// filter the result is bit-identical to the unfiltered scan. Returns
+    /// `None` when the filter allows no strategy for `i`.
+    pub fn best_response_filtered<G: GameRef>(
+        &self,
+        game: &G,
+        i: usize,
+        filter: &StrategyFilter,
+    ) -> Option<(usize, f64)> {
+        let mut best = (usize::MAX, f64::INFINITY);
+        for s in 0..game.structure().strategies(i).len() {
+            if !filter.is_allowed(i, s) {
+                continue;
+            }
+            let cost = self.strategy_cost(game, i, s);
+            if cost < best.1 {
+                best = (s, cost);
+            }
+        }
+        if best.0 == usize::MAX {
+            None
+        } else {
+            Some(best)
+        }
+    }
+
+    /// The strategy player `i` would pick if it were alone in the game —
+    /// `argmin_s Σ_r m_r · p_{i,r}²` over allowed strategies. This is the
+    /// displacement fallback of the fault-masking repair path: it depends
+    /// only on the player's own weights, never on other players' choices,
+    /// so it is deterministic and always feasible when any allowed strategy
+    /// exists.
+    pub fn solo_cheapest_filtered<G: GameRef>(
+        game: &G,
+        i: usize,
+        filter: &StrategyFilter,
+    ) -> Option<usize> {
+        let structure = game.structure();
+        let weights = game.weights();
+        let mut best = (usize::MAX, f64::INFINITY);
+        for (s, strategy) in structure.strategies(i).iter().enumerate() {
+            if !filter.is_allowed(i, s) {
+                continue;
+            }
+            let cost: f64 = strategy.iter().map(|&(r, w)| weights.get(r) * w * w).sum();
+            if cost < best.1 {
+                best = (s, cost);
+            }
+        }
+        if best.0 == usize::MAX {
+            None
+        } else {
+            Some(best.0)
+        }
+    }
+
+    /// [`Profile::from_retained_choices`] against a filtered game: stale
+    /// indices are clamped exactly as in the unfiltered repair, and any
+    /// choice landing on a disallowed strategy is *displaced* to that
+    /// player's cheapest allowed strategy ([`Profile::solo_cheapest_filtered`]).
+    ///
+    /// Returns the repaired profile plus the number of displaced players.
+    /// Returns `None` when the player count no longer matches or some
+    /// displaced player has no allowed strategy at all (callers should widen
+    /// the filter for that player first). With an all-allowing filter the
+    /// result is identical to [`Profile::from_retained_choices`] with zero
+    /// displacements.
+    pub fn from_retained_choices_filtered<G: GameRef>(
+        game: &G,
+        choices: &[usize],
+        filter: &StrategyFilter,
+    ) -> Option<(Self, usize)> {
+        let structure = game.structure();
+        if choices.len() != structure.num_players() {
+            return None;
+        }
+        let mut displaced = 0;
+        let mut repaired = Vec::with_capacity(choices.len());
+        for (i, &s) in choices.iter().enumerate() {
+            let clamped = s.min(structure.strategies(i).len() - 1);
+            if filter.is_allowed(i, clamped) {
+                repaired.push(clamped);
+            } else {
+                displaced += 1;
+                repaired.push(Self::solo_cheapest_filtered(game, i, filter)?);
+            }
+        }
+        Some((Self::from_choices(game, repaired), displaced))
     }
 
     /// Whether no player can reduce its cost by a factor of more than

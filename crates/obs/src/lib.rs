@@ -53,3 +53,16 @@ pub const COUNTER_BDMA_ROUNDS_SAVED: &str = "bdma.rounds_saved";
 pub const COUNTER_CGBA_WARM_MOVES: &str = "cgba.warm.moves_to_converge";
 /// Counter name for slots solved.
 pub const COUNTER_SLOTS: &str = "slots";
+
+/// Counter name for game resources masked out by availability faults,
+/// accumulated across slots.
+pub const COUNTER_FAULT_MASKED_RESOURCES: &str = "fault.masked_resources";
+/// Counter name for players whose retained strategy was displaced by a
+/// mask and repaired onto a reachable alternative (includes players
+/// re-allowed best-effort because the mask left them nothing).
+pub const COUNTER_FAULT_REPAIRED_PLAYERS: &str = "fault.repaired_players";
+/// Counter name for corrupt state entries replaced by the sanitizer.
+pub const COUNTER_FAULT_STATE_SUBSTITUTIONS: &str = "fault.state_substitutions";
+/// Counter name for slots whose solve hit the anytime deadline and
+/// returned the checkpointed incumbent instead of finishing.
+pub const COUNTER_DEADLINE_EXPIRATIONS: &str = "deadline.expirations";

@@ -94,6 +94,11 @@ impl MetricsRecorder {
     pub fn stage_series(&self) -> BTreeMap<String, Vec<f64>> {
         self.inner.borrow().stage_series.clone()
     }
+
+    /// A snapshot of every counter and its current value.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.inner.borrow().counters.clone()
+    }
 }
 
 impl Recorder for MetricsRecorder {

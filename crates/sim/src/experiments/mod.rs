@@ -19,10 +19,12 @@
 //! | [`fairness`] | (extensions) | per-device Jain fairness of equilibria vs random placement |
 //! | [`beta_only_gap`] | (theory check) | DPP vs the hindsight β-only policy of Lemma 2; O(1/V) gap |
 //! | [`warm_ab`] | (extensions) | warm-started solves match cold control quality within 1% |
+//! | [`chaos`] | (robustness) | injected failures: bounded degradation, zero panics, feasible slots |
 
 pub mod ablations;
 pub mod beta_only_gap;
 pub mod budget_sweep;
+pub mod chaos;
 pub mod energy_fit;
 pub mod fairness;
 pub mod lambda_sweep;

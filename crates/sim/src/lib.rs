@@ -34,5 +34,5 @@ pub mod runner;
 pub mod scenario;
 pub mod svg;
 
-pub use runner::{run, run_many, SimulationResult};
+pub use runner::{robust_config, run, run_many, run_robust, run_robust_traced, SimulationResult};
 pub use scenario::Scenario;

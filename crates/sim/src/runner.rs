@@ -8,11 +8,15 @@
 
 use std::collections::BTreeMap;
 
-use eotora_core::dpp::EotoraDpp;
+use eotora_core::dpp::{EotoraDpp, SolverKind};
+use eotora_core::fault::FaultSchedule;
 use eotora_core::latency::latency_under;
+use eotora_core::robust::RobustConfig;
+use eotora_core::sanitize::StateSanitizer;
 use eotora_core::system::MecSystem;
 use eotora_obs::{MetricsRecorder, Recorder, SpanGuard, TeeRecorder, TraceEvent};
 use eotora_states::{StateProvider, SystemState};
+use eotora_util::rng::Pcg32;
 use eotora_util::series::TimeSeries;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +55,10 @@ pub struct SimulationResult {
     pub rounds_used: TimeSeries,
     /// Mean BDMA alternation rounds per slot (0 when BDMA never ran).
     pub mean_bdma_rounds: f64,
+    /// Final values of every monotonic counter the run incremented
+    /// (`bdma_rounds`, `slots`, and on fault-injected runs the `fault.*` /
+    /// `deadline.*` family).
+    pub counters: BTreeMap<String, u64>,
     /// The budget `C̄` in force.
     pub budget: f64,
     /// Final time-average latency.
@@ -210,6 +218,177 @@ fn run_impl(
         per_stage_solve_time,
         rounds_used,
         mean_bdma_rounds: metrics.mean_bdma_rounds().unwrap_or(0.0),
+        counters: metrics.counters(),
+        budget,
+    }
+}
+
+/// The robust-solve configuration a scenario implies: the scenario's BDMA
+/// round count and CGBA λ, plus the given per-slot wall-clock deadline.
+pub fn robust_config(scenario: &Scenario, deadline: Option<std::time::Duration>) -> RobustConfig {
+    let lambda = match scenario.dpp.solver {
+        SolverKind::Cgba { lambda } => lambda,
+        _ => 0.0,
+    };
+    RobustConfig { deadline, rounds: scenario.dpp.bdma_rounds, lambda, ..Default::default() }
+}
+
+/// Deterministically mangles a handful of state entries — the corruption
+/// model behind `CorruptState` fault events: NaN task sizes, negative data
+/// lengths, infinite spectral efficiencies, NaN prices.
+fn corrupt_state(state: &mut SystemState, rng: &mut Pcg32) {
+    let devices = state.task_cycles.len().max(1);
+    for _ in 0..(1 + rng.below(3)) {
+        match rng.below(4) {
+            0 => state.task_cycles[rng.below(devices)] = f64::NAN,
+            1 => state.data_bits[rng.below(devices)] = -1.0,
+            2 => {
+                let i = rng.below(state.spectral_efficiency.len().max(1));
+                let row = &mut state.spectral_efficiency[i];
+                let k = rng.below(row.len().max(1));
+                row[k] = f64::INFINITY;
+            }
+            _ => state.price_per_kwh = f64::NAN,
+        }
+    }
+}
+
+/// Runs one scenario through the fault-tolerant pipeline: per-slot
+/// availability masks from `faults`, corrupt-state bursts injected and then
+/// screened by a [`StateSanitizer`], and the anytime deadline of `robust`
+/// bounding each slot's solve. With an empty schedule and no deadline this
+/// is the robust path's fault-free baseline (deterministic, but *not*
+/// bit-identical to [`run`] — the robust solve seeds deterministically
+/// instead of sampling random initial profiles).
+pub fn run_robust(
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+    robust: &RobustConfig,
+) -> SimulationResult {
+    run_robust_impl(scenario, faults, robust, None)
+}
+
+/// [`run_robust`] with every trace event additionally streamed into `sink`
+/// (the entry point behind `eotora run --fault-trace ... --trace ...`).
+pub fn run_robust_traced(
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+    robust: &RobustConfig,
+    sink: &dyn Recorder,
+) -> SimulationResult {
+    run_robust_impl(scenario, faults, robust, Some(sink))
+}
+
+fn run_robust_impl(
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+    robust: &RobustConfig,
+    sink: Option<&dyn Recorder>,
+) -> SimulationResult {
+    let system = MecSystem::random(&scenario.system, scenario.seed);
+    let mut states = StateProvider::paper(system.topology(), &scenario.states, scenario.seed);
+    let budget = system.budget_per_slot();
+    let mut dpp = EotoraDpp::new(system, scenario.dpp);
+    let mut sanitizer = StateSanitizer::new();
+    let mut corrupt_rng = Pcg32::seed_stream(scenario.seed, 0xFA117);
+
+    let metrics = MetricsRecorder::new();
+    let tee;
+    let recorder: &dyn Recorder = match sink {
+        Some(sink) => {
+            tee = TeeRecorder::new(&metrics, sink);
+            &tee
+        }
+        None => &metrics,
+    };
+
+    let mut latency = TimeSeries::new("latency_s");
+    let mut cost = TimeSeries::new("cost_usd");
+    let mut queue = TimeSeries::new("queue_backlog");
+    let mut price = TimeSeries::new("price_usd_per_kwh");
+    let mut solve_time = TimeSeries::new("solve_time_s");
+    let mut fairness = TimeSeries::new("jains_index");
+    let mut handover_rate = TimeSeries::new("handover_rate");
+    let mut mean_clock_ghz = TimeSeries::new("mean_clock_ghz");
+    let mut previous_stations: Option<Vec<usize>> = None;
+
+    for slot in 0..scenario.horizon {
+        let mut observed = states.observe(slot, dpp.system().topology());
+        if faults.corrupt_at(slot) {
+            corrupt_state(&mut observed, &mut corrupt_rng);
+        }
+        let (beta, substitutions) = sanitizer.sanitize(&observed);
+        if substitutions > 0 {
+            recorder.add(eotora_obs::COUNTER_FAULT_STATE_SUBSTITUTIONS, substitutions);
+        }
+        let mask = faults.mask_at(slot);
+        let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
+        let (step, _report) = dpp.step_robust(&beta, &mask, robust, recorder);
+        let slot_nanos = slot_span.finish().unwrap_or(0);
+        solve_time.push(slot_nanos as f64 / 1e9);
+        recorder.add(eotora_obs::COUNTER_SLOTS, 1);
+        recorder.record(&TraceEvent::Slot {
+            slot,
+            objective: scenario.dpp.v * step.outcome.objective
+                + step.queue_before * step.outcome.constraint_excess,
+            latency: step.outcome.objective,
+            cost: step.outcome.constraint_excess + budget,
+            queue: step.queue_after,
+        });
+        latency.push(step.outcome.objective);
+        cost.push(step.outcome.constraint_excess + budget);
+        queue.push(step.queue_after);
+        price.push(beta.price_per_kwh);
+        let breakdown = latency_under(dpp.system(), &beta, &step.outcome.decision);
+        fairness.push(eotora_util::stats::jains_index(&breakdown.per_device).unwrap_or(1.0));
+        let stations: Vec<usize> =
+            step.outcome.decision.assignments.iter().map(|a| a.base_station.index()).collect();
+        handover_rate.push(match &previous_stations {
+            Some(prev) => {
+                prev.iter().zip(&stations).filter(|(a, b)| a != b).count() as f64
+                    / stations.len() as f64
+            }
+            None => 0.0,
+        });
+        previous_stations = Some(stations);
+        let freqs = &step.outcome.decision.frequencies_hz;
+        mean_clock_ghz.push(freqs.iter().sum::<f64>() / freqs.len() as f64 / 1e9);
+    }
+
+    let per_stage_solve_time = metrics
+        .stage_series()
+        .into_iter()
+        .filter(|(name, _)| name != eotora_obs::SPAN_SLOT_SOLVE)
+        .map(|(name, seconds)| {
+            let mut series = TimeSeries::new(&name);
+            for s in seconds {
+                series.push(s);
+            }
+            (name, series)
+        })
+        .collect();
+
+    let mut rounds_used = TimeSeries::new("bdma_rounds");
+    for r in metrics.bdma_rounds_series() {
+        rounds_used.push(r);
+    }
+
+    SimulationResult {
+        label: scenario.label.clone(),
+        average_latency: dpp.average_latency(),
+        average_cost: dpp.average_cost(),
+        latency,
+        cost,
+        queue,
+        price,
+        solve_time,
+        fairness,
+        handover_rate,
+        mean_clock_ghz,
+        per_stage_solve_time,
+        rounds_used,
+        mean_bdma_rounds: metrics.mean_bdma_rounds().unwrap_or(0.0),
+        counters: metrics.counters(),
         budget,
     }
 }
@@ -343,6 +522,45 @@ mod tests {
         let untraced = run(&scenario);
         assert_eq!(untraced.latency, result.latency);
         assert_eq!(untraced.queue, result.queue);
+    }
+
+    #[test]
+    fn robust_run_is_deterministic_and_collects_counters() {
+        let s = Scenario::paper(8, 13).with_horizon(6).with_bdma_rounds(1);
+        let faults = eotora_core::fault::FaultSchedule::chaos_default(6, 16, 6);
+        let robust = robust_config(&s, None);
+        let a = run_robust(&s, &faults, &robust);
+        let b = run_robust(&s, &faults, &robust);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.queue, b.queue);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.latency.len(), 6);
+        assert!(a.counters.contains_key("slots"));
+    }
+
+    #[test]
+    fn corrupt_bursts_drive_the_substitution_counter() {
+        let s = Scenario::paper(8, 14).with_horizon(8).with_bdma_rounds(1);
+        let faults = eotora_core::fault::FaultSchedule {
+            events: vec![eotora_core::fault::FaultEvent {
+                slot: 2,
+                action: eotora_core::fault::FaultAction::CorruptState { slots: 3 },
+            }],
+        };
+        let r = run_robust(&s, &faults, &robust_config(&s, None));
+        let subs = r.counters.get("fault.state_substitutions").copied().unwrap_or(0);
+        assert!(subs >= 3, "expected at least one substitution per burst slot, got {subs}");
+        assert!(r.latency.values().iter().all(|&l| l.is_finite() && l > 0.0));
+    }
+
+    #[test]
+    fn zero_deadline_expires_every_slot() {
+        let s = Scenario::paper(8, 15).with_horizon(5).with_bdma_rounds(2);
+        let faults = eotora_core::fault::FaultSchedule::default();
+        let robust = robust_config(&s, Some(std::time::Duration::ZERO));
+        let r = run_robust(&s, &faults, &robust);
+        assert_eq!(r.counters.get("deadline.expirations").copied().unwrap_or(0), 5);
+        assert!(r.latency.values().iter().all(|&l| l.is_finite() && l > 0.0));
     }
 
     #[test]
