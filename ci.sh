@@ -37,6 +37,20 @@ awk '
   END { if (!found) { print "FAIL: no 30-device row in quick bench output"; exit 1 } }
 ' target/BENCH_slot_solve.quick.json
 
+echo "==> journal overhead guard (slot journaling <= 5% of engine p50 at 30 devices)"
+awk '
+  /"devices":/ { dev = $2; gsub(/[^0-9]/, "", dev) }
+  /"journal_overhead_pct":/ && dev == 30 {
+    val = $2; gsub(/[^0-9.]/, "", val); found = 1
+    if (val + 0 > 5.0) {
+      printf "FAIL: journal overhead %.2f%% > 5%% of engine p50 at 30 devices\n", val
+      exit 1
+    }
+    printf "OK: journal overhead %.2f%% of engine p50 at 30 devices\n", val
+  }
+  END { if (!found) { print "FAIL: no 30-device journal row in quick bench output"; exit 1 } }
+' target/BENCH_slot_solve.quick.json
+
 echo "==> chaos smoke (seeded fault trace through the robust engine)"
 # Short scripted trace: a server crash, a fronthaul flap, and a corrupt-state
 # burst over 40 slots. Gate: the run completes (zero panics), every fault
@@ -69,6 +83,41 @@ assert c.get("fault.masked_resources", 0) > 0, "masking never fired"
 assert c.get("fault.state_substitutions", 0) > 0, "sanitizer never fired"
 assert max(r["queue"]["values"]) < 50.0, "virtual queue wound up"
 print("OK: chaos smoke — 40 slots, masking + sanitization fired, queue bounded")
+EOF
+
+echo "==> durability smoke (kill at slot 57, resume, bit-for-bit CSV diff)"
+# A 100-slot run checkpointed every 10 slots is killed mid-flight at slot 57
+# and resumed from its checkpoint directory. Gate: the resumed run's per-slot
+# CSV matches the uninterrupted reference exactly once wall-clock columns
+# (solve_time_s, stage_*_s) and the durability.* counter columns are dropped.
+DUR_DIR="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_DIR" "$DUR_DIR"' EXIT
+./target/release/eotora template --devices 8 --seed 23 \
+  | sed 's/"horizon": [0-9]*/"horizon": 100/' > "$DUR_DIR/scenario.json"
+./target/release/eotora run "$DUR_DIR/scenario.json" --csv "$DUR_DIR/ref" > /dev/null
+./target/release/eotora run "$DUR_DIR/scenario.json" \
+  --checkpoint-dir "$DUR_DIR/ckpt" --checkpoint-every 10 --kill-at-slot 57 \
+  | grep -q "interrupted after slot 57"
+./target/release/eotora run --resume "$DUR_DIR/ckpt" --csv "$DUR_DIR/resumed" > /dev/null
+python3 - "$DUR_DIR/ref_slots.csv" "$DUR_DIR/resumed_slots.csv" <<'EOF'
+import sys
+
+def decisions(path):
+    rows = [line.rstrip("\n").split(",") for line in open(sys.argv[1] if path == "ref" else sys.argv[2])]
+    header = rows[0]
+    keep = [
+        i
+        for i, name in enumerate(header)
+        if name != "solve_time_s"
+        and not name.startswith("stage_")
+        and not name.startswith("ctr_durability.")
+    ]
+    return [[row[i] for i in keep] for row in rows]
+
+ref, resumed = decisions("ref"), decisions("resumed")
+assert len(ref) == 101, f"reference CSV has {len(ref) - 1} slots, expected 100"
+assert ref == resumed, "resumed run diverged from the uninterrupted reference"
+print("OK: durability smoke — kill at 57, resume, 100 slots bit-identical")
 EOF
 
 echo "ci: all green"

@@ -17,6 +17,15 @@
 //! benchmark double as the at-scale equivalence check. The warm arm takes
 //! different (equally valid) decisions, so it reports `rounds_used_mean`
 //! and `warm_speedup` (vs the cold engine's p50) instead of bit-identity.
+//! A fourth **journal** arm repeats the engine path with the durability
+//! subsystem's per-slot frame append (record encode, CRC framing,
+//! `EveryK(16)` fsync — the `run --checkpoint-dir` default) and times
+//! that appended work on its own each slot: `journal_overhead_pct` is the
+//! p50 journal work relative to the p50 engine solve. (Differencing two
+//! end-to-end p50s would drown the microsecond-scale append in
+//! millisecond-scale scheduler noise.) ci.sh's quick-mode gate fails if
+//! the overhead exceeds 5% at the 30-device scale.
+//!
 //! p50/p95 per-slot solve times and the speedups land in
 //! `BENCH_slot_solve.json` at the repo root (or
 //! `target/BENCH_slot_solve.quick.json` under `EOTORA_QUICK`, with
@@ -31,6 +40,7 @@ use std::time::Instant;
 use eotora_core::bdma::{solve_p2_in, solve_p2_reference, BdmaConfig, CgbaSolver, StartPolicy};
 use eotora_core::system::{MecSystem, SystemConfig};
 use eotora_core::workspace::SlotWorkspace;
+use eotora_durability::{FsyncPolicy, JournalWriter, SlotRecord};
 use eotora_game::CgbaConfig;
 use eotora_states::{PaperStateConfig, StateProvider, SystemState};
 use eotora_util::rng::Pcg32;
@@ -55,6 +65,8 @@ struct ScaleResult {
     warm_p95_s: f64,
     rounds_used_mean: f64,
     warm_speedup: f64,
+    journal_p50_s: f64,
+    journal_overhead_pct: f64,
 }
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -156,15 +168,81 @@ fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
             )
         });
 
+    // Journal arm: the engine path plus the per-slot durability frame
+    // append inside the timed region — the exact extra work `run
+    // --checkpoint-dir` does each slot (record encode, CRC, buffered
+    // write, fsync every 16th frame).
+    let journal_dir =
+        std::env::temp_dir().join(format!("eotora-bench-journal-{}-{devices}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let mut writer = JournalWriter::create(&journal_dir, FsyncPolicy::EveryK(16), 64 * 1024 * 1024)
+        .unwrap_or_else(|e| {
+            panic!("cannot create bench journal in {}: {e}", journal_dir.display())
+        });
+    let mut journal_workspace = SlotWorkspace::new();
+    let mut journal_solver = CgbaSolver::default();
+    let mut journal_work: Vec<f64> = Vec::new();
+    let (journal_lat, _, _) = run_loop(&system, &states, |sys, state, queue, slot, rng| {
+        let sol = solve_p2_in(
+            sys,
+            state,
+            V,
+            queue,
+            &bdma,
+            &mut journal_solver,
+            rng,
+            slot,
+            &eotora_obs::NoopRecorder,
+            &mut journal_workspace,
+        );
+        let journal_start = Instant::now();
+        {
+            let record = SlotRecord {
+                slot,
+                latency_s: sol.latency,
+                cost_usd: sol.energy_cost,
+                queue,
+                price: 0.18,
+                solve_time_s: 1e-3,
+                fairness: 1.0,
+                handover_rate: 0.0,
+                mean_clock_ghz: sol.freqs_hz.iter().sum::<f64>()
+                    / sol.freqs_hz.len().max(1) as f64
+                    / 1e9,
+                rounds_used: sol.rounds_used as f64,
+                stations: sol.assignments.iter().map(|a| a.base_station.index() as u32).collect(),
+                stages: vec![
+                    ("p2a".to_owned(), 1e-4),
+                    ("p2b".to_owned(), 1e-4),
+                    ("queue_update".to_owned(), 1e-6),
+                ],
+            };
+            writer
+                .append(&record.encode())
+                .unwrap_or_else(|e| panic!("bench journal append failed: {e}"));
+        }
+        journal_work.push(journal_start.elapsed().as_secs_f64());
+        sol
+    });
+    writer.sync().unwrap_or_else(|e| panic!("bench journal sync failed: {e}"));
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    assert_eq!(
+        journal_lat, engine_lat,
+        "journaling must not perturb the decision sequence at I={devices}"
+    );
+
     engine_times.sort_by(f64::total_cmp);
     ref_times.sort_by(f64::total_cmp);
     warm_times.sort_by(f64::total_cmp);
+    journal_work.sort_by(f64::total_cmp);
     let engine_p50_s = quantile(&engine_times, 0.50);
     let engine_p95_s = quantile(&engine_times, 0.95);
     let reference_p50_s = quantile(&ref_times, 0.50);
     let reference_p95_s = quantile(&ref_times, 0.95);
     let warm_p50_s = quantile(&warm_times, 0.50);
     let warm_p95_s = quantile(&warm_times, 0.95);
+    let journal_p50_s = quantile(&journal_work, 0.50);
     ScaleResult {
         devices,
         horizon,
@@ -178,6 +256,8 @@ fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
         warm_p95_s,
         rounds_used_mean: warm_rounds.iter().sum::<usize>() as f64 / warm_rounds.len() as f64,
         warm_speedup: engine_p50_s / warm_p50_s.max(1e-12),
+        journal_p50_s,
+        journal_overhead_pct: journal_p50_s / engine_p50_s.max(1e-12) * 100.0,
     }
 }
 
@@ -209,6 +289,11 @@ fn main() {
             r.rounds_used_mean,
             r.warm_speedup,
         );
+        eprintln!(
+            "  journal work p50 {:.4} ms | overhead {:.2}% of engine p50",
+            r.journal_p50_s * 1e3,
+            r.journal_overhead_pct,
+        );
         results.push(r);
     }
 
@@ -231,7 +316,9 @@ fn main() {
                     "      \"warm_p50_s\": {:e},\n",
                     "      \"warm_p95_s\": {:e},\n",
                     "      \"rounds_used_mean\": {:.3},\n",
-                    "      \"warm_speedup\": {:.3}\n",
+                    "      \"warm_speedup\": {:.3},\n",
+                    "      \"journal_p50_s\": {:e},\n",
+                    "      \"journal_overhead_pct\": {:.3}\n",
                     "    }}"
                 ),
                 r.devices,
@@ -248,6 +335,8 @@ fn main() {
                 r.warm_p95_s,
                 r.rounds_used_mean,
                 r.warm_speedup,
+                r.journal_p50_s,
+                r.journal_overhead_pct,
             )
         })
         .collect();

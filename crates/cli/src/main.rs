@@ -21,6 +21,9 @@ use eotora_cli::{
     require_flag_values,
 };
 use eotora_core::system::MecSystem;
+use eotora_sim::durable::{
+    resume_durable, run_durable, run_durable_robust, DurabilityConfig, DurableRun,
+};
 use eotora_sim::report::{ascii_table, num, slot_csv};
 use eotora_sim::runner::{
     robust_config, run, run_many, run_robust, run_robust_traced, run_traced, SimulationResult,
@@ -59,6 +62,8 @@ USAGE:
   eotora run <scenario.json> [--out results.json] [--csv prefix] [--svg prefix]
              [--trace trace.jsonl] [--jobs N] [--cold-start] [--bdma-eps X]
              [--fault-trace faults.json] [--slot-deadline-ms MS]
+             [--checkpoint-dir D] [--checkpoint-every K] [--fsync every-slot|every-K|os]
+  eotora run --resume <checkpoint-dir> [--out ...] [--csv ...] [--svg ...]
   eotora trace <trace.jsonl>                # span quantiles, BDMA rounds, queue drift
   eotora topology [--devices N] [--seed S]
   eotora sweep <scenario.json> --budgets 0.7,1.0,1.3 [--jobs N]
@@ -93,9 +98,9 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-/// The always-printed one-line digest of a finished run. Fault and deadline
-/// counters are appended only when nonzero, so fault-free runs read exactly
-/// as before.
+/// The always-printed one-line digest of a finished run. Fault, deadline,
+/// and durability counters are appended only when nonzero, so plain runs
+/// read exactly as before.
 fn run_summary(result: &SimulationResult) -> String {
     let mut line = format!(
         "summary: {} slots | p95 slot solve {} | mean BDMA rounds {:.2} | final Q(t) {}",
@@ -105,7 +110,11 @@ fn run_summary(result: &SimulationResult) -> String {
         num(result.queue.last().unwrap_or(0.0)),
     );
     for (name, value) in &result.counters {
-        if *value > 0 && (name.starts_with("fault.") || name.starts_with("deadline.")) {
+        if *value > 0
+            && (name.starts_with("fault.")
+                || name.starts_with("deadline.")
+                || name.starts_with("durability."))
+        {
             line.push_str(&format!(" | {name} {value}"));
         }
     }
@@ -119,7 +128,51 @@ fn load_fault_trace(path: &str) -> Result<eotora_core::fault::FaultSchedule, Str
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
+/// Builds the checkpointing configuration for `dir` from the `run` flags.
+fn durability_config(args: &[String], dir: &str) -> Result<DurabilityConfig, String> {
+    let mut cfg = DurabilityConfig::new(dir);
+    cfg.checkpoint_every = parse_flag(args, "--checkpoint-every", cfg.checkpoint_every)?;
+    if cfg.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    if let Some(raw) = flag_value(args, "--fsync") {
+        cfg.fsync = raw.parse().map_err(|e: String| format!("--fsync: {e}"))?;
+    }
+    if let Some(raw) = flag_value(args, "--kill-at-slot") {
+        let slot: u64 =
+            raw.parse().map_err(|_| format!("--kill-at-slot expects a slot index, got `{raw}`"))?;
+        cfg.kill_at_slot = Some(slot);
+    }
+    Ok(cfg)
+}
+
+/// `eotora run --resume <dir>`: picks a checkpointed run back up. The
+/// manifest in the directory supplies the scenario and mode, so no scenario
+/// file is given; output flags work as on a fresh `run`.
+fn cmd_run_resume(args: &[String]) -> Result<(), String> {
+    require_flag_values(
+        args,
+        &["--resume", "--out", "--csv", "--svg", "--checkpoint-every", "--fsync", "--kill-at-slot"],
+    )?;
+    let dir = flag_value(args, "--resume").ok_or("--resume requires a checkpoint directory")?;
+    if flag_value(args, "--trace").is_some() {
+        return Err("--trace cannot be combined with checkpointed runs".into());
+    }
+    let cfg = durability_config(args, dir)?;
+    eprintln!("resuming checkpointed run in {dir} …");
+    match resume_durable(&cfg).map_err(|e| e.to_string())? {
+        DurableRun::Interrupted { slot } => {
+            println!("interrupted after slot {slot}; resume with `eotora run --resume {dir}`");
+            Ok(())
+        }
+        DurableRun::Completed(result) => report_run(args, &result),
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
+    if flag_value(args, "--resume").is_some() {
+        return cmd_run_resume(args);
+    }
     let path = args.first().ok_or("run requires a scenario file")?;
     require_flag_values(
         args,
@@ -131,6 +184,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--bdma-eps",
             "--fault-trace",
             "--slot-deadline-ms",
+            "--checkpoint-dir",
+            "--checkpoint-every",
+            "--fsync",
+            "--kill-at-slot",
         ],
     )?;
     apply_jobs_flag(args)?;
@@ -176,6 +233,27 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             deadline.map_or("none".into(), |d| format!("{} ms", d.as_millis())),
         );
     }
+    // `--checkpoint-dir` makes the run durable: a write-ahead slot journal
+    // plus periodic controller snapshots, resumable with `run --resume`.
+    if let Some(dir) = flag_value(args, "--checkpoint-dir") {
+        if flag_value(args, "--trace").is_some() {
+            return Err("--trace cannot be combined with --checkpoint-dir".into());
+        }
+        let cfg = durability_config(args, dir)?;
+        let outcome = if robust_mode {
+            run_durable_robust(&scenario, &faults, deadline, &cfg)
+        } else {
+            run_durable(&scenario, &cfg)
+        }
+        .map_err(|e| e.to_string())?;
+        return match outcome {
+            DurableRun::Interrupted { slot } => {
+                println!("interrupted after slot {slot}; resume with `eotora run --resume {dir}`");
+                Ok(())
+            }
+            DurableRun::Completed(result) => report_run(args, &result),
+        };
+    }
     let result = match flag_value(args, "--trace") {
         Some(trace_path) => {
             let file = std::fs::File::create(trace_path)
@@ -194,7 +272,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         None if robust_mode => run_robust(&scenario, &faults, &robust),
         None => run(&scenario),
     };
+    report_run(args, &result)
+}
 
+/// Prints the end-of-run table and summary line, then writes whichever of
+/// `--out` / `--svg` / `--csv` were requested.
+fn report_run(args: &[String], result: &SimulationResult) -> Result<(), String> {
     let rows = vec![
         vec!["slots".into(), result.latency.len().to_string()],
         vec!["avg latency (s)".into(), num(result.average_latency)],
@@ -210,7 +293,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         vec!["mean BDMA rounds used".into(), num(result.rounds_used.time_average())],
     ];
     println!("{}", ascii_table(&["metric", "value"], &rows));
-    println!("{}", run_summary(&result));
+    println!("{}", run_summary(result));
 
     if let Some(out) = flag_value(args, "--out") {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
@@ -243,8 +326,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if let Some(prefix) = flag_value(args, "--csv") {
         let path = format!("{prefix}_slots.csv");
-        std::fs::write(&path, slot_csv(&result))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(&path, slot_csv(result)).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
     Ok(())

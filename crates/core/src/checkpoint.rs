@@ -1,0 +1,116 @@
+//! Serializable resume state for the full online controller.
+//!
+//! [`crate::dpp::DppCheckpoint`] (queue, averages, solver RNG) has existed
+//! since the warm-start work, but it is not the whole story: under
+//! [`crate::bdma::StartPolicy::Warm`] the controller's trajectory also
+//! depends on the [`crate::workspace::SlotWorkspace`]'s retained incumbent
+//! `(choices, Ω̄)` and probe-heat flag, and a fault-tolerant run further
+//! depends on the [`crate::sanitize::StateSanitizer`]'s last-known-good
+//! observation. This module collects the serializable snapshots of all of
+//! them, so a killed process can resume *bit-identically* — the property
+//! the durability layer (`eotora-durability` + `eotora-sim`) builds on and
+//! the kill–resume chaos tests pin.
+//!
+//! The cached `P2aProblem` is deliberately *not* snapshotted: it is a pure
+//! function of (system, state, frequencies) and is rebuilt on the first
+//! resumed slot with identical numerics (the zero-rebuild engine's
+//! refresh-equals-build invariant).
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use serde::{Deserialize, Serialize};
+
+use crate::dpp::DppCheckpoint;
+use crate::sanitize::{SanitizeDefaults, SanitizeLimits};
+use eotora_states::SystemState;
+
+/// Serializable image of a [`crate::workspace::SlotWorkspace`]'s cross-slot
+/// state: the retained warm-start incumbent and the probe-heat flag. See
+/// [`crate::workspace::SlotWorkspace::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkspaceSnapshot {
+    /// Retained previous-slot strategy choices (meaningful only when
+    /// `has_retained_choices`).
+    pub retained_choices: Vec<usize>,
+    /// Whether a warm solve has retained choices yet (an empty retained
+    /// vector is a legal retained value for a zero-device system, so the
+    /// flag is stored explicitly).
+    pub has_retained_choices: bool,
+    /// Retained previous-slot frequencies `Ω̄` (empty = none).
+    pub retained_freqs: Vec<f64>,
+    /// Whether the previous slot's cold probe beat the warm chain.
+    pub probe_hot: bool,
+}
+
+/// Serializable image of a [`crate::sanitize::StateSanitizer`]: limits,
+/// cold-start defaults, the last-known-good observation, and the lifetime
+/// substitution count. See [`crate::sanitize::StateSanitizer::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SanitizerSnapshot {
+    /// Plausibility limits in force.
+    pub limits: SanitizeLimits,
+    /// Cold-start fallback values in force.
+    pub defaults: SanitizeDefaults,
+    /// The last repaired observation (None before the first slot).
+    pub last_good: Option<SystemState>,
+    /// Substitutions made so far.
+    pub total_substitutions: u64,
+}
+
+/// Everything the online controller needs to resume mid-run: the DPP
+/// checkpoint (queue, slot count, averages, solver RNG, config) plus the
+/// warm-start workspace. Produced by
+/// [`crate::dpp::EotoraDpp::checkpoint_full`], consumed by
+/// [`crate::dpp::EotoraDpp::resume_full`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerState {
+    /// Queue / averages / slots / RNG / config.
+    pub dpp: DppCheckpoint,
+    /// Cross-slot warm-start state.
+    pub workspace: WorkspaceSnapshot,
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use crate::sanitize::StateSanitizer;
+    use crate::workspace::SlotWorkspace;
+
+    #[test]
+    fn workspace_snapshot_round_trips_through_serde() {
+        let mut ws = SlotWorkspace::new();
+        ws.retain_solution(&[2, 0, 1], &[1.5e9, 2.5e9]);
+        ws.set_probe_hot(true);
+        let snap = ws.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: WorkspaceSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let mut restored = SlotWorkspace::new();
+        restored.restore(&back);
+        assert_eq!(restored.retained_choices(), Some(&[2usize, 0, 1][..]));
+        assert_eq!(restored.retained_freqs(), Some(&[1.5e9, 2.5e9][..]));
+        assert!(restored.probe_hot());
+    }
+
+    #[test]
+    fn empty_workspace_snapshot_restores_to_cold() {
+        let snap = SlotWorkspace::new().snapshot();
+        let mut restored = SlotWorkspace::new();
+        restored.retain_solution(&[1], &[2e9]);
+        restored.restore(&snap);
+        assert!(restored.retained_choices().is_none());
+        assert!(restored.retained_freqs().is_none());
+        assert!(!restored.probe_hot());
+    }
+
+    #[test]
+    fn sanitizer_snapshot_defaults_survive_serde() {
+        let snap = StateSanitizer::new().snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SanitizerSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.defaults, SanitizeDefaults::default());
+        assert!(back.last_good.is_none());
+    }
+}

@@ -404,6 +404,25 @@ impl EotoraDpp {
         dpp.solver.rng = checkpoint.rng.clone();
         dpp
     }
+
+    /// Snapshots the *full* resumable controller state: the
+    /// [`DppCheckpoint`] plus the warm-start workspace. Unlike
+    /// [`EotoraDpp::checkpoint`], resuming from this reproduces warm-start
+    /// ([`StartPolicy::Warm`]) trajectories bit-identically too.
+    pub fn checkpoint_full(&self) -> crate::checkpoint::ControllerState {
+        crate::checkpoint::ControllerState {
+            dpp: self.checkpoint(),
+            workspace: self.solver.workspace.snapshot(),
+        }
+    }
+
+    /// Rebuilds a controller from a full checkpoint (see
+    /// [`EotoraDpp::checkpoint_full`]).
+    pub fn resume_full(system: MecSystem, state: &crate::checkpoint::ControllerState) -> Self {
+        let mut dpp = Self::resume(system, &state.dpp);
+        dpp.solver.workspace.restore(&state.workspace);
+        dpp
+    }
 }
 
 /// Serializable resume point for [`EotoraDpp`] (see

@@ -28,6 +28,7 @@
 //! | [`fault`] | — | [`fault::AvailabilityMask`] + [`fault::FaultSchedule`]: failure model and scripted traces |
 //! | [`robust`] | — | [`robust::solve_p2_robust`]: fault-masked anytime solve with checkpointed incumbents |
 //! | [`sanitize`] | — | [`sanitize::StateSanitizer`]: `β_t` validation with last-known-good substitution |
+//! | [`checkpoint`] | — | [`checkpoint::ControllerState`]: full serializable resume state (queue + workspace + sanitizer) |
 //! | [`error`] | — | [`error::SolveError`]: typed recoverable failures for the degradation ladder |
 //!
 //! # Examples
@@ -51,6 +52,7 @@
 pub mod allocation;
 pub mod baselines;
 pub mod bdma;
+pub mod checkpoint;
 pub mod decision;
 pub mod dpp;
 pub mod error;
@@ -66,6 +68,7 @@ pub mod sanitize;
 pub mod system;
 pub mod workspace;
 
+pub use checkpoint::{ControllerState, SanitizerSnapshot, WorkspaceSnapshot};
 pub use decision::{Assignment, SlotDecision};
 pub use dpp::{DppConfig, EotoraDpp};
 pub use error::SolveError;
@@ -73,6 +76,6 @@ pub use fault::{AvailabilityMask, FaultAction, FaultEvent, FaultSchedule};
 pub use multi_budget::MultiBudgetDpp;
 pub use per_slot::PerSlotController;
 pub use robust::{solve_p2_robust, RobustConfig, RobustReport};
-pub use sanitize::{SanitizeLimits, StateSanitizer};
+pub use sanitize::{SanitizeDefaults, SanitizeLimits, StateSanitizer};
 pub use system::{MecSystem, SystemConfig};
 pub use workspace::SlotWorkspace;

@@ -14,12 +14,15 @@
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use eotora_states::SystemState;
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::SanitizerSnapshot;
 
 /// Inclusive plausibility limits per state field. Deliberately generous —
 /// an order of magnitude or more around the paper's §VI-A ranges — so
 /// sanitization only rejects physically meaningless values, never unusual
 /// but legitimate ones.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SanitizeLimits {
     /// Task sizes in cycles (paper: 50–200 Mcycles).
     pub task_cycles: (f64, f64),
@@ -49,10 +52,37 @@ fn ok(x: f64, (lo, hi): (f64, f64)) -> bool {
     x.is_finite() && x >= lo && x <= hi
 }
 
-/// Geometric midpoint of a positive range — the cold-start fallback when a
-/// corrupt entry arrives before any good observation of it.
-fn default_value((lo, hi): (f64, f64)) -> f64 {
-    (lo * hi).sqrt()
+/// Cold-start fallbacks when a corrupt entry arrives before any good
+/// observation of it: one per field, defaulting to the *scenario means* of
+/// the paper's §VI-A generators. The limits in [`SanitizeLimits`] span many
+/// orders of magnitude, so a range midpoint would be wildly unphysical
+/// (e.g. ~3 Gcycles for a 50–200 Mcycle workload); the mean of the actual
+/// generating distribution keeps a fully-corrupt first slot solvable with a
+/// plausible workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SanitizeDefaults {
+    /// Mean task size (paper: Uniform(50, 200) Mcycles → 125 Mcycles).
+    pub task_cycles: f64,
+    /// Mean data length (paper: Uniform(3, 10) Mb → 6.5 Mb).
+    pub data_bits: f64,
+    /// Mean access spectral efficiency (paper: Uniform(15, 50) → 32.5).
+    pub spectral_efficiency: f64,
+    /// Fronthaul spectral efficiency (topology default: 10 bit/s/Hz).
+    pub fronthaul_efficiency: f64,
+    /// Electricity price (NYISO-like trend mean: $0.05/kWh).
+    pub price_per_kwh: f64,
+}
+
+impl Default for SanitizeDefaults {
+    fn default() -> Self {
+        Self {
+            task_cycles: 125e6,
+            data_bits: 6.5e6,
+            spectral_efficiency: 32.5,
+            fronthaul_efficiency: 10.0,
+            price_per_kwh: 0.05,
+        }
+    }
 }
 
 /// Screens successive observations, repairing corrupt entries from the
@@ -60,6 +90,7 @@ fn default_value((lo, hi): (f64, f64)) -> f64 {
 #[derive(Debug, Clone, Default)]
 pub struct StateSanitizer {
     limits: SanitizeLimits,
+    defaults: SanitizeDefaults,
     last_good: Option<SystemState>,
     total_substitutions: u64,
 }
@@ -70,14 +101,41 @@ impl StateSanitizer {
         Self::default()
     }
 
-    /// A sanitizer with custom limits.
+    /// A sanitizer with custom limits (and the default cold-start means).
     pub fn with_limits(limits: SanitizeLimits) -> Self {
-        Self { limits, last_good: None, total_substitutions: 0 }
+        Self { limits, ..Self::default() }
+    }
+
+    /// A sanitizer with custom limits and cold-start defaults.
+    pub fn with_limits_and_defaults(limits: SanitizeLimits, defaults: SanitizeDefaults) -> Self {
+        Self { limits, defaults, last_good: None, total_substitutions: 0 }
     }
 
     /// Total substitutions made over the sanitizer's lifetime.
     pub fn total_substitutions(&self) -> u64 {
         self.total_substitutions
+    }
+
+    /// Serializable resume point: limits, defaults, the last-known-good
+    /// observation, and the lifetime substitution count.
+    pub fn snapshot(&self) -> SanitizerSnapshot {
+        SanitizerSnapshot {
+            limits: self.limits.clone(),
+            defaults: self.defaults.clone(),
+            last_good: self.last_good.clone(),
+            total_substitutions: self.total_substitutions,
+        }
+    }
+
+    /// Rebuilds a sanitizer from a [`SanitizerSnapshot`]; subsequent
+    /// substitutions behave exactly as in the snapshotted run.
+    pub fn restore(snapshot: &SanitizerSnapshot) -> Self {
+        Self {
+            limits: snapshot.limits.clone(),
+            defaults: snapshot.defaults.clone(),
+            last_good: snapshot.last_good.clone(),
+            total_substitutions: snapshot.total_substitutions,
+        }
     }
 
     /// Screens `observed`, returning a safe copy plus the number of
@@ -89,6 +147,7 @@ impl StateSanitizer {
         let mut state = observed.clone();
         let mut subs: u64 = 0;
         let limits = self.limits.clone();
+        let defaults = self.defaults.clone();
         let last = self.last_good.as_ref();
 
         // Stale / replayed observation.
@@ -102,6 +161,7 @@ impl StateSanitizer {
         let fix_vec = |field: &mut Vec<f64>,
                        prev: Option<&Vec<f64>>,
                        lim: (f64, f64),
+                       fallback: f64,
                        subs: &mut u64| {
             // A mis-shaped vector cannot be repaired entry-wise: substitute
             // the whole previous field (one substitution) when available.
@@ -114,7 +174,7 @@ impl StateSanitizer {
             }
             for (j, x) in field.iter_mut().enumerate() {
                 if !ok(*x, lim) {
-                    *x = prev.map(|p| p[j]).filter(|&g| ok(g, lim)).unwrap_or(default_value(lim));
+                    *x = prev.map(|p| p[j]).filter(|&g| ok(g, lim)).unwrap_or(fallback);
                     *subs += 1;
                 }
             }
@@ -124,13 +184,21 @@ impl StateSanitizer {
             &mut state.task_cycles,
             last.map(|s| &s.task_cycles),
             limits.task_cycles,
+            defaults.task_cycles,
             &mut subs,
         );
-        fix_vec(&mut state.data_bits, last.map(|s| &s.data_bits), limits.data_bits, &mut subs);
+        fix_vec(
+            &mut state.data_bits,
+            last.map(|s| &s.data_bits),
+            limits.data_bits,
+            defaults.data_bits,
+            &mut subs,
+        );
         fix_vec(
             &mut state.fronthaul_efficiency,
             last.map(|s| &s.fronthaul_efficiency),
             limits.fronthaul_efficiency,
+            defaults.fronthaul_efficiency,
             &mut subs,
         );
         // The device × station spectral matrix, row-wise.
@@ -142,13 +210,19 @@ impl StateSanitizer {
         }
         for (i, row) in state.spectral_efficiency.iter_mut().enumerate() {
             let prev_row = last.and_then(|s| s.spectral_efficiency.get(i));
-            fix_vec(row, prev_row, limits.spectral_efficiency, &mut subs);
+            fix_vec(
+                row,
+                prev_row,
+                limits.spectral_efficiency,
+                defaults.spectral_efficiency,
+                &mut subs,
+            );
         }
         if !ok(state.price_per_kwh, limits.price_per_kwh) {
             state.price_per_kwh = last
                 .map(|s| s.price_per_kwh)
                 .filter(|&p| ok(p, limits.price_per_kwh))
-                .unwrap_or(default_value(limits.price_per_kwh));
+                .unwrap_or(defaults.price_per_kwh);
             subs += 1;
         }
 
@@ -207,7 +281,61 @@ mod tests {
         bad.data_bits[1] = 0.0; // below the positive floor
         let (clean, subs) = s.sanitize(&bad);
         assert_eq!(subs, 1);
-        assert!(clean.data_bits[1].is_finite() && clean.data_bits[1] > 0.0);
+        assert_eq!(clean.data_bits[1], SanitizeDefaults::default().data_bits);
+    }
+
+    #[test]
+    fn fully_corrupt_first_slot_yields_scenario_mean_state() {
+        // The first-slot edge case: every field is NaN and there is no
+        // last-known-good yet. Each entry must land on the scenario-mean
+        // default (not a range midpoint), every substitution counted.
+        let mut s = StateSanitizer::new();
+        let bad = SystemState {
+            slot: 0,
+            task_cycles: vec![f64::NAN; 3],
+            data_bits: vec![f64::NAN; 3],
+            spectral_efficiency: vec![vec![f64::NAN; 2]; 3],
+            fronthaul_efficiency: vec![f64::NAN; 2],
+            price_per_kwh: f64::NAN,
+        };
+        let (clean, subs) = s.sanitize(&bad);
+        let d = SanitizeDefaults::default();
+        assert_eq!(subs, 3 + 3 + 6 + 2 + 1);
+        assert_eq!(s.total_substitutions(), subs);
+        assert!(clean.task_cycles.iter().all(|&x| x == d.task_cycles));
+        assert!(clean.data_bits.iter().all(|&x| x == d.data_bits));
+        assert!(clean
+            .spectral_efficiency
+            .iter()
+            .all(|row| row.iter().all(|&x| x == d.spectral_efficiency)));
+        assert!(clean.fronthaul_efficiency.iter().all(|&x| x == d.fronthaul_efficiency));
+        assert_eq!(clean.price_per_kwh, d.price_per_kwh);
+        // The repaired state is solvable input: strictly positive, finite.
+        assert!(clean.task_cycles.iter().all(|&x| x.is_finite() && x > 0.0));
+        // And it became the last-known-good for the next slot.
+        let mut next = good_state(1);
+        next.task_cycles[0] = f64::NAN;
+        let (clean2, _) = s.sanitize(&next);
+        assert_eq!(clean2.task_cycles[0], d.task_cycles);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_serde() {
+        let mut s = StateSanitizer::new();
+        s.sanitize(&good_state(0));
+        let mut bad = good_state(1);
+        bad.task_cycles[0] = f64::NAN;
+        s.sanitize(&bad);
+        let json = serde_json::to_string(&s.snapshot()).unwrap();
+        let snap = serde_json::from_str(&json).unwrap();
+        let mut restored = StateSanitizer::restore(&snap);
+        assert_eq!(restored.total_substitutions(), 1);
+        // Restored sanitizer repairs from the same last-known-good.
+        let mut again = good_state(2);
+        again.price_per_kwh = -1.0;
+        let (c1, _) = restored.sanitize(&again);
+        let (c2, _) = s.sanitize(&again);
+        assert_eq!(c1, c2);
     }
 
     #[test]

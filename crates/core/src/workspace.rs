@@ -17,6 +17,7 @@
 
 use eotora_states::SystemState;
 
+use crate::checkpoint::WorkspaceSnapshot;
 use crate::p2a::P2aProblem;
 use crate::system::MecSystem;
 
@@ -139,6 +140,31 @@ impl SlotWorkspace {
         self.has_retained_choices = false;
         self.retained_freqs.clear();
         self.probe_hot = false;
+    }
+
+    /// Serializable image of the cross-slot state (retained incumbent +
+    /// probe heat). The cached `P2aProblem` is excluded: it is rebuilt from
+    /// the system and the next observation with identical numerics.
+    pub fn snapshot(&self) -> WorkspaceSnapshot {
+        WorkspaceSnapshot {
+            retained_choices: self.retained_choices.clone(),
+            has_retained_choices: self.has_retained_choices,
+            retained_freqs: self.retained_freqs.clone(),
+            probe_hot: self.probe_hot,
+        }
+    }
+
+    /// Restores the cross-slot state from a snapshot. The problem cache is
+    /// dropped; the next [`SlotWorkspace::prepare`] rebuilds it.
+    pub fn restore(&mut self, snapshot: &WorkspaceSnapshot) {
+        self.problem = None;
+        self.freqs.clear();
+        self.retained_choices.clear();
+        self.retained_choices.extend_from_slice(&snapshot.retained_choices);
+        self.has_retained_choices = snapshot.has_retained_choices;
+        self.retained_freqs.clear();
+        self.retained_freqs.extend_from_slice(&snapshot.retained_freqs);
+        self.probe_hot = snapshot.probe_hot;
     }
 }
 

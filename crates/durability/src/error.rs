@@ -1,0 +1,155 @@
+//! Typed failure modes for the durability subsystem.
+//!
+//! Mirrors the `SolveError` convention from `eotora-core`: every way a
+//! snapshot, journal, or resume can fail is an explicit variant with enough
+//! context to act on. Corrupt *input* never panics — the lint wall in
+//! `lib.rs` denies `unwrap`/`expect`/`panic` crate-wide.
+
+use std::fmt;
+use std::path::Path;
+
+/// A failure while writing, reading, or validating durable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurabilityError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Path the operation touched.
+        path: String,
+        /// The OS error, stringified.
+        message: String,
+    },
+    /// A snapshot file failed structural validation (bad magic, truncated
+    /// header, length mismatch, or CRC failure).
+    CorruptSnapshot {
+        /// Path of the rejected snapshot.
+        path: String,
+        /// What failed.
+        reason: String,
+    },
+    /// A snapshot carries a different schema identifier than the reader
+    /// expects — it belongs to a different producer or state family.
+    SchemaMismatch {
+        /// Schema the reader requires.
+        expected: String,
+        /// Schema found in the file.
+        found: String,
+    },
+    /// A snapshot's format version is newer than this build supports.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// A journal frame in the *middle* of the log failed its checksum or
+    /// declared an impossible length. Unlike a torn final frame (recovered
+    /// silently), mid-log corruption means data after the damage would be
+    /// misaligned, so the read fails loudly.
+    CorruptFrame {
+        /// Segment file containing the bad frame.
+        segment: String,
+        /// Zero-based frame index within the whole journal.
+        frame: u64,
+        /// What failed (checksum, length bound, truncated non-final
+        /// segment).
+        reason: String,
+    },
+    /// A journal frame's payload decoded to a structurally invalid
+    /// [`crate::frame::SlotRecord`].
+    CorruptRecord {
+        /// What failed.
+        reason: String,
+    },
+    /// The checkpoint directory's manifest is unreadable or unparsable.
+    CorruptManifest {
+        /// Path of the manifest.
+        path: String,
+        /// What failed.
+        reason: String,
+    },
+    /// The snapshot claims more completed slots than the journal holds
+    /// frames — the snapshot/journal write-ordering invariant was violated
+    /// (or journal segments were deleted by hand).
+    JournalBehindSnapshot {
+        /// Slots the snapshot claims completed.
+        snapshot_slots: u64,
+        /// Frames actually recoverable from the journal.
+        journal_frames: u64,
+    },
+    /// The requested durability configuration cannot be honoured (e.g.
+    /// starting a fresh checkpointed run in a directory that already holds
+    /// one).
+    InvalidConfig {
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl DurabilityError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: &Path, err: &std::io::Error) -> Self {
+        Self::Io { path: path.display().to_string(), message: err.to_string() }
+    }
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, message } => write!(f, "I/O error on {path}: {message}"),
+            Self::CorruptSnapshot { path, reason } => {
+                write!(f, "corrupt snapshot {path}: {reason}")
+            }
+            Self::SchemaMismatch { expected, found } => {
+                write!(f, "snapshot schema mismatch: expected `{expected}`, found `{found}`")
+            }
+            Self::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot version {found} is newer than the supported version {supported}"
+                )
+            }
+            Self::CorruptFrame { segment, frame, reason } => {
+                write!(f, "corrupt journal frame {frame} in {segment}: {reason}")
+            }
+            Self::CorruptRecord { reason } => write!(f, "corrupt slot record: {reason}"),
+            Self::CorruptManifest { path, reason } => {
+                write!(f, "corrupt run manifest {path}: {reason}")
+            }
+            Self::JournalBehindSnapshot { snapshot_slots, journal_frames } => {
+                write!(
+                    f,
+                    "journal holds {journal_frames} frame(s) but the snapshot claims \
+                     {snapshot_slots} completed slot(s); the journal must be at least as \
+                     far along as the snapshot"
+                )
+            }
+            Self::InvalidConfig { reason } => write!(f, "invalid durability config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = DurabilityError::CorruptSnapshot { path: "s.bin".into(), reason: "bad crc".into() };
+        assert!(e.to_string().contains("s.bin"));
+        assert!(e.to_string().contains("bad crc"));
+        let e = DurabilityError::UnsupportedVersion { found: 9, supported: 1 };
+        assert!(e.to_string().contains('9'));
+        let e = DurabilityError::JournalBehindSnapshot { snapshot_slots: 20, journal_frames: 7 };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains('7'));
+        let e = DurabilityError::CorruptFrame {
+            segment: "journal-000001.log".into(),
+            frame: 3,
+            reason: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("journal-000001.log"));
+    }
+}

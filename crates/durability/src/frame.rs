@@ -1,0 +1,294 @@
+//! Binary codec for the per-slot journal payload.
+//!
+//! One [`SlotRecord`] is appended to the write-ahead journal after every
+//! completed slot: the slot's headline outputs (`T_t`, `C_t`, `Q_t`, price,
+//! fairness, handover, mean clock), the decision digest needed to continue
+//! the run's derived series (the per-device base-station assignment), the
+//! BDMA rounds executed, and the per-stage solver timings. Every `f64`
+//! round-trips bit-exactly (`to_bits`/`from_bits`), so a resumed run's
+//! reconstructed series are indistinguishable from the uninterrupted run's.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! slot          u64
+//! latency_s     f64      cost_usd      f64      queue        f64
+//! price         f64      solve_time_s  f64      fairness     f64
+//! handover_rate f64      mean_clock_ghz f64     rounds_used  f64
+//! stations_len  u32, then stations_len × u32 (per-device base station)
+//! stages_len    u32, then per stage: name_len u16, name bytes, seconds f64
+//! ```
+//!
+//! Decoding is fully bounds-checked and must consume the payload exactly;
+//! any violation is a typed [`DurabilityError::CorruptRecord`], never a
+//! panic or an over-allocation (length fields are validated against the
+//! bytes actually present before any buffer is reserved).
+
+use crate::error::DurabilityError;
+
+/// Everything the simulation runner needs to replay one completed slot
+/// without re-executing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotRecord {
+    /// Slot index `t`.
+    pub slot: u64,
+    /// Fleet latency `T_t` (seconds).
+    pub latency_s: f64,
+    /// Energy cost `C_t` (dollars).
+    pub cost_usd: f64,
+    /// Virtual-queue backlog `Q(t+1)` after the slot.
+    pub queue: f64,
+    /// Electricity price `p_t` ($/kWh) after sanitization.
+    pub price: f64,
+    /// Wall-clock solve time of the slot (seconds; informational only —
+    /// never part of bit-identity claims).
+    pub solve_time_s: f64,
+    /// Jain's fairness index of per-device latencies.
+    pub fairness: f64,
+    /// Fraction of devices that changed base station vs the previous slot.
+    pub handover_rate: f64,
+    /// Fleet mean clock frequency (GHz).
+    pub mean_clock_ghz: f64,
+    /// BDMA alternation rounds executed (0 if BDMA never ran).
+    pub rounds_used: f64,
+    /// Per-device base-station assignment — the decision digest that lets
+    /// a resumed run compute the next slot's handover rate.
+    pub stations: Vec<u32>,
+    /// Seconds spent per instrumented solver stage this slot.
+    pub stages: Vec<(String, f64)>,
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn corrupt(reason: impl Into<String>) -> DurabilityError {
+    DurabilityError::CorruptRecord { reason: reason.into() }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DurabilityError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt(format!("length overflow reading {what}")))?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt(format!("truncated record: missing {what}")))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16_le(&mut self, what: &str) -> Result<u16, DurabilityError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32_le(&mut self, what: &str) -> Result<u32, DurabilityError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64_le(&mut self, what: &str) -> Result<u64, DurabilityError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64_le(&mut self, what: &str) -> Result<f64, DurabilityError> {
+        Ok(f64::from_bits(self.u64_le(what)?))
+    }
+
+    /// Validates that `count` items of `item_bytes` each can still fit in
+    /// the remaining input, so corrupt length fields never over-allocate.
+    fn check_capacity(
+        &self,
+        count: usize,
+        item_bytes: usize,
+        what: &str,
+    ) -> Result<(), DurabilityError> {
+        let need = count
+            .checked_mul(item_bytes)
+            .ok_or_else(|| corrupt(format!("length overflow reading {what}")))?;
+        if self.bytes.len() - self.pos < need {
+            return Err(corrupt(format!(
+                "{what} declares {count} item(s) but only {} byte(s) remain",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl SlotRecord {
+    /// Encodes the record into the journal-frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 + 9 * 8
+                + 4
+                + 4 * self.stations.len()
+                + 4
+                + self.stages.iter().map(|(n, _)| 2 + n.len() + 8).sum::<usize>(),
+        );
+        out.extend_from_slice(&self.slot.to_le_bytes());
+        put_f64(&mut out, self.latency_s);
+        put_f64(&mut out, self.cost_usd);
+        put_f64(&mut out, self.queue);
+        put_f64(&mut out, self.price);
+        put_f64(&mut out, self.solve_time_s);
+        put_f64(&mut out, self.fairness);
+        put_f64(&mut out, self.handover_rate);
+        put_f64(&mut out, self.mean_clock_ghz);
+        put_f64(&mut out, self.rounds_used);
+        out.extend_from_slice(&(self.stations.len() as u32).to_le_bytes());
+        for &s in &self.stations {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.stages.len() as u32).to_le_bytes());
+        for (name, seconds) in &self.stages {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            put_f64(&mut out, *seconds);
+        }
+        out
+    }
+
+    /// Decodes a record, consuming `bytes` exactly. All length fields are
+    /// validated before allocation; failures are typed, never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DurabilityError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        let slot = c.u64_le("slot")?;
+        let latency_s = c.f64_le("latency_s")?;
+        let cost_usd = c.f64_le("cost_usd")?;
+        let queue = c.f64_le("queue")?;
+        let price = c.f64_le("price")?;
+        let solve_time_s = c.f64_le("solve_time_s")?;
+        let fairness = c.f64_le("fairness")?;
+        let handover_rate = c.f64_le("handover_rate")?;
+        let mean_clock_ghz = c.f64_le("mean_clock_ghz")?;
+        let rounds_used = c.f64_le("rounds_used")?;
+        let stations_len = c.u32_le("stations_len")? as usize;
+        c.check_capacity(stations_len, 4, "stations")?;
+        let mut stations = Vec::with_capacity(stations_len);
+        for _ in 0..stations_len {
+            stations.push(c.u32_le("station")?);
+        }
+        let stages_len = c.u32_le("stages_len")? as usize;
+        // A stage needs at least its name-length prefix and the seconds.
+        c.check_capacity(stages_len, 2 + 8, "stages")?;
+        let mut stages = Vec::with_capacity(stages_len);
+        for _ in 0..stages_len {
+            let name_len = c.u16_le("stage name length")? as usize;
+            let name_bytes = c.take(name_len, "stage name")?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| corrupt("stage name is not valid UTF-8"))?
+                .to_owned();
+            let seconds = c.f64_le("stage seconds")?;
+            stages.push((name, seconds));
+        }
+        if c.pos != bytes.len() {
+            return Err(corrupt(format!(
+                "{} trailing byte(s) after a complete record",
+                bytes.len() - c.pos
+            )));
+        }
+        Ok(Self {
+            slot,
+            latency_s,
+            cost_usd,
+            queue,
+            price,
+            solve_time_s,
+            fairness,
+            handover_rate,
+            mean_clock_ghz,
+            rounds_used,
+            stations,
+            stages,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SlotRecord {
+        SlotRecord {
+            slot: 41,
+            latency_s: 1.2345678901234567,
+            cost_usd: 0.1 + 0.2, // deliberately not exactly 0.3
+            queue: 7.25,
+            price: 0.055,
+            solve_time_s: 3.2e-4,
+            fairness: 0.99999999999,
+            handover_rate: 0.125,
+            mean_clock_ghz: 2.4000000000000004,
+            rounds_used: 2.0,
+            stations: vec![0, 3, 1, 1, 2],
+            stages: vec![
+                ("p2a".into(), 1e-4),
+                ("p2b".into(), 2.5e-5),
+                ("queue_update".into(), 0.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let rec = sample();
+        let back = SlotRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.cost_usd.to_bits(), rec.cost_usd.to_bits());
+    }
+
+    #[test]
+    fn round_trips_non_finite_floats() {
+        let mut rec = sample();
+        rec.latency_s = f64::NAN;
+        rec.queue = f64::INFINITY;
+        rec.fairness = -0.0;
+        let back = SlotRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(back.latency_s.to_bits(), rec.latency_s.to_bits());
+        assert_eq!(back.queue.to_bits(), rec.queue.to_bits());
+        assert_eq!(back.fairness.to_bits(), rec.fairness.to_bits());
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            match SlotRecord::decode(&bytes[..cut]) {
+                Err(DurabilityError::CorruptRecord { .. }) => {}
+                other => panic!("cut at {cut}: expected CorruptRecord, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_typed_error() {
+        let mut bytes = sample().encode();
+        bytes.push(0xAB);
+        assert!(matches!(SlotRecord::decode(&bytes), Err(DurabilityError::CorruptRecord { .. })));
+    }
+
+    #[test]
+    fn huge_declared_lengths_do_not_allocate() {
+        let mut bytes = sample().encode();
+        // Overwrite stations_len (at offset 8 + 9*8 = 80) with u32::MAX.
+        bytes[80..84].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(SlotRecord::decode(&bytes), Err(DurabilityError::CorruptRecord { .. })));
+    }
+
+    #[test]
+    fn empty_collections_round_trip() {
+        let rec = SlotRecord { stations: vec![], stages: vec![], ..sample() };
+        assert_eq!(SlotRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+}

@@ -1,0 +1,246 @@
+//! Versioned, self-describing, atomically-written snapshot files.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic        8 bytes   b"EOTSNAP\0"
+//! version      u32       format version (currently 1)
+//! schema_len   u32       length of the schema identifier
+//! schema       bytes     UTF-8 schema identifier (e.g. "eotora.run.v1")
+//! payload_len  u64       length of the payload
+//! payload_crc  u32       CRC-32 (IEEE) of the payload
+//! payload      bytes     opaque producer-defined state
+//! ```
+//!
+//! Writes are atomic: the full file is assembled in memory, written to a
+//! `.tmp` sibling, fsynced, renamed over the target, and the containing
+//! directory is fsynced — a crash at any point leaves either the old
+//! snapshot or the new one, never a torn mix. Reads validate magic,
+//! version, schema, lengths, and CRC before a single payload byte is
+//! handed back.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::crc::crc32;
+use crate::error::DurabilityError;
+
+/// Current snapshot format version. Bump on any layout change; readers
+/// reject anything newer than what they were built against.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"EOTSNAP\0";
+
+/// Writes `bytes` to `path` atomically: temp-file sibling, fsync, rename,
+/// directory fsync. Safe against crashes at any point in the sequence.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DurabilityError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp).map_err(|e| DurabilityError::io(&tmp, &e))?;
+        file.write_all(bytes).map_err(|e| DurabilityError::io(&tmp, &e))?;
+        file.sync_all().map_err(|e| DurabilityError::io(&tmp, &e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| DurabilityError::io(path, &e))?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself (the directory entry). Some platforms
+        // refuse to open a directory for writing; the rename is still
+        // ordered after the data sync there, so ignore only that failure.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Writes a snapshot of `payload` under `schema` to `path`, atomically.
+pub fn write_snapshot(path: &Path, schema: &str, payload: &[u8]) -> Result<(), DurabilityError> {
+    let mut bytes = Vec::with_capacity(8 + 4 + 4 + schema.len() + 8 + 4 + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(schema.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(schema.as_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    write_atomic(path, &bytes)
+}
+
+fn corrupt(path: &Path, reason: impl Into<String>) -> DurabilityError {
+    DurabilityError::CorruptSnapshot { path: path.display().to_string(), reason: reason.into() }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u32_le(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64_le(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+}
+
+/// Reads and validates the snapshot at `path`, returning its payload.
+/// `schema` must match the identifier the snapshot was written under.
+pub fn read_snapshot(path: &Path, schema: &str) -> Result<Vec<u8>, DurabilityError> {
+    let bytes = fs::read(path).map_err(|e| DurabilityError::io(path, &e))?;
+    let mut r = Reader { bytes: &bytes, pos: 0 };
+    let magic = r.take(MAGIC.len()).ok_or_else(|| corrupt(path, "truncated header"))?;
+    if magic != MAGIC {
+        return Err(corrupt(path, "bad magic (not an eotora snapshot)"));
+    }
+    let version = r.u32_le().ok_or_else(|| corrupt(path, "truncated header"))?;
+    if version > SNAPSHOT_VERSION {
+        return Err(DurabilityError::UnsupportedVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let schema_len = r.u32_le().ok_or_else(|| corrupt(path, "truncated header"))? as usize;
+    if schema_len > 4096 {
+        return Err(corrupt(path, format!("implausible schema length {schema_len}")));
+    }
+    let schema_bytes = r.take(schema_len).ok_or_else(|| corrupt(path, "truncated schema"))?;
+    let found = String::from_utf8_lossy(schema_bytes).into_owned();
+    if found != schema {
+        return Err(DurabilityError::SchemaMismatch { expected: schema.to_owned(), found });
+    }
+    let payload_len = r.u64_le().ok_or_else(|| corrupt(path, "truncated header"))?;
+    let expected_crc = r.u32_le().ok_or_else(|| corrupt(path, "truncated header"))?;
+    let remaining = bytes.len() - r.pos;
+    if payload_len != remaining as u64 {
+        return Err(corrupt(
+            path,
+            format!("payload length mismatch: header says {payload_len}, file holds {remaining}"),
+        ));
+    }
+    let payload = &bytes[r.pos..];
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(corrupt(
+            path,
+            format!(
+                "payload checksum mismatch: expected {expected_crc:#010x}, got {actual_crc:#010x}"
+            ),
+        ));
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_file(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("eotora-snap-{}-{tag}-{n}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_payload() {
+        let path = temp_file("roundtrip");
+        let payload = b"the quick brown fox \x00\x01\x02";
+        write_snapshot(&path, "eotora.test.v1", payload).unwrap();
+        let back = read_snapshot(&path, "eotora.test.v1").unwrap();
+        assert_eq!(back, payload);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let path = temp_file("schema");
+        write_snapshot(&path, "eotora.a.v1", b"x").unwrap();
+        match read_snapshot(&path, "eotora.b.v1") {
+            Err(DurabilityError::SchemaMismatch { expected, found }) => {
+                assert_eq!(expected, "eotora.b.v1");
+                assert_eq!(found, "eotora.a.v1");
+            }
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_newer_version() {
+        let path = temp_file("version");
+        write_snapshot(&path, "s", b"x").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match read_snapshot(&path, "s") {
+            Err(DurabilityError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, SNAPSHOT_VERSION + 1);
+                assert_eq!(supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn detects_payload_corruption() {
+        let path = temp_file("crc");
+        write_snapshot(&path, "s", b"sensitive controller state").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_snapshot(&path, "s") {
+            Err(DurabilityError::CorruptSnapshot { reason, .. }) => {
+                assert!(reason.contains("checksum"), "{reason}");
+            }
+            other => panic!("expected CorruptSnapshot, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let path = temp_file("trunc");
+        write_snapshot(&path, "s", b"0123456789").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [3, 10, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(read_snapshot(&path, "s"), Err(DurabilityError::CorruptSnapshot { .. })),
+                "cut at {cut}"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_snapshot_file() {
+        let path = temp_file("magic");
+        std::fs::write(&path, b"{\"this\": \"is json\"}").unwrap();
+        assert!(matches!(read_snapshot(&path, "s"), Err(DurabilityError::CorruptSnapshot { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn overwrite_replaces_previous_snapshot() {
+        let path = temp_file("overwrite");
+        write_snapshot(&path, "s", b"first").unwrap();
+        write_snapshot(&path, "s", b"second, longer payload").unwrap();
+        assert_eq!(read_snapshot(&path, "s").unwrap(), b"second, longer payload");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

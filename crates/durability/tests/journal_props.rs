@@ -1,0 +1,226 @@
+//! Property tests for the journal frame codec and the slot-record codec:
+//! arbitrary records round-trip bit-exactly, tail truncation always
+//! recovers the intact prefix, any corruption is a typed error (never a
+//! panic), and whatever `read_journal` returns is a bit-exact prefix of
+//! what was written.
+
+use std::fs;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use eotora_durability::{read_journal, DurabilityError, FsyncPolicy, JournalWriter, SlotRecord};
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("eotora-jprops-{}-{tag}-{n}", std::process::id()))
+}
+
+/// Deterministic payload bytes so expected frames are reproducible from
+/// the generated lengths alone.
+fn payloads_from(lens: &[usize]) -> Vec<Vec<u8>> {
+    lens.iter()
+        .enumerate()
+        .map(|(i, &n)| (0..n).map(|j| (i * 31 + j * 7 + 3) as u8).collect())
+        .collect()
+}
+
+fn write_journal(dir: &Path, payloads: &[Vec<u8>], max_segment_bytes: u64) {
+    let mut writer = JournalWriter::create(dir, FsyncPolicy::Os, max_segment_bytes).unwrap();
+    for p in payloads {
+        writer.append(p).unwrap();
+    }
+    writer.sync().unwrap();
+}
+
+/// On-disk byte offset of frame `i`'s header within a single-segment
+/// journal ([len u32][crc u32][payload] per frame).
+fn frame_offset(lens: &[usize], i: usize) -> u64 {
+    lens[..i].iter().map(|&n| 8 + n as u64).sum()
+}
+
+fn flip_byte(dir: &Path, offset: u64, mask: u8) {
+    let segment = dir.join("journal-000000.log");
+    let mut file = fs::OpenOptions::new().read(true).write(true).open(&segment).unwrap();
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(offset)).unwrap();
+    file.read_exact(&mut byte).unwrap();
+    byte[0] ^= mask;
+    file.seek(SeekFrom::Start(offset)).unwrap();
+    file.write_all(&byte).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    /// Slot records with arbitrary bit patterns (including NaNs and
+    /// infinities, which `PartialEq` cannot compare) survive
+    /// encode → decode → encode with identical bytes.
+    #[test]
+    fn slot_records_roundtrip_bit_exactly(
+        slot in 0u64..u64::MAX,
+        bits in prop::collection::vec(0u64..u64::MAX, 9..10),
+        stations in prop::collection::vec(0u32..64, 0..40),
+        stage_parts in prop::collection::vec((0u64..u64::MAX, 0u8..26, 1usize..9), 0..6),
+    ) {
+        let stages: Vec<(String, f64)> = stage_parts
+            .iter()
+            .map(|&(b, c, n)| {
+                let letter = (b'a' + c) as char;
+                (letter.to_string().repeat(n), f64::from_bits(b))
+            })
+            .collect();
+        let record = SlotRecord {
+            slot,
+            latency_s: f64::from_bits(bits[0]),
+            cost_usd: f64::from_bits(bits[1]),
+            queue: f64::from_bits(bits[2]),
+            price: f64::from_bits(bits[3]),
+            solve_time_s: f64::from_bits(bits[4]),
+            fairness: f64::from_bits(bits[5]),
+            handover_rate: f64::from_bits(bits[6]),
+            mean_clock_ghz: f64::from_bits(bits[7]),
+            rounds_used: f64::from_bits(bits[8]),
+            stations,
+            stages,
+        };
+        let encoded = record.encode();
+        let decoded = match SlotRecord::decode(&encoded) {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!("decode failed: {e}"))),
+        };
+        prop_assert_eq!(decoded.encode(), encoded);
+    }
+
+    /// Truncated slot-record payloads decode to a typed error, never a
+    /// panic or an over-allocation.
+    #[test]
+    fn truncated_slot_records_are_typed_errors(
+        stations in prop::collection::vec(0u32..64, 1..20),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let record = SlotRecord {
+            slot: 7,
+            latency_s: 0.1,
+            cost_usd: 0.2,
+            queue: 0.3,
+            price: 0.4,
+            solve_time_s: 0.5,
+            fairness: 0.6,
+            handover_rate: 0.7,
+            mean_clock_ghz: 0.8,
+            rounds_used: 2.0,
+            stations,
+            stages: vec![("p2a".to_owned(), 1.5)],
+        };
+        let encoded = record.encode();
+        let keep = ((encoded.len() as f64) * cut_frac) as usize;
+        let keep = keep.min(encoded.len() - 1);
+        match SlotRecord::decode(&encoded[..keep]) {
+            Err(DurabilityError::CorruptRecord { .. }) => {}
+            Ok(_) => prop_assert!(false, "decoded a truncated record ({keep} bytes)"),
+            Err(e) => prop_assert!(false, "wrong error kind: {e}"),
+        }
+    }
+
+    /// Journals split across arbitrary segment sizes read back every frame
+    /// in order.
+    #[test]
+    fn multi_segment_journals_read_back_in_order(
+        lens in prop::collection::vec(0usize..30, 1..16),
+        max_segment in 16u64..128,
+    ) {
+        let dir = temp_dir("segments");
+        let payloads = payloads_from(&lens);
+        write_journal(&dir, &payloads, max_segment);
+        let readback = read_journal(&dir).unwrap();
+        prop_assert_eq!(&readback.frames, &payloads);
+        prop_assert_eq!(readback.torn_frames_dropped, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Truncating anywhere inside the final frame — header or payload, as
+    /// a crash mid-append would — silently drops exactly that frame.
+    #[test]
+    fn tail_truncation_drops_exactly_the_torn_frame(
+        lens in prop::collection::vec(0usize..50, 2..10),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dir = temp_dir("tail");
+        let payloads = payloads_from(&lens);
+        write_journal(&dir, &payloads, u64::MAX);
+        let segment = dir.join("journal-000000.log");
+        let size = fs::metadata(&segment).unwrap().len();
+        let last_frame_bytes = 8 + *lens.last().unwrap() as u64;
+        // Cut 1..last_frame_bytes bytes: always tears the final frame,
+        // never reaches the one before it.
+        let cut = 1 + ((last_frame_bytes - 1) as f64 * cut_frac) as u64;
+        let cut = cut.min(last_frame_bytes - 1).max(1);
+        fs::OpenOptions::new().write(true).open(&segment).unwrap().set_len(size - cut).unwrap();
+        let readback = read_journal(&dir).unwrap();
+        prop_assert_eq!(&readback.frames, &payloads[..payloads.len() - 1]);
+        prop_assert_eq!(readback.torn_frames_dropped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A bit flip in a non-final frame's payload is a typed
+    /// `CorruptFrame` naming that frame — valid bytes follow, so it can
+    /// never be mistaken for a torn tail.
+    #[test]
+    fn mid_log_payload_flip_is_a_typed_error(
+        lens in prop::collection::vec(1usize..50, 3..10),
+        frame_frac in 0.0f64..1.0,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let dir = temp_dir("midlog");
+        let payloads = payloads_from(&lens);
+        write_journal(&dir, &payloads, u64::MAX);
+        let target = ((lens.len() - 1) as f64 * frame_frac) as usize;
+        let target = target.min(lens.len() - 2);
+        let within = ((lens[target] as f64) * byte_frac) as u64;
+        let within = within.min(lens[target] as u64 - 1);
+        flip_byte(&dir, frame_offset(&lens, target) + 8 + within, 1 << bit);
+        match read_journal(&dir) {
+            Err(DurabilityError::CorruptFrame { frame, .. }) => {
+                prop_assert_eq!(frame, target as u64);
+            }
+            Ok(_) => prop_assert!(false, "corruption in frame {target} went undetected"),
+            Err(e) => prop_assert!(false, "wrong error kind: {e}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A bit flip anywhere — header, CRC, or payload of any frame — never
+    /// panics: recovery either returns a bit-exact prefix of the written
+    /// frames (dropping at most one torn tail) or a typed corruption
+    /// error.
+    #[test]
+    fn arbitrary_bit_flip_never_panics_and_yields_a_prefix(
+        lens in prop::collection::vec(0usize..40, 1..8),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let dir = temp_dir("anyflip");
+        let payloads = payloads_from(&lens);
+        write_journal(&dir, &payloads, u64::MAX);
+        let segment = dir.join("journal-000000.log");
+        let size = fs::metadata(&segment).unwrap().len();
+        let offset = ((size as f64) * pos_frac) as u64;
+        flip_byte(&dir, offset.min(size - 1), 1 << bit);
+        match read_journal(&dir) {
+            Ok(readback) => {
+                prop_assert!(readback.torn_frames_dropped <= 1);
+                prop_assert!(readback.frames.len() <= payloads.len());
+                for (got, want) in readback.frames.iter().zip(&payloads) {
+                    prop_assert_eq!(got, want);
+                }
+            }
+            Err(DurabilityError::CorruptFrame { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -66,3 +66,17 @@ pub const COUNTER_FAULT_STATE_SUBSTITUTIONS: &str = "fault.state_substitutions";
 /// Counter name for slots whose solve hit the anytime deadline and
 /// returned the checkpointed incumbent instead of finishing.
 pub const COUNTER_DEADLINE_EXPIRATIONS: &str = "deadline.expirations";
+
+/// Counter name for snapshots written by a checkpointed run.
+pub const COUNTER_DURABILITY_SNAPSHOTS: &str = "durability.snapshots_written";
+/// Counter name for slot records appended to the write-ahead journal.
+pub const COUNTER_DURABILITY_FRAMES: &str = "durability.frames_journaled";
+/// Counter name for torn journal frames silently dropped during recovery
+/// (a crash mid-append tears at most the final frame).
+pub const COUNTER_DURABILITY_TORN: &str = "durability.torn_frames_dropped";
+/// Counter name for intact journal frames past the snapshot slot that a
+/// resume discards (their slots are re-executed deterministically).
+pub const COUNTER_DURABILITY_DISCARDED: &str = "durability.frames_discarded";
+/// Counter name for completed slots restored from the checkpoint instead
+/// of re-solved (the resume fast-forward).
+pub const COUNTER_DURABILITY_RESUMED: &str = "durability.resumed_slots";

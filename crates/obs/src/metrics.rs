@@ -99,6 +99,24 @@ impl MetricsRecorder {
     pub fn counters(&self) -> BTreeMap<String, u64> {
         self.inner.borrow().counters.clone()
     }
+
+    /// Seconds spent per stage in the most recently completed slot (the
+    /// final entry of each aligned stage series). Empty before the first
+    /// slot completes.
+    pub fn last_slot_stages(&self) -> Vec<(String, f64)> {
+        let inner = self.inner.borrow();
+        inner
+            .stage_series
+            .iter()
+            .filter_map(|(name, series)| series.last().map(|&v| (name.clone(), v)))
+            .collect()
+    }
+
+    /// BDMA rounds of the most recently completed slot (0 if BDMA never
+    /// ran that slot; `None` before the first slot completes).
+    pub fn last_slot_rounds(&self) -> Option<f64> {
+        self.inner.borrow().rounds_series.last().copied()
+    }
 }
 
 impl Recorder for MetricsRecorder {

@@ -12,6 +12,9 @@
 //!   (§VI): each returns plain data structs that the `figures` binary and
 //!   the Criterion benches render. EXPERIMENTS.md records paper-vs-measured
 //!   shapes for all of them.
+//! * [`durable`] — crash-safe runs: checkpointed controller snapshots plus
+//!   a checksummed write-ahead slot journal, with deterministic
+//!   kill–resume ([`durable::run_durable`] / [`durable::resume_durable`]).
 //! * [`report`] — minimal ASCII-table and CSV rendering for those results.
 //! * [`svg`] — dependency-free SVG line charts, so regenerated figures can
 //!   be compared visually with the paper's.
@@ -28,11 +31,13 @@
 //! assert!(result.latency.time_average() > 0.0);
 //! ```
 
+pub mod durable;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod svg;
 
+pub use durable::{resume_durable, run_durable, run_durable_robust, DurabilityConfig, DurableRun};
 pub use runner::{robust_config, run, run_many, run_robust, run_robust_traced, SimulationResult};
 pub use scenario::Scenario;

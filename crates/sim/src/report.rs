@@ -70,17 +70,28 @@ pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Counter-name prefixes exported as `ctr_*` columns by [`slot_csv`]: the
+/// event families a post-hoc reader cannot reconstruct from the series.
+const EXPORTED_COUNTER_PREFIXES: [&str; 3] = ["fault.", "deadline.", "durability."];
+
 /// Renders a run's per-slot series as CSV: the headline series plus
 /// `bdma_rounds` (alternation rounds actually executed, which the warm
-/// ε-termination can cut below the configured `z`) and one `stage_<name>_s`
+/// ε-termination can cut below the configured `z`), one `stage_<name>_s`
 /// column per instrumented solver stage (seconds spent in `p2a`, `p2b`,
-/// `queue_update`, ... each slot).
+/// `queue_update`, ... each slot), and one constant `ctr_<name>` column
+/// per end-of-run `fault.*` / `deadline.*` / `durability.*` counter.
 pub fn slot_csv(result: &SimulationResult) -> String {
+    let counters: Vec<(&String, &u64)> = result
+        .counters
+        .iter()
+        .filter(|(name, _)| EXPORTED_COUNTER_PREFIXES.iter().any(|p| name.starts_with(p)))
+        .collect();
     let mut header: Vec<String> =
         ["slot", "latency_s", "cost_usd", "queue", "price", "solve_time_s", "bdma_rounds"]
             .map(String::from)
             .to_vec();
     header.extend(result.per_stage_solve_time.keys().map(|name| format!("stage_{name}_s")));
+    header.extend(counters.iter().map(|(name, _)| format!("ctr_{name}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let rows: Vec<Vec<String>> = (0..result.latency.len())
         .map(|t| {
@@ -94,6 +105,7 @@ pub fn slot_csv(result: &SimulationResult) -> String {
                 result.rounds_used.values()[t].to_string(),
             ];
             row.extend(result.per_stage_solve_time.values().map(|s| s.values()[t].to_string()));
+            row.extend(counters.iter().map(|(_, value)| value.to_string()));
             row
         })
         .collect();
@@ -160,6 +172,37 @@ mod tests {
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), header.len());
         }
+    }
+
+    #[test]
+    fn slot_csv_exports_event_counters() {
+        use crate::runner::{robust_config, run_robust};
+        use crate::scenario::Scenario;
+        let s = Scenario::paper(6, 12).with_horizon(4).with_bdma_rounds(1);
+        let faults = eotora_core::fault::FaultSchedule {
+            events: vec![eotora_core::fault::FaultEvent {
+                slot: 1,
+                action: eotora_core::fault::FaultAction::CorruptState { slots: 2 },
+            }],
+        };
+        let r = run_robust(&s, &faults, &robust_config(&s, None));
+        let subs = r.counters["fault.state_substitutions"];
+        assert!(subs > 0);
+        let text = slot_csv(&r);
+        let lines: Vec<&str> = text.lines().collect();
+        let header: Vec<&str> = lines[0].split(',').collect();
+        let col = header
+            .iter()
+            .position(|&c| c == "ctr_fault.state_substitutions")
+            .expect("missing counter column");
+        // Constant end-of-run value on every row, and no plain counters
+        // (slots, bdma_rounds) exported as columns.
+        for line in &lines[1..] {
+            let cells: Vec<&str> = line.split(',').collect();
+            assert_eq!(cells.len(), header.len());
+            assert_eq!(cells[col], subs.to_string());
+        }
+        assert!(!header.contains(&"ctr_slots"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`run_traced`] additionally tees the event stream into any external
 //! [`Recorder`] (e.g. a JSONL sink for `eotora run --trace`).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use eotora_core::dpp::{EotoraDpp, SolverKind};
 use eotora_core::fault::FaultSchedule;
@@ -14,12 +14,14 @@ use eotora_core::latency::latency_under;
 use eotora_core::robust::RobustConfig;
 use eotora_core::sanitize::StateSanitizer;
 use eotora_core::system::MecSystem;
+use eotora_durability::{DurabilityError, SlotRecord};
 use eotora_obs::{MetricsRecorder, Recorder, SpanGuard, TeeRecorder, TraceEvent};
 use eotora_states::{StateProvider, SystemState};
 use eotora_util::rng::Pcg32;
 use eotora_util::series::TimeSeries;
 use serde::{Deserialize, Serialize};
 
+use crate::durable::{DurableSession, ResumeState, RunSnapshot};
 use crate::scenario::Scenario;
 
 /// Per-slot series plus end-of-run aggregates for one scenario.
@@ -127,8 +129,62 @@ fn run_impl(
     observe: &mut dyn FnMut(u64, &eotora_topology::Topology) -> SystemState,
     sink: Option<&dyn Recorder>,
 ) -> SimulationResult {
+    match run_engine(scenario, system, observe, sink, EngineMode::Plain, None) {
+        Ok(EngineOutcome::Completed(result)) => *result,
+        // Without a durable session the engine performs no I/O and has no
+        // kill hook, so it can neither fail nor interrupt.
+        Ok(EngineOutcome::Interrupted { .. }) | Err(_) => {
+            unreachable!("non-durable run cannot fail or interrupt")
+        }
+    }
+}
+
+/// Which per-slot pipeline the engine drives.
+pub(crate) enum EngineMode<'a> {
+    /// The plain DPP step ([`run`]).
+    Plain,
+    /// The fault-tolerant step ([`run_robust`]): corruption injection,
+    /// sanitization, availability masking, anytime deadline.
+    Robust {
+        /// Scripted fault trace.
+        faults: &'a FaultSchedule,
+        /// Robust-solve configuration (deadline, rounds, λ).
+        robust: &'a RobustConfig,
+    },
+}
+
+/// How an engine run ended.
+pub(crate) enum EngineOutcome {
+    /// Reached the horizon.
+    Completed(Box<SimulationResult>),
+    /// A durable session's kill hook fired after `slot` completed.
+    Interrupted {
+        /// Last completed slot.
+        slot: u64,
+    },
+}
+
+/// The one simulation loop behind every entry point: plain and robust
+/// pipelines, optional trace sink, optional durability.
+///
+/// With a [`DurableSession`], each completed slot appends a [`SlotRecord`]
+/// to the write-ahead journal and snapshots the full controller state on
+/// the session's cadence (journal synced first — see
+/// [`crate::durable`]). If the session carries resume state, the first
+/// `snapshot.slots` slots are *replayed* from the journal head instead of
+/// re-solved: the controller, sanitizer, and corruption RNG restore from
+/// the snapshot, the state provider fast-forwards by re-observing the
+/// completed slots, and the loop continues where the interrupted run
+/// stopped — producing bit-identical decisions and series.
+pub(crate) fn run_engine(
+    scenario: &Scenario,
+    system: MecSystem,
+    observe: &mut dyn FnMut(u64, &eotora_topology::Topology) -> SystemState,
+    sink: Option<&dyn Recorder>,
+    mode: EngineMode<'_>,
+    mut durable: Option<&mut DurableSession>,
+) -> Result<EngineOutcome, DurabilityError> {
     let budget = system.budget_per_slot();
-    let mut dpp = EotoraDpp::new(system, scenario.dpp);
 
     let metrics = MetricsRecorder::new();
     let tee;
@@ -140,6 +196,51 @@ fn run_impl(
         None => &metrics,
     };
 
+    // Resume bootstrap: restore controller + sanitizer + corruption RNG
+    // from the snapshot and replay the journal head into the series.
+    let resume = match durable.as_deref_mut() {
+        Some(session) => session.take_resume(),
+        None => None,
+    };
+    let mut dpp = match resume.as_ref().and_then(|state| state.snapshot.as_ref()) {
+        Some(snapshot) => EotoraDpp::resume_full(system, &snapshot.controller),
+        None => EotoraDpp::new(system, scenario.dpp),
+    };
+    let mut sanitizer = StateSanitizer::new();
+    let mut corrupt_rng = Pcg32::seed_stream(scenario.seed, 0xFA117);
+    let mut start_slot = 0u64;
+    let mut base_counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut head: Vec<SlotRecord> = Vec::new();
+    if let Some(state) = resume {
+        let ResumeState { snapshot, head: records, torn_frames_dropped, frames_discarded } = state;
+        if let Some(RunSnapshot {
+            slots,
+            sanitizer: sanitizer_snap,
+            corrupt_rng: rng,
+            counters,
+            ..
+        }) = snapshot
+        {
+            sanitizer = StateSanitizer::restore(&sanitizer_snap);
+            corrupt_rng = rng;
+            start_slot = slots;
+            base_counters = counters;
+            head = records;
+            recorder.add(eotora_obs::COUNTER_DURABILITY_RESUMED, start_slot);
+        }
+        if torn_frames_dropped > 0 {
+            recorder.add(eotora_obs::COUNTER_DURABILITY_TORN, torn_frames_dropped);
+        }
+        if frames_discarded > 0 {
+            recorder.add(eotora_obs::COUNTER_DURABILITY_DISCARDED, frames_discarded);
+        }
+        // Fast-forward the state source past the replayed slots so slot
+        // `start_slot` observes exactly what the uninterrupted run would.
+        for slot in 0..start_slot {
+            let _ = observe(slot, dpp.system().topology());
+        }
+    }
+
     let mut latency = TimeSeries::new("latency_s");
     let mut cost = TimeSeries::new("cost_usd");
     let mut queue = TimeSeries::new("queue_backlog");
@@ -148,13 +249,47 @@ fn run_impl(
     let mut fairness = TimeSeries::new("jains_index");
     let mut handover_rate = TimeSeries::new("handover_rate");
     let mut mean_clock_ghz = TimeSeries::new("mean_clock_ghz");
-    let mut previous_stations: Option<Vec<usize>> = None;
+    for rec in &head {
+        latency.push(rec.latency_s);
+        cost.push(rec.cost_usd);
+        queue.push(rec.queue);
+        price.push(rec.price);
+        solve_time.push(rec.solve_time_s);
+        fairness.push(rec.fairness);
+        handover_rate.push(rec.handover_rate);
+        mean_clock_ghz.push(rec.mean_clock_ghz);
+    }
+    let mut previous_stations: Option<Vec<usize>> =
+        head.last().map(|rec| rec.stations.iter().map(|&s| s as usize).collect());
 
-    for slot in 0..scenario.horizon {
-        let beta = observe(slot, dpp.system().topology());
-        let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
-        let step = dpp.step_with(&beta, recorder);
-        let slot_nanos = slot_span.finish().unwrap_or(0);
+    for slot in start_slot..scenario.horizon {
+        let beta;
+        let step;
+        let slot_nanos;
+        match &mode {
+            EngineMode::Plain => {
+                beta = observe(slot, dpp.system().topology());
+                let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
+                step = dpp.step_with(&beta, recorder);
+                slot_nanos = slot_span.finish().unwrap_or(0);
+            }
+            EngineMode::Robust { faults, robust } => {
+                let mut observed = observe(slot, dpp.system().topology());
+                if faults.corrupt_at(slot) {
+                    corrupt_state(&mut observed, &mut corrupt_rng);
+                }
+                let (clean, substitutions) = sanitizer.sanitize(&observed);
+                if substitutions > 0 {
+                    recorder.add(eotora_obs::COUNTER_FAULT_STATE_SUBSTITUTIONS, substitutions);
+                }
+                beta = clean;
+                let mask = faults.mask_at(slot);
+                let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
+                let (robust_step, _report) = dpp.step_robust(&beta, &mask, robust, recorder);
+                step = robust_step;
+                slot_nanos = slot_span.finish().unwrap_or(0);
+            }
+        }
         solve_time.push(slot_nanos as f64 / 1e9);
         recorder.add(eotora_obs::COUNTER_SLOTS, 1);
         recorder.record(&TraceEvent::Slot {
@@ -170,40 +305,143 @@ fn run_impl(
         queue.push(step.queue_after);
         price.push(beta.price_per_kwh);
         let breakdown = latency_under(dpp.system(), &beta, &step.outcome.decision);
-        fairness.push(eotora_util::stats::jains_index(&breakdown.per_device).unwrap_or(1.0));
+        let fair = eotora_util::stats::jains_index(&breakdown.per_device).unwrap_or(1.0);
+        fairness.push(fair);
         let stations: Vec<usize> =
             step.outcome.decision.assignments.iter().map(|a| a.base_station.index()).collect();
-        handover_rate.push(match &previous_stations {
+        let handover = match &previous_stations {
             Some(prev) => {
                 prev.iter().zip(&stations).filter(|(a, b)| a != b).count() as f64
                     / stations.len() as f64
             }
             None => 0.0,
-        });
-        previous_stations = Some(stations);
+        };
+        handover_rate.push(handover);
         let freqs = &step.outcome.decision.frequencies_hz;
-        mean_clock_ghz.push(freqs.iter().sum::<f64>() / freqs.len() as f64 / 1e9);
+        let clock = freqs.iter().sum::<f64>() / freqs.len() as f64 / 1e9;
+        mean_clock_ghz.push(clock);
+
+        if let Some(session) = durable.as_deref_mut() {
+            // The Slot event above closed the slot in the metrics recorder,
+            // so the last-slot stage and rounds readouts are this slot's.
+            let record = SlotRecord {
+                slot,
+                latency_s: step.outcome.objective,
+                cost_usd: step.outcome.constraint_excess + budget,
+                queue: step.queue_after,
+                price: beta.price_per_kwh,
+                solve_time_s: slot_nanos as f64 / 1e9,
+                fairness: fair,
+                handover_rate: handover,
+                mean_clock_ghz: clock,
+                rounds_used: metrics.last_slot_rounds().unwrap_or(0.0),
+                stations: stations.iter().map(|&s| s as u32).collect(),
+                stages: metrics
+                    .last_slot_stages()
+                    .into_iter()
+                    .filter(|(name, _)| name != eotora_obs::SPAN_SLOT_SOLVE)
+                    .collect(),
+            };
+            session.journal_slot(&record)?;
+            recorder.add(eotora_obs::COUNTER_DURABILITY_FRAMES, 1);
+            let completed = slot + 1;
+            if session.checkpoint_due(completed, scenario.horizon) {
+                // Count the snapshot *before* capturing counters so resumed
+                // totals match the uninterrupted run's.
+                recorder.add(eotora_obs::COUNTER_DURABILITY_SNAPSHOTS, 1);
+                let mut counters = base_counters.clone();
+                for (name, value) in metrics.counters() {
+                    *counters.entry(name).or_insert(0) += value;
+                }
+                let snapshot = RunSnapshot {
+                    slots: completed,
+                    controller: dpp.checkpoint_full(),
+                    sanitizer: sanitizer.snapshot(),
+                    corrupt_rng: corrupt_rng.clone(),
+                    counters,
+                };
+                session.write_snapshot(&snapshot)?;
+            }
+            if session.should_kill(slot) {
+                return Ok(EngineOutcome::Interrupted { slot });
+            }
+        }
+        previous_stations = Some(stations);
     }
 
-    let per_stage_solve_time = metrics
+    // Stitch per-stage series: replayed head first, then the live run.
+    // Stages absent on one side zero-pad, keeping every series aligned
+    // (one entry per slot).
+    let live_stages: BTreeMap<String, Vec<f64>> = metrics
         .stage_series()
         .into_iter()
         .filter(|(name, _)| name != eotora_obs::SPAN_SLOT_SOLVE)
-        .map(|(name, seconds)| {
+        .collect();
+    let live_len = metrics.slots() as usize;
+    let mut stage_names: BTreeSet<String> = live_stages.keys().cloned().collect();
+    for rec in &head {
+        for (name, _) in &rec.stages {
+            stage_names.insert(name.clone());
+        }
+    }
+    let per_stage_solve_time = stage_names
+        .into_iter()
+        .map(|name| {
             let mut series = TimeSeries::new(&name);
-            for s in seconds {
-                series.push(s);
+            for rec in &head {
+                series.push(rec.stages.iter().find(|(n, _)| n == &name).map_or(0.0, |&(_, v)| v));
+            }
+            match live_stages.get(&name) {
+                Some(values) => {
+                    for &v in values {
+                        series.push(v);
+                    }
+                }
+                None => {
+                    for _ in 0..live_len {
+                        series.push(0.0);
+                    }
+                }
             }
             (name, series)
         })
         .collect();
 
     let mut rounds_used = TimeSeries::new("bdma_rounds");
+    for rec in &head {
+        rounds_used.push(rec.rounds_used);
+    }
     for r in metrics.bdma_rounds_series() {
         rounds_used.push(r);
     }
+    let mean_bdma_rounds = if head.is_empty() {
+        metrics.mean_bdma_rounds().unwrap_or(0.0)
+    } else {
+        // Recompute over the stitched series with the histogram's exact
+        // integer arithmetic (u128 sum of integral round counts over
+        // BDMA-active slots), so a resumed run's mean matches the
+        // uninterrupted run bit-for-bit.
+        let mut sum: u128 = 0;
+        let mut count: u64 = 0;
+        for &r in rounds_used.values() {
+            if r > 0.0 {
+                sum += r as u128;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            sum as f64 / count as f64
+        } else {
+            0.0
+        }
+    };
 
-    SimulationResult {
+    let mut counters = base_counters;
+    for (name, value) in metrics.counters() {
+        *counters.entry(name).or_insert(0) += value;
+    }
+
+    Ok(EngineOutcome::Completed(Box::new(SimulationResult {
         label: scenario.label.clone(),
         average_latency: dpp.average_latency(),
         average_cost: dpp.average_cost(),
@@ -217,10 +455,10 @@ fn run_impl(
         mean_clock_ghz,
         per_stage_solve_time,
         rounds_used,
-        mean_bdma_rounds: metrics.mean_bdma_rounds().unwrap_or(0.0),
-        counters: metrics.counters(),
+        mean_bdma_rounds,
+        counters,
         budget,
-    }
+    })))
 }
 
 /// The robust-solve configuration a scenario implies: the scenario's BDMA
@@ -287,109 +525,18 @@ fn run_robust_impl(
 ) -> SimulationResult {
     let system = MecSystem::random(&scenario.system, scenario.seed);
     let mut states = StateProvider::paper(system.topology(), &scenario.states, scenario.seed);
-    let budget = system.budget_per_slot();
-    let mut dpp = EotoraDpp::new(system, scenario.dpp);
-    let mut sanitizer = StateSanitizer::new();
-    let mut corrupt_rng = Pcg32::seed_stream(scenario.seed, 0xFA117);
-
-    let metrics = MetricsRecorder::new();
-    let tee;
-    let recorder: &dyn Recorder = match sink {
-        Some(sink) => {
-            tee = TeeRecorder::new(&metrics, sink);
-            &tee
+    match run_engine(
+        scenario,
+        system,
+        &mut |slot, topo| states.observe(slot, topo),
+        sink,
+        EngineMode::Robust { faults, robust },
+        None,
+    ) {
+        Ok(EngineOutcome::Completed(result)) => *result,
+        Ok(EngineOutcome::Interrupted { .. }) | Err(_) => {
+            unreachable!("non-durable run cannot fail or interrupt")
         }
-        None => &metrics,
-    };
-
-    let mut latency = TimeSeries::new("latency_s");
-    let mut cost = TimeSeries::new("cost_usd");
-    let mut queue = TimeSeries::new("queue_backlog");
-    let mut price = TimeSeries::new("price_usd_per_kwh");
-    let mut solve_time = TimeSeries::new("solve_time_s");
-    let mut fairness = TimeSeries::new("jains_index");
-    let mut handover_rate = TimeSeries::new("handover_rate");
-    let mut mean_clock_ghz = TimeSeries::new("mean_clock_ghz");
-    let mut previous_stations: Option<Vec<usize>> = None;
-
-    for slot in 0..scenario.horizon {
-        let mut observed = states.observe(slot, dpp.system().topology());
-        if faults.corrupt_at(slot) {
-            corrupt_state(&mut observed, &mut corrupt_rng);
-        }
-        let (beta, substitutions) = sanitizer.sanitize(&observed);
-        if substitutions > 0 {
-            recorder.add(eotora_obs::COUNTER_FAULT_STATE_SUBSTITUTIONS, substitutions);
-        }
-        let mask = faults.mask_at(slot);
-        let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
-        let (step, _report) = dpp.step_robust(&beta, &mask, robust, recorder);
-        let slot_nanos = slot_span.finish().unwrap_or(0);
-        solve_time.push(slot_nanos as f64 / 1e9);
-        recorder.add(eotora_obs::COUNTER_SLOTS, 1);
-        recorder.record(&TraceEvent::Slot {
-            slot,
-            objective: scenario.dpp.v * step.outcome.objective
-                + step.queue_before * step.outcome.constraint_excess,
-            latency: step.outcome.objective,
-            cost: step.outcome.constraint_excess + budget,
-            queue: step.queue_after,
-        });
-        latency.push(step.outcome.objective);
-        cost.push(step.outcome.constraint_excess + budget);
-        queue.push(step.queue_after);
-        price.push(beta.price_per_kwh);
-        let breakdown = latency_under(dpp.system(), &beta, &step.outcome.decision);
-        fairness.push(eotora_util::stats::jains_index(&breakdown.per_device).unwrap_or(1.0));
-        let stations: Vec<usize> =
-            step.outcome.decision.assignments.iter().map(|a| a.base_station.index()).collect();
-        handover_rate.push(match &previous_stations {
-            Some(prev) => {
-                prev.iter().zip(&stations).filter(|(a, b)| a != b).count() as f64
-                    / stations.len() as f64
-            }
-            None => 0.0,
-        });
-        previous_stations = Some(stations);
-        let freqs = &step.outcome.decision.frequencies_hz;
-        mean_clock_ghz.push(freqs.iter().sum::<f64>() / freqs.len() as f64 / 1e9);
-    }
-
-    let per_stage_solve_time = metrics
-        .stage_series()
-        .into_iter()
-        .filter(|(name, _)| name != eotora_obs::SPAN_SLOT_SOLVE)
-        .map(|(name, seconds)| {
-            let mut series = TimeSeries::new(&name);
-            for s in seconds {
-                series.push(s);
-            }
-            (name, series)
-        })
-        .collect();
-
-    let mut rounds_used = TimeSeries::new("bdma_rounds");
-    for r in metrics.bdma_rounds_series() {
-        rounds_used.push(r);
-    }
-
-    SimulationResult {
-        label: scenario.label.clone(),
-        average_latency: dpp.average_latency(),
-        average_cost: dpp.average_cost(),
-        latency,
-        cost,
-        queue,
-        price,
-        solve_time,
-        fairness,
-        handover_rate,
-        mean_clock_ghz,
-        per_stage_solve_time,
-        rounds_used,
-        mean_bdma_rounds: metrics.mean_bdma_rounds().unwrap_or(0.0),
-        counters: metrics.counters(),
-        budget,
     }
 }
 
