@@ -51,6 +51,20 @@ awk '
   END { if (!found) { print "FAIL: no 30-device journal row in quick bench output"; exit 1 } }
 ' target/BENCH_slot_solve.quick.json
 
+echo "==> live telemetry overhead guard (obs hot path <= 2% of engine p50 at 30 devices)"
+awk '
+  /"devices":/ { dev = $2; gsub(/[^0-9]/, "", dev) }
+  /"live_overhead_pct":/ && dev == 30 {
+    val = $2; gsub(/[^0-9.]/, "", val); found = 1
+    if (val + 0 > 2.0) {
+      printf "FAIL: live telemetry overhead %.2f%% > 2%% of engine p50 at 30 devices\n", val
+      exit 1
+    }
+    printf "OK: live telemetry overhead %.2f%% of engine p50 at 30 devices\n", val
+  }
+  END { if (!found) { print "FAIL: no 30-device live row in quick bench output"; exit 1 } }
+' target/BENCH_slot_solve.quick.json
+
 echo "==> chaos smoke (seeded fault trace through the robust engine)"
 # Short scripted trace: a server crash, a fronthaul flap, and a corrupt-state
 # burst over 40 slots. Gate: the run completes (zero panics), every fault
@@ -85,13 +99,61 @@ assert max(r["queue"]["values"]) < 50.0, "virtual queue wound up"
 print("OK: chaos smoke — 40 slots, masking + sanitization fired, queue bounded")
 EOF
 
+echo "==> telemetry smoke (metrics snapshots, exposition, health, forced postmortem)"
+# A 100-slot run snapshotting its live registry every 10 slots, the same run
+# exported as a Prometheus exposition, `eotora health` on both, and a
+# sanitizer-off corrupt-state run that must escalate the robust ladder and
+# dump a valid flight-recorder postmortem.
+TEL_DIR="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_DIR" "$TEL_DIR"' EXIT
+./target/release/eotora template --devices 8 --seed 31 \
+  | sed 's/"horizon": [0-9]*/"horizon": 100/' > "$TEL_DIR/scenario.json"
+./target/release/eotora run "$TEL_DIR/scenario.json" \
+  --metrics-out "$TEL_DIR/metrics.jsonl" --metrics-every 10 > "$TEL_DIR/clean.txt"
+grep -q "^health: ok" "$TEL_DIR/clean.txt"
+./target/release/eotora run "$TEL_DIR/scenario.json" \
+  --metrics-out "$TEL_DIR/metrics.prom" > /dev/null
+./target/release/eotora health "$TEL_DIR/metrics.jsonl" | grep -q "overall ok"
+./target/release/eotora health "$TEL_DIR/metrics.prom" | grep -q "overall ok"
+python3 - "$TEL_DIR/metrics.jsonl" "$TEL_DIR/metrics.prom" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert len(lines) == 11, f"expected 11 snapshots (10 periodic + final), got {len(lines)}"
+assert lines[-1]["counters"]["slots"] == 100, "final snapshot missed slots"
+assert all("deltas" in l for l in lines), "snapshot lines are missing deltas"
+prom = open(sys.argv[2]).read().splitlines()
+samples = [l for l in prom if l and not l.startswith("#")]
+assert all(len(l.rsplit(" ", 1)) == 2 for l in samples), "malformed exposition sample"
+assert any(l.startswith("eotora_slots_total 100") for l in samples), "slots counter missing"
+assert any("_bucket{le=" in l for l in samples), "no histogram buckets in exposition"
+print("OK: metrics snapshots + exposition well-formed")
+EOF
+cat > "$TEL_DIR/faults.json" <<'EOF'
+{"events": [{"slot": 5, "action": {"CorruptState": {"slots": 25}}}]}
+EOF
+./target/release/eotora run "$TEL_DIR/scenario.json" \
+  --fault-trace "$TEL_DIR/faults.json" --no-sanitize \
+  --metrics-out "$TEL_DIR/faulted.jsonl" --metrics-every 10 > "$TEL_DIR/faulted.txt"
+grep -q "postmortems" "$TEL_DIR/faulted.txt"
+./target/release/eotora health "$TEL_DIR/faulted.jsonl" | grep -q "worst critical"
+python3 - "$TEL_DIR" <<'EOF'
+import glob, json, sys
+dumps = glob.glob(sys.argv[1] + "/flight-slot*.jsonl")
+assert dumps, "no flight-recorder postmortems dumped"
+for path in dumps:
+    for line in open(path):
+        rec = json.loads(line)
+        assert {"seq", "t_ns", "type"} <= rec.keys(), f"bad postmortem line in {path}"
+print(f"OK: forced escalation dumped {len(dumps)} valid postmortem(s)")
+EOF
+
 echo "==> durability smoke (kill at slot 57, resume, bit-for-bit CSV diff)"
 # A 100-slot run checkpointed every 10 slots is killed mid-flight at slot 57
 # and resumed from its checkpoint directory. Gate: the resumed run's per-slot
 # CSV matches the uninterrupted reference exactly once wall-clock columns
 # (solve_time_s, stage_*_s) and the durability.* counter columns are dropped.
 DUR_DIR="$(mktemp -d)"
-trap 'rm -rf "$CHAOS_DIR" "$DUR_DIR"' EXIT
+trap 'rm -rf "$CHAOS_DIR" "$TEL_DIR" "$DUR_DIR"' EXIT
 ./target/release/eotora template --devices 8 --seed 23 \
   | sed 's/"horizon": [0-9]*/"horizon": 100/' > "$DUR_DIR/scenario.json"
 ./target/release/eotora run "$DUR_DIR/scenario.json" --csv "$DUR_DIR/ref" > /dev/null

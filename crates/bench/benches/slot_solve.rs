@@ -25,6 +25,13 @@
 //! end-to-end p50s would drown the microsecond-scale append in
 //! millisecond-scale scheduler noise.) ci.sh's quick-mode gate fails if
 //! the overhead exceeds 5% at the 30-device scale.
+//! A fifth **live** arm repeats the engine path with a full in-memory
+//! [`TelemetrySession`] attached (sharded live registry, flight-recorder
+//! ring, health monitor) — which must not perturb the decision sequence —
+//! and times one slot's worth of hot-path telemetry traffic on its own
+//! each slot: `live_overhead_pct` is the p50 of that emission batch
+//! relative to the p50 engine solve. ci.sh's quick-mode gate fails if it
+//! exceeds 2% at the 30-device scale.
 //!
 //! p50/p95 per-slot solve times and the speedups land in
 //! `BENCH_slot_solve.json` at the repo root (or
@@ -42,6 +49,7 @@ use eotora_core::system::{MecSystem, SystemConfig};
 use eotora_core::workspace::SlotWorkspace;
 use eotora_durability::{FsyncPolicy, JournalWriter, SlotRecord};
 use eotora_game::CgbaConfig;
+use eotora_obs::{Recorder, TelemetrySession, TraceEvent};
 use eotora_states::{PaperStateConfig, StateProvider, SystemState};
 use eotora_util::rng::Pcg32;
 
@@ -67,6 +75,8 @@ struct ScaleResult {
     warm_speedup: f64,
     journal_p50_s: f64,
     journal_overhead_pct: f64,
+    live_p50_s: f64,
+    live_overhead_pct: f64,
 }
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -232,10 +242,85 @@ fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
         "journaling must not perturb the decision sequence at I={devices}"
     );
 
+    // Live-telemetry arm: the engine path with a full in-memory
+    // [`TelemetrySession`] as its recorder — sharded registry, flight
+    // ring, and health monitor all active — plus a timed-alone region
+    // replaying exactly one slot's worth of hot-path telemetry traffic
+    // (the spans, counters, and typed events the engine and runner emit
+    // per slot at z = 2) into the same session. Timing the batch in
+    // isolation sidesteps the same scheduler-noise problem as the
+    // journal arm; running the solve against the live session keeps the
+    // registry contents realistic and proves telemetry never perturbs
+    // the decisions.
+    let budget = system.budget_per_slot();
+    let live = TelemetrySession::in_memory(V, budget);
+    let mut live_workspace = SlotWorkspace::new();
+    let mut live_solver = CgbaSolver::default();
+    let mut live_work: Vec<f64> = Vec::new();
+    let (live_lat, _, _) = run_loop(&system, &states, |sys, state, queue, slot, rng| {
+        let sol = solve_p2_in(
+            sys,
+            state,
+            V,
+            queue,
+            &bdma,
+            &mut live_solver,
+            rng,
+            slot,
+            &live,
+            &mut live_workspace,
+        );
+        let excess = sol.energy_cost - budget;
+        let obs_start = Instant::now();
+        for round in 1..=BDMA_ROUNDS as u64 {
+            live.span_ns(eotora_obs::SPAN_P2A, 120_000);
+            live.add(eotora_obs::COUNTER_CGBA_ITERATIONS, 6);
+            live.add(eotora_obs::COUNTER_CGBA_PROBES, 40 * devices as u64);
+            live.add(eotora_obs::COUNTER_CGBA_CONVERGED, 1);
+            live.span_ns(eotora_obs::SPAN_P2B, 80_000);
+            live.record(&TraceEvent::BdmaIteration {
+                slot,
+                round,
+                objective: sol.latency,
+                accepted: round == 1,
+                p2a_nanos: 120_000,
+                p2b_nanos: 80_000,
+            });
+            live.add(eotora_obs::COUNTER_BDMA_ROUNDS, 1);
+            if round == 1 {
+                live.add(eotora_obs::COUNTER_BDMA_ACCEPTED, 1);
+            }
+        }
+        live.add(eotora_obs::COUNTER_BDMA_ROUNDS_SAVED, 0);
+        live.span_ns(eotora_obs::SPAN_QUEUE_UPDATE, 900);
+        live.record(&TraceEvent::QueueUpdate {
+            slot,
+            before: queue,
+            after: (queue + excess).max(0.0),
+            excess,
+        });
+        live.span_ns(eotora_obs::SPAN_SLOT_SOLVE, 250_000);
+        live.add(eotora_obs::COUNTER_SLOTS, 1);
+        live.record(&TraceEvent::Slot {
+            slot,
+            objective: V * sol.latency + queue * excess,
+            latency: sol.latency,
+            cost: sol.energy_cost,
+            queue: (queue + excess).max(0.0),
+        });
+        live_work.push(obs_start.elapsed().as_secs_f64());
+        sol
+    });
+    assert_eq!(
+        live_lat, engine_lat,
+        "live telemetry must not perturb the decision sequence at I={devices}"
+    );
+
     engine_times.sort_by(f64::total_cmp);
     ref_times.sort_by(f64::total_cmp);
     warm_times.sort_by(f64::total_cmp);
     journal_work.sort_by(f64::total_cmp);
+    live_work.sort_by(f64::total_cmp);
     let engine_p50_s = quantile(&engine_times, 0.50);
     let engine_p95_s = quantile(&engine_times, 0.95);
     let reference_p50_s = quantile(&ref_times, 0.50);
@@ -243,6 +328,7 @@ fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
     let warm_p50_s = quantile(&warm_times, 0.50);
     let warm_p95_s = quantile(&warm_times, 0.95);
     let journal_p50_s = quantile(&journal_work, 0.50);
+    let live_p50_s = quantile(&live_work, 0.50);
     ScaleResult {
         devices,
         horizon,
@@ -258,6 +344,8 @@ fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
         warm_speedup: engine_p50_s / warm_p50_s.max(1e-12),
         journal_p50_s,
         journal_overhead_pct: journal_p50_s / engine_p50_s.max(1e-12) * 100.0,
+        live_p50_s,
+        live_overhead_pct: live_p50_s / engine_p50_s.max(1e-12) * 100.0,
     }
 }
 
@@ -294,6 +382,11 @@ fn main() {
             r.journal_p50_s * 1e3,
             r.journal_overhead_pct,
         );
+        eprintln!(
+            "  live telemetry p50 {:.4} ms | overhead {:.2}% of engine p50",
+            r.live_p50_s * 1e3,
+            r.live_overhead_pct,
+        );
         results.push(r);
     }
 
@@ -318,7 +411,9 @@ fn main() {
                     "      \"rounds_used_mean\": {:.3},\n",
                     "      \"warm_speedup\": {:.3},\n",
                     "      \"journal_p50_s\": {:e},\n",
-                    "      \"journal_overhead_pct\": {:.3}\n",
+                    "      \"journal_overhead_pct\": {:.3},\n",
+                    "      \"live_p50_s\": {:e},\n",
+                    "      \"live_overhead_pct\": {:.3}\n",
                     "    }}"
                 ),
                 r.devices,
@@ -337,6 +432,8 @@ fn main() {
                 r.warm_speedup,
                 r.journal_p50_s,
                 r.journal_overhead_pct,
+                r.live_p50_s,
+                r.live_overhead_pct,
             )
         })
         .collect();

@@ -14,6 +14,7 @@
 //! (`--trace`) that `eotora trace` turns into per-span latency quantiles, a
 //! BDMA iteration histogram, and a queue-drift plot.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use eotora_cli::{
@@ -21,8 +22,12 @@ use eotora_cli::{
     require_flag_values,
 };
 use eotora_core::system::MecSystem;
+use eotora_obs::{
+    HealthMonitor, HealthSample, HealthSummary, Recorder, TelemetryConfig, TelemetrySession,
+};
 use eotora_sim::durable::{
-    resume_durable, run_durable, run_durable_robust, DurabilityConfig, DurableRun,
+    resume_durable_traced, run_durable_robust_traced, run_durable_traced, DurabilityConfig,
+    DurableRun,
 };
 use eotora_sim::report::{ascii_table, num, slot_csv};
 use eotora_sim::runner::{
@@ -36,6 +41,7 @@ fn main() -> ExitCode {
         Some("template") => cmd_template(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("health") => cmd_health(&args[1..]),
         Some("topology") => cmd_topology(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -61,10 +67,13 @@ USAGE:
   eotora template [--devices N] [--seed S]
   eotora run <scenario.json> [--out results.json] [--csv prefix] [--svg prefix]
              [--trace trace.jsonl] [--jobs N] [--cold-start] [--bdma-eps X]
-             [--fault-trace faults.json] [--slot-deadline-ms MS]
+             [--fault-trace faults.json] [--slot-deadline-ms MS] [--no-sanitize]
+             [--metrics-out m.jsonl|m.prom] [--metrics-every K]
              [--checkpoint-dir D] [--checkpoint-every K] [--fsync every-slot|every-K|os]
   eotora run --resume <checkpoint-dir> [--out ...] [--csv ...] [--svg ...]
+             [--metrics-out ...] [--metrics-every K]
   eotora trace <trace.jsonl>                # span quantiles, BDMA rounds, queue drift
+  eotora health <metrics.jsonl|m.prom|trace.jsonl> [--v X] [--budget C]
   eotora topology [--devices N] [--seed S]
   eotora sweep <scenario.json> --budgets 0.7,1.0,1.3 [--jobs N]
   eotora compare [--devices N] [--seed S]   # one-slot P2-A algorithm shoot-out
@@ -146,26 +155,120 @@ fn durability_config(args: &[String], dir: &str) -> Result<DurabilityConfig, Str
     Ok(cfg)
 }
 
+/// The `--metrics-out` / `--metrics-every` / `--no-sanitize` flag group.
+struct MetricsFlags {
+    out: Option<PathBuf>,
+    every: u64,
+    no_sanitize: bool,
+}
+
+impl MetricsFlags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        Ok(MetricsFlags {
+            out: flag_value(args, "--metrics-out").map(PathBuf::from),
+            every: parse_flag(args, "--metrics-every", 0)?,
+            no_sanitize: args.iter().any(|a| a == "--no-sanitize"),
+        })
+    }
+
+    /// Whether a live [`TelemetrySession`] should be attached at all.
+    fn active(&self) -> bool {
+        self.out.is_some() || self.no_sanitize
+    }
+
+    /// Builds the session. Postmortems land in the checkpoint directory
+    /// when the run is durable, else next to the metrics file.
+    fn session(&self, v: f64, budget: f64, checkpoint_dir: Option<&str>) -> TelemetrySession {
+        let postmortem_dir = checkpoint_dir.map(PathBuf::from).or_else(|| {
+            self.out.as_deref().map(|p| match p.parent() {
+                Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+                _ => PathBuf::from("."),
+            })
+        });
+        TelemetrySession::new(TelemetryConfig {
+            v,
+            budget,
+            metrics_out: self.out.clone(),
+            metrics_every: self.every,
+            postmortem_dir,
+            ..TelemetryConfig::default()
+        })
+    }
+}
+
+/// Prints the health line and flushes the metrics sink of a finished
+/// telemetry session.
+fn finish_telemetry(telemetry: TelemetrySession) -> Result<(), String> {
+    let postmortems = telemetry.postmortems();
+    let out = telemetry.config().metrics_out.clone();
+    let summary = telemetry.finish().map_err(|e| format!("metrics sink: {e}"))?;
+    let mut line = format!(
+        "health: {} (worst {}, {} transition(s))",
+        summary.final_status, summary.worst, summary.transitions
+    );
+    if postmortems > 0 {
+        line.push_str(&format!(" | postmortems {postmortems}"));
+    }
+    println!("{line}");
+    if let Some(path) = out {
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 /// `eotora run --resume <dir>`: picks a checkpointed run back up. The
 /// manifest in the directory supplies the scenario and mode, so no scenario
 /// file is given; output flags work as on a fresh `run`.
 fn cmd_run_resume(args: &[String]) -> Result<(), String> {
     require_flag_values(
         args,
-        &["--resume", "--out", "--csv", "--svg", "--checkpoint-every", "--fsync", "--kill-at-slot"],
+        &[
+            "--resume",
+            "--out",
+            "--csv",
+            "--svg",
+            "--checkpoint-every",
+            "--fsync",
+            "--kill-at-slot",
+            "--metrics-out",
+            "--metrics-every",
+        ],
     )?;
     let dir = flag_value(args, "--resume").ok_or("--resume requires a checkpoint directory")?;
     if flag_value(args, "--trace").is_some() {
         return Err("--trace cannot be combined with checkpointed runs".into());
     }
+    let metrics = MetricsFlags::parse(args)?;
+    if metrics.no_sanitize {
+        return Err(
+            "--no-sanitize cannot be combined with --resume (the manifest fixes the mode)".into()
+        );
+    }
     let cfg = durability_config(args, dir)?;
+    // V and budget for the health rules come from the manifest's scenario.
+    let manifest = eotora_sim::durable::read_manifest_in(Path::new(dir)).ok();
+    let telemetry = metrics.active().then(|| {
+        let (v, budget) = manifest
+            .as_ref()
+            .map(|m| (m.scenario.dpp.v, m.scenario.system.budget_per_slot))
+            .unwrap_or((100.0, 1.0));
+        metrics.session(v, budget, Some(dir))
+    });
     eprintln!("resuming checkpointed run in {dir} …");
-    match resume_durable(&cfg).map_err(|e| e.to_string())? {
+    let outcome = resume_durable_traced(&cfg, telemetry.as_ref().map(|t| t as &dyn Recorder))
+        .map_err(|e| e.to_string())?;
+    match outcome {
         DurableRun::Interrupted { slot } => {
             println!("interrupted after slot {slot}; resume with `eotora run --resume {dir}`");
             Ok(())
         }
-        DurableRun::Completed(result) => report_run(args, &result),
+        DurableRun::Completed(result) => {
+            report_run(args, &result)?;
+            if let Some(t) = telemetry {
+                finish_telemetry(t)?;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -188,6 +291,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--checkpoint-every",
             "--fsync",
             "--kill-at-slot",
+            "--metrics-out",
+            "--metrics-every",
         ],
     )?;
     apply_jobs_flag(args)?;
@@ -225,25 +330,45 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let robust_mode = fault_trace.is_some() || deadline.is_some();
     let faults = fault_trace.unwrap_or_default();
-    let robust = robust_config(&scenario, deadline);
-    if robust_mode {
-        eprintln!(
-            "robust mode: {} fault event(s), slot deadline {}",
-            faults.events.len(),
-            deadline.map_or("none".into(), |d| format!("{} ms", d.as_millis())),
+    let metrics = MetricsFlags::parse(args)?;
+    if metrics.no_sanitize && !robust_mode {
+        return Err(
+            "--no-sanitize requires robust mode (--fault-trace or --slot-deadline-ms)".into()
         );
     }
+    let mut robust = robust_config(&scenario, deadline);
+    robust.sanitize = !metrics.no_sanitize;
+    if robust_mode {
+        eprintln!(
+            "robust mode: {} fault event(s), slot deadline {}{}",
+            faults.events.len(),
+            deadline.map_or("none".into(), |d| format!("{} ms", d.as_millis())),
+            if metrics.no_sanitize { ", sanitizer OFF (diagnostic)" } else { "" },
+        );
+    }
+    let make_telemetry = |checkpoint_dir: Option<&str>| {
+        metrics.active().then(|| {
+            metrics.session(scenario.dpp.v, scenario.system.budget_per_slot, checkpoint_dir)
+        })
+    };
     // `--checkpoint-dir` makes the run durable: a write-ahead slot journal
     // plus periodic controller snapshots, resumable with `run --resume`.
     if let Some(dir) = flag_value(args, "--checkpoint-dir") {
         if flag_value(args, "--trace").is_some() {
             return Err("--trace cannot be combined with --checkpoint-dir".into());
         }
+        if metrics.no_sanitize {
+            return Err("--no-sanitize cannot be combined with --checkpoint-dir (the journal \
+                        must stay replayable)"
+                .into());
+        }
         let cfg = durability_config(args, dir)?;
+        let telemetry = make_telemetry(Some(dir));
+        let tsink = telemetry.as_ref().map(|t| t as &dyn Recorder);
         let outcome = if robust_mode {
-            run_durable_robust(&scenario, &faults, deadline, &cfg)
+            run_durable_robust_traced(&scenario, &faults, deadline, &cfg, tsink)
         } else {
-            run_durable(&scenario, &cfg)
+            run_durable_traced(&scenario, &cfg, tsink)
         }
         .map_err(|e| e.to_string())?;
         return match outcome {
@@ -251,28 +376,55 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 println!("interrupted after slot {slot}; resume with `eotora run --resume {dir}`");
                 Ok(())
             }
-            DurableRun::Completed(result) => report_run(args, &result),
+            DurableRun::Completed(result) => {
+                report_run(args, &result)?;
+                if let Some(t) = telemetry {
+                    finish_telemetry(t)?;
+                }
+                Ok(())
+            }
         };
     }
+    let telemetry = make_telemetry(None);
     let result = match flag_value(args, "--trace") {
         Some(trace_path) => {
             let file = std::fs::File::create(trace_path)
                 .map_err(|e| format!("cannot create {trace_path}: {e}"))?;
             let sink = eotora_obs::JsonlRecorder::new(std::io::BufWriter::new(file));
-            let result = if robust_mode {
-                run_robust_traced(&scenario, &faults, &robust, &sink)
-            } else {
-                run_traced(&scenario, &sink)
+            let result = match telemetry.as_ref() {
+                Some(t) => {
+                    let tee = eotora_obs::TeeRecorder::new(t, &sink);
+                    if robust_mode {
+                        run_robust_traced(&scenario, &faults, &robust, &tee)
+                    } else {
+                        run_traced(&scenario, &tee)
+                    }
+                }
+                None if robust_mode => run_robust_traced(&scenario, &faults, &robust, &sink),
+                None => run_traced(&scenario, &sink),
             };
             let events = sink.records_written();
             sink.finish().map_err(|e| format!("cannot write {trace_path}: {e}"))?;
             eprintln!("wrote {trace_path} ({events} events)");
             result
         }
-        None if robust_mode => run_robust(&scenario, &faults, &robust),
-        None => run(&scenario),
+        None => match telemetry.as_ref() {
+            Some(t) => {
+                if robust_mode {
+                    run_robust_traced(&scenario, &faults, &robust, t)
+                } else {
+                    run_traced(&scenario, t)
+                }
+            }
+            None if robust_mode => run_robust(&scenario, &faults, &robust),
+            None => run(&scenario),
+        },
     };
-    report_run(args, &result)
+    report_run(args, &result)?;
+    if let Some(t) = telemetry {
+        finish_telemetry(t)?;
+    }
+    Ok(())
 }
 
 /// Prints the end-of-run table and summary line, then writes whichever of
@@ -392,6 +544,251 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         print!("{}", ascii_plot(&queue, 72, 12));
     }
     Ok(())
+}
+
+/// Plucks `key` out of a flat JSON object.
+fn field<'v>(value: &'v serde_json::Value, key: &str) -> Option<&'v serde_json::Value> {
+    match value {
+        serde_json::Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// `eotora health <file>`: evaluates the health rules over a recorded run
+/// artifact — a metrics snapshot file (JSONL from `--metrics-out m.jsonl`),
+/// a Prometheus exposition (`--metrics-out m.prom`), or a full event trace
+/// (`--trace t.jsonl`). V and budget default to the run's own `config_*`
+/// gauges where the artifact carries them, else to `--v` / `--budget`.
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("health requires a metrics (.jsonl/.prom) or trace file")?;
+    require_flag_values(args, &["--v", "--budget"])?;
+    let v: f64 = parse_flag(args, "--v", 100.0)?;
+    let budget: f64 = parse_flag(args, "--budget", 1.0)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = if path.ends_with(".prom") {
+        health_from_prom(&text, v, budget)?
+    } else {
+        let first = text
+            .lines()
+            .find(|l| !l.trim().is_empty())
+            .ok_or_else(|| format!("{path} is empty"))?;
+        let value = serde_json::parse(first).map_err(|e| format!("{path} is not JSONL: {e}"))?;
+        if field(&value, "type").is_some() {
+            health_from_trace(&text, v, budget)?
+        } else {
+            health_from_snapshots(&text, v, budget)?
+        }
+    };
+    let rows: Vec<Vec<String>> = summary
+        .rules
+        .iter()
+        .map(|r| vec![r.name.to_string(), r.status.to_string(), r.worst.to_string(), num(r.value)])
+        .collect();
+    println!("{}", ascii_table(&["rule", "status", "worst", "value"], &rows));
+    println!(
+        "{path}: overall {} (worst {}, {} transition(s))",
+        summary.final_status, summary.worst, summary.transitions
+    );
+    Ok(())
+}
+
+/// Whole-run assessment from a Prometheus text exposition: counters and
+/// gauges are read back through the same name mapping the exposition was
+/// written with, and the journal p99 is recovered from the cumulative
+/// bucket series.
+fn health_from_prom(text: &str, v_flag: f64, budget_flag: f64) -> Result<HealthSummary, String> {
+    let mut values: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.contains('{') {
+            continue;
+        }
+        let (name, value) =
+            line.split_once(' ').ok_or_else(|| format!("malformed exposition line: `{line}`"))?;
+        let value: f64 =
+            value.trim().parse().map_err(|_| format!("bad sample value in `{line}`"))?;
+        values.insert(name.to_owned(), value);
+    }
+    if values.is_empty() {
+        return Err("no samples found in exposition".into());
+    }
+    let counter = |name: &str| {
+        values.get(&format!("{}_total", eotora_obs::prometheus_name(name))).map_or(0, |&x| x as u64)
+    };
+    let gauge = |name: &str| values.get(&eotora_obs::prometheus_name(name)).copied();
+    let v = gauge(eotora_obs::GAUGE_CONFIG_V).unwrap_or(v_flag);
+    let budget = gauge(eotora_obs::GAUGE_CONFIG_BUDGET).unwrap_or(budget_flag);
+    let totals = HealthSample {
+        slot: counter(eotora_obs::COUNTER_SLOTS),
+        queue: gauge(eotora_obs::GAUGE_QUEUE_BACKLOG).unwrap_or(0.0),
+        avg_cost: gauge(eotora_obs::GAUGE_AVG_COST).unwrap_or(0.0),
+        masked_resources: counter(eotora_obs::COUNTER_FAULT_MASKED_RESOURCES),
+        substitutions: counter(eotora_obs::COUNTER_FAULT_STATE_SUBSTITUTIONS),
+        deadline_expirations: counter(eotora_obs::COUNTER_DEADLINE_EXPIRATIONS),
+        escalations: counter(eotora_obs::COUNTER_ROBUST_SOLVE_ERRORS)
+            + counter(eotora_obs::COUNTER_ROBUST_LIFEBOAT_DECISIONS)
+            + counter(eotora_obs::COUNTER_ROBUST_EQUAL_SHARE_FALLBACKS),
+        journal_p99_ms: prom_histogram_quantile(
+            text,
+            &format!("{}_ns", eotora_obs::prometheus_name(eotora_obs::SPAN_JOURNAL_APPEND)),
+            0.99,
+        )
+        .map_or(0.0, |ns| ns / 1e6),
+    };
+    Ok(eotora_obs::health::assess_totals(v, budget, &totals))
+}
+
+/// Recovers a quantile from a Prometheus cumulative-bucket series
+/// (`<prefix>_bucket{le="..."} <count>`). Returns the upper bound of the
+/// first bucket whose cumulative count reaches the quantile.
+fn prom_histogram_quantile(text: &str, prefix: &str, q: f64) -> Option<f64> {
+    let marker = format!("{prefix}_bucket{{le=\"");
+    let mut buckets: Vec<(f64, f64)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(&marker) else { continue };
+        let (le, rest) = rest.split_once('"')?;
+        let le = if le == "+Inf" { f64::INFINITY } else { le.parse().ok()? };
+        let cum: f64 = rest.strip_prefix("} ")?.trim().parse().ok()?;
+        buckets.push((le, cum));
+    }
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total = buckets.last()?.1;
+    if total <= 0.0 {
+        return None;
+    }
+    let target = q * total;
+    buckets.iter().find(|&&(_, cum)| cum >= target).map(|&(le, _)| le)
+}
+
+/// Builds a [`HealthSample`] from one metrics-snapshot JSON object
+/// (the line format written by `run --metrics-out m.jsonl`).
+fn snapshot_sample(value: &serde_json::Value) -> Result<HealthSample, String> {
+    let counters = field(value, "counters").ok_or("snapshot line is missing `counters`")?;
+    let gauges = field(value, "gauges").ok_or("snapshot line is missing `gauges`")?;
+    let cget = |name: &str| {
+        field(counters, name).and_then(serde_json::Value::as_f64).map_or(0, |x| x as u64)
+    };
+    let gget = |name: &str| field(gauges, name).and_then(serde_json::Value::as_f64);
+    let journal_p99_ms = field(value, "spans")
+        .and_then(|s| field(s, eotora_obs::SPAN_JOURNAL_APPEND))
+        .and_then(|s| field(s, "p99_ns"))
+        .and_then(serde_json::Value::as_f64)
+        .map_or(0.0, |ns| ns / 1e6);
+    Ok(HealthSample {
+        slot: field(value, "slot").and_then(serde_json::Value::as_f64).map_or(0, |x| x as u64),
+        queue: gget(eotora_obs::GAUGE_QUEUE_BACKLOG).unwrap_or(0.0),
+        avg_cost: gget(eotora_obs::GAUGE_AVG_COST).unwrap_or(0.0),
+        masked_resources: cget(eotora_obs::COUNTER_FAULT_MASKED_RESOURCES),
+        substitutions: cget(eotora_obs::COUNTER_FAULT_STATE_SUBSTITUTIONS),
+        deadline_expirations: cget(eotora_obs::COUNTER_DEADLINE_EXPIRATIONS),
+        escalations: cget(eotora_obs::COUNTER_ROBUST_SOLVE_ERRORS)
+            + cget(eotora_obs::COUNTER_ROBUST_LIFEBOAT_DECISIONS)
+            + cget(eotora_obs::COUNTER_ROBUST_EQUAL_SHARE_FALLBACKS),
+        journal_p99_ms,
+    })
+}
+
+/// Health over a metrics JSONL file. Multiple snapshots are replayed
+/// through the hysteresis monitor; a single (final-only) snapshot falls
+/// back to whole-run classification.
+fn health_from_snapshots(
+    text: &str,
+    v_flag: f64,
+    budget_flag: f64,
+) -> Result<HealthSummary, String> {
+    let mut v = v_flag;
+    let mut budget = budget_flag;
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = serde_json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if let Some(gauges) = field(&value, "gauges") {
+            v = field(gauges, eotora_obs::GAUGE_CONFIG_V)
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(v);
+            budget = field(gauges, eotora_obs::GAUGE_CONFIG_BUDGET)
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(budget);
+        }
+        samples.push(snapshot_sample(&value).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    match samples.as_slice() {
+        [] => Err("no snapshots in file".into()),
+        [only] => Ok(eotora_obs::health::assess_totals(v, budget, only)),
+        many => {
+            let mut monitor = HealthMonitor::paper_defaults(v, budget);
+            for sample in many {
+                monitor.observe(*sample);
+            }
+            Ok(monitor.summary())
+        }
+    }
+}
+
+/// Health by replaying a full `--trace` JSONL event stream slot by slot:
+/// counter events maintain the cumulative totals, `journal.append` spans
+/// feed the latency histogram, and each `slot` event closes one
+/// [`HealthSample`].
+fn health_from_trace(text: &str, v: f64, budget: f64) -> Result<HealthSummary, String> {
+    let mut counters: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut journal = eotora_obs::Histogram::new();
+    let mut monitor = HealthMonitor::paper_defaults(v, budget);
+    let mut cost_sum = 0.0;
+    let mut slots = 0u64;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(value) = serde_json::parse(line) else { continue };
+        match field(&value, "type").and_then(serde_json::Value::as_str) {
+            Some("counter") => {
+                if let (Some(name), Some(total)) = (
+                    field(&value, "name").and_then(serde_json::Value::as_str),
+                    field(&value, "value").and_then(serde_json::Value::as_f64),
+                ) {
+                    counters.insert(name.to_owned(), total as u64);
+                }
+            }
+            Some("span")
+                if field(&value, "name").and_then(serde_json::Value::as_str)
+                    == Some(eotora_obs::SPAN_JOURNAL_APPEND) =>
+            {
+                if let Some(nanos) = field(&value, "nanos").and_then(serde_json::Value::as_f64) {
+                    journal.record(nanos as u64);
+                }
+            }
+            Some("slot") => {
+                let slot = field(&value, "slot")
+                    .and_then(serde_json::Value::as_f64)
+                    .map_or(0, |x| x as u64);
+                cost_sum +=
+                    field(&value, "cost").and_then(serde_json::Value::as_f64).unwrap_or(0.0);
+                slots += 1;
+                let cget = |name: &str| counters.get(name).copied().unwrap_or(0);
+                monitor.observe(HealthSample {
+                    slot,
+                    queue: field(&value, "queue")
+                        .and_then(serde_json::Value::as_f64)
+                        .unwrap_or(0.0),
+                    avg_cost: cost_sum / slots as f64,
+                    masked_resources: cget(eotora_obs::COUNTER_FAULT_MASKED_RESOURCES),
+                    substitutions: cget(eotora_obs::COUNTER_FAULT_STATE_SUBSTITUTIONS),
+                    deadline_expirations: cget(eotora_obs::COUNTER_DEADLINE_EXPIRATIONS),
+                    escalations: cget(eotora_obs::COUNTER_ROBUST_SOLVE_ERRORS)
+                        + cget(eotora_obs::COUNTER_ROBUST_LIFEBOAT_DECISIONS)
+                        + cget(eotora_obs::COUNTER_ROBUST_EQUAL_SHARE_FALLBACKS),
+                    journal_p99_ms: journal.quantile(0.99).map_or(0.0, |ns| ns / 1e6),
+                });
+            }
+            _ => {}
+        }
+    }
+    if slots == 0 {
+        return Err("trace contains no slot events".into());
+    }
+    Ok(monitor.summary())
 }
 
 fn cmd_topology(args: &[String]) -> Result<(), String> {

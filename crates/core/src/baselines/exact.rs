@@ -159,9 +159,9 @@ impl P2aSolver for ExactSolver {
     ) -> Vec<usize> {
         let report = self.solve_with_report(problem, rng);
         if recorder.is_enabled() {
-            recorder.add("bnb_nodes", report.nodes_expanded as u64);
+            recorder.add(eotora_obs::COUNTER_BNB_NODES, report.nodes_expanded as u64);
             if report.proven_optimal {
-                recorder.add("bnb_proven_optimal", 1);
+                recorder.add(eotora_obs::COUNTER_BNB_PROVEN_OPTIMAL, 1);
             }
         }
         report.choices

@@ -101,8 +101,8 @@ impl P2aSolver for McbaSolver {
             temp *= self.config.cooling;
         }
         if recorder.is_enabled() {
-            recorder.add("mcba_proposals", self.config.iterations as u64);
-            recorder.add("mcba_accepted", accepted);
+            recorder.add(eotora_obs::COUNTER_MCBA_PROPOSALS, self.config.iterations as u64);
+            recorder.add(eotora_obs::COUNTER_MCBA_ACCEPTED, accepted);
         }
         best_choices
     }

@@ -115,12 +115,14 @@ impl P2aSolver for CgbaSolver {
         recorder: &dyn Recorder,
     ) -> Vec<usize> {
         let initial = Profile::random(problem.game(), rng);
+        let probes_before = self.scratch.probes();
         let report =
             cgba_from_with_scratch(problem.game(), initial, &self.config, &mut self.scratch);
         if recorder.is_enabled() {
-            recorder.add("cgba_iterations", report.iterations as u64);
+            recorder.add(eotora_obs::COUNTER_CGBA_ITERATIONS, report.iterations as u64);
+            recorder.add(eotora_obs::COUNTER_CGBA_PROBES, self.scratch.probes() - probes_before);
             if report.converged {
-                recorder.add("cgba_converged", 1);
+                recorder.add(eotora_obs::COUNTER_CGBA_CONVERGED, 1);
             }
         }
         report.profile.choices().to_vec()
@@ -140,6 +142,7 @@ impl P2aSolver for CgbaSolver {
         let Some(initial) = warm_seed else {
             return self.solve_with(problem, rng, recorder);
         };
+        let probes_before = self.warm_scratch.probes();
         let report = cgba_warm_from_with_scratch(
             problem.game(),
             initial,
@@ -147,10 +150,12 @@ impl P2aSolver for CgbaSolver {
             &mut self.warm_scratch,
         );
         if recorder.is_enabled() {
-            recorder.add("cgba_iterations", report.iterations as u64);
+            recorder.add(eotora_obs::COUNTER_CGBA_ITERATIONS, report.iterations as u64);
+            recorder
+                .add(eotora_obs::COUNTER_CGBA_PROBES, self.warm_scratch.probes() - probes_before);
             recorder.add(eotora_obs::COUNTER_CGBA_WARM_MOVES, report.iterations as u64);
             if report.converged {
-                recorder.add("cgba_converged", 1);
+                recorder.add(eotora_obs::COUNTER_CGBA_CONVERGED, 1);
             }
         }
         report.profile.choices().to_vec()

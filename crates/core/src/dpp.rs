@@ -313,6 +313,10 @@ impl EotoraDpp {
             recorder,
         )
         .unwrap_or_else(|_| {
+            // Escalation past the first rung: record it so live telemetry
+            // can trip a postmortem dump at the moment of failure.
+            recorder.add(eotora_obs::COUNTER_ROBUST_SOLVE_ERRORS, 1);
+            recorder.add(eotora_obs::COUNTER_ROBUST_LIFEBOAT_DECISIONS, 1);
             crate::robust::lifeboat_report(
                 &self.solver.system,
                 state,
@@ -329,6 +333,7 @@ impl EotoraDpp {
             &report.solution.freqs_hz,
         )
         .unwrap_or_else(|_| {
+            recorder.add(eotora_obs::COUNTER_ROBUST_EQUAL_SHARE_FALLBACKS, 1);
             equal_share_decision(system, &report.solution.assignments, &report.solution.freqs_hz)
         });
         debug_assert!(decision.validate(system).is_ok());

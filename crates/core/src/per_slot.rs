@@ -177,7 +177,7 @@ impl PerSlotController {
         };
         p2b_span.finish();
         if recorder.is_enabled() {
-            recorder.add("per_slot_probes", probes.get());
+            recorder.add(eotora_obs::COUNTER_PER_SLOT_PROBES, probes.get());
         }
 
         let latency =
@@ -253,7 +253,7 @@ mod tests {
         assert_eq!(rec.span_count(eotora_obs::SPAN_P2A), 3);
         assert_eq!(rec.span_count(eotora_obs::SPAN_P2B), 3);
         // At least the μ = 0 probe every slot.
-        assert!(rec.counter("per_slot_probes") >= 3);
+        assert!(rec.counter(eotora_obs::COUNTER_PER_SLOT_PROBES) >= 3);
     }
 
     #[test]

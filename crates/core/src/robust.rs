@@ -65,11 +65,18 @@ pub struct RobustConfig {
     pub max_retries: u32,
     /// CGBA approximation slack λ.
     pub lambda: f64,
+    /// Whether the engine runs the state sanitizer ahead of the solve
+    /// (consumed by the simulation runner, not by
+    /// [`solve_p2_robust`] itself). Disabling it lets corrupt
+    /// observations reach the solver — a diagnostic mode that forces
+    /// the ladder to escalate, exercising the lifeboat and the
+    /// flight-recorder postmortem path.
+    pub sanitize: bool,
 }
 
 impl Default for RobustConfig {
     fn default() -> Self {
-        Self { deadline: None, rounds: 5, max_retries: 2, lambda: 0.0 }
+        Self { deadline: None, rounds: 5, max_retries: 2, lambda: 0.0, sanitize: true }
     }
 }
 
@@ -118,6 +125,11 @@ pub fn solve_p2_robust(
 ) -> Result<RobustReport, SolveError> {
     let start = Instant::now();
     let expired = || config.deadline.is_some_and(|d| start.elapsed() >= d);
+    // Pre-flight: corrupt observations (NaN cycles, negative bits, infinite
+    // spectral efficiency) must surface as a catchable SolveError before
+    // they reach game construction, whose invariants assume clean inputs.
+    // Reached only when the sanitizer is disabled or was itself defeated.
+    check_state_well_formed(state)?;
     let min_freqs = system.min_frequencies();
     let down = mask.down_server_flags(system.topology().num_servers());
 
@@ -276,6 +288,9 @@ pub fn solve_p2_robust(
         if deadline_expired {
             recorder.add(eotora_obs::COUNTER_DEADLINE_EXPIRATIONS, 1);
         }
+        if retries > 0 {
+            recorder.add(eotora_obs::COUNTER_ROBUST_RETRIES, u64::from(retries));
+        }
     }
     Ok(RobustReport {
         solution: incumbent,
@@ -285,6 +300,30 @@ pub fn solve_p2_robust(
         deadline_expired,
         retries,
     })
+}
+
+/// Rejects observations whose entries would violate the congestion game's
+/// input invariants (finite, positive workload and channel terms; finite
+/// price). The sanitizer screens these out on the normal path; this guard
+/// is what turns a *bypassed* sanitizer into a recoverable
+/// [`SolveError::NonFinite`] instead of a downstream panic.
+fn check_state_well_formed(state: &SystemState) -> Result<(), SolveError> {
+    let bad = |x: f64| !x.is_finite() || x <= 0.0;
+    if let Some(i) = state.task_cycles.iter().position(|&x| bad(x)) {
+        return Err(SolveError::NonFinite { context: "task_cycles", index: i });
+    }
+    if let Some(i) = state.data_bits.iter().position(|&x| bad(x)) {
+        return Err(SolveError::NonFinite { context: "data_bits", index: i });
+    }
+    for (i, row) in state.spectral_efficiency.iter().enumerate() {
+        if row.iter().any(|&x| bad(x)) {
+            return Err(SolveError::NonFinite { context: "spectral_efficiency", index: i });
+        }
+    }
+    if !state.price_per_kwh.is_finite() {
+        return Err(SolveError::NonFinite { context: "price_per_kwh", index: 0 });
+    }
+    Ok(())
 }
 
 /// The absolute bottom of the degradation ladder: every device offloads

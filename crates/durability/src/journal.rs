@@ -352,6 +352,7 @@ pub fn open_for_append_after(
         seg_index,
         seg_bytes: boundary_offset,
         unsynced: 0,
+        last_sync_nanos: None,
     })
 }
 
@@ -367,6 +368,9 @@ pub struct JournalWriter {
     seg_bytes: u64,
     /// Frames appended since the last sync (drives `EveryK`).
     unsynced: u32,
+    /// Wall-clock duration of the most recent `sync_data`, if one has run
+    /// since the last [`take_last_sync_nanos`](Self::take_last_sync_nanos).
+    last_sync_nanos: Option<u64>,
 }
 
 impl JournalWriter {
@@ -399,6 +403,7 @@ impl JournalWriter {
             seg_index: 0,
             seg_bytes: 0,
             unsynced: 0,
+            last_sync_nanos: None,
         })
     }
 
@@ -456,9 +461,19 @@ impl JournalWriter {
     /// Forces everything appended so far to stable storage, regardless of
     /// policy. Called before every snapshot write.
     pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        let start = std::time::Instant::now();
         self.file.sync_data().map_err(|e| DurabilityError::io(&self.seg_path, &e))?;
         self.unsynced = 0;
+        self.last_sync_nanos = Some(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
         Ok(())
+    }
+
+    /// Duration of the most recent [`sync`](Self::sync) in nanoseconds, if
+    /// one has run since the previous call. Consumed by the simulation
+    /// runner to surface fsync latency as a telemetry span without the
+    /// journal knowing about recorders.
+    pub fn take_last_sync_nanos(&mut self) -> Option<u64> {
+        self.last_sync_nanos.take()
     }
 
     /// Segments written so far (current index + 1).

@@ -105,6 +105,11 @@ pub struct CgbaScratch {
     /// and detects per-player weight updates exactly.
     snap_strat_resources: Vec<usize>,
     snap_strat_weights: Vec<u64>,
+    /// Monotonic count of cost evaluations (`player_cost` /
+    /// `strategy_cost` calls) performed by solves using this scratch —
+    /// the hot path's unit of work, surfaced as the `cgba.probes`
+    /// counter. Never reset, so callers can emit per-solve deltas.
+    probes: u64,
 }
 
 impl CgbaScratch {
@@ -253,6 +258,13 @@ impl CgbaScratch {
     /// against a naive-rescan trace, not just the final profile.
     pub fn moves(&self) -> &[(usize, usize)] {
         &self.moves
+    }
+
+    /// Monotonic count of cost evaluations performed by every solve that
+    /// used this scratch. Callers snapshot before/after a solve and emit
+    /// the delta as the `cgba.probes` counter.
+    pub fn probes(&self) -> u64 {
+        self.probes
     }
 
     /// Performs player `i`'s move to strategy `s` (via [`Profile::switch`])
@@ -420,6 +432,7 @@ fn cgba_max_gain<G: GameRef>(
             if scratch.cur_dirty[i] {
                 scratch.cur_cost[i] = profile.player_cost(game, i);
                 scratch.cur_dirty[i] = false;
+                scratch.probes += 1;
             }
             if scratch.player_dirty[i] {
                 let off = scratch.offsets[i];
@@ -428,6 +441,7 @@ fn cgba_max_gain<G: GameRef>(
                     if scratch.entry_dirty[off + s] {
                         scratch.strat_cost[off + s] = profile.strategy_cost(game, i, s);
                         scratch.entry_dirty[off + s] = false;
+                        scratch.probes += 1;
                     }
                     let cost = scratch.strat_cost[off + s];
                     if cost < best.1 {
@@ -491,6 +505,7 @@ fn cgba_round_robin<G: GameRef>(
             let i = (rr_cursor + step) % n;
             let cost = profile.player_cost(game, i);
             let (s, br) = profile.best_response(game, i);
+            scratch.probes += 1 + game.structure().strategies(i).len() as u64;
             if (1.0 - config.lambda) * cost > br {
                 mover = Some((i, s));
                 rr_cursor = (i + 1) % n;

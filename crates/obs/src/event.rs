@@ -55,6 +55,19 @@ pub enum TraceEvent {
         /// Constraint excess C_t - C̄ applied by the update.
         excess: f64,
     },
+    /// One health-rule status transition emitted by the `HealthMonitor`.
+    Health {
+        /// Zero-based slot index t at which the transition fired.
+        slot: u64,
+        /// Rule name (e.g. `queue_level`, `budget_overrun`).
+        rule: String,
+        /// Status before the transition (`ok`/`degraded`/`critical`).
+        from: String,
+        /// Status after the transition.
+        to: String,
+        /// The signal value that triggered the transition.
+        value: f64,
+    },
     /// One BDMA alternation round (Algorithm 2) within a slot solve.
     BdmaIteration {
         /// Zero-based slot index t.
@@ -80,6 +93,7 @@ impl TraceEvent {
             TraceEvent::Span { .. } => "span",
             TraceEvent::Counter { .. } => "counter",
             TraceEvent::QueueUpdate { .. } => "queue_update",
+            TraceEvent::Health { .. } => "health",
             TraceEvent::BdmaIteration { .. } => "bdma_iteration",
         }
     }
@@ -108,6 +122,13 @@ impl TraceEvent {
                 fields.push(f("before", Value::F64(*before)));
                 fields.push(f("after", Value::F64(*after)));
                 fields.push(f("excess", Value::F64(*excess)));
+            }
+            TraceEvent::Health { slot, rule, from, to, value } => {
+                fields.push(f("slot", Value::U64(*slot)));
+                fields.push(f("rule", Value::Str(rule.clone())));
+                fields.push(f("from", Value::Str(from.clone())));
+                fields.push(f("to", Value::Str(to.clone())));
+                fields.push(f("value", Value::F64(*value)));
             }
             TraceEvent::BdmaIteration {
                 slot,
@@ -155,6 +176,13 @@ impl TraceEvent {
                 before: f64_field("before")?,
                 after: f64_field("after")?,
                 excess: f64_field("excess")?,
+            }),
+            "health" => Ok(TraceEvent::Health {
+                slot: u64_field("slot")?,
+                rule: str_field("rule")?,
+                from: str_field("from")?,
+                to: str_field("to")?,
+                value: f64_field("value")?,
             }),
             "bdma_iteration" => Ok(TraceEvent::BdmaIteration {
                 slot: u64_field("slot")?,
@@ -227,6 +255,13 @@ mod tests {
             TraceEvent::Span { name: "p2a".into(), nanos: 41_230 },
             TraceEvent::Counter { name: "bdma_rounds".into(), value: 12 },
             TraceEvent::QueueUpdate { slot: 3, before: 2.0, after: 1.75, excess: -0.25 },
+            TraceEvent::Health {
+                slot: 7,
+                rule: "queue_level".into(),
+                from: "ok".into(),
+                to: "degraded".into(),
+                value: 55.25,
+            },
             TraceEvent::BdmaIteration {
                 slot: 3,
                 round: 2,

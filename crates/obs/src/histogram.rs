@@ -23,7 +23,7 @@ pub struct Histogram {
     max: u64,
 }
 
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v < SUB_BUCKETS as u64 {
         v as usize
     } else {
@@ -44,10 +44,37 @@ fn bucket_midpoint(idx: usize) -> u64 {
     }
 }
 
+/// Largest value that lands in bucket `idx` (the inclusive upper edge,
+/// i.e. a Prometheus `le` bound).
+pub(crate) fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        idx as u64
+    } else {
+        let exp = idx / SUB_BUCKETS + 3;
+        let sub = (idx % SUB_BUCKETS) as u128;
+        let width = 1u128 << (exp - 4);
+        let next_lower = (SUB_BUCKETS as u128 + sub + 1) * width;
+        u64::try_from(next_lower - 1).unwrap_or(u64::MAX)
+    }
+}
+
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Reassembles a histogram from raw parts (used by the sharded
+    /// atomic histogram's merge-on-read snapshot). `buckets[i]` must be
+    /// the count for [`bucket_index`] `i`; `count`/`sum`/`min`/`max`
+    /// must describe the same observations.
+    pub(crate) fn from_parts(buckets: Vec<u64>, count: u64, sum: u128, min: u64, max: u64) -> Self {
+        Histogram { buckets, count, sum, min, max }
+    }
+
+    /// Raw per-index bucket counts (index is [`bucket_index`]).
+    pub(crate) fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
     }
 
     /// Records one observation.

@@ -20,63 +20,30 @@
 //! a run can aggregate metrics and stream JSONL simultaneously.
 
 mod event;
+mod flight;
+pub mod health;
 mod histogram;
 mod jsonl;
+mod live;
 mod metrics;
+pub mod names;
 mod recorder;
+mod session;
 pub mod trace;
 
 pub use event::{TraceEvent, TraceRecord};
+pub use flight::{install_panic_hook, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use health::{
+    HealthEvent, HealthMonitor, HealthRule, HealthSample, HealthStatus, HealthSummary,
+};
 pub use histogram::Histogram;
 pub use jsonl::JsonlRecorder;
+pub use live::{prometheus_name, LiveRegistry, RegistrySnapshot, ShardedHistogram, SpanStats};
 pub use metrics::MetricsRecorder;
 pub use recorder::{NoopRecorder, Recorder, SpanGuard, TeeRecorder};
+pub use session::{TelemetryConfig, TelemetrySession};
 pub use trace::TraceAnalysis;
 
-/// Span name for one whole per-slot DPP solve.
-pub const SPAN_SLOT_SOLVE: &str = "slot_solve";
-/// Span name for a P2-A (discrete offloading/scheduling) solve.
-pub const SPAN_P2A: &str = "p2a";
-/// Span name for a P2-B (continuous frequency) solve.
-pub const SPAN_P2B: &str = "p2b";
-/// Span name for the virtual-queue update Q(t+1) = max{Q(t)+C_t-C̄, 0}.
-pub const SPAN_QUEUE_UPDATE: &str = "queue_update";
-
-/// Counter name for BDMA alternation rounds executed.
-pub const COUNTER_BDMA_ROUNDS: &str = "bdma_rounds";
-/// Counter name for BDMA rounds whose candidate improved the incumbent.
-pub const COUNTER_BDMA_ACCEPTED: &str = "bdma_accepted";
-/// Counter name for BDMA rounds skipped by ε early termination
-/// (`z − rounds_used`, accumulated across slots).
-pub const COUNTER_BDMA_ROUNDS_SAVED: &str = "bdma.rounds_saved";
-/// Counter name for best-response moves made by warm-seeded CGBA solves.
-pub const COUNTER_CGBA_WARM_MOVES: &str = "cgba.warm.moves_to_converge";
-/// Counter name for slots solved.
-pub const COUNTER_SLOTS: &str = "slots";
-
-/// Counter name for game resources masked out by availability faults,
-/// accumulated across slots.
-pub const COUNTER_FAULT_MASKED_RESOURCES: &str = "fault.masked_resources";
-/// Counter name for players whose retained strategy was displaced by a
-/// mask and repaired onto a reachable alternative (includes players
-/// re-allowed best-effort because the mask left them nothing).
-pub const COUNTER_FAULT_REPAIRED_PLAYERS: &str = "fault.repaired_players";
-/// Counter name for corrupt state entries replaced by the sanitizer.
-pub const COUNTER_FAULT_STATE_SUBSTITUTIONS: &str = "fault.state_substitutions";
-/// Counter name for slots whose solve hit the anytime deadline and
-/// returned the checkpointed incumbent instead of finishing.
-pub const COUNTER_DEADLINE_EXPIRATIONS: &str = "deadline.expirations";
-
-/// Counter name for snapshots written by a checkpointed run.
-pub const COUNTER_DURABILITY_SNAPSHOTS: &str = "durability.snapshots_written";
-/// Counter name for slot records appended to the write-ahead journal.
-pub const COUNTER_DURABILITY_FRAMES: &str = "durability.frames_journaled";
-/// Counter name for torn journal frames silently dropped during recovery
-/// (a crash mid-append tears at most the final frame).
-pub const COUNTER_DURABILITY_TORN: &str = "durability.torn_frames_dropped";
-/// Counter name for intact journal frames past the snapshot slot that a
-/// resume discards (their slots are re-executed deterministically).
-pub const COUNTER_DURABILITY_DISCARDED: &str = "durability.frames_discarded";
-/// Counter name for completed slots restored from the checkpoint instead
-/// of re-solved (the resume fast-forward).
-pub const COUNTER_DURABILITY_RESUMED: &str = "durability.resumed_slots";
+// Every metric name is defined once in [`names`]; the glob re-export
+// keeps the historical `eotora_obs::COUNTER_*` / `SPAN_*` paths alive.
+pub use names::*;

@@ -176,7 +176,8 @@ impl Recorder for MetricsRecorder {
             }
             TraceEvent::Span { .. }
             | TraceEvent::Counter { .. }
-            | TraceEvent::QueueUpdate { .. } => {}
+            | TraceEvent::QueueUpdate { .. }
+            | TraceEvent::Health { .. } => {}
         }
     }
 }

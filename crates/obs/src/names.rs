@@ -1,0 +1,313 @@
+//! Central registry of every metric name the pipeline emits.
+//!
+//! Counters, gauges, and span histograms are addressed by string keys;
+//! a typo'd literal silently creates a brand-new metric, so every name
+//! lives here as a `const` and call sites refer to the constant. The
+//! [`ALL`] table pairs each name with its [`MetricKind`] and a help
+//! string — it drives the Prometheus `# TYPE`/`# HELP` exposition in
+//! [`crate::LiveRegistry`] and the reference table in `DESIGN.md`.
+//!
+//! Names not listed here still work (they land in a registry overflow
+//! map and are exported untyped), so downstream crates can experiment
+//! without an obs-crate change — but pipeline code should always add
+//! the const.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+/// Span name for one whole per-slot DPP solve.
+pub const SPAN_SLOT_SOLVE: &str = "slot_solve";
+/// Span name for a P2-A (discrete offloading/scheduling) solve.
+pub const SPAN_P2A: &str = "p2a";
+/// Span name for a P2-B (continuous frequency) solve.
+pub const SPAN_P2B: &str = "p2b";
+/// Span name for the virtual-queue update Q(t+1) = max{Q(t)+C_t-C̄, 0}.
+pub const SPAN_QUEUE_UPDATE: &str = "queue_update";
+/// Span name for one slot-record append to the durability journal.
+pub const SPAN_JOURNAL_APPEND: &str = "journal.append";
+/// Span name for a journal fsync (only emitted when the journal runs
+/// with `fsync` durability).
+pub const SPAN_JOURNAL_FSYNC: &str = "journal.fsync";
+/// Span name for writing one atomic checkpoint snapshot.
+pub const SPAN_SNAPSHOT_WRITE: &str = "journal.snapshot_write";
+
+/// Counter name for BDMA alternation rounds executed.
+pub const COUNTER_BDMA_ROUNDS: &str = "bdma_rounds";
+/// Counter name for BDMA rounds whose candidate improved the incumbent.
+pub const COUNTER_BDMA_ACCEPTED: &str = "bdma_accepted";
+/// Counter name for BDMA rounds skipped by ε early termination
+/// (`z − rounds_used`, accumulated across slots).
+pub const COUNTER_BDMA_ROUNDS_SAVED: &str = "bdma.rounds_saved";
+/// Counter name for CGBA best-response iterations executed.
+pub const COUNTER_CGBA_ITERATIONS: &str = "cgba_iterations";
+/// Counter name for CGBA solves that converged to a Nash equilibrium
+/// within the iteration cap.
+pub const COUNTER_CGBA_CONVERGED: &str = "cgba_converged";
+/// Counter name for strategy-cost probes evaluated inside CGBA
+/// best-response scans (the game hot path's unit of work).
+pub const COUNTER_CGBA_PROBES: &str = "cgba.probes";
+/// Counter name for best-response moves made by warm-seeded CGBA solves.
+pub const COUNTER_CGBA_WARM_MOVES: &str = "cgba.warm.moves_to_converge";
+/// Counter name for slots solved.
+pub const COUNTER_SLOTS: &str = "slots";
+
+/// Counter name for MCBA (simulated annealing) proposals evaluated.
+pub const COUNTER_MCBA_PROPOSALS: &str = "mcba_proposals";
+/// Counter name for MCBA proposals accepted.
+pub const COUNTER_MCBA_ACCEPTED: &str = "mcba_accepted";
+/// Counter name for branch-and-bound nodes expanded by the exact P2-A
+/// baseline.
+pub const COUNTER_BNB_NODES: &str = "bnb_nodes";
+/// Counter name for branch-and-bound solves that proved optimality.
+pub const COUNTER_BNB_PROVEN_OPTIMAL: &str = "bnb_proven_optimal";
+/// Counter name for bisection probes made by the per-slot baseline's
+/// multiplier search.
+pub const COUNTER_PER_SLOT_PROBES: &str = "per_slot_probes";
+
+/// Counter name for game resources masked out by availability faults,
+/// accumulated across slots.
+pub const COUNTER_FAULT_MASKED_RESOURCES: &str = "fault.masked_resources";
+/// Counter name for players whose retained strategy was displaced by a
+/// mask and repaired onto a reachable alternative (includes players
+/// re-allowed best-effort because the mask left them nothing).
+pub const COUNTER_FAULT_REPAIRED_PLAYERS: &str = "fault.repaired_players";
+/// Counter name for corrupt state entries replaced by the sanitizer.
+pub const COUNTER_FAULT_STATE_SUBSTITUTIONS: &str = "fault.state_substitutions";
+/// Counter name for slots whose solve hit the anytime deadline and
+/// returned the checkpointed incumbent instead of finishing.
+pub const COUNTER_DEADLINE_EXPIRATIONS: &str = "deadline.expirations";
+
+/// Counter name for robust solves that retried after a transient
+/// `SolveError` before succeeding or escalating.
+pub const COUNTER_ROBUST_RETRIES: &str = "robust.retries";
+/// Counter name for `SolveError`s surfaced to the robust ladder (each
+/// one forces an escalation past the first rung).
+pub const COUNTER_ROBUST_SOLVE_ERRORS: &str = "robust.solve_errors";
+/// Counter name for slots decided by the topology-only lifeboat after
+/// the optimizing solve failed.
+pub const COUNTER_ROBUST_LIFEBOAT_DECISIONS: &str = "robust.lifeboat_decisions";
+/// Counter name for slots whose frequency allocation fell back to
+/// equal-share after the optimal allocation failed.
+pub const COUNTER_ROBUST_EQUAL_SHARE_FALLBACKS: &str = "robust.equal_share_fallbacks";
+
+/// Counter name for snapshots written by a checkpointed run.
+pub const COUNTER_DURABILITY_SNAPSHOTS: &str = "durability.snapshots_written";
+/// Counter name for slot records appended to the write-ahead journal.
+pub const COUNTER_DURABILITY_FRAMES: &str = "durability.frames_journaled";
+/// Counter name for torn journal frames silently dropped during recovery
+/// (a crash mid-append tears at most the final frame).
+pub const COUNTER_DURABILITY_TORN: &str = "durability.torn_frames_dropped";
+/// Counter name for intact journal frames past the snapshot slot that a
+/// resume discards (their slots are re-executed deterministically).
+pub const COUNTER_DURABILITY_DISCARDED: &str = "durability.frames_discarded";
+/// Counter name for completed slots restored from the checkpoint instead
+/// of re-solved (the resume fast-forward).
+pub const COUNTER_DURABILITY_RESUMED: &str = "durability.resumed_slots";
+
+/// Counter name for health transitions into `Ok`.
+pub const COUNTER_HEALTH_TO_OK: &str = "health.to_ok";
+/// Counter name for health transitions into `Degraded`.
+pub const COUNTER_HEALTH_TO_DEGRADED: &str = "health.to_degraded";
+/// Counter name for health transitions into `Critical`.
+pub const COUNTER_HEALTH_TO_CRITICAL: &str = "health.to_critical";
+/// Counter name for flight-recorder postmortem bundles dumped.
+pub const COUNTER_FLIGHT_POSTMORTEMS: &str = "flight.postmortems";
+
+/// Gauge name for the current virtual-queue backlog Q(t+1).
+pub const GAUGE_QUEUE_BACKLOG: &str = "queue_backlog";
+/// Gauge name for the queue trend (backlog change per slot over the
+/// health window).
+pub const GAUGE_QUEUE_TREND: &str = "queue_trend_per_slot";
+/// Gauge name for the budget residual C̄ − (1/t)·ΣE ($/slot; negative
+/// means overspending).
+pub const GAUGE_BUDGET_RESIDUAL: &str = "budget_residual_usd";
+/// Gauge name for the running time-average fleet latency (s).
+pub const GAUGE_AVG_LATENCY: &str = "avg_latency_s";
+/// Gauge name for the running time-average energy cost ($/slot).
+pub const GAUGE_AVG_COST: &str = "avg_cost_usd";
+/// Gauge name for the overall health level (0 = Ok, 1 = Degraded,
+/// 2 = Critical).
+pub const GAUGE_HEALTH_LEVEL: &str = "health_level";
+/// Gauge name for the run's drift-plus-penalty weight V.
+pub const GAUGE_CONFIG_V: &str = "config_v";
+/// Gauge name for the run's per-slot energy budget C̄ ($/slot).
+pub const GAUGE_CONFIG_BUDGET: &str = "config_budget_usd";
+
+/// The kind of a metric, deciding its Prometheus `# TYPE` and snapshot
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter (exposed with a `_total` suffix).
+    Counter,
+    /// Point-in-time float value.
+    Gauge,
+    /// Log-linear distribution of span durations (nanoseconds).
+    Histogram,
+}
+
+/// One registered metric: name, kind, and a one-line meaning.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// The wire name (the `const` above).
+    pub name: &'static str,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// One-line help string for exposition and docs.
+    pub help: &'static str,
+}
+
+const fn def(name: &'static str, kind: MetricKind, help: &'static str) -> MetricDef {
+    MetricDef { name, kind, help }
+}
+
+/// Every known metric, in exposition order. [`crate::LiveRegistry`]
+/// pre-allocates one slot per entry so hot-path updates are a single
+/// index + atomic op.
+pub const ALL: &[MetricDef] = &[
+    def(SPAN_SLOT_SOLVE, MetricKind::Histogram, "wall time of one whole per-slot DPP solve (ns)"),
+    def(SPAN_P2A, MetricKind::Histogram, "wall time of one P2-A discrete solve (ns)"),
+    def(SPAN_P2B, MetricKind::Histogram, "wall time of one P2-B frequency solve (ns)"),
+    def(SPAN_QUEUE_UPDATE, MetricKind::Histogram, "wall time of one virtual-queue update (ns)"),
+    def(SPAN_JOURNAL_APPEND, MetricKind::Histogram, "wall time of one journal append (ns)"),
+    def(SPAN_JOURNAL_FSYNC, MetricKind::Histogram, "wall time of one journal fsync (ns)"),
+    def(
+        SPAN_SNAPSHOT_WRITE,
+        MetricKind::Histogram,
+        "wall time of one checkpoint snapshot write (ns)",
+    ),
+    def(COUNTER_SLOTS, MetricKind::Counter, "slots solved"),
+    def(COUNTER_BDMA_ROUNDS, MetricKind::Counter, "BDMA alternation rounds executed"),
+    def(COUNTER_BDMA_ACCEPTED, MetricKind::Counter, "BDMA rounds that improved the incumbent"),
+    def(COUNTER_BDMA_ROUNDS_SAVED, MetricKind::Counter, "BDMA rounds skipped by early termination"),
+    def(COUNTER_CGBA_ITERATIONS, MetricKind::Counter, "CGBA best-response iterations executed"),
+    def(COUNTER_CGBA_CONVERGED, MetricKind::Counter, "CGBA solves that reached a Nash equilibrium"),
+    def(COUNTER_CGBA_PROBES, MetricKind::Counter, "strategy-cost probes evaluated in CGBA scans"),
+    def(
+        COUNTER_CGBA_WARM_MOVES,
+        MetricKind::Counter,
+        "best-response moves of warm-seeded CGBA solves",
+    ),
+    def(COUNTER_MCBA_PROPOSALS, MetricKind::Counter, "MCBA annealing proposals evaluated"),
+    def(COUNTER_MCBA_ACCEPTED, MetricKind::Counter, "MCBA annealing proposals accepted"),
+    def(COUNTER_BNB_NODES, MetricKind::Counter, "branch-and-bound nodes expanded"),
+    def(COUNTER_BNB_PROVEN_OPTIMAL, MetricKind::Counter, "branch-and-bound solves proven optimal"),
+    def(
+        COUNTER_PER_SLOT_PROBES,
+        MetricKind::Counter,
+        "per-slot baseline multiplier bisection probes",
+    ),
+    def(
+        COUNTER_FAULT_MASKED_RESOURCES,
+        MetricKind::Counter,
+        "game resources masked by availability faults",
+    ),
+    def(
+        COUNTER_FAULT_REPAIRED_PLAYERS,
+        MetricKind::Counter,
+        "players repaired after a mask displaced them",
+    ),
+    def(
+        COUNTER_FAULT_STATE_SUBSTITUTIONS,
+        MetricKind::Counter,
+        "corrupt state entries replaced by the sanitizer",
+    ),
+    def(
+        COUNTER_DEADLINE_EXPIRATIONS,
+        MetricKind::Counter,
+        "solves cut short by the anytime deadline",
+    ),
+    def(
+        COUNTER_ROBUST_RETRIES,
+        MetricKind::Counter,
+        "robust solves retried after a transient error",
+    ),
+    def(
+        COUNTER_ROBUST_SOLVE_ERRORS,
+        MetricKind::Counter,
+        "SolveErrors surfaced to the robust ladder",
+    ),
+    def(
+        COUNTER_ROBUST_LIFEBOAT_DECISIONS,
+        MetricKind::Counter,
+        "slots decided by the topology-only lifeboat",
+    ),
+    def(
+        COUNTER_ROBUST_EQUAL_SHARE_FALLBACKS,
+        MetricKind::Counter,
+        "frequency allocations that fell back to equal share",
+    ),
+    def(COUNTER_DURABILITY_SNAPSHOTS, MetricKind::Counter, "checkpoint snapshots written"),
+    def(COUNTER_DURABILITY_FRAMES, MetricKind::Counter, "slot records appended to the journal"),
+    def(
+        COUNTER_DURABILITY_TORN,
+        MetricKind::Counter,
+        "torn journal frames dropped during recovery",
+    ),
+    def(
+        COUNTER_DURABILITY_DISCARDED,
+        MetricKind::Counter,
+        "intact journal frames discarded on resume",
+    ),
+    def(
+        COUNTER_DURABILITY_RESUMED,
+        MetricKind::Counter,
+        "slots restored from checkpoint on resume",
+    ),
+    def(COUNTER_HEALTH_TO_OK, MetricKind::Counter, "health transitions into Ok"),
+    def(COUNTER_HEALTH_TO_DEGRADED, MetricKind::Counter, "health transitions into Degraded"),
+    def(COUNTER_HEALTH_TO_CRITICAL, MetricKind::Counter, "health transitions into Critical"),
+    def(
+        COUNTER_FLIGHT_POSTMORTEMS,
+        MetricKind::Counter,
+        "flight-recorder postmortem bundles dumped",
+    ),
+    def(GAUGE_QUEUE_BACKLOG, MetricKind::Gauge, "current virtual-queue backlog Q(t+1)"),
+    def(
+        GAUGE_QUEUE_TREND,
+        MetricKind::Gauge,
+        "queue backlog change per slot over the health window",
+    ),
+    def(
+        GAUGE_BUDGET_RESIDUAL,
+        MetricKind::Gauge,
+        "budget residual C-bar minus running average cost ($/slot)",
+    ),
+    def(GAUGE_AVG_LATENCY, MetricKind::Gauge, "running time-average fleet latency (s)"),
+    def(GAUGE_AVG_COST, MetricKind::Gauge, "running time-average energy cost ($/slot)"),
+    def(
+        GAUGE_HEALTH_LEVEL,
+        MetricKind::Gauge,
+        "overall health level (0 Ok, 1 Degraded, 2 Critical)",
+    ),
+    def(GAUGE_CONFIG_V, MetricKind::Gauge, "drift-plus-penalty weight V of the run"),
+    def(GAUGE_CONFIG_BUDGET, MetricKind::Gauge, "per-slot energy budget C-bar of the run ($/slot)"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for d in ALL {
+            assert!(seen.insert(d.name), "duplicate metric name {}", d.name);
+            assert!(!d.help.is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_covers_the_exported_consts() {
+        for name in [
+            SPAN_SLOT_SOLVE,
+            SPAN_JOURNAL_APPEND,
+            COUNTER_SLOTS,
+            COUNTER_CGBA_PROBES,
+            COUNTER_ROBUST_LIFEBOAT_DECISIONS,
+            COUNTER_DURABILITY_FRAMES,
+            GAUGE_QUEUE_BACKLOG,
+            GAUGE_HEALTH_LEVEL,
+        ] {
+            assert!(ALL.iter().any(|d| d.name == name), "{name} missing from ALL");
+        }
+    }
+}

@@ -24,6 +24,13 @@ pub trait Recorder {
     /// Increments a monotonic counter.
     fn add(&self, name: &str, delta: u64);
 
+    /// Sets a point-in-time gauge. Defaults to a no-op so pre-existing
+    /// recorders (metrics, JSONL) that have no gauge concept need no
+    /// change.
+    fn gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
     /// Records a structured event.
     fn record(&self, event: &TraceEvent);
 }
@@ -119,6 +126,11 @@ impl Recorder for TeeRecorder<'_> {
     fn add(&self, name: &str, delta: u64) {
         self.first.add(name, delta);
         self.second.add(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.first.gauge(name, value);
+        self.second.gauge(name, value);
     }
 
     fn record(&self, event: &TraceEvent) {

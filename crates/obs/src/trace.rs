@@ -70,7 +70,7 @@ impl TraceAnalysis {
                         rounds_this_slot = 0;
                     }
                 }
-                TraceEvent::QueueUpdate { .. } => {}
+                TraceEvent::QueueUpdate { .. } | TraceEvent::Health { .. } => {}
             }
         }
         Ok(analysis)

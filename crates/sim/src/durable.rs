@@ -49,6 +49,7 @@ use eotora_durability::{
     read_journal, read_snapshot, write_atomic, write_snapshot, DurabilityError, FsyncPolicy,
     JournalWriter, SlotRecord, DEFAULT_SEGMENT_BYTES,
 };
+use eotora_obs::Recorder;
 use eotora_util::rng::Pcg32;
 use serde::{Deserialize, Serialize};
 
@@ -184,6 +185,12 @@ impl DurableSession {
         self.writer.append(&record.encode())
     }
 
+    /// Duration of the most recent journal fsync, if one ran since the
+    /// last call — feeds the sink-only `journal.fsync` telemetry span.
+    pub(crate) fn take_sync_nanos(&mut self) -> Option<u64> {
+        self.writer.take_last_sync_nanos()
+    }
+
     /// Whether a snapshot is due after `completed` slots of `horizon`.
     pub(crate) fn checkpoint_due(&self, completed: u64, horizon: u64) -> bool {
         completed == horizon || completed.is_multiple_of(self.checkpoint_every)
@@ -225,6 +232,13 @@ fn write_manifest(dir: &Path, manifest: &RunManifest) -> Result<(), DurabilityEr
         reason: format!("run manifest failed to serialize: {e}"),
     })?;
     write_atomic(&path, text.as_bytes())
+}
+
+/// Reads the run manifest of the checkpoint directory `dir` — the public
+/// hook the CLI uses to recover a resumed run's scenario parameters (V,
+/// budget) for health-rule construction.
+pub fn read_manifest_in(dir: &Path) -> Result<RunManifest, DurabilityError> {
+    read_manifest(dir)
 }
 
 fn read_manifest(dir: &Path) -> Result<RunManifest, DurabilityError> {
@@ -281,6 +295,18 @@ pub fn run_durable(
     scenario: &Scenario,
     cfg: &DurabilityConfig,
 ) -> Result<DurableRun, DurabilityError> {
+    run_durable_traced(scenario, cfg, None)
+}
+
+/// [`run_durable`] with an optional trace sink (live telemetry, JSONL).
+/// The sink additionally receives the journal/fsync/snapshot latency
+/// spans, which never enter the aggregated metrics — keeping resumed-run
+/// counters and CSV columns bit-identical to an untraced run.
+pub fn run_durable_traced(
+    scenario: &Scenario,
+    cfg: &DurabilityConfig,
+    sink: Option<&dyn Recorder>,
+) -> Result<DurableRun, DurabilityError> {
     let manifest = RunManifest {
         version: MANIFEST_VERSION,
         mode: "plain".to_owned(),
@@ -298,7 +324,7 @@ pub fn run_durable(
         scenario,
         system,
         &mut |slot, topo| states.observe(slot, topo),
-        None,
+        sink,
         EngineMode::Plain,
         Some(&mut session),
     )?;
@@ -312,6 +338,18 @@ pub fn run_durable_robust(
     faults: &FaultSchedule,
     deadline: Option<Duration>,
     cfg: &DurabilityConfig,
+) -> Result<DurableRun, DurabilityError> {
+    run_durable_robust_traced(scenario, faults, deadline, cfg, None)
+}
+
+/// [`run_durable_robust`] with an optional trace sink — see
+/// [`run_durable_traced`] for the span-routing contract.
+pub fn run_durable_robust_traced(
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+    deadline: Option<Duration>,
+    cfg: &DurabilityConfig,
+    sink: Option<&dyn Recorder>,
 ) -> Result<DurableRun, DurabilityError> {
     let manifest = RunManifest {
         version: MANIFEST_VERSION,
@@ -331,7 +369,7 @@ pub fn run_durable_robust(
         scenario,
         system,
         &mut |slot, topo| states.observe(slot, topo),
-        None,
+        sink,
         EngineMode::Robust { faults, robust: &robust },
         Some(&mut session),
     )?;
@@ -347,6 +385,15 @@ pub fn run_durable_robust(
 /// Returns the same [`DurableRun`] a never-interrupted run would — all
 /// decision-derived values bit-identical (see the module docs).
 pub fn resume_durable(cfg: &DurabilityConfig) -> Result<DurableRun, DurabilityError> {
+    resume_durable_traced(cfg, None)
+}
+
+/// [`resume_durable`] with an optional trace sink — see
+/// [`run_durable_traced`] for the span-routing contract.
+pub fn resume_durable_traced(
+    cfg: &DurabilityConfig,
+    sink: Option<&dyn Recorder>,
+) -> Result<DurableRun, DurabilityError> {
     let manifest = read_manifest(&cfg.dir)?;
     let fsync = manifest.fsync.parse::<FsyncPolicy>().map_err(|reason| {
         DurabilityError::CorruptManifest {
@@ -412,7 +459,7 @@ pub fn resume_durable(cfg: &DurabilityConfig) -> Result<DurableRun, DurabilityEr
             &scenario,
             system,
             &mut |slot, topo| states.observe(slot, topo),
-            None,
+            sink,
             EngineMode::Plain,
             Some(&mut session),
         )?,
@@ -424,7 +471,7 @@ pub fn resume_durable(cfg: &DurabilityConfig) -> Result<DurableRun, DurabilityEr
                 &scenario,
                 system,
                 &mut |slot, topo| states.observe(slot, topo),
-                None,
+                sink,
                 EngineMode::Robust { faults: &faults, robust: &robust },
                 Some(&mut session),
             )?

@@ -16,9 +16,10 @@
 use std::collections::BTreeMap;
 
 use eotora_core::fault::FaultSchedule;
+use eotora_obs::TelemetrySession;
 use serde::{Deserialize, Serialize};
 
-use crate::runner::{robust_config, run_robust, SimulationResult};
+use crate::runner::{robust_config, run_robust_traced, SimulationResult};
 use crate::scenario::Scenario;
 
 /// One arm (baseline or faulted) of the chaos comparison.
@@ -37,6 +38,11 @@ pub struct ChaosArm {
     /// Final values of the run's monotonic counters (`fault.*`,
     /// `deadline.*`, `slots`, ...).
     pub counters: BTreeMap<String, u64>,
+    /// Worst [`eotora_obs::HealthStatus`] the health monitor reported at
+    /// any point of the run (`"ok"` / `"degraded"` / `"critical"`). Worst,
+    /// not final: chaos faults heal before the horizon, so the interesting
+    /// signal is whether the monitor *noticed* the outage window.
+    pub health: String,
 }
 
 /// Result of one baseline-vs-faulted chaos comparison.
@@ -56,7 +62,7 @@ pub struct ChaosReport {
     pub queue_growth_rel: f64,
 }
 
-fn arm(label: &str, result: &SimulationResult) -> ChaosArm {
+fn arm(label: &str, result: &SimulationResult, health: String) -> ChaosArm {
     let window = (result.queue.len() / 10).max(1);
     ChaosArm {
         label: label.to_string(),
@@ -65,18 +71,28 @@ fn arm(label: &str, result: &SimulationResult) -> ChaosArm {
         max_queue: result.queue.values().iter().copied().fold(0.0, f64::max),
         converged_queue: result.queue.tail_average(window),
         counters: result.counters.clone(),
+        health,
     }
+}
+
+/// One arm through the robust pipeline with an in-memory telemetry session
+/// attached, returning the result plus the worst health status observed.
+fn run_arm(scenario: &Scenario, faults: &FaultSchedule) -> (SimulationResult, String) {
+    let robust = robust_config(scenario, None);
+    let telemetry = TelemetrySession::in_memory(scenario.dpp.v, scenario.system.budget_per_slot);
+    let result = run_robust_traced(scenario, faults, &robust, &telemetry);
+    let worst = telemetry.health_summary().worst.as_str().to_owned();
+    (result, worst)
 }
 
 /// Runs the baseline and faulted arms of `scenario` under `faults` and
 /// reports the degradation ratios.
 pub fn chaos_report(scenario: &Scenario, faults: &FaultSchedule) -> ChaosReport {
-    let robust = robust_config(scenario, None);
-    let baseline = run_robust(scenario, &FaultSchedule::default(), &robust);
-    let faulted = run_robust(scenario, faults, &robust);
+    let (baseline, baseline_health) = run_arm(scenario, &FaultSchedule::default());
+    let (faulted, faulted_health) = run_arm(scenario, faults);
     let rel = |f: f64, b: f64| if b == 0.0 { 0.0 } else { (f - b) / b };
-    let baseline = arm("baseline", &baseline);
-    let faulted = arm("faulted", &faulted);
+    let baseline = arm("baseline", &baseline, baseline_health);
+    let faulted = arm("faulted", &faulted, faulted_health);
     ChaosReport {
         latency_degradation_rel: rel(faulted.average_latency, baseline.average_latency),
         cost_degradation_rel: rel(faulted.average_cost, baseline.average_cost),
@@ -137,6 +153,12 @@ mod tests {
         // The queue must not wind up unboundedly: peak backlog stays within
         // a small multiple of the per-slot budget over 500 slots.
         assert!(report.faulted.max_queue < 50.0, "queue wound up to {}", report.faulted.max_queue);
+
+        // The health monitor separates the arms: the clean run never leaves
+        // Ok, while the fault windows (masked servers, corrupt-state burst)
+        // push the faulted run to at least Degraded at some point.
+        assert_eq!(report.baseline.health, "ok", "clean run should stay healthy");
+        assert_ne!(report.faulted.health, "ok", "faulted run should trip the health monitor");
     }
 
     /// Every slot of a faulted run keeps producing feasible decisions and

@@ -278,11 +278,18 @@ pub(crate) fn run_engine(
                 if faults.corrupt_at(slot) {
                     corrupt_state(&mut observed, &mut corrupt_rng);
                 }
-                let (clean, substitutions) = sanitizer.sanitize(&observed);
-                if substitutions > 0 {
-                    recorder.add(eotora_obs::COUNTER_FAULT_STATE_SUBSTITUTIONS, substitutions);
+                if robust.sanitize {
+                    let (clean, substitutions) = sanitizer.sanitize(&observed);
+                    if substitutions > 0 {
+                        recorder.add(eotora_obs::COUNTER_FAULT_STATE_SUBSTITUTIONS, substitutions);
+                    }
+                    beta = clean;
+                } else {
+                    // Diagnostic mode: let corrupt observations reach the
+                    // solver so the robust ladder (and its postmortem
+                    // triggers) can be exercised deterministically.
+                    beta = observed;
                 }
-                beta = clean;
                 let mask = faults.mask_at(slot);
                 let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
                 let (robust_step, _report) = dpp.step_robust(&beta, &mask, robust, recorder);
@@ -342,7 +349,20 @@ pub(crate) fn run_engine(
                     .filter(|(name, _)| name != eotora_obs::SPAN_SLOT_SOLVE)
                     .collect(),
             };
-            session.journal_slot(&record)?;
+            // Journal latency spans go to the *sink only*: routing them
+            // through the aggregating recorder would perturb per-stage
+            // series and resumed-run counter identity.
+            match sink {
+                Some(sink) => {
+                    let span = SpanGuard::new(sink, eotora_obs::SPAN_JOURNAL_APPEND);
+                    session.journal_slot(&record)?;
+                    span.finish();
+                    if let Some(nanos) = session.take_sync_nanos() {
+                        sink.span_ns(eotora_obs::SPAN_JOURNAL_FSYNC, nanos);
+                    }
+                }
+                None => session.journal_slot(&record)?,
+            }
             recorder.add(eotora_obs::COUNTER_DURABILITY_FRAMES, 1);
             let completed = slot + 1;
             if session.checkpoint_due(completed, scenario.horizon) {
@@ -360,7 +380,17 @@ pub(crate) fn run_engine(
                     corrupt_rng: corrupt_rng.clone(),
                     counters,
                 };
-                session.write_snapshot(&snapshot)?;
+                match sink {
+                    Some(sink) => {
+                        let span = SpanGuard::new(sink, eotora_obs::SPAN_SNAPSHOT_WRITE);
+                        session.write_snapshot(&snapshot)?;
+                        span.finish();
+                        if let Some(nanos) = session.take_sync_nanos() {
+                            sink.span_ns(eotora_obs::SPAN_JOURNAL_FSYNC, nanos);
+                        }
+                    }
+                    None => session.write_snapshot(&snapshot)?,
+                }
             }
             if session.should_kill(slot) {
                 return Ok(EngineOutcome::Interrupted { slot });
