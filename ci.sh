@@ -37,6 +37,42 @@ awk '
   END { if (!found) { print "FAIL: no 30-device row in quick bench output"; exit 1 } }
 ' target/BENCH_slot_solve.quick.json
 
+echo "==> shard identity guard (sharded arm bit-identical, plan non-trivial)"
+awk '
+  /"shard_scales":/ { in_shards = 1 }
+  in_shards && /"shards_used":/ {
+    val = $2; gsub(/[^0-9]/, "", val); found = 1
+    if (val + 0 < 2) {
+      printf "FAIL: sharded bench row used %d shard(s); island plan collapsed\n", val
+      exit 1
+    }
+    printf "OK: sharded bench row solved %d shards (identity asserted in-bench)\n", val
+  }
+  END { if (!found) { print "FAIL: no shard_scales row in quick bench output"; exit 1 } }
+' target/BENCH_slot_solve.quick.json
+
+echo "==> shard speedup guard (>= 2x at 10k devices, skipped under 4 workers)"
+# Reads the committed full-scale bench artifact: the 2x bar only means
+# something with real parallelism, so boxes under 4 workers just report.
+awk '
+  /"shard_scales":/ { in_shards = 1 }
+  in_shards && /"devices":/ { dev = $2; gsub(/[^0-9]/, "", dev) }
+  in_shards && /"workers":/ { workers = $2; gsub(/[^0-9]/, "", workers) }
+  in_shards && /"shard_speedup":/ && dev == 10000 {
+    val = $2; gsub(/[^0-9.]/, "", val); found = 1
+    if (workers + 0 < 4) {
+      printf "SKIP: shard speedup %.2fx at 10k devices recorded on %d worker(s)\n", val, workers
+      next
+    }
+    if (val + 0 < 2.0) {
+      printf "FAIL: shard speedup %.2fx < 2x at 10k devices on %d workers\n", val, workers
+      exit 1
+    }
+    printf "OK: shard speedup %.2fx at 10k devices on %d workers\n", val, workers
+  }
+  END { if (!found) { print "FAIL: no 10k shard row in BENCH_slot_solve.json"; exit 1 } }
+' BENCH_slot_solve.json
+
 echo "==> journal overhead guard (slot journaling <= 5% of engine p50 at 30 devices)"
 awk '
   /"devices":/ { dev = $2; gsub(/[^0-9]/, "", dev) }
@@ -180,6 +216,42 @@ ref, resumed = decisions("ref"), decisions("resumed")
 assert len(ref) == 101, f"reference CSV has {len(ref) - 1} slots, expected 100"
 assert ref == resumed, "resumed run diverged from the uninterrupted reference"
 print("OK: durability smoke — kill at 57, resume, 100 slots bit-identical")
+EOF
+
+echo "==> shard smoke (island fleet, --shards auto vs sequential, bit-for-bit CSV diff)"
+# A 500-device, 8-island scale-out scenario run twice: the sequential
+# engine and the sharded engine (`--shards auto`). The island resource
+# graph is separable, so the decision series must match exactly once
+# wall-clock columns are dropped.
+SHARD_DIR="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_DIR" "$TEL_DIR" "$DUR_DIR" "$SHARD_DIR"' EXIT
+./target/release/eotora template --devices 500 --islands 8 --seed 41 \
+  | sed 's/"horizon": [0-9]*/"horizon": 12/' > "$SHARD_DIR/scenario.json"
+./target/release/eotora run "$SHARD_DIR/scenario.json" --csv "$SHARD_DIR/seq" > /dev/null
+./target/release/eotora run "$SHARD_DIR/scenario.json" --shards auto \
+  --csv "$SHARD_DIR/sharded" --out "$SHARD_DIR/sharded.json" > /dev/null
+python3 - "$SHARD_DIR/seq_slots.csv" "$SHARD_DIR/sharded_slots.csv" "$SHARD_DIR/sharded.json" <<'EOF'
+import json, sys
+
+def decisions(path):
+    rows = [line.rstrip("\n").split(",") for line in open(path)]
+    header = rows[0]
+    keep = [
+        i
+        for i, name in enumerate(header)
+        if name != "solve_time_s"
+        and not name.startswith("stage_")
+        and not name.startswith("ctr_shard.")
+    ]
+    return [[row[i] for i in keep] for row in rows]
+
+seq, sharded = decisions(sys.argv[1]), decisions(sys.argv[2])
+assert len(seq) == 13, f"sequential CSV has {len(seq) - 1} slots, expected 12"
+assert seq == sharded, "sharded run diverged from the sequential engine"
+counters = json.load(open(sys.argv[3]))["counters"]
+solves = counters.get("shard.solves", 0)
+assert solves > 0, "sharded run never entered the sharded solver"
+print(f"OK: shard smoke — 12 slots bit-identical, {solves} shard solves")
 EOF
 
 echo "ci: all green"

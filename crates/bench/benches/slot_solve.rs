@@ -33,6 +33,14 @@
 //! relative to the p50 engine solve. ci.sh's quick-mode gate fails if it
 //! exceeds 2% at the 30-device scale.
 //!
+//! A separate **shard** section replays the loop on the scale-out island
+//! topology ([`Scenario::scale_up`]) twice — sequential [`CgbaSolver`]
+//! versus [`ShardedCgbaSolver`] on the process worker pool — at 10k and
+//! 100k devices. The island resource graph is separable, so the two runs
+//! must be decision-identical (asserted); `shard_speedup` is the
+//! sequential p50 over the sharded p50, and each row records the worker
+//! count so the CI guard can skip the speedup requirement on small boxes.
+//!
 //! p50/p95 per-slot solve times and the speedups land in
 //! `BENCH_slot_solve.json` at the repo root (or
 //! `target/BENCH_slot_solve.quick.json` under `EOTORA_QUICK`, with
@@ -45,6 +53,7 @@
 use std::time::Instant;
 
 use eotora_core::bdma::{solve_p2_in, solve_p2_reference, BdmaConfig, CgbaSolver, StartPolicy};
+use eotora_core::sharded::ShardedCgbaSolver;
 use eotora_core::system::{MecSystem, SystemConfig};
 use eotora_core::workspace::SlotWorkspace;
 use eotora_durability::{FsyncPolicy, JournalWriter, SlotRecord};
@@ -349,6 +358,88 @@ fn bench_scale(devices: usize, horizon: u64) -> ScaleResult {
     }
 }
 
+struct ShardScaleResult {
+    devices: usize,
+    islands: usize,
+    horizon: u64,
+    workers: usize,
+    sequential_p50_s: f64,
+    sharded_p50_s: f64,
+    shard_speedup: f64,
+    shards_used: usize,
+    largest_shard: usize,
+}
+
+/// Replays the online loop on the separable island topology twice —
+/// sequential CGBA versus the sharded engine — and asserts the decision
+/// sequences are bit-identical (the restriction argument, checked at
+/// fleet scale). z = 1 so the timed region is the P2-A solve the shards
+/// parallelize.
+fn bench_shard_scale(devices: usize, islands: usize, horizon: u64) -> ShardScaleResult {
+    let scenario = eotora_sim::scenario::Scenario::scale_up(devices, islands, SEED);
+    let system = MecSystem::random(&scenario.system, SEED);
+    let states = record_states(&system, horizon);
+    let bdma = BdmaConfig { rounds: 1, ..Default::default() };
+
+    let mut seq_workspace = SlotWorkspace::new();
+    let mut seq_solver = CgbaSolver::default();
+    let (seq_lat, mut seq_times, _) = run_loop(&system, &states, |sys, state, queue, slot, rng| {
+        solve_p2_in(
+            sys,
+            state,
+            V,
+            queue,
+            &bdma,
+            &mut seq_solver,
+            rng,
+            slot,
+            &eotora_obs::NoopRecorder,
+            &mut seq_workspace,
+        )
+    });
+
+    let mut sharded_workspace = SlotWorkspace::new();
+    let mut sharded_solver = ShardedCgbaSolver::default();
+    let (sharded_lat, mut sharded_times, _) =
+        run_loop(&system, &states, |sys, state, queue, slot, rng| {
+            solve_p2_in(
+                sys,
+                state,
+                V,
+                queue,
+                &bdma,
+                &mut sharded_solver,
+                rng,
+                slot,
+                &eotora_obs::NoopRecorder,
+                &mut sharded_workspace,
+            )
+        });
+
+    assert_eq!(
+        seq_lat, sharded_lat,
+        "sharded and sequential latency series must be bit-identical at I={devices}"
+    );
+    let plan = sharded_solver.plan().expect("sharded solver ran, so a plan exists");
+    assert!(!plan.is_trivial(), "island topology must produce a non-trivial plan at I={devices}");
+
+    seq_times.sort_by(f64::total_cmp);
+    sharded_times.sort_by(f64::total_cmp);
+    let sequential_p50_s = quantile(&seq_times, 0.50);
+    let sharded_p50_s = quantile(&sharded_times, 0.50);
+    ShardScaleResult {
+        devices,
+        islands,
+        horizon,
+        workers: eotora_util::pool::default_workers(),
+        sequential_p50_s,
+        sharded_p50_s,
+        shard_speedup: sequential_p50_s / sharded_p50_s.max(1e-12),
+        shards_used: plan.num_shards(),
+        largest_shard: plan.largest_shard_players(),
+    }
+}
+
 fn main() {
     let quick = eotora_bench::quick_mode();
     // Quick mode keeps the two-scale shape at smoke-test sizes; the
@@ -388,6 +479,28 @@ fn main() {
             r.live_overhead_pct,
         );
         results.push(r);
+    }
+
+    // Shard scales: the 10k/100k island fleets the sharded engine targets
+    // (quick mode keeps one smoke-size row for ci.sh's identity gate).
+    let shard_scales: &[(usize, usize, u64)] =
+        if quick { &[(500, 8, 4)] } else { &[(10_000, 16, 3), (100_000, 64, 2)] };
+    let mut shard_results = Vec::new();
+    for &(devices, islands, horizon) in shard_scales {
+        eprintln!(
+            "slot_solve shard: I={devices}, {islands} islands, {horizon} slots, {} worker(s) …",
+            eotora_util::pool::default_workers()
+        );
+        let r = bench_shard_scale(devices, islands, horizon);
+        eprintln!(
+            "  sequential p50 {:.3} ms | sharded p50 {:.3} ms | speedup {:.2}x | {} shards (largest {} players)",
+            r.sequential_p50_s * 1e3,
+            r.sharded_p50_s * 1e3,
+            r.shard_speedup,
+            r.shards_used,
+            r.largest_shard,
+        );
+        shard_results.push(r);
     }
 
     let entries: Vec<String> = results
@@ -437,11 +550,41 @@ fn main() {
             )
         })
         .collect();
+    let shard_entries: Vec<String> = shard_results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"devices\": {},\n",
+                    "      \"islands\": {},\n",
+                    "      \"horizon_slots\": {},\n",
+                    "      \"workers\": {},\n",
+                    "      \"sequential_p50_s\": {:e},\n",
+                    "      \"sharded_p50_s\": {:e},\n",
+                    "      \"shard_speedup\": {:.3},\n",
+                    "      \"shards_used\": {},\n",
+                    "      \"largest_shard\": {}\n",
+                    "    }}"
+                ),
+                r.devices,
+                r.islands,
+                r.horizon,
+                r.workers,
+                r.sequential_p50_s,
+                r.sharded_p50_s,
+                r.shard_speedup,
+                r.shards_used,
+                r.largest_shard,
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"slot_solve\",\n  \"quick\": {},\n  \"seed\": {},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"slot_solve\",\n  \"quick\": {},\n  \"seed\": {},\n  \"scales\": [\n{}\n  ],\n  \"shard_scales\": [\n{}\n  ]\n}}\n",
         quick,
         SEED,
-        entries.join(",\n")
+        entries.join(",\n"),
+        shard_entries.join(",\n")
     );
 
     // Bench CWD is the package dir; the full-scale run records its numbers

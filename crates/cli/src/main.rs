@@ -64,9 +64,10 @@ const USAGE: &str = "\
 eotora — energy-aware online task offloading (ICDCS'23 reproduction)
 
 USAGE:
-  eotora template [--devices N] [--seed S]
+  eotora template [--devices N] [--seed S] [--islands K]
   eotora run <scenario.json> [--out results.json] [--csv prefix] [--svg prefix]
              [--trace trace.jsonl] [--jobs N] [--cold-start] [--bdma-eps X]
+             [--shards auto|N]
              [--fault-trace faults.json] [--slot-deadline-ms MS] [--no-sanitize]
              [--metrics-out m.jsonl|m.prom] [--metrics-every K]
              [--checkpoint-dir D] [--checkpoint-every K] [--fsync every-slot|every-K|os]
@@ -80,12 +81,38 @@ USAGE:
 ";
 
 fn cmd_template(args: &[String]) -> Result<(), String> {
+    require_flag_values(args, &["--devices", "--seed", "--islands"])?;
     let devices: usize = parse_flag(args, "--devices", 100)?;
     let seed: u64 = parse_flag(args, "--seed", 0)?;
-    let scenario = Scenario::paper(devices, seed);
+    // `--islands K` (K ≥ 1) switches to the scale-out island topology whose
+    // resource graph separates into K components — the shape `run --shards`
+    // exploits.
+    let islands: usize = parse_flag(args, "--islands", 0)?;
+    let scenario = if islands > 0 {
+        Scenario::scale_up(devices, islands, seed)
+    } else {
+        Scenario::paper(devices, seed)
+    };
     let json = serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?;
     println!("{json}");
     Ok(())
+}
+
+/// Parses `--shards auto|N` into the solver's shard-count convention
+/// (`0` = one shard per connected component).
+fn parse_shards_flag(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--shards") {
+        None => Ok(None),
+        Some("auto") => Ok(Some(0)),
+        Some(raw) => {
+            let n: usize =
+                raw.parse().map_err(|_| format!("--shards expects `auto` or N≥1, got `{raw}`"))?;
+            if n == 0 {
+                return Err("--shards 0 is not a shard count; use `auto`".into());
+            }
+            Ok(Some(n))
+        }
+    }
 }
 
 /// Applies `--jobs N` (if present) to the process-wide worker-pool default
@@ -285,6 +312,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--trace",
             "--jobs",
             "--bdma-eps",
+            "--shards",
             "--fault-trace",
             "--slot-deadline-ms",
             "--checkpoint-dir",
@@ -305,6 +333,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         scenario.dpp.start = eotora_core::bdma::StartPolicy::Cold;
     }
     scenario.dpp.bdma_epsilon = parse_flag(args, "--bdma-eps", scenario.dpp.bdma_epsilon)?;
+    // `--shards` switches the P2-A solve to the sharded CGBA engine
+    // (decision-identical to the sequential solver on separable topologies,
+    // and a safe no-op on dense ones — the partition pass refuses bad cuts).
+    if let Some(shards) = parse_shards_flag(args)? {
+        scenario = scenario.with_shards(shards);
+    }
     eprintln!(
         "running `{}`: {} devices, {} slots, V={}, budget ${:.2}/slot, start {:?} …",
         scenario.label,

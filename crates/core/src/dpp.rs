@@ -34,6 +34,15 @@ pub enum SolverKind {
         /// Approximation slack λ.
         lambda: f64,
     },
+    /// CGBA(λ) run per BS-cluster shard on a worker pool and merged
+    /// deterministically (see [`crate::sharded`]). Decision-identical to
+    /// [`SolverKind::Cgba`] on separable topologies.
+    ShardedCgba {
+        /// Approximation slack λ.
+        lambda: f64,
+        /// Shard cap handed to the plan (`0` = one shard per component).
+        shards: usize,
+    },
     /// Random selection (ROPT-based DPP baseline).
     Ropt,
     /// Deterministic heaviest-first marginal-cost assignment.
@@ -54,6 +63,9 @@ impl SolverKind {
     fn instantiate(self) -> Box<dyn P2aSolver> {
         match self {
             Self::Cgba { lambda } => Box::new(CgbaSolver::with_lambda(lambda)),
+            Self::ShardedCgba { lambda, shards } => {
+                Box::new(crate::sharded::ShardedCgbaSolver::with_lambda(lambda, shards))
+            }
             Self::Ropt => Box::new(RoptSolver),
             Self::Greedy => Box::new(GreedySolver),
             Self::Mcba { iterations } => {
@@ -67,6 +79,7 @@ impl SolverKind {
     pub fn name(self) -> &'static str {
         match self {
             Self::Cgba { .. } => "BDMA-based DPP",
+            Self::ShardedCgba { .. } => "Sharded-BDMA-based DPP",
             Self::Ropt => "ROPT-based DPP",
             Self::Greedy => "Greedy-based DPP",
             Self::Mcba { .. } => "MCBA-based DPP",
@@ -652,6 +665,10 @@ mod tests {
     #[test]
     fn solver_names_match_paper_legends() {
         assert_eq!(SolverKind::Cgba { lambda: 0.0 }.name(), "BDMA-based DPP");
+        assert_eq!(
+            SolverKind::ShardedCgba { lambda: 0.0, shards: 0 }.name(),
+            "Sharded-BDMA-based DPP"
+        );
         assert_eq!(SolverKind::Ropt.name(), "ROPT-based DPP");
         assert_eq!(SolverKind::Greedy.name(), "Greedy-based DPP");
         assert_eq!(SolverKind::Mcba { iterations: 100 }.name(), "MCBA-based DPP");

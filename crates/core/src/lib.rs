@@ -27,6 +27,7 @@
 //! | [`baselines`] | §VI | ROPT, MCBA (MCMC), and the exact branch-and-bound optimum |
 //! | [`fault`] | — | [`fault::AvailabilityMask`] + [`fault::FaultSchedule`]: failure model and scripted traces |
 //! | [`robust`] | — | [`robust::solve_p2_robust`]: fault-masked anytime solve with checkpointed incumbents |
+//! | [`sharded`] | — | [`sharded::ShardedCgbaSolver`]: per-cluster CGBA subgames solved in parallel and merged deterministically |
 //! | [`sanitize`] | — | [`sanitize::StateSanitizer`]: `β_t` validation with last-known-good substitution |
 //! | [`checkpoint`] | — | [`checkpoint::ControllerState`]: full serializable resume state (queue + workspace + sanitizer) |
 //! | [`error`] | — | [`error::SolveError`]: typed recoverable failures for the degradation ladder |
@@ -65,6 +66,7 @@ pub mod p2b;
 pub mod per_slot;
 pub mod robust;
 pub mod sanitize;
+pub mod sharded;
 pub mod system;
 pub mod workspace;
 
@@ -77,5 +79,6 @@ pub use multi_budget::MultiBudgetDpp;
 pub use per_slot::PerSlotController;
 pub use robust::{solve_p2_robust, RobustConfig, RobustReport};
 pub use sanitize::{SanitizeDefaults, SanitizeLimits, StateSanitizer};
+pub use sharded::{cgba_sharded_filtered, ShardedCgbaSolver, ShardedFilteredOutcome};
 pub use system::{MecSystem, SystemConfig};
 pub use workspace::SlotWorkspace;

@@ -65,6 +65,14 @@ pub struct RobustConfig {
     pub max_retries: u32,
     /// CGBA approximation slack λ.
     pub lambda: f64,
+    /// Shard cap for the P2-A step: `0` keeps the sequential
+    /// [`cgba_from_filtered`] solve; any other value routes through
+    /// [`crate::sharded::cgba_sharded_filtered`] with this cap
+    /// (`usize::MAX` ≈ one shard per BS-cluster component). On dense
+    /// topologies the plan collapses to one shard either way, so enabling
+    /// this is always safe; a shard that misses the deadline degrades
+    /// alone while the rest still converge.
+    pub shards: usize,
     /// Whether the engine runs the state sanitizer ahead of the solve
     /// (consumed by the simulation runner, not by
     /// [`solve_p2_robust`] itself). Disabling it lets corrupt
@@ -76,7 +84,7 @@ pub struct RobustConfig {
 
 impl Default for RobustConfig {
     fn default() -> Self {
-        Self { deadline: None, rounds: 5, max_retries: 2, lambda: 0.0, sanitize: true }
+        Self { deadline: None, rounds: 5, max_retries: 2, lambda: 0.0, shards: 0, sanitize: true }
     }
 }
 
@@ -213,7 +221,30 @@ pub fn solve_p2_robust(
             let problem = workspace.refresh_frequencies(system);
             let game = problem.game();
             let initial = Profile::from_choices(game, current.clone());
-            let report = cgba_from_filtered(game, initial, &cgba_config, &effect.filter, expired);
+            let report = if config.shards == 0 {
+                cgba_from_filtered(game, initial, &cgba_config, &effect.filter, expired)
+            } else {
+                let out = crate::sharded::cgba_sharded_filtered(
+                    game,
+                    initial,
+                    &cgba_config,
+                    &effect.filter,
+                    config.shards,
+                    &expired,
+                );
+                if recorder.is_enabled() {
+                    recorder.add(eotora_obs::COUNTER_SHARD_SOLVES, out.shards_used as u64);
+                    if out.degraded_shards > 0 {
+                        recorder
+                            .add(eotora_obs::COUNTER_SHARD_DEADLINE_DEGRADED, out.degraded_shards);
+                    }
+                    if out.reconcile_moves > 0 {
+                        recorder
+                            .add(eotora_obs::COUNTER_SHARD_RECONCILE_MOVES, out.reconcile_moves);
+                    }
+                }
+                out.report
+            };
             let choices = report.profile.choices().to_vec();
             let assignments = problem.assignments_from_choices(&choices);
             (choices, assignments)
@@ -611,6 +642,35 @@ mod tests {
         )
         .unwrap();
         assert!(rec.counter(eotora_obs::COUNTER_FAULT_MASKED_RESOURCES) >= 1);
+    }
+
+    #[test]
+    fn sharded_robust_solve_matches_sequential_on_islands() {
+        // The robust solve is RNG-free, so on a separable island topology
+        // the sharded P2-A step must reproduce the sequential run exactly.
+        let sys_config = SystemConfig {
+            topology: eotora_topology::RandomTopologyConfig::scale_up(30, 3),
+            ..SystemConfig::paper_defaults(30)
+        };
+        let system = MecSystem::random(&sys_config, 61);
+        let mut p = StateProvider::paper(system.topology(), &PaperStateConfig::default(), 61);
+        let state = p.observe(0, system.topology());
+        let run = |shards: usize| {
+            let mut ws = SlotWorkspace::new();
+            solve_p2_robust(
+                &system,
+                &state,
+                100.0,
+                0.0,
+                &AvailabilityMask::default(),
+                &RobustConfig { shards, ..Default::default() },
+                &mut ws,
+                0,
+                &NoopRecorder,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(0), run(usize::MAX));
     }
 
     #[test]

@@ -58,6 +58,7 @@ use serde::{Deserialize, Serialize};
 mod cgba;
 mod mask;
 mod profile;
+mod shard;
 
 pub use cgba::{
     brute_force_optimum, cgba, cgba_from, cgba_from_filtered, cgba_from_reference,
@@ -66,6 +67,7 @@ pub use cgba::{
 };
 pub use mask::StrategyFilter;
 pub use profile::Profile;
+pub use shard::{BitSet, ShardPlan, ShardSpec, MAX_CUT_FRACTION};
 
 /// A strategy: the resource bundle it uses, as `(resource index, p_{i,r})`
 /// pairs. Indices must be unique within a strategy.

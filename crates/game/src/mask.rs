@@ -11,7 +11,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use crate::GameStructure;
+use crate::{GameStructure, ShardSpec};
 
 /// An allow/deny mark per (player, strategy), stored flat.
 ///
@@ -111,6 +111,29 @@ impl StrategyFilter {
     pub fn num_players(&self) -> usize {
         self.offsets.len() - 1
     }
+
+    /// Projects a global filter onto one shard's local view.
+    ///
+    /// `local` is the structure [`ShardSpec::build_local`] produced for
+    /// `shard`. The result allocates only shard-sized storage — masking
+    /// cost scales with the shard, not the global game — and allows local
+    /// strategy `(li, ls)` exactly when the global filter allows its global
+    /// image, so a filtered local scan visits the same allowed set in the
+    /// same order as the restriction of the global scan.
+    pub fn project(&self, shard: &ShardSpec, local: &GameStructure) -> Self {
+        let mut out = Self::allow_all(local);
+        if self.all_allowed() {
+            return out;
+        }
+        for (li, &gi) in shard.players().iter().enumerate() {
+            for ls in 0..local.strategies(li).len() {
+                if !self.is_allowed(gi, shard.global_strategy(li, ls)) {
+                    out.disallow(li, ls);
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +194,31 @@ mod tests {
         let f = StrategyFilter::from_masked_resources(g.structure(), &[true, true, true]);
         assert_eq!(f.first_allowed(0), None);
         assert_eq!(f.allowed_count(0), 0);
+    }
+
+    #[test]
+    fn projection_is_shard_local_and_faithful() {
+        // Two disconnected 3-resource blocks; mask one resource of block 1.
+        let mut g = CongestionGame::new(vec![1.0; 6]);
+        g.add_player(vec![vec![(0, 1.0), (2, 1.0)], vec![(1, 1.0), (2, 1.0)]]);
+        g.add_player(vec![vec![(3, 1.0), (5, 1.0)], vec![(4, 1.0), (5, 1.0)]]);
+        let plan = crate::ShardPlan::compute(g.structure(), 0);
+        let global =
+            StrategyFilter::from_masked_resources(g.structure(), &[false, false, false, true]);
+
+        let spec = plan.shard(1);
+        let (local, _) = spec.build_local(g.structure(), g.weights());
+        let projected = global.project(spec, &local);
+        // Shard 1 holds only player 1 → one player, two strategies.
+        assert_eq!(projected.num_players(), 1);
+        assert!(!projected.is_allowed(0, 0)); // global (1, 0) touches r3
+        assert!(projected.is_allowed(0, 1));
+        assert_eq!(projected.disallowed_count(), 1);
+
+        // The untouched shard projects to an all-allowing filter.
+        let spec0 = plan.shard(0);
+        let (local0, _) = spec0.build_local(g.structure(), g.weights());
+        assert!(global.project(spec0, &local0).all_allowed());
     }
 
     #[test]

@@ -103,6 +103,18 @@ pub const COUNTER_DURABILITY_DISCARDED: &str = "durability.frames_discarded";
 /// of re-solved (the resume fast-forward).
 pub const COUNTER_DURABILITY_RESUMED: &str = "durability.resumed_slots";
 
+/// Counter name for per-shard CGBA subgame solves executed.
+pub const COUNTER_SHARD_SOLVES: &str = "shard.solves";
+/// Counter name for cut players (strategy sets spanning shards) seen by
+/// sharded solves.
+pub const COUNTER_SHARD_CUT_PLAYERS: &str = "shard.cut_players";
+/// Counter name for global best-response moves made by the post-merge
+/// cut-player reconciliation pass.
+pub const COUNTER_SHARD_RECONCILE_MOVES: &str = "shard.reconcile_moves";
+/// Counter name for shards that missed the anytime deadline and merged
+/// their best-so-far profile (the shard-local degradation path).
+pub const COUNTER_SHARD_DEADLINE_DEGRADED: &str = "shard.deadline_degraded";
+
 /// Counter name for health transitions into `Ok`.
 pub const COUNTER_HEALTH_TO_OK: &str = "health.to_ok";
 /// Counter name for health transitions into `Degraded`.
@@ -251,6 +263,22 @@ pub const ALL: &[MetricDef] = &[
         COUNTER_DURABILITY_RESUMED,
         MetricKind::Counter,
         "slots restored from checkpoint on resume",
+    ),
+    def(COUNTER_SHARD_SOLVES, MetricKind::Counter, "per-shard CGBA subgame solves executed"),
+    def(
+        COUNTER_SHARD_CUT_PLAYERS,
+        MetricKind::Counter,
+        "cut players spanning shards seen by sharded solves",
+    ),
+    def(
+        COUNTER_SHARD_RECONCILE_MOVES,
+        MetricKind::Counter,
+        "global best-response moves in cut-player reconciliation",
+    ),
+    def(
+        COUNTER_SHARD_DEADLINE_DEGRADED,
+        MetricKind::Counter,
+        "shards that missed the anytime deadline and merged best-so-far",
     ),
     def(COUNTER_HEALTH_TO_OK, MetricKind::Counter, "health transitions into Ok"),
     def(COUNTER_HEALTH_TO_DEGRADED, MetricKind::Counter, "health transitions into Degraded"),

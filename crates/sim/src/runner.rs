@@ -494,11 +494,23 @@ pub(crate) fn run_engine(
 /// The robust-solve configuration a scenario implies: the scenario's BDMA
 /// round count and CGBA λ, plus the given per-slot wall-clock deadline.
 pub fn robust_config(scenario: &Scenario, deadline: Option<std::time::Duration>) -> RobustConfig {
-    let lambda = match scenario.dpp.solver {
-        SolverKind::Cgba { lambda } => lambda,
-        _ => 0.0,
+    let (lambda, shards) = match scenario.dpp.solver {
+        SolverKind::Cgba { lambda } => (lambda, 0),
+        // The solver's `shards == 0` means "one shard per component"; the
+        // robust path reserves 0 for "sequential", so auto maps to MAX
+        // (the shard planner clamps to the live component count).
+        SolverKind::ShardedCgba { lambda, shards } => {
+            (lambda, if shards == 0 { usize::MAX } else { shards })
+        }
+        _ => (0.0, 0),
     };
-    RobustConfig { deadline, rounds: scenario.dpp.bdma_rounds, lambda, ..Default::default() }
+    RobustConfig {
+        deadline,
+        rounds: scenario.dpp.bdma_rounds,
+        lambda,
+        shards,
+        ..Default::default()
+    }
 }
 
 /// Deterministically mangles a handful of state entries — the corruption
@@ -699,6 +711,31 @@ mod tests {
         let untraced = run(&scenario);
         assert_eq!(untraced.latency, result.latency);
         assert_eq!(untraced.queue, result.queue);
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_on_islands() {
+        // On a separable island topology the sharded engine is
+        // decision-identical to the sequential oracle, so the whole
+        // simulation (series, counters it shares) must agree bit for bit.
+        let base = Scenario::scale_up(24, 3, 5).with_horizon(4).with_bdma_rounds(1);
+        let sequential = run(&base);
+        let sharded = run(&base.clone().with_shards(0));
+        assert_eq!(sequential.latency, sharded.latency);
+        assert_eq!(sequential.cost, sharded.cost);
+        assert_eq!(sequential.queue, sharded.queue);
+        assert_eq!(sequential.handover_rate, sharded.handover_rate);
+        let solves = sharded.counters.get("shard.solves").copied().unwrap_or(0);
+        assert_eq!(solves, 3 * 4, "3 shards x 4 slots, got {solves}");
+        assert!(!sequential.counters.contains_key("shard.solves"));
+    }
+
+    #[test]
+    fn robust_config_maps_sharded_solver() {
+        let s = Scenario::scale_up(24, 3, 5);
+        assert_eq!(robust_config(&s, None).shards, 0);
+        assert_eq!(robust_config(&s.clone().with_shards(0), None).shards, usize::MAX);
+        assert_eq!(robust_config(&s.with_shards(2), None).shards, 2);
     }
 
     #[test]

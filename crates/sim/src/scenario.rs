@@ -38,6 +38,39 @@ impl Scenario {
         }
     }
 
+    /// A scale-out setup: `islands` disjoint BS clusters (see
+    /// [`eotora_topology::RandomTopologyConfig::scale_up`]) with
+    /// `num_devices` spread round-robin. The resource graph separates into
+    /// one component per island, so `with_shards` turns the slot solve into
+    /// `islands` parallel CGBA subgames. Used by the 10k–100k benches.
+    pub fn scale_up(num_devices: usize, islands: usize, seed: u64) -> Self {
+        Self {
+            label: format!("scale-I{num_devices}x{islands}"),
+            system: eotora_core::system::SystemConfig {
+                topology: eotora_topology::RandomTopologyConfig::scale_up(num_devices, islands),
+                ..SystemConfig::paper_defaults(num_devices)
+            },
+            states: PaperStateConfig::default(),
+            dpp: DppConfig { seed, ..Default::default() },
+            horizon: 240,
+            seed,
+        }
+    }
+
+    /// Switches the P2-A solver to the sharded CGBA engine, keeping the
+    /// current solver's λ. `shards == 0` means one shard per connected
+    /// component (auto); on topologies the partition pass refuses to cut,
+    /// the sharded solver degrades to the sequential one.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        let lambda = match self.dpp.solver {
+            eotora_core::dpp::SolverKind::Cgba { lambda }
+            | eotora_core::dpp::SolverKind::ShardedCgba { lambda, .. } => lambda,
+            _ => 0.0,
+        };
+        self.dpp.solver = eotora_core::dpp::SolverKind::ShardedCgba { lambda, shards };
+        self
+    }
+
     /// Sets the simulation length in slots.
     pub fn with_horizon(mut self, horizon: u64) -> Self {
         self.horizon = horizon;
@@ -113,6 +146,19 @@ mod tests {
         assert_eq!(s.dpp.start, eotora_core::bdma::StartPolicy::Warm);
         assert_eq!(s.dpp.bdma_epsilon, 1e-6);
         assert_eq!(s.label, "x");
+    }
+
+    #[test]
+    fn scale_up_builds_island_topology_and_sharded_solver() {
+        let s = Scenario::scale_up(120, 6, 9).with_shards(0);
+        assert_eq!(s.label, "scale-I120x6");
+        assert_eq!(s.system.topology.islands, 6);
+        assert_eq!(s.system.topology.num_devices, 120);
+        assert_eq!(s.dpp.solver, SolverKind::ShardedCgba { lambda: 0.0, shards: 0 });
+        // with_shards preserves the sequential solver's λ.
+        let lam =
+            Scenario::paper(10, 1).with_solver(SolverKind::Cgba { lambda: 0.25 }).with_shards(4);
+        assert_eq!(lam.dpp.solver, SolverKind::ShardedCgba { lambda: 0.25, shards: 4 });
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod geometry;
 pub mod ids;
 pub mod model;
+pub mod partition;
 pub mod random;
 
 pub use geometry::Point;
@@ -37,4 +38,5 @@ pub use model::{
     BaseStation, Cluster, CoverageModel, EdgeServer, MobileDevice, Topology, TopologyBuilder,
     TopologyError,
 };
+pub use partition::ClusterPartition;
 pub use random::RandomTopologyConfig;

@@ -44,6 +44,20 @@ pub struct RandomTopologyConfig {
     pub coverage: CoverageModel,
     /// Number of clusters each base station links to (paper: wired ⇒ 1).
     pub links_per_base_station: usize,
+    /// When `> 0`, generate that many geographically disjoint *islands*
+    /// instead of one shared deployment. In island mode
+    /// `num_base_stations`, `num_clusters`, and `servers_per_cluster` are
+    /// per-island counts, devices are spread round-robin across islands,
+    /// coverage is forced to [`CoverageModel::Radius`], and each base
+    /// station links only to its own island's clusters — so the resource
+    /// graph decomposes into one component per island (see
+    /// `ClusterPartition`). `0` keeps the classic single-area generator.
+    pub islands: usize,
+    /// In island mode, how many of the `num_devices` devices are placed at
+    /// island midpoints where they are covered by two adjacent islands —
+    /// deliberate *cut devices* for reconciliation tests. Ignored when
+    /// `islands == 0`; requires `islands ≥ 2` otherwise.
+    pub island_straddlers: usize,
 }
 
 impl RandomTopologyConfig {
@@ -63,6 +77,26 @@ impl RandomTopologyConfig {
             coverage_radius_m: 1_500.0,
             coverage: CoverageModel::Full,
             links_per_base_station: 1,
+            islands: 0,
+            island_straddlers: 0,
+        }
+    }
+
+    /// A scale-out configuration: `islands` disjoint BS clusters with
+    /// realistic per-island fan-out (4 BSs → 1 room × 8 servers), devices
+    /// spread round-robin. The resource graph has exactly `islands`
+    /// connected components, so the sharded solver gets one subgame per
+    /// island. Used by the 10k–100k device benches and the shard tests.
+    pub fn scale_up(num_devices: usize, islands: usize) -> Self {
+        Self {
+            num_base_stations: 4,
+            num_clusters: 1,
+            servers_per_cluster: 8,
+            num_devices,
+            coverage_radius_m: 1_000.0,
+            coverage: CoverageModel::Radius,
+            islands,
+            ..Self::paper_defaults(num_devices)
         }
     }
 
@@ -99,6 +133,9 @@ impl Topology {
             (1..=config.num_clusters).contains(&config.links_per_base_station),
             "links_per_base_station must be in 1..=num_clusters"
         );
+        if config.islands > 0 {
+            return random_islands(config, seed);
+        }
 
         let mut rng = Pcg32::seed_stream(seed, 0x70_70);
         let mut b = TopologyBuilder::new().coverage(config.coverage);
@@ -144,6 +181,81 @@ impl Topology {
         }
         b.build().expect("randomly generated topology must validate")
     }
+}
+
+/// Island-mode generator behind [`Topology::random`] (`config.islands > 0`).
+///
+/// Islands sit on a line, centers spaced `1.8 × coverage_radius_m` apart, so
+/// island deployments never overlap: stations sit within `0.05 r` of their
+/// island center, regular devices within `0.2 r`, which puts every regular
+/// device well inside its own island's coverage (≤ `0.33 r`) and well
+/// outside any other island's (≥ `1.5 r`). Straddlers sit exactly at the
+/// midpoint between two adjacent centers (`0.9 r` from each) so both
+/// islands cover them — the deliberate cut devices.
+fn random_islands(config: &RandomTopologyConfig, seed: u64) -> Topology {
+    assert!(
+        config.island_straddlers == 0 || config.islands >= 2,
+        "island_straddlers requires at least two islands"
+    );
+    assert!(
+        config.num_devices > config.island_straddlers,
+        "need at least one non-straddler device"
+    );
+
+    let r = config.coverage_radius_m;
+    let spacing = 1.8 * r;
+    let center = |island: usize| Point::new(spacing * (island as f64 + 0.5), spacing * 0.5);
+
+    let mut rng = Pcg32::seed_stream(seed, 0x70_71);
+    let mut b = TopologyBuilder::new().coverage(CoverageModel::Radius);
+
+    for island in 0..config.islands {
+        let c = center(island);
+        for _ in 0..config.num_clusters {
+            b = b.cluster(c);
+        }
+        let first_cluster = island * config.num_clusters;
+        for n in 0..config.num_clusters * config.servers_per_cluster {
+            let cluster = ClusterId(first_cluster + n / config.servers_per_cluster);
+            let cores = config.core_options[n % config.core_options.len()];
+            b = b.server(cluster, cores, config.freq_bounds_hz.0, config.freq_bounds_hz.1);
+        }
+        for j in 0..config.num_base_stations {
+            let mut cluster_ids: Vec<ClusterId> =
+                (first_cluster..first_cluster + config.num_clusters).map(ClusterId).collect();
+            rng.shuffle(&mut cluster_ids);
+            cluster_ids.truncate(config.links_per_base_station);
+            cluster_ids.sort_unstable();
+            // Stations on a small ring around the center keeps positions
+            // distinct without risking foreign-island coverage.
+            let angle = std::f64::consts::TAU * j as f64 / config.num_base_stations as f64;
+            let pos = Point::new(c.x + 0.05 * r * angle.cos(), c.y + 0.05 * r * angle.sin());
+            b = b.base_station(
+                rng.uniform_in(config.access_bandwidth_hz.0, config.access_bandwidth_hz.1),
+                rng.uniform_in(config.fronthaul_bandwidth_hz.0, config.fronthaul_bandwidth_hz.1),
+                config.fronthaul_spectral_efficiency,
+                cluster_ids,
+                pos,
+                r,
+            );
+        }
+    }
+
+    let regulars = config.num_devices - config.island_straddlers;
+    for d in 0..regulars {
+        let c = center(d % config.islands);
+        let pos = Point::new(
+            c.x + rng.uniform_in(-0.2 * r, 0.2 * r),
+            c.y + rng.uniform_in(-0.2 * r, 0.2 * r),
+        );
+        b = b.device(pos);
+    }
+    for s in 0..config.island_straddlers {
+        let left = s % (config.islands - 1);
+        let (a, z) = (center(left), center(left + 1));
+        b = b.device(Point::new((a.x + z.x) / 2.0, (a.y + z.y) / 2.0));
+    }
+    b.build().expect("island topology must validate")
 }
 
 #[cfg(test)]
@@ -215,6 +327,46 @@ mod tests {
         assert_eq!(t.num_base_stations(), 2);
         assert_eq!(t.num_servers(), 3);
         assert_eq!(t.num_devices(), 4);
+    }
+
+    #[test]
+    fn scale_up_islands_shape_and_separability() {
+        let cfg = RandomTopologyConfig::scale_up(120, 6);
+        let t = Topology::random(&cfg, 9);
+        assert_eq!(t.num_base_stations(), 24);
+        assert_eq!(t.num_clusters(), 6);
+        assert_eq!(t.num_servers(), 48);
+        assert_eq!(t.num_devices(), 120);
+        assert_eq!(t.coverage(), CoverageModel::Radius);
+        let p = crate::partition::ClusterPartition::compute(&t);
+        assert_eq!(p.num_components(), 6);
+        assert!(p.is_separable());
+        // Round-robin spread: every island gets the same device count.
+        assert_eq!(p.component_device_counts(), &[20; 6]);
+    }
+
+    #[test]
+    fn island_straddlers_become_cut_devices() {
+        let cfg =
+            RandomTopologyConfig { island_straddlers: 3, ..RandomTopologyConfig::scale_up(60, 4) };
+        let t = Topology::random(&cfg, 11);
+        let p = crate::partition::ClusterPartition::compute(&t);
+        assert_eq!(p.num_components(), 4);
+        assert_eq!(p.cut_devices(), &[57, 58, 59]);
+        for &d in p.cut_devices() {
+            let comps: std::collections::BTreeSet<usize> = t
+                .covering_base_stations(crate::ids::DeviceId(d))
+                .into_iter()
+                .map(|k| p.station_component(k))
+                .collect();
+            assert_eq!(comps.len(), 2, "straddler {d} must see exactly two islands");
+        }
+    }
+
+    #[test]
+    fn island_mode_is_deterministic() {
+        let cfg = RandomTopologyConfig::scale_up(50, 5);
+        assert_eq!(Topology::random(&cfg, 3), Topology::random(&cfg, 3));
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`pool`] — a bounded worker pool over scoped std threads with
 //!   deterministic result ordering, used by the sweep/experiment layers
 //!   (and sized by the CLI's `--jobs` flag).
+//! * [`union_find`] — a deterministic disjoint-set forest used by the
+//!   topology and game layers to compute shardable components.
 //!
 //! # Examples
 //!
@@ -33,9 +35,11 @@ pub mod pool;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod union_find;
 
 pub use approx::{approx_eq, rel_diff};
 pub use pool::WorkerPool;
 pub use rng::Pcg32;
 pub use series::TimeSeries;
 pub use stats::Summary;
+pub use union_find::UnionFind;

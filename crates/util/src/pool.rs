@@ -86,10 +86,13 @@ impl WorkerPool {
 
     /// Runs `jobs` indexed jobs, returning `f(0), f(1), …` in index order.
     ///
-    /// At most `min(workers, jobs)` threads run; a single effective worker
-    /// short-circuits to a plain serial loop (no threads, no locks). Workers
-    /// claim indices from a shared atomic cursor, so an unlucky long job
-    /// delays only itself.
+    /// At most `min(workers, jobs)` threads run. Every width — including a
+    /// single effective worker, which executes inline on the calling thread
+    /// without spawning — goes through the *same* claim-from-cursor /
+    /// store-into-slot routine, so result ordering and collection mechanics
+    /// are identical regardless of parallelism (the sharded solver's merge
+    /// determinism relies on this). Workers claim indices from a shared
+    /// atomic cursor, so an unlucky long job delays only itself.
     ///
     /// # Panics
     ///
@@ -101,28 +104,26 @@ impl WorkerPool {
         F: Fn(usize) -> U + Sync,
     {
         let workers = self.workers.min(jobs);
-        if workers <= 1 {
-            return (0..jobs).map(f).collect();
-        }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<U>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs {
-                            break;
-                        }
-                        let result = f(i);
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
-                    })
-                })
-                .collect();
-            for handle in handles {
-                handle.join().expect("worker thread panicked");
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= jobs {
+                break;
             }
-        });
+            let result = f(i);
+            *slots[i].lock().expect("result slot poisoned") = Some(result);
+        };
+        if workers <= 1 {
+            work();
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(work)).collect();
+                for handle in handles {
+                    handle.join().expect("worker thread panicked");
+                }
+            });
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -161,6 +162,21 @@ mod tests {
         let serial = WorkerPool::new(1).map_indexed(9, |i| i * i);
         let parallel = WorkerPool::new(8).map_indexed(9, |i| i * i);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_worker_count_produces_identical_ordering() {
+        // The serial (inline) and parallel paths share the same
+        // cursor/slot routine; any width must return byte-identical
+        // results in job order — the sharded merge depends on it.
+        let reference: Vec<u64> = (0..33).map(|i| (i as u64).wrapping_mul(0x9E37_79B9)).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let out =
+                WorkerPool::new(workers).map_indexed(33, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+            assert_eq!(out, reference, "workers = {workers}");
+        }
+        // jobs == 1 takes the inline path even on a wide pool.
+        assert_eq!(WorkerPool::new(8).map_indexed(1, |i| i + 41), vec![41]);
     }
 
     #[test]
