@@ -101,6 +101,34 @@ awk '
   END { if (!found) { print "FAIL: no 30-device live row in quick bench output"; exit 1 } }
 ' target/BENCH_slot_solve.quick.json
 
+echo "==> speculation hit-rate guard (>= 0.5 on periodic-price states)"
+awk '
+  /"speculation":/ { in_spec = 1 }
+  in_spec && /"spec_hit_rate":/ {
+    val = $2; gsub(/[^0-9.]/, "", val); found = 1
+    if (val + 0 < 0.5) {
+      printf "FAIL: speculation hit rate %.2f < 0.5 on periodic-price states\n", val
+      exit 1
+    }
+    printf "OK: speculation hit rate %.2f on periodic-price states\n", val
+  }
+  END { if (!found) { print "FAIL: no speculation row in quick bench output"; exit 1 } }
+' target/BENCH_slot_solve.quick.json
+
+echo "==> speculation critical-path guard (repair-only p50 >= 1.3x faster than warm engine)"
+awk '
+  /"speculation":/ { in_spec = 1 }
+  in_spec && /"critical_path_speedup":/ {
+    val = $2; gsub(/[^0-9.]/, "", val); found = 1
+    if (val + 0 < 1.3) {
+      printf "FAIL: critical-path speedup %.2fx < 1.3x over the warm engine\n", val
+      exit 1
+    }
+    printf "OK: critical-path speedup %.2fx over the warm engine\n", val
+  }
+  END { if (!found) { print "FAIL: no speculation speedup in quick bench output"; exit 1 } }
+' target/BENCH_slot_solve.quick.json
+
 echo "==> chaos smoke (seeded fault trace through the robust engine)"
 # Short scripted trace: a server crash, a fronthaul flap, and a corrupt-state
 # burst over 40 slots. Gate: the run completes (zero panics), every fault
@@ -252,6 +280,61 @@ counters = json.load(open(sys.argv[3]))["counters"]
 solves = counters.get("shard.solves", 0)
 assert solves > 0, "sharded run never entered the sharded solver"
 print(f"OK: shard smoke — 12 slots bit-identical, {solves} shard solves")
+EOF
+
+echo "==> speculation smoke (200-slot periodic scenario, --speculate vs plain, bit-for-bit)"
+# Fully deterministic periodic-price states: the periodic-price predictor
+# is exact after one 24-slot period, so a 200-slot run must adopt >= 50%
+# of its slots AND stay decision-identical to the plain engine. Adopted
+# slots report no solver wall time or BDMA telemetry (the staged solve ran
+# off the critical path), so the comparison drops solve_time_s, stage_*,
+# bdma_rounds, and ctr_spec.* columns.
+SPEC_DIR="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_DIR" "$TEL_DIR" "$DUR_DIR" "$SHARD_DIR" "$SPEC_DIR"' EXIT
+./target/release/eotora template --devices 8 --seed 47 > "$SPEC_DIR/base.json"
+python3 - "$SPEC_DIR/base.json" "$SPEC_DIR/scenario.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+s["states"].update({
+    "task_cycles_range": [125e6, 125e6],
+    "data_bits_range": [6.5e6, 6.5e6],
+    "spectral_efficiency_range": [32.0, 32.0],
+    "price_noise_rel": 0.0,
+    "period": 24,
+})
+s["horizon"] = 200
+json.dump(s, open(sys.argv[2], "w"))
+EOF
+./target/release/eotora run "$SPEC_DIR/scenario.json" --csv "$SPEC_DIR/plain" > /dev/null
+./target/release/eotora run "$SPEC_DIR/scenario.json" \
+  --speculate --spec-predictor periodic-price --spec-tolerance 0 \
+  --csv "$SPEC_DIR/spec" --out "$SPEC_DIR/spec.json" > /dev/null
+python3 - "$SPEC_DIR/plain_slots.csv" "$SPEC_DIR/spec_slots.csv" "$SPEC_DIR/spec.json" <<'EOF'
+import json, sys
+
+def decisions(path):
+    rows = [line.rstrip("\n").split(",") for line in open(path)]
+    header = rows[0]
+    keep = [
+        i
+        for i, name in enumerate(header)
+        if name != "solve_time_s"
+        and name != "bdma_rounds"
+        and not name.startswith("stage_")
+        and not name.startswith("ctr_spec.")
+    ]
+    return rows[0], [[row[i] for i in keep] for row in rows]
+
+plain_header, plain = decisions(sys.argv[1])
+spec_header, spec = decisions(sys.argv[2])
+assert len(plain) == 201, f"plain CSV has {len(plain) - 1} slots, expected 200"
+assert plain == spec, "speculative run diverged from the plain engine"
+assert "ctr_spec.hits" in spec_header, "spec.hits counter column missing from CSV"
+r = json.load(open(sys.argv[3]))
+hits = r["counters"].get("spec.hits", 0)
+assert hits >= 100, f"hit rate {hits / 200:.2f} < 0.5 on the periodic scenario"
+assert abs(r["average_latency"]) > 0, "degenerate run"
+print(f"OK: speculation smoke — 200 slots bit-identical, {hits} adopted ({hits / 2:.0f}% hit rate)")
 EOF
 
 echo "ci: all green"

@@ -21,6 +21,7 @@ use eotora_cli::{
     ascii_bar, ascii_plot, flag_value, format_seconds, parse_flag, parse_float_list,
     require_flag_values,
 };
+use eotora_core::speculate::{PredictorKind, SpeculativeConfig};
 use eotora_core::system::MecSystem;
 use eotora_obs::{
     HealthMonitor, HealthSample, HealthSummary, Recorder, TelemetryConfig, TelemetrySession,
@@ -31,7 +32,8 @@ use eotora_sim::durable::{
 };
 use eotora_sim::report::{ascii_table, num, slot_csv};
 use eotora_sim::runner::{
-    robust_config, run, run_many, run_robust, run_robust_traced, run_traced, SimulationResult,
+    robust_config, run, run_many, run_robust, run_robust_traced, run_speculative,
+    run_speculative_traced, run_traced, SimulationResult,
 };
 use eotora_sim::scenario::Scenario;
 
@@ -69,6 +71,7 @@ USAGE:
              [--trace trace.jsonl] [--jobs N] [--cold-start] [--bdma-eps X]
              [--shards auto|N]
              [--fault-trace faults.json] [--slot-deadline-ms MS] [--no-sanitize]
+             [--speculate] [--spec-tolerance T] [--spec-predictor NAME] [--spec-period K]
              [--metrics-out m.jsonl|m.prom] [--metrics-every K]
              [--checkpoint-dir D] [--checkpoint-every K] [--fsync every-slot|every-K|os]
   eotora run --resume <checkpoint-dir> [--out ...] [--csv ...] [--svg ...]
@@ -135,8 +138,8 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
 }
 
 /// The always-printed one-line digest of a finished run. Fault, deadline,
-/// and durability counters are appended only when nonzero, so plain runs
-/// read exactly as before.
+/// durability, shard, and speculation counters are appended only when
+/// nonzero, so plain runs read exactly as before.
 fn run_summary(result: &SimulationResult) -> String {
     let mut line = format!(
         "summary: {} slots | p95 slot solve {} | mean BDMA rounds {:.2} | final Q(t) {}",
@@ -149,7 +152,9 @@ fn run_summary(result: &SimulationResult) -> String {
         if *value > 0
             && (name.starts_with("fault.")
                 || name.starts_with("deadline.")
-                || name.starts_with("durability."))
+                || name.starts_with("durability.")
+                || name.starts_with("shard.")
+                || name.starts_with("spec."))
         {
             line.push_str(&format!(" | {name} {value}"));
         }
@@ -265,6 +270,11 @@ fn cmd_run_resume(args: &[String]) -> Result<(), String> {
     if flag_value(args, "--trace").is_some() {
         return Err("--trace cannot be combined with checkpointed runs".into());
     }
+    if args.iter().any(|a| a == "--speculate") {
+        return Err(
+            "--speculate cannot be combined with --resume (the manifest fixes the mode)".into()
+        );
+    }
     let metrics = MetricsFlags::parse(args)?;
     if metrics.no_sanitize {
         return Err(
@@ -315,6 +325,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--shards",
             "--fault-trace",
             "--slot-deadline-ms",
+            "--spec-tolerance",
+            "--spec-predictor",
+            "--spec-period",
             "--checkpoint-dir",
             "--checkpoint-every",
             "--fsync",
@@ -362,7 +375,38 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let robust_mode = fault_trace.is_some() || deadline.is_some();
+    // `--speculate` switches to the speculative pipeline: a predicted
+    // next-slot solve is staged in the inter-slot gap and adopted (or
+    // repaired, or discarded) when the real state arrives. It reuses
+    // `--slot-deadline-ms` as the staged solve's wall-clock budget, so a
+    // deadline alone no longer implies the robust engine here.
+    let speculate = args.iter().any(|a| a == "--speculate");
+    let spec = if speculate {
+        if fault_trace.is_some() {
+            return Err("--speculate cannot be combined with --fault-trace".into());
+        }
+        let name = flag_value(args, "--spec-predictor").unwrap_or("last-value");
+        let period: usize = parse_flag(args, "--spec-period", 24)?;
+        let predictor = PredictorKind::parse(name, period).ok_or_else(|| {
+            format!(
+                "--spec-predictor expects last-value|periodic-price|markov-ewma|adversarial, \
+                 got `{name}`"
+            )
+        })?;
+        let tolerance: f64 = parse_flag(args, "--spec-tolerance", 0.0)?;
+        if tolerance.is_nan() || tolerance < 0.0 {
+            return Err("--spec-tolerance must be a number ≥ 0".into());
+        }
+        Some(SpeculativeConfig { predictor, tolerance, deadline, ..Default::default() })
+    } else {
+        for flag in ["--spec-tolerance", "--spec-predictor", "--spec-period"] {
+            if flag_value(args, flag).is_some() {
+                return Err(format!("{flag} requires --speculate"));
+            }
+        }
+        None
+    };
+    let robust_mode = fault_trace.is_some() || (deadline.is_some() && spec.is_none());
     let faults = fault_trace.unwrap_or_default();
     let metrics = MetricsFlags::parse(args)?;
     if metrics.no_sanitize && !robust_mode {
@@ -380,6 +424,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             if metrics.no_sanitize { ", sanitizer OFF (diagnostic)" } else { "" },
         );
     }
+    if let Some(sc) = spec.as_ref() {
+        eprintln!(
+            "speculative mode: predictor {:?}, tolerance {}, staged-solve deadline {}",
+            sc.predictor,
+            sc.tolerance,
+            sc.deadline.map_or("none".into(), |d| format!("{} ms", d.as_millis())),
+        );
+    }
     let make_telemetry = |checkpoint_dir: Option<&str>| {
         metrics.active().then(|| {
             metrics.session(scenario.dpp.v, scenario.system.budget_per_slot, checkpoint_dir)
@@ -390,6 +442,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(dir) = flag_value(args, "--checkpoint-dir") {
         if flag_value(args, "--trace").is_some() {
             return Err("--trace cannot be combined with --checkpoint-dir".into());
+        }
+        if spec.is_some() {
+            return Err("--speculate cannot be combined with --checkpoint-dir (staged solves \
+                        are not journaled)"
+                .into());
         }
         if metrics.no_sanitize {
             return Err("--no-sanitize cannot be combined with --checkpoint-dir (the journal \
@@ -428,30 +485,41 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             let result = match telemetry.as_ref() {
                 Some(t) => {
                     let tee = eotora_obs::TeeRecorder::new(t, &sink);
-                    if robust_mode {
+                    if let Some(sc) = spec.as_ref() {
+                        run_speculative_traced(&scenario, sc, &tee)
+                    } else if robust_mode {
                         run_robust_traced(&scenario, &faults, &robust, &tee)
                     } else {
                         run_traced(&scenario, &tee)
                     }
                 }
-                None if robust_mode => run_robust_traced(&scenario, &faults, &robust, &sink),
-                None => run_traced(&scenario, &sink),
+                None => {
+                    if let Some(sc) = spec.as_ref() {
+                        run_speculative_traced(&scenario, sc, &sink)
+                    } else if robust_mode {
+                        run_robust_traced(&scenario, &faults, &robust, &sink)
+                    } else {
+                        run_traced(&scenario, &sink)
+                    }
+                }
             };
             let events = sink.records_written();
             sink.finish().map_err(|e| format!("cannot write {trace_path}: {e}"))?;
             eprintln!("wrote {trace_path} ({events} events)");
             result
         }
-        None => match telemetry.as_ref() {
-            Some(t) => {
+        None => match (telemetry.as_ref(), spec.as_ref()) {
+            (Some(t), Some(sc)) => run_speculative_traced(&scenario, sc, t),
+            (Some(t), None) => {
                 if robust_mode {
                     run_robust_traced(&scenario, &faults, &robust, t)
                 } else {
                     run_traced(&scenario, t)
                 }
             }
-            None if robust_mode => run_robust(&scenario, &faults, &robust),
-            None => run(&scenario),
+            (None, Some(sc)) => run_speculative(&scenario, sc),
+            (None, None) if robust_mode => run_robust(&scenario, &faults, &robust),
+            (None, None) => run(&scenario),
         },
     };
     report_run(args, &result)?;

@@ -29,6 +29,9 @@ pub const SPAN_JOURNAL_APPEND: &str = "journal.append";
 pub const SPAN_JOURNAL_FSYNC: &str = "journal.fsync";
 /// Span name for writing one atomic checkpoint snapshot.
 pub const SPAN_SNAPSHOT_WRITE: &str = "journal.snapshot_write";
+/// Span name for one speculative next-slot pre-solve (staged off the
+/// critical path; compare against `slot_solve` to see the overlap win).
+pub const SPAN_SPEC_STAGE: &str = "spec.staged_solve";
 
 /// Counter name for BDMA alternation rounds executed.
 pub const COUNTER_BDMA_ROUNDS: &str = "bdma_rounds";
@@ -115,6 +118,22 @@ pub const COUNTER_SHARD_RECONCILE_MOVES: &str = "shard.reconcile_moves";
 /// their best-so-far profile (the shard-local degradation path).
 pub const COUNTER_SHARD_DEADLINE_DEGRADED: &str = "shard.deadline_degraded";
 
+/// Counter name for staged speculative solves adopted verbatim because
+/// the predicted state matched the observed state exactly.
+pub const COUNTER_SPEC_HITS: &str = "spec.hits";
+/// Counter name for staged solves close enough (per-state relative
+/// deltas under the tolerance) to warm-seed a repair solve.
+pub const COUNTER_SPEC_NEAR_HITS: &str = "spec.near_hits";
+/// Counter name for slots whose prediction missed and fell back to the
+/// normal solve path.
+pub const COUNTER_SPEC_MISSES: &str = "spec.misses";
+/// Counter name for assignments the near-miss repair pass moved away
+/// from the speculated profile.
+pub const COUNTER_SPEC_REPAIR_MOVES: &str = "spec.repair_moves";
+/// Counter name for staged solves discarded before comparison (staging
+/// deadline overrun, or superseded by a resume).
+pub const COUNTER_SPEC_STAGED_DISCARDS: &str = "spec.staged_discards";
+
 /// Counter name for health transitions into `Ok`.
 pub const COUNTER_HEALTH_TO_OK: &str = "health.to_ok";
 /// Counter name for health transitions into `Degraded`.
@@ -185,6 +204,11 @@ pub const ALL: &[MetricDef] = &[
         SPAN_SNAPSHOT_WRITE,
         MetricKind::Histogram,
         "wall time of one checkpoint snapshot write (ns)",
+    ),
+    def(
+        SPAN_SPEC_STAGE,
+        MetricKind::Histogram,
+        "wall time of one speculative next-slot pre-solve (ns)",
     ),
     def(COUNTER_SLOTS, MetricKind::Counter, "slots solved"),
     def(COUNTER_BDMA_ROUNDS, MetricKind::Counter, "BDMA alternation rounds executed"),
@@ -279,6 +303,23 @@ pub const ALL: &[MetricDef] = &[
         COUNTER_SHARD_DEADLINE_DEGRADED,
         MetricKind::Counter,
         "shards that missed the anytime deadline and merged best-so-far",
+    ),
+    def(COUNTER_SPEC_HITS, MetricKind::Counter, "staged speculative solves adopted on exact match"),
+    def(
+        COUNTER_SPEC_NEAR_HITS,
+        MetricKind::Counter,
+        "staged solves warm-seeding a near-miss repair",
+    ),
+    def(COUNTER_SPEC_MISSES, MetricKind::Counter, "predictions that missed; normal solve path ran"),
+    def(
+        COUNTER_SPEC_REPAIR_MOVES,
+        MetricKind::Counter,
+        "assignments moved off the speculated profile by repairs",
+    ),
+    def(
+        COUNTER_SPEC_STAGED_DISCARDS,
+        MetricKind::Counter,
+        "staged solves discarded before comparison",
     ),
     def(COUNTER_HEALTH_TO_OK, MetricKind::Counter, "health transitions into Ok"),
     def(COUNTER_HEALTH_TO_DEGRADED, MetricKind::Counter, "health transitions into Degraded"),

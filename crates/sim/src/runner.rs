@@ -13,6 +13,7 @@ use eotora_core::fault::FaultSchedule;
 use eotora_core::latency::latency_under;
 use eotora_core::robust::RobustConfig;
 use eotora_core::sanitize::StateSanitizer;
+use eotora_core::speculate::{SpeculativeConfig, Speculator};
 use eotora_core::system::MecSystem;
 use eotora_durability::{DurabilityError, SlotRecord};
 use eotora_obs::{MetricsRecorder, Recorder, SpanGuard, TeeRecorder, TraceEvent};
@@ -58,8 +59,8 @@ pub struct SimulationResult {
     /// Mean BDMA alternation rounds per slot (0 when BDMA never ran).
     pub mean_bdma_rounds: f64,
     /// Final values of every monotonic counter the run incremented
-    /// (`bdma_rounds`, `slots`, and on fault-injected runs the `fault.*` /
-    /// `deadline.*` family).
+    /// (`bdma_rounds`, `slots`, on fault-injected runs the `fault.*` /
+    /// `deadline.*` family, and on speculative runs the `spec.*` family).
     pub counters: BTreeMap<String, u64>,
     /// The budget `C̄` in force.
     pub budget: f64,
@@ -151,6 +152,13 @@ pub(crate) enum EngineMode<'a> {
         /// Robust-solve configuration (deadline, rounds, λ).
         robust: &'a RobustConfig,
     },
+    /// The speculative step ([`run_speculative`]): predicted next-slot
+    /// pre-solve staged between slots, repaired or discarded at slot
+    /// start. A zero-hit run is decision-identical to [`EngineMode::Plain`].
+    Speculative {
+        /// Predictor, tolerance, and staging deadline.
+        spec: &'a SpeculativeConfig,
+    },
 }
 
 /// How an engine run ended.
@@ -207,6 +215,10 @@ pub(crate) fn run_engine(
         None => EotoraDpp::new(system, scenario.dpp),
     };
     let mut sanitizer = StateSanitizer::new();
+    let mut speculator = match &mode {
+        EngineMode::Speculative { spec } => Some(Speculator::new(**spec, scenario.dpp.seed)),
+        _ => None,
+    };
     let mut corrupt_rng = Pcg32::seed_stream(scenario.seed, 0xFA117);
     let mut start_slot = 0u64;
     let mut base_counters: BTreeMap<String, u64> = BTreeMap::new();
@@ -237,7 +249,18 @@ pub(crate) fn run_engine(
         // Fast-forward the state source past the replayed slots so slot
         // `start_slot` observes exactly what the uninterrupted run would.
         for slot in 0..start_slot {
-            let _ = observe(slot, dpp.system().topology());
+            let replayed = observe(slot, dpp.system().topology());
+            if let Some(spec) = speculator.as_mut() {
+                spec.observe(&replayed);
+            }
+        }
+        // Staging is a pure function of the restored controller state and
+        // the replayed history, so re-staging here reproduces the stage
+        // the interrupted run had in flight.
+        if start_slot > 0 && start_slot < scenario.horizon {
+            if let Some(spec) = speculator.as_mut() {
+                spec.stage_next(&mut dpp, recorder);
+            }
         }
     }
 
@@ -294,6 +317,17 @@ pub(crate) fn run_engine(
                 let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
                 let (robust_step, _report) = dpp.step_robust(&beta, &mask, robust, recorder);
                 step = robust_step;
+                slot_nanos = slot_span.finish().unwrap_or(0);
+            }
+            EngineMode::Speculative { .. } => {
+                beta = observe(slot, dpp.system().topology());
+                let spec = speculator.as_mut().expect("speculative mode built a speculator");
+                spec.observe(&beta);
+                // The critical path is only the repair pass: a hit adopts
+                // the staged solve, a miss falls back to the plain solve.
+                let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
+                let (spec_step, _outcome) = spec.repair_and_step(&mut dpp, &beta, recorder);
+                step = spec_step;
                 slot_nanos = slot_span.finish().unwrap_or(0);
             }
         }
@@ -394,6 +428,15 @@ pub(crate) fn run_engine(
             }
             if session.should_kill(slot) {
                 return Ok(EngineOutcome::Interrupted { slot });
+            }
+        }
+        // Stage the next slot's pre-solve in the inter-slot gap, after the
+        // slot is fully committed (journal included): the staged clone then
+        // sees exactly the queue/RNG/workspace the next solve would, and a
+        // crash between slots loses only speculation, never state.
+        if slot + 1 < scenario.horizon {
+            if let Some(spec) = speculator.as_mut() {
+                spec.stage_next(&mut dpp, recorder);
             }
         }
         previous_stations = Some(stations);
@@ -573,6 +616,47 @@ fn run_robust_impl(
         &mut |slot, topo| states.observe(slot, topo),
         sink,
         EngineMode::Robust { faults, robust },
+        None,
+    ) {
+        Ok(EngineOutcome::Completed(result)) => *result,
+        Ok(EngineOutcome::Interrupted { .. }) | Err(_) => {
+            unreachable!("non-durable run cannot fail or interrupt")
+        }
+    }
+}
+
+/// Runs one scenario through the speculative pipeline (see
+/// [`eotora_core::speculate`]): a predicted next-slot solve is staged in
+/// the inter-slot gap and adopted, repaired, or discarded when the real
+/// state arrives. With a zero-hit predictor this is decision-identical to
+/// [`run`] — speculation never touches committed state until adopted.
+pub fn run_speculative(scenario: &Scenario, spec: &SpeculativeConfig) -> SimulationResult {
+    run_speculative_impl(scenario, spec, None)
+}
+
+/// [`run_speculative`] with every trace event additionally streamed into
+/// `sink` (the entry point behind `eotora run --speculate --trace ...`).
+pub fn run_speculative_traced(
+    scenario: &Scenario,
+    spec: &SpeculativeConfig,
+    sink: &dyn Recorder,
+) -> SimulationResult {
+    run_speculative_impl(scenario, spec, Some(sink))
+}
+
+fn run_speculative_impl(
+    scenario: &Scenario,
+    spec: &SpeculativeConfig,
+    sink: Option<&dyn Recorder>,
+) -> SimulationResult {
+    let system = MecSystem::random(&scenario.system, scenario.seed);
+    let mut states = StateProvider::paper(system.topology(), &scenario.states, scenario.seed);
+    match run_engine(
+        scenario,
+        system,
+        &mut |slot, topo| states.observe(slot, topo),
+        sink,
+        EngineMode::Speculative { spec },
         None,
     ) {
         Ok(EngineOutcome::Completed(result)) => *result,
@@ -775,6 +859,49 @@ mod tests {
         let r = run_robust(&s, &faults, &robust);
         assert_eq!(r.counters.get("deadline.expirations").copied().unwrap_or(0), 5);
         assert!(r.latency.values().iter().all(|&l| l.is_finite() && l > 0.0));
+    }
+
+    #[test]
+    fn speculative_zero_hit_run_matches_plain() {
+        use eotora_core::speculate::PredictorKind;
+        let s = Scenario::paper(8, 33).with_horizon(8).with_bdma_rounds(1);
+        let spec = SpeculativeConfig {
+            predictor: PredictorKind::Adversarial,
+            tolerance: 0.0,
+            stage_when_busy: true,
+            ..Default::default()
+        };
+        let speculative = run_speculative(&s, &spec);
+        let plain = run(&s);
+        assert_eq!(speculative.latency, plain.latency);
+        assert_eq!(speculative.cost, plain.cost);
+        assert_eq!(speculative.queue, plain.queue);
+        assert_eq!(speculative.handover_rate, plain.handover_rate);
+        assert_eq!(speculative.average_latency, plain.average_latency);
+        assert_eq!(speculative.counters.get("spec.hits").copied().unwrap_or(0), 0);
+        // Slot 0 has no history to stage from; slots 1..7 all miss.
+        assert_eq!(speculative.counters.get("spec.misses").copied().unwrap_or(0), 8);
+        assert!(!plain.counters.contains_key("spec.misses"));
+    }
+
+    #[test]
+    fn speculative_periodic_run_hits_and_matches_plain() {
+        use eotora_core::speculate::PredictorKind;
+        let s = Scenario::periodic_price(8, 34).with_horizon(40).with_bdma_rounds(1);
+        let spec = SpeculativeConfig {
+            predictor: PredictorKind::PeriodicPrice { period: 24 },
+            tolerance: 0.0,
+            stage_when_busy: true,
+            ..Default::default()
+        };
+        let speculative = run_speculative(&s, &spec);
+        let plain = run(&s);
+        assert_eq!(speculative.latency, plain.latency);
+        assert_eq!(speculative.queue, plain.queue);
+        assert_eq!(speculative.counters.get("spec.hits").copied().unwrap_or(0), 16);
+        // The staged-solve span shows up as a per-stage series; the
+        // critical-path slot_solve series stays separate.
+        assert!(speculative.per_stage_solve_time.contains_key("spec.staged_solve"));
     }
 
     #[test]
