@@ -337,4 +337,76 @@ assert abs(r["average_latency"]) > 0, "degenerate run"
 print(f"OK: speculation smoke — 200 slots bit-identical, {hits} adopted ({hits / 2:.0f}% hit rate)")
 EOF
 
+echo "==> server smoke (daemon stream vs batch, hot-reload, SIGTERM + restart, bit-for-bit)"
+# A 200-slot state stream fed to the daemon through a FIFO. Mid-stream it
+# gets a garbage hot-reload (must reject, old config stays live), a good
+# one (must apply), then SIGTERM after slot 120 (graceful: snapshot at the
+# exact cursor). The restart resends the full stream — the solved prefix
+# coalesces — and the concatenated decision records must match the batch
+# engine's CSV bit for bit with zero duplicate slots.
+SRV_DIR="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_DIR" "$TEL_DIR" "$DUR_DIR" "$SHARD_DIR" "$SPEC_DIR" "$SRV_DIR"' EXIT
+./target/release/eotora template --devices 8 --seed 53 \
+  | sed 's/"horizon": [0-9]*/"horizon": 200/' > "$SRV_DIR/scenario.json"
+./target/release/eotora run "$SRV_DIR/scenario.json" --csv "$SRV_DIR/ref" > /dev/null
+./target/release/eotora states "$SRV_DIR/scenario.json" --slots 200 > "$SRV_DIR/states.jsonl"
+cat > "$SRV_DIR/server.toml" <<EOF
+[scenario]
+path = "$SRV_DIR/scenario.json"
+[admission]
+capacity = 64
+policy = "block"
+[durability]
+dir = "$SRV_DIR/ckpt"
+checkpoint_every = 10
+fsync = "os"
+EOF
+sed 's/capacity = 64/capacity = 96/' "$SRV_DIR/server.toml" > "$SRV_DIR/good.toml"
+echo "definitely = not = toml" > "$SRV_DIR/garbage.toml"
+{
+  head -n 10 "$SRV_DIR/states.jsonl"
+  printf '{"control": "reload", "path": "%s"}\n' "$SRV_DIR/garbage.toml"
+  printf '{"control": "reload", "path": "%s"}\n' "$SRV_DIR/good.toml"
+  sed -n '11,120p' "$SRV_DIR/states.jsonl"
+} > "$SRV_DIR/phase1.jsonl"
+mkfifo "$SRV_DIR/input.pipe"
+./target/release/eotora serve --config "$SRV_DIR/server.toml" \
+  --input "$SRV_DIR/input.pipe" > "$SRV_DIR/dec1.jsonl" 2> "$SRV_DIR/ev1.log" &
+SRV_PID=$!
+sleep 300 > "$SRV_DIR/input.pipe" &  # hold the write end open past the payload
+HOLD_PID=$!
+cat "$SRV_DIR/phase1.jsonl" > "$SRV_DIR/input.pipe"
+reached=0
+for _ in $(seq 1 600); do
+  if [ "$(wc -l < "$SRV_DIR/dec1.jsonl")" -ge 120 ]; then reached=1; break; fi
+  sleep 0.1
+done
+if [ "$reached" != 1 ]; then echo "FAIL: server never reached slot 120"; exit 1; fi
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+kill "$HOLD_PID" 2> /dev/null || true
+grep -q '"event":"reload_rejected"' "$SRV_DIR/ev1.log"
+grep -q '"event":"reload_applied"' "$SRV_DIR/ev1.log"
+./target/release/eotora serve --config "$SRV_DIR/server.toml" \
+  --input "$SRV_DIR/states.jsonl" > "$SRV_DIR/dec2.jsonl" 2> "$SRV_DIR/ev2.log"
+grep -q '"resumed_at_slot":120' "$SRV_DIR/ev2.log"
+python3 - "$SRV_DIR/ref_slots.csv" "$SRV_DIR/dec1.jsonl" "$SRV_DIR/dec2.jsonl" <<'EOF'
+import json, sys
+rows = [l.rstrip("\n").split(",") for l in open(sys.argv[1])]
+idx = {name: i for i, name in enumerate(rows[0])}
+ref = {int(r[idx["slot"]]): r for r in rows[1:]}
+records = {}
+for path in sys.argv[2:4]:
+    for line in open(path):
+        rec = json.loads(line)
+        assert rec["slot"] not in records, f"duplicate slot {rec['slot']} after graceful restart"
+        records[rec["slot"]] = rec
+assert len(records) == 200, f"decision streams cover {len(records)} slots, expected 200"
+for s, rec in sorted(records.items()):
+    for col in ("latency_s", "cost_usd", "queue", "price", "bdma_rounds"):
+        got, want = float(rec[col]), float(ref[s][idx[col]])
+        assert got == want, f"slot {s} {col}: server {got} != batch {want}"
+print("OK: server smoke — 200 slots bit-identical across hot-reload + SIGTERM + restart")
+EOF
+
 echo "ci: all green"

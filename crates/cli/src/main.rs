@@ -42,6 +42,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("template") => cmd_template(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("states") => cmd_states(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("health") => cmd_health(&args[1..]),
         Some("topology") => cmd_topology(&args[1..]),
@@ -76,6 +78,12 @@ USAGE:
              [--checkpoint-dir D] [--checkpoint-every K] [--fsync every-slot|every-K|os]
   eotora run --resume <checkpoint-dir> [--out ...] [--csv ...] [--svg ...]
              [--metrics-out ...] [--metrics-every K]
+  eotora serve --config server.toml [--input states.jsonl|-] [--socket path.sock]
+             # daemon: JSONL states in, JSONL decisions on stdout, events on
+             # stderr; SIGTERM/SIGINT graceful shutdown, SIGHUP hot-reload,
+             # auto-resume from the checkpoint dir on restart
+  eotora states <scenario.json> [--slots N] [--from S]
+             # dump the scenario's slot-state stream as `serve` input JSONL
   eotora trace <trace.jsonl>                # span quantiles, BDMA rounds, queue drift
   eotora health <metrics.jsonl|m.prom|trace.jsonl> [--v X] [--budget C]
   eotora topology [--devices N] [--seed S]
@@ -137,9 +145,9 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-/// The always-printed one-line digest of a finished run. Fault, deadline,
-/// durability, shard, and speculation counters are appended only when
-/// nonzero, so plain runs read exactly as before.
+/// The always-printed one-line digest of a finished run. Counters from the
+/// exported event families ([`eotora_obs::EXPORTED_COUNTER_FAMILIES`]) are
+/// appended only when nonzero, so plain runs read exactly as before.
 fn run_summary(result: &SimulationResult) -> String {
     let mut line = format!(
         "summary: {} slots | p95 slot solve {} | mean BDMA rounds {:.2} | final Q(t) {}",
@@ -149,17 +157,33 @@ fn run_summary(result: &SimulationResult) -> String {
         num(result.queue.last().unwrap_or(0.0)),
     );
     for (name, value) in &result.counters {
-        if *value > 0
-            && (name.starts_with("fault.")
-                || name.starts_with("deadline.")
-                || name.starts_with("durability.")
-                || name.starts_with("shard.")
-                || name.starts_with("spec."))
-        {
+        if *value > 0 && eotora_obs::is_exported_counter(name) {
             line.push_str(&format!(" | {name} {value}"));
         }
     }
     line
+}
+
+/// Reconciles `--speculate` with `--checkpoint-dir`. Staged solves are not
+/// journaled, so a durable run cannot replay them deterministically; rather
+/// than reject the combination outright, the durable path wins and
+/// speculation is dropped. Returns the (possibly cleared) speculative
+/// config plus the warning to print when it was cleared.
+fn reconcile_speculation(
+    spec: Option<SpeculativeConfig>,
+    durable: bool,
+) -> (Option<SpeculativeConfig>, Option<&'static str>) {
+    if durable && spec.is_some() {
+        (
+            None,
+            Some(
+                "warning: --speculate is ignored with --checkpoint-dir (staged solves are not \
+                 journaled); running without speculation",
+            ),
+        )
+    } else {
+        (spec, None)
+    }
 }
 
 /// Loads a JSON [`FaultSchedule`](eotora_core::fault::FaultSchedule) file
@@ -406,6 +430,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         None
     };
+    // `--checkpoint-dir` and `--speculate` cannot coexist (staged solves are
+    // not journaled); the durable path wins and speculation is dropped with
+    // a warning rather than failing the whole run.
+    let (spec, spec_warning) =
+        reconcile_speculation(spec, flag_value(args, "--checkpoint-dir").is_some());
+    if let Some(warning) = spec_warning {
+        eprintln!("{warning}");
+    }
     let robust_mode = fault_trace.is_some() || (deadline.is_some() && spec.is_none());
     let faults = fault_trace.unwrap_or_default();
     let metrics = MetricsFlags::parse(args)?;
@@ -442,11 +474,6 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(dir) = flag_value(args, "--checkpoint-dir") {
         if flag_value(args, "--trace").is_some() {
             return Err("--trace cannot be combined with --checkpoint-dir".into());
-        }
-        if spec.is_some() {
-            return Err("--speculate cannot be combined with --checkpoint-dir (staged solves \
-                        are not journaled)"
-                .into());
         }
         if metrics.no_sanitize {
             return Err("--no-sanitize cannot be combined with --checkpoint-dir (the journal \
@@ -526,6 +553,87 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(t) = telemetry {
         finish_telemetry(t)?;
     }
+    Ok(())
+}
+
+/// `eotora serve`: the long-running controller daemon. Slot states arrive
+/// as JSONL on stdin (default), a file/pipe (`--input`), or a Unix socket
+/// (`--socket`); decision records go to stdout and the event/error stream
+/// to stderr. SIGTERM/SIGINT trigger a graceful shutdown (journal synced,
+/// snapshot written), SIGHUP re-reads `--config`, and a restart against the
+/// same checkpoint directory resumes where the last run stopped.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    require_flag_values(args, &["--config", "--input", "--socket"])?;
+    let config_path =
+        flag_value(args, "--config").ok_or("serve requires --config <server.toml|json>")?;
+    let config_path = PathBuf::from(config_path);
+    let config = eotora_server::ServerConfig::load(&config_path).map_err(|e| e.to_string())?;
+    let input = match (flag_value(args, "--socket"), flag_value(args, "--input")) {
+        (Some(_), Some(_)) => return Err("--socket and --input are mutually exclusive".into()),
+        (Some(sock), None) => {
+            #[cfg(not(unix))]
+            {
+                let _ = sock;
+                return Err("--socket is only supported on Unix platforms".into());
+            }
+            #[cfg(unix)]
+            {
+                // A leftover socket file from a previous run would make bind fail.
+                let _ = std::fs::remove_file(sock);
+                let listener = std::os::unix::net::UnixListener::bind(sock)
+                    .map_err(|e| format!("cannot bind {sock}: {e}"))?;
+                eprintln!("listening on {sock}");
+                eotora_server::InputSource::UnixSocket(listener)
+            }
+        }
+        (None, Some(path)) if path != "-" => {
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            eotora_server::InputSource::Reader(Box::new(std::io::BufReader::new(file)))
+        }
+        _ => eotora_server::InputSource::Reader(Box::new(std::io::stdin())),
+    };
+    let flags = eotora_server::SignalFlags::install();
+    let mut stdout = std::io::stdout();
+    let mut stderr = std::io::stderr();
+    let summary =
+        eotora_server::serve(config, Some(&config_path), input, &mut stdout, &mut stderr, &flags)
+            .map_err(|e| e.to_string())?;
+    if summary.interrupted {
+        eprintln!(
+            "killed after slot {}; restart `eotora serve` to resume",
+            summary.slots_completed.saturating_sub(1)
+        );
+    } else {
+        eprintln!(
+            "served {} decision(s) over {} slot(s)",
+            summary.decisions, summary.slots_completed
+        );
+    }
+    Ok(())
+}
+
+/// `eotora states`: dumps a scenario's slot-state stream as the JSONL that
+/// `eotora serve` consumes — one `SystemState` object per line. `--slots`
+/// caps the count (default: the scenario horizon); `--from` starts later,
+/// which is how a client replays its tail after a server restart.
+fn cmd_states(args: &[String]) -> Result<(), String> {
+    use std::io::Write as _;
+    let path = args.first().ok_or("states requires a scenario file")?;
+    require_flag_values(args, &["--slots", "--from"])?;
+    let scenario = load_scenario(path)?;
+    let slots: u64 = parse_flag(args, "--slots", scenario.horizon)?;
+    let from: u64 = parse_flag(args, "--from", 0)?;
+    let system = MecSystem::random(&scenario.system, scenario.seed);
+    let mut provider =
+        eotora_states::StateProvider::paper(system.topology(), &scenario.states, scenario.seed);
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for slot in from..slots {
+        let state = provider.observe(slot, system.topology());
+        let line = serde_json::to_string(&state).map_err(|e| e.to_string())?;
+        writeln!(out, "{line}").map_err(|e| format!("cannot write states: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("cannot write states: {e}"))?;
     Ok(())
 }
 
@@ -987,4 +1095,34 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         ascii_table(&["budget $", "tail latency (s)", "converged cost ($)", "queue"], &rows)
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speculation_survives_without_checkpoint_dir() {
+        let spec = Some(SpeculativeConfig::default());
+        let (kept, warning) = reconcile_speculation(spec, false);
+        assert!(kept.is_some());
+        assert!(warning.is_none());
+    }
+
+    #[test]
+    fn checkpoint_dir_downgrades_speculation_to_a_warning() {
+        let spec = Some(SpeculativeConfig::default());
+        let (kept, warning) = reconcile_speculation(spec, true);
+        assert!(kept.is_none(), "speculation must be disabled for durable runs");
+        let warning = warning.expect("dropping speculation must warn");
+        assert!(warning.contains("--speculate"), "{warning}");
+        assert!(warning.contains("--checkpoint-dir"), "{warning}");
+    }
+
+    #[test]
+    fn durable_run_without_speculation_is_untouched() {
+        let (kept, warning) = reconcile_speculation(None, true);
+        assert!(kept.is_none());
+        assert!(warning.is_none());
+    }
 }

@@ -25,6 +25,10 @@ struct MetricsInner {
     rounds_series: Vec<f64>,
     slots: u64,
     final_queue: Option<f64>,
+    /// Bounded mode: per-slot series keep only the most recent slot so a
+    /// long-running process stays O(1) in memory (see
+    /// [`MetricsRecorder::bounded`]).
+    bounded: bool,
 }
 
 /// Aggregating [`Recorder`]: builds per-span [`Histogram`]s, monotonic
@@ -43,6 +47,19 @@ impl MetricsRecorder {
     /// A fresh, empty recorder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A recorder whose per-slot series ([`MetricsRecorder::stage_series`]
+    /// and [`MetricsRecorder::bdma_rounds_series`]) retain only the most
+    /// recently completed slot, so memory stays constant no matter how
+    /// long the process runs. Histograms, counters, quantiles, and the
+    /// `last_slot_*` accessors behave exactly as in the default recorder
+    /// — only whole-run series reconstruction is given up. The daemon
+    /// loop runs on this; batch runs keep the unbounded default.
+    pub fn bounded() -> Self {
+        let rec = Self::default();
+        rec.inner.borrow_mut().bounded = true;
+        rec
     }
 
     /// Number of completed slots observed.
@@ -148,7 +165,16 @@ impl Recorder for MetricsRecorder {
             TraceEvent::Slot { queue, .. } => {
                 let mut inner = self.inner.borrow_mut();
                 let inner = &mut *inner;
-                let completed = inner.slots;
+                // Bounded mode drops everything but the slot just
+                // completed before appending, so every series holds at
+                // most one entry and `last_slot_*` stay correct.
+                if inner.bounded {
+                    for series in inner.stage_series.values_mut() {
+                        series.clear();
+                    }
+                    inner.rounds_series.clear();
+                }
+                let completed = if inner.bounded { 0 } else { inner.slots };
                 // One entry per slot in every series: new stages backfill
                 // zeros for the slots before they first appeared, and
                 // stages idle this slot append a zero.
@@ -189,6 +215,37 @@ mod tests {
 
     fn slot_event(slot: u64, queue: f64) -> TraceEvent {
         TraceEvent::Slot { slot, objective: 0.0, latency: 0.0, cost: 0.0, queue }
+    }
+
+    #[test]
+    fn bounded_recorder_keeps_only_last_slot() {
+        let rec = MetricsRecorder::bounded();
+        for slot in 0..100u64 {
+            rec.span_ns("p2a", (slot + 1) * 1_000_000_000);
+            if slot == 50 {
+                rec.span_ns("p2b", 7_000_000_000);
+            }
+            rec.record(&TraceEvent::BdmaIteration {
+                slot,
+                round: 1,
+                objective: 0.0,
+                accepted: true,
+                p2a_nanos: 0,
+                p2b_nanos: 0,
+            });
+            rec.record(&slot_event(slot, slot as f64));
+        }
+        assert_eq!(rec.slots(), 100);
+        let series = rec.stage_series();
+        assert_eq!(series["p2a"], vec![100.0]);
+        assert_eq!(series["p2b"], vec![0.0]);
+        assert_eq!(rec.bdma_rounds_series(), vec![1.0]);
+        assert_eq!(rec.last_slot_rounds(), Some(1.0));
+        assert_eq!(rec.last_slot_stages(), vec![("p2a".into(), 100.0), ("p2b".into(), 0.0)]);
+        assert_eq!(rec.final_queue(), Some(99.0));
+        // Whole-run aggregates are unaffected by the bound.
+        assert_eq!(rec.span_count("p2a"), 100);
+        assert_eq!(rec.mean_bdma_rounds(), Some(1.0));
     }
 
     #[test]

@@ -134,6 +134,32 @@ pub const COUNTER_SPEC_REPAIR_MOVES: &str = "spec.repair_moves";
 /// deadline overrun, or superseded by a resume).
 pub const COUNTER_SPEC_STAGED_DISCARDS: &str = "spec.staged_discards";
 
+/// Counter name for state frames accepted into the admission queue.
+pub const COUNTER_SERVER_ADMITTED: &str = "server.admitted";
+/// Counter name for stale state frames shed by the bounded admission
+/// queue under backpressure (dropped without a decision).
+pub const COUNTER_SERVER_SHED: &str = "server.shed";
+/// Counter name for queued state frames superseded in place by a newer
+/// frame for the same stream position (newest-state-wins coalescing;
+/// every coalesce is also counted as a shed).
+pub const COUNTER_SERVER_COALESCED: &str = "server.coalesced";
+/// Counter name for malformed input frames rejected by the codec with a
+/// typed error (bad JSON, wrong shape, non-finite payload).
+pub const COUNTER_SERVER_MALFORMED: &str = "server.malformed_frames";
+/// Counter name for well-formed state frames rejected by admission
+/// policy (e.g. slot index mismatch under strict sequencing).
+pub const COUNTER_SERVER_REJECTED: &str = "server.rejected_frames";
+/// Counter name for config hot-reloads validated and applied.
+pub const COUNTER_SERVER_RELOADS: &str = "server.reloads_applied";
+/// Counter name for config hot-reloads rejected atomically (old config
+/// stayed live).
+pub const COUNTER_SERVER_RELOADS_REJECTED: &str = "server.reloads_rejected";
+/// Counter name for watchdog escalations after repeated consecutive
+/// deadline expirations (each one dumps a flight-recorder postmortem).
+pub const COUNTER_SERVER_WATCHDOG_TRIPS: &str = "server.watchdog_trips";
+/// Counter name for decision records emitted on the output stream.
+pub const COUNTER_SERVER_DECISIONS: &str = "server.decisions";
+
 /// Counter name for health transitions into `Ok`.
 pub const COUNTER_HEALTH_TO_OK: &str = "health.to_ok";
 /// Counter name for health transitions into `Degraded`.
@@ -162,6 +188,22 @@ pub const GAUGE_HEALTH_LEVEL: &str = "health_level";
 pub const GAUGE_CONFIG_V: &str = "config_v";
 /// Gauge name for the run's per-slot energy budget C̄ ($/slot).
 pub const GAUGE_CONFIG_BUDGET: &str = "config_budget_usd";
+
+/// Counter-name families exported to downstream consumers: the `ctr_*`
+/// CSV columns, the run-summary counter lines, and the server's stats
+/// frames all filter through this single list, so adding a family here
+/// is the one change that surfaces a new counter group everywhere (the
+/// PR-8 lesson: `shard.*` existed for a full PR before anything printed
+/// it). Core solver counters (`bdma_rounds`, `cgba_*`, …) stay internal
+/// — they are solver mechanics, not run outcomes.
+pub const EXPORTED_COUNTER_FAMILIES: &[&str] =
+    &["fault.", "deadline.", "durability.", "shard.", "spec.", "server."];
+
+/// Whether a counter belongs to an exported family (see
+/// [`EXPORTED_COUNTER_FAMILIES`]).
+pub fn is_exported_counter(name: &str) -> bool {
+    EXPORTED_COUNTER_FAMILIES.iter().any(|family| name.starts_with(family))
+}
 
 /// The kind of a metric, deciding its Prometheus `# TYPE` and snapshot
 /// section.
@@ -321,6 +363,35 @@ pub const ALL: &[MetricDef] = &[
         MetricKind::Counter,
         "staged solves discarded before comparison",
     ),
+    def(COUNTER_SERVER_ADMITTED, MetricKind::Counter, "state frames accepted into the queue"),
+    def(COUNTER_SERVER_SHED, MetricKind::Counter, "stale state frames shed under backpressure"),
+    def(
+        COUNTER_SERVER_COALESCED,
+        MetricKind::Counter,
+        "queued frames superseded by newest-state-wins coalescing",
+    ),
+    def(
+        COUNTER_SERVER_MALFORMED,
+        MetricKind::Counter,
+        "malformed input frames rejected by the codec",
+    ),
+    def(
+        COUNTER_SERVER_REJECTED,
+        MetricKind::Counter,
+        "well-formed frames rejected by admission policy",
+    ),
+    def(COUNTER_SERVER_RELOADS, MetricKind::Counter, "config hot-reloads validated and applied"),
+    def(
+        COUNTER_SERVER_RELOADS_REJECTED,
+        MetricKind::Counter,
+        "config hot-reloads rejected atomically",
+    ),
+    def(
+        COUNTER_SERVER_WATCHDOG_TRIPS,
+        MetricKind::Counter,
+        "watchdog escalations on repeated deadline expirations",
+    ),
+    def(COUNTER_SERVER_DECISIONS, MetricKind::Counter, "decision records emitted downstream"),
     def(COUNTER_HEALTH_TO_OK, MetricKind::Counter, "health transitions into Ok"),
     def(COUNTER_HEALTH_TO_DEGRADED, MetricKind::Counter, "health transitions into Degraded"),
     def(COUNTER_HEALTH_TO_CRITICAL, MetricKind::Counter, "health transitions into Critical"),
@@ -373,10 +444,45 @@ mod tests {
             COUNTER_CGBA_PROBES,
             COUNTER_ROBUST_LIFEBOAT_DECISIONS,
             COUNTER_DURABILITY_FRAMES,
+            COUNTER_SERVER_SHED,
+            COUNTER_SERVER_WATCHDOG_TRIPS,
             GAUGE_QUEUE_BACKLOG,
             GAUGE_HEALTH_LEVEL,
         ] {
             assert!(ALL.iter().any(|d| d.name == name), "{name} missing from ALL");
         }
+    }
+
+    /// Every registered counter in an exported family must be matched by
+    /// `is_exported_counter`, and every family prefix must have at least
+    /// one registered counter behind it — a new `x.*` counter group that
+    /// forgets to extend `EXPORTED_COUNTER_FAMILIES` (or vice versa)
+    /// fails here instead of silently vanishing from CSVs and summaries.
+    #[test]
+    fn exported_families_match_registry() {
+        for family in EXPORTED_COUNTER_FAMILIES {
+            assert!(
+                ALL.iter().any(|d| d.kind == MetricKind::Counter && d.name.starts_with(family)),
+                "exported family {family} has no registered counter"
+            );
+        }
+        // Dotted counter groups are either exported or deliberately
+        // internal; keep the internal list explicit so a new group must
+        // pick a side.
+        const INTERNAL_FAMILIES: &[&str] = &["bdma.", "cgba.", "robust.", "health.", "flight."];
+        for d in ALL {
+            if d.kind == MetricKind::Counter && d.name.contains('.') {
+                let internal = INTERNAL_FAMILIES.iter().any(|f| d.name.starts_with(f));
+                assert!(
+                    internal != is_exported_counter(d.name),
+                    "{} must be in exactly one of EXPORTED_COUNTER_FAMILIES / INTERNAL_FAMILIES",
+                    d.name
+                );
+            }
+        }
+        assert!(is_exported_counter(COUNTER_SERVER_SHED));
+        assert!(is_exported_counter(COUNTER_DEADLINE_EXPIRATIONS));
+        assert!(!is_exported_counter(COUNTER_BDMA_ROUNDS));
+        assert!(!is_exported_counter(COUNTER_HEALTH_TO_OK));
     }
 }

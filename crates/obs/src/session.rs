@@ -177,6 +177,16 @@ impl TelemetrySession {
         self.inner.borrow().postmortems
     }
 
+    /// Escalates on behalf of an external supervisor (the server
+    /// watchdog): dumps a flight-recorder postmortem bundle now, under
+    /// the same per-run cap and same-slot dedup as the robust-ladder
+    /// triggers. Returns `true` if a bundle was written.
+    pub fn force_postmortem(&self, reason: &str) -> bool {
+        let before = self.postmortems();
+        self.maybe_postmortem(reason);
+        self.postmortems() > before
+    }
+
     /// Writes the final snapshot, flushes the metrics sink, and returns
     /// the health summary (or the first latched I/O error).
     pub fn finish(self) -> io::Result<HealthSummary> {

@@ -1,0 +1,41 @@
+//! `eotora-server` — the long-running controller daemon.
+//!
+//! Wraps the engine's [`StepDriver`](eotora_sim::StepDriver) in a
+//! hardened service loop: JSONL slot states in (stdin, a pipe, or a Unix
+//! socket), JSONL decision records out, with
+//!
+//! - a bounded [admission queue](queue::AdmissionQueue) applying a
+//!   configurable [shed policy](queue::ShedPolicy) under overload —
+//!   backpressure, drop-oldest, or newest-state-wins coalescing, every
+//!   drop visible in the `server.*` counters;
+//! - a validated [config](config::ServerConfig) (TOML subset or JSON)
+//!   with atomic hot-reload on SIGHUP or an in-band `reload` control —
+//!   a bad candidate config is rejected with a typed error on the error
+//!   stream and the old config stays live;
+//! - per-slot deadline enforcement through the robust engine's anytime
+//!   ladder, with a watchdog that escalates repeated consecutive
+//!   expirations into a flight-recorder postmortem dump;
+//! - graceful shutdown on SIGTERM/SIGINT (journal synced, snapshot
+//!   written, counters reported) and automatic resume from the
+//!   checkpoint directory on restart — kill and restart yields a
+//!   decision stream bit-identical to an uninterrupted run;
+//! - always-on durability and optional periodic metrics dumps.
+//!
+//! The protocol intentionally has no framing beyond "one JSON object per
+//! line": see [`frame`] for the codec and its typed, panic-free error
+//! handling.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod frame;
+pub mod queue;
+pub mod server;
+pub mod signal;
+pub mod toml;
+
+pub use config::{validate_reload, ConfigError, ServerConfig};
+pub use frame::{ControlFrame, DecisionRecord, FrameDecoder, FrameError, InputFrame};
+pub use queue::{Admission, AdmissionQueue, PushOutcome, QueueStats, ShedPolicy};
+pub use server::{serve, InputSource, ServerError, ServerSummary};
+pub use signal::SignalFlags;

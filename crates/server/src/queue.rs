@@ -1,0 +1,358 @@
+//! The bounded admission queue between the input reader thread and the
+//! solve loop.
+//!
+//! State frames are subject to the configured [`ShedPolicy`] when the
+//! queue is at capacity; control frames and malformed-line reports are
+//! *never* shed (an operator's shutdown must get through a flooded
+//! queue). Every shed/coalesce decision is counted so the solve loop can
+//! surface it through the `server.*` counters.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::frame::{ControlFrame, FrameError};
+use eotora_states::SystemState;
+
+/// What to do with a new state frame when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Block the reader until the solver drains a slot — true
+    /// backpressure: the OS pipe fills and the client stalls.
+    Block,
+    /// Drop the oldest queued state to admit the newest (the solver skips
+    /// the dropped slots and the decision stream gains a gap).
+    DropOldest,
+    /// Keep only the newest state: drop *all* queued states to admit the
+    /// new one. Under sustained overload the solver always works on the
+    /// freshest `β`, the online-control ideal.
+    NewestWins,
+}
+
+impl ShedPolicy {
+    /// Parses the config spelling (`block` / `drop-oldest` /
+    /// `newest-wins`).
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "block" => Some(Self::Block),
+            "drop-oldest" => Some(Self::DropOldest),
+            "newest-wins" => Some(Self::NewestWins),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Block => "block",
+            Self::DropOldest => "drop-oldest",
+            Self::NewestWins => "newest-wins",
+        })
+    }
+}
+
+/// One queued item, as the solve loop pops it.
+#[derive(Debug)]
+pub enum Admission {
+    /// A slot state to solve.
+    State(Box<SystemState>),
+    /// A control verb (never shed).
+    Control(ControlFrame),
+    /// A malformed input line, forwarded for in-order error reporting
+    /// (never shed).
+    Malformed(FrameError),
+}
+
+/// What happened to a pushed state frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Queued (possibly after blocking).
+    Admitted,
+    /// Queued after dropping `shed` older states.
+    AdmittedAfterShedding {
+        /// States dropped to make room.
+        shed: u64,
+    },
+}
+
+/// Lifetime traffic accounting, read by the solve loop for `server.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// State frames admitted (including after shedding).
+    pub admitted: u64,
+    /// State frames dropped by `DropOldest`/`NewestWins` shedding.
+    pub shed: u64,
+    /// Deepest the queue has ever been.
+    pub max_depth: usize,
+}
+
+struct Inner {
+    items: VecDeque<Admission>,
+    states: usize,
+    capacity: usize,
+    policy: ShedPolicy,
+    closed: bool,
+    stats: QueueStats,
+}
+
+/// The bounded MPSC hand-off between reader and solver.
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    room: Condvar,
+    ready: Condvar,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `capacity` state frames at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (config validation rejects it first).
+    pub fn new(capacity: usize, policy: ShedPolicy) -> Self {
+        assert!(capacity > 0, "admission capacity must be at least 1");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                states: 0,
+                capacity,
+                policy,
+                closed: false,
+                stats: QueueStats::default(),
+            }),
+            room: Condvar::new(),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Hot-reloads the capacity/policy pair. A shrink does not evict
+    /// already-queued states; it only gates new admissions.
+    pub fn reconfigure(&self, capacity: usize, policy: ShedPolicy) {
+        let mut inner = self.lock();
+        inner.capacity = capacity.max(1);
+        inner.policy = policy;
+        drop(inner);
+        // A capacity increase may unblock a waiting `Block` producer.
+        self.room.notify_all();
+    }
+
+    /// Pushes a state frame, applying the shed policy at capacity.
+    /// Returns `Admitted` without queueing when the queue is closed.
+    pub fn push_state(&self, state: Box<SystemState>) -> PushOutcome {
+        let mut inner = self.lock();
+        while !inner.closed && inner.states >= inner.capacity && inner.policy == ShedPolicy::Block {
+            inner = match self.room.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        if inner.closed {
+            return PushOutcome::Admitted;
+        }
+        let mut shed = 0u64;
+        if inner.states >= inner.capacity {
+            let keep = match inner.policy {
+                ShedPolicy::DropOldest => inner.capacity.saturating_sub(1),
+                ShedPolicy::NewestWins => 0,
+                ShedPolicy::Block => unreachable!("block waits above"),
+            };
+            while inner.states > keep {
+                // Shed the *oldest* state still queued; controls keep
+                // their relative order and are never touched.
+                let Some(pos) = inner.items.iter().position(|i| matches!(i, Admission::State(_)))
+                else {
+                    break;
+                };
+                inner.items.remove(pos);
+                inner.states -= 1;
+                shed += 1;
+            }
+        }
+        inner.items.push_back(Admission::State(state));
+        inner.states += 1;
+        inner.stats.admitted += 1;
+        inner.stats.shed += shed;
+        inner.stats.max_depth = inner.stats.max_depth.max(inner.states);
+        drop(inner);
+        self.ready.notify_one();
+        if shed > 0 {
+            PushOutcome::AdmittedAfterShedding { shed }
+        } else {
+            PushOutcome::Admitted
+        }
+    }
+
+    /// Pushes a control or malformed item — always admitted, never
+    /// counted against capacity.
+    pub fn push_priority(&self, item: Admission) {
+        let mut inner = self.lock();
+        if inner.closed {
+            return;
+        }
+        debug_assert!(!matches!(item, Admission::State(_)), "states go through push_state");
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    /// Pops the next item, waiting up to `timeout`. `None` means either
+    /// timeout or closed-and-drained — check [`AdmissionQueue::is_done`]
+    /// to tell them apart.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<Admission> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                if matches!(item, Admission::State(_)) {
+                    inner.states -= 1;
+                }
+                drop(inner);
+                self.room.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (guard, result) = match self.ready.wait_timeout(inner, timeout) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            inner = guard;
+            if result.timed_out() && inner.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Marks the stream finished: blocked producers wake and drop their
+    /// frames, and `pop_timeout` returns `None` once drained.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.room.notify_all();
+        self.ready.notify_all();
+    }
+
+    /// Whether the queue is closed *and* fully drained.
+    pub fn is_done(&self) -> bool {
+        let inner = self.lock();
+        inner.closed && inner.items.is_empty()
+    }
+
+    /// Current queue depth in state frames.
+    pub fn depth(&self) -> usize {
+        self.lock().states
+    }
+
+    /// Lifetime traffic statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn state(slot: u64) -> Box<SystemState> {
+        Box::new(SystemState {
+            slot,
+            task_cycles: vec![1.0],
+            data_bits: vec![1.0],
+            spectral_efficiency: vec![vec![1.0]],
+            fronthaul_efficiency: vec![1.0],
+            price_per_kwh: 0.1,
+        })
+    }
+
+    fn popped_slots(queue: &AdmissionQueue) -> Vec<u64> {
+        let mut slots = Vec::new();
+        while let Some(item) = queue.pop_timeout(Duration::from_millis(1)) {
+            if let Admission::State(s) = item {
+                slots.push(s.slot);
+            }
+        }
+        slots
+    }
+
+    #[test]
+    fn drop_oldest_sheds_the_oldest_state() {
+        let q = AdmissionQueue::new(2, ShedPolicy::DropOldest);
+        assert_eq!(q.push_state(state(0)), PushOutcome::Admitted);
+        assert_eq!(q.push_state(state(1)), PushOutcome::Admitted);
+        assert_eq!(q.push_state(state(2)), PushOutcome::AdmittedAfterShedding { shed: 1 });
+        assert_eq!(popped_slots(&q), vec![1, 2]);
+        let stats = q.stats();
+        assert_eq!((stats.admitted, stats.shed, stats.max_depth), (3, 1, 2));
+    }
+
+    #[test]
+    fn newest_wins_keeps_only_the_newest() {
+        let q = AdmissionQueue::new(3, ShedPolicy::NewestWins);
+        for slot in 0..3 {
+            q.push_state(state(slot));
+        }
+        assert_eq!(q.push_state(state(3)), PushOutcome::AdmittedAfterShedding { shed: 3 });
+        assert_eq!(popped_slots(&q), vec![3]);
+    }
+
+    #[test]
+    fn controls_are_never_shed() {
+        let q = AdmissionQueue::new(1, ShedPolicy::NewestWins);
+        q.push_state(state(0));
+        q.push_priority(Admission::Control(ControlFrame::Checkpoint));
+        q.push_state(state(1)); // sheds state 0, not the control
+        let first = q.pop_timeout(Duration::from_millis(1)).expect("control queued");
+        assert!(matches!(first, Admission::Control(ControlFrame::Checkpoint)));
+        assert_eq!(popped_slots(&q), vec![1]);
+        assert_eq!(q.stats().shed, 1);
+    }
+
+    #[test]
+    fn block_policy_applies_backpressure() {
+        let q = Arc::new(AdmissionQueue::new(1, ShedPolicy::Block));
+        q.push_state(state(0));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                q.push_state(state(1)); // must block until the pop below
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.depth(), 1, "producer must be blocked at capacity");
+        let popped = q.pop_timeout(Duration::from_millis(100)).expect("state queued");
+        assert!(matches!(popped, Admission::State(_)));
+        producer.join().expect("producer finishes after room opens");
+        assert_eq!(popped_slots(&q), vec![1]);
+        assert_eq!(q.stats().shed, 0);
+    }
+
+    #[test]
+    fn close_unblocks_producers_and_drains() {
+        let q = Arc::new(AdmissionQueue::new(1, ShedPolicy::Block));
+        q.push_state(state(0));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_state(state(1)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        producer.join().expect("close wakes the blocked producer");
+        // The queued state is still drainable after close.
+        assert_eq!(popped_slots(&q), vec![0]);
+        assert!(q.is_done());
+    }
+
+    #[test]
+    fn pop_times_out_on_an_empty_open_queue() {
+        let q = AdmissionQueue::new(4, ShedPolicy::Block);
+        assert!(q.pop_timeout(Duration::from_millis(5)).is_none());
+        assert!(!q.is_done());
+    }
+}

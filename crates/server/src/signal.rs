@@ -1,0 +1,151 @@
+//! Minimal POSIX signal wiring — no `libc` crate, just the two syscall
+//! shims the daemon needs: `signal(2)` to install handlers and (in
+//! tests) `raise(3)` to fire them.
+//!
+//! SIGTERM and SIGINT request a graceful shutdown (flush journal, write
+//! snapshot, exit); SIGHUP requests a config hot-reload. Handlers only
+//! set process-global atomic flags — everything else happens on the
+//! solve loop, which polls the flags between queue pops.
+//!
+//! Tests use [`SignalFlags::manual`], which backs the same API with
+//! local atomics and never touches process signal dispositions.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// `SIGHUP` — config hot-reload.
+pub const SIGHUP: i32 = 1;
+/// `SIGINT` — graceful shutdown.
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` — graceful shutdown.
+pub const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    #[cfg(test)]
+    fn raise(signum: i32) -> i32;
+}
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+static RELOAD_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_terminate(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+extern "C" fn on_hangup(_signum: i32) {
+    RELOAD_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// The solve loop's view of pending signal requests. Either backed by
+/// the process-global handler flags ([`SignalFlags::install`]) or by
+/// local atomics ([`SignalFlags::manual`]) that tests and embedding
+/// callers set directly.
+#[derive(Clone)]
+pub struct SignalFlags {
+    global: bool,
+    term: Arc<AtomicBool>,
+    reload: Arc<AtomicBool>,
+}
+
+impl SignalFlags {
+    /// Installs SIGTERM/SIGINT/SIGHUP handlers and returns the flags
+    /// they set. Process-wide; call once from the daemon entry point.
+    pub fn install() -> Self {
+        // SAFETY: `signal` with a valid extern "C" fn pointer is the
+        // documented contract; the handlers only touch lock-free
+        // atomics, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_terminate as *const () as usize);
+            signal(SIGINT, on_terminate as *const () as usize);
+            signal(SIGHUP, on_hangup as *const () as usize);
+        }
+        Self {
+            global: true,
+            term: Arc::new(AtomicBool::new(false)),
+            reload: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Flags detached from process signals, driven via
+    /// [`SignalFlags::request_shutdown`] / [`SignalFlags::request_reload`].
+    pub fn manual() -> Self {
+        Self {
+            global: false,
+            term: Arc::new(AtomicBool::new(false)),
+            reload: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Requests a graceful shutdown (what SIGTERM does).
+    pub fn request_shutdown(&self) {
+        if self.global {
+            TERM_REQUESTED.store(true, Ordering::SeqCst);
+        } else {
+            self.term.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Requests a config hot-reload (what SIGHUP does).
+    pub fn request_reload(&self) {
+        if self.global {
+            RELOAD_REQUESTED.store(true, Ordering::SeqCst);
+        } else {
+            self.reload.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether shutdown has been requested (sticky).
+    pub fn shutdown_requested(&self) -> bool {
+        if self.global {
+            TERM_REQUESTED.load(Ordering::SeqCst)
+        } else {
+            self.term.load(Ordering::SeqCst)
+        }
+    }
+
+    /// Consumes a pending reload request, if any.
+    pub fn take_reload(&self) -> bool {
+        if self.global {
+            RELOAD_REQUESTED.swap(false, Ordering::SeqCst)
+        } else {
+            self.reload.swap(false, Ordering::SeqCst)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_flags_are_local() {
+        let a = SignalFlags::manual();
+        let b = SignalFlags::manual();
+        a.request_shutdown();
+        a.request_reload();
+        assert!(a.shutdown_requested());
+        assert!(!b.shutdown_requested());
+        assert!(a.take_reload());
+        assert!(!a.take_reload(), "reload requests are consumed");
+        assert!(!b.take_reload());
+    }
+
+    #[test]
+    fn installed_handlers_set_the_global_flags() {
+        let flags = SignalFlags::install();
+        assert!(!flags.take_reload());
+        // SAFETY: raising a signal we just installed a no-op-ish handler
+        // for; the handler only sets an atomic.
+        unsafe {
+            raise(SIGHUP);
+        }
+        assert!(flags.take_reload(), "SIGHUP must set the reload flag");
+        unsafe {
+            raise(SIGTERM);
+        }
+        assert!(flags.shutdown_requested(), "SIGTERM must set the shutdown flag");
+        // Leave the process flags clean for any other test.
+        TERM_REQUESTED.store(false, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,266 @@
+//! A hand-written parser for the TOML subset the server config uses.
+//!
+//! Supported: `[section]` headers (one level), `key = value` pairs with
+//! string / integer / float / boolean / flat-array values, `#` comments,
+//! and blank lines. The output is the same [`Value`] tree
+//! `serde_json::parse` produces, so [`crate::config`] extracts fields from
+//! TOML and JSON configs through one code path.
+//!
+//! Deliberately *not* supported (rejected with a line-numbered
+//! [`TomlError`], never misparsed): dotted keys, nested tables, inline
+//! tables, multi-line strings, dates, and duplicate keys.
+
+use serde_json::Value;
+
+/// A parse failure, pinned to the 1-indexed config line that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-indexed line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+fn err(line: usize, reason: impl Into<String>) -> TomlError {
+    TomlError { line, reason: reason.into() }
+}
+
+/// Parses the TOML subset into a two-level object tree: top-level bare
+/// keys live on the root object, `[section]` keys under one nested object
+/// per section.
+pub fn parse(text: &str) -> Result<Value, TomlError> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Index into `root` of the section currently being filled.
+    let mut section: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated section header"))?
+                .trim();
+            if name.is_empty() || !name.chars().all(is_key_char) {
+                return Err(err(lineno, format!("invalid section name `{name}`")));
+            }
+            if root.iter().any(|(k, _)| k == name) {
+                return Err(err(lineno, format!("duplicate section `{name}`")));
+            }
+            root.push((name.to_owned(), Value::Object(Vec::new())));
+            section = Some(root.len() - 1);
+            continue;
+        }
+        let (key, value) =
+            line.split_once('=').ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(is_key_char) {
+            return Err(err(lineno, format!("invalid key `{key}`")));
+        }
+        let value = parse_value(value.trim(), lineno)?;
+        let fields = match section {
+            Some(i) => match &mut root[i].1 {
+                Value::Object(fields) => fields,
+                _ => unreachable!("sections are always objects"),
+            },
+            None => &mut root,
+        };
+        if fields.iter().any(|(k, _)| k == key) {
+            return Err(err(lineno, format!("duplicate key `{key}`")));
+        }
+        fields.push((key.to_owned(), value));
+    }
+    Ok(Value::Object(root))
+}
+
+fn is_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Drops a trailing `#` comment, respecting `"..."` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, TomlError> {
+    if text.is_empty() {
+        return Err(err(lineno, "missing value after `=`"));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        return parse_string(rest, lineno);
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner =
+            inner.strip_suffix(']').ok_or_else(|| err(lineno, "unterminated array"))?.trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            for item in split_array_items(inner, lineno)? {
+                items.push(parse_value(item.trim(), lineno)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    // TOML numbers: integer unless a `.`, exponent, or special marks a
+    // float. `nan`/`inf` are rejected outright — config values must be
+    // finite.
+    if text.contains(['n', 'N', 'i', 'I']) {
+        return Err(err(lineno, format!("unsupported value `{text}` (nan/inf are rejected)")));
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::I64(n));
+        }
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::U64(n));
+        }
+    }
+    if let Ok(x) = text.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(Value::F64(x));
+        }
+    }
+    Err(err(lineno, format!("cannot parse value `{text}`")))
+}
+
+fn parse_string(rest: &str, lineno: usize) -> Result<Value, TomlError> {
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next() {
+            None => return Err(err(lineno, "unterminated string")),
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                other => {
+                    return Err(err(lineno, format!("unsupported string escape `\\{other:?}`")))
+                }
+            },
+            Some(c) => out.push(c),
+        }
+    }
+    let trailing: String = chars.collect();
+    if !trailing.trim().is_empty() {
+        return Err(err(lineno, format!("trailing garbage after string: `{}`", trailing.trim())));
+    }
+    Ok(Value::Str(out))
+}
+
+/// Splits `a, "b,c", 3` on top-level commas (strings may contain commas).
+fn split_array_items(inner: &str, lineno: usize) -> Result<Vec<&str>, TomlError> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    if in_string {
+        return Err(err(lineno, "unterminated string in array"));
+    }
+    items.push(&inner[start..]);
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'v>(value: &'v Value, key: &str) -> &'v Value {
+        let Value::Object(fields) = value else { panic!("not an object") };
+        &fields.iter().find(|(k, _)| k == key).unwrap_or_else(|| panic!("missing {key}")).1
+    }
+
+    #[test]
+    fn parses_sections_and_scalars() {
+        let v = parse(
+            "top = 1\n\
+             [server]\n\
+             # a comment\n\
+             deadline_ms = 250  # trailing comment\n\
+             name = \"paper # not a comment\"\n\
+             ratio = 1.5\n\
+             on = true\n\
+             slots = [1, 2, 3]\n",
+        )
+        .expect("parses");
+        assert_eq!(get(&v, "top"), &Value::I64(1));
+        let server = get(&v, "server");
+        assert_eq!(get(server, "deadline_ms"), &Value::I64(250));
+        assert_eq!(get(server, "name"), &Value::Str("paper # not a comment".into()));
+        assert_eq!(get(server, "ratio"), &Value::F64(1.5));
+        assert_eq!(get(server, "on"), &Value::Bool(true));
+        assert_eq!(
+            get(server, "slots"),
+            &Value::Array(vec![Value::I64(1), Value::I64(2), Value::I64(3)])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (text, want_line) in [
+            ("ok = 1\nbroken", 2),
+            ("[unterminated\n", 1),
+            ("x = ", 1),
+            ("x = \"open", 1),
+            ("x = nan", 1),
+            ("x = inf", 1),
+            ("a = 1\na = 2", 2),
+            ("[s]\n[s]", 2),
+            ("x = [1, \"open]", 1),
+        ] {
+            let e = parse(text).expect_err(text);
+            assert_eq!(e.line, want_line, "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn floats_and_integers_are_distinguished() {
+        let v = parse("i = 7\nf = 7.0\ne = 1e3\nneg = -4").expect("parses");
+        assert_eq!(get(&v, "i"), &Value::I64(7));
+        assert_eq!(get(&v, "f"), &Value::F64(7.0));
+        assert_eq!(get(&v, "e"), &Value::F64(1000.0));
+        assert_eq!(get(&v, "neg"), &Value::I64(-4));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the server's input codec: no input line — garbage,
+//! truncation, non-finite floats, wrong shapes — may panic the decoder
+//! or desync its line cursor, and every rejection must be a typed
+//! [`FrameError`]. The TOML-subset config parser gets the same
+//! treatment.
+
+use eotora_server::{FrameDecoder, FrameError, InputFrame};
+use eotora_states::SystemState;
+use proptest::prelude::*;
+
+fn state(slot: u64) -> SystemState {
+    SystemState {
+        slot,
+        task_cycles: vec![1.0e8, 2.0e8],
+        data_bits: vec![1.0e6, 2.0e6],
+        spectral_efficiency: vec![vec![3.0, 2.0, 1.0], vec![1.5, 2.5, 3.5]],
+        fronthaul_efficiency: vec![4.0, 4.0, 4.0],
+        price_per_kwh: 0.11,
+    }
+}
+
+/// Arbitrary text lines, including JSON punctuation, control characters,
+/// and non-ASCII codepoints (surrogates are filtered by `char::from_u32`).
+fn garbage_line() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x2500, 0..60)
+        .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..Default::default() })]
+
+    /// Arbitrary lines never panic, and the line cursor advances by
+    /// exactly one per call.
+    #[test]
+    fn arbitrary_lines_never_panic_or_desync(lines in prop::collection::vec(garbage_line(), 1..16)) {
+        let mut dec = FrameDecoder::new(2, 3);
+        for (i, line) in lines.iter().enumerate() {
+            let _ = dec.decode_line(line);
+            prop_assert_eq!(dec.line(), i as u64 + 1);
+        }
+        // After any amount of garbage, a valid state still decodes — the
+        // decoder has no internal parse state to corrupt.
+        let good = serde_json::to_string(&state(7)).expect("serializes");
+        match dec.decode_line(&good) {
+            Ok(Some(InputFrame::State(s))) => prop_assert_eq!(s.slot, 7),
+            other => return Err(TestCaseError::fail(format!("valid state rejected: {other:?}"))),
+        }
+    }
+
+    /// Every strict prefix of a valid state line is rejected with a
+    /// typed error (truncation can never be silently accepted or panic).
+    #[test]
+    fn truncated_states_yield_typed_errors(slot in 0u64..1000, frac in 0.0f64..1.0) {
+        let full = serde_json::to_string(&state(slot)).expect("serializes");
+        let cut = ((full.len() as f64 * frac) as usize).min(full.len() - 1);
+        let mut dec = FrameDecoder::new(2, 3);
+        match dec.decode_line(&full[..cut]) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only the empty prefix may be a blank line"),
+            Ok(Some(frame)) => {
+                return Err(TestCaseError::fail(format!(
+                    "truncated line decoded as {frame:?}"
+                )))
+            }
+            Err(e) => prop_assert_eq!(e.kind(), "json"),
+        }
+        prop_assert_eq!(dec.line(), 1);
+    }
+
+    /// A non-finite scalar anywhere in the state is rejected as a typed
+    /// error: either the parser refuses the overflow literal outright or
+    /// the validator names the field.
+    #[test]
+    fn non_finite_values_are_rejected(which in 0usize..4, magnitude in 400i32..9000) {
+        let mut s = state(0);
+        let huge = format!("1e{magnitude}"); // overflows f64 to +inf
+        let field = ["task_cycles", "data_bits", "fronthaul_efficiency", "price_per_kwh"][which];
+        let line = match which {
+            0 => serde_json::to_string(&s).unwrap().replacen("100000000.0", &huge, 1),
+            1 => serde_json::to_string(&s).unwrap().replacen("1000000.0", &huge, 1),
+            2 => serde_json::to_string(&s).unwrap().replacen("4.0,", &format!("{huge},"), 1),
+            _ => {
+                s.price_per_kwh = 0.25;
+                serde_json::to_string(&s).unwrap().replace("0.25", &huge)
+            }
+        };
+        let mut dec = FrameDecoder::new(2, 3);
+        match dec.decode_line(&line) {
+            Err(FrameError::NonFinite { field: got, .. }) => prop_assert_eq!(got, field),
+            Err(FrameError::Json { .. }) => {} // parser may reject the overflow itself
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "non-finite {field} accepted: {other:?}"
+                )))
+            }
+        }
+    }
+
+    /// Wrong vector dimensions are always shape errors, whatever the
+    /// sizes are.
+    #[test]
+    fn wrong_dimensions_are_shape_errors(devices in 1usize..6, stations in 1usize..6) {
+        if (devices, stations) == (2, 3) {
+            return Ok(()); // the one matching shape — decodes fine
+        }
+        let mut dec = FrameDecoder::new(devices, stations);
+        let line = serde_json::to_string(&state(0)).expect("serializes");
+        match dec.decode_line(&line) {
+            Err(FrameError::Shape { .. }) => {}
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "{devices}x{stations} accepted a 2x3 state: {other:?}"
+                )))
+            }
+        }
+    }
+
+    /// The config TOML parser never panics on arbitrary input, and every
+    /// error carries a line number within the input.
+    #[test]
+    fn toml_parser_never_panics(lines in prop::collection::vec(garbage_line(), 0..12)) {
+        let text = lines.join("\n");
+        if let Err(e) = eotora_server::toml::parse(&text) {
+            let count = text.lines().count().max(1);
+            prop_assert!(e.line >= 1 && e.line <= count, "line {} of {}", e.line, count);
+        }
+    }
+}

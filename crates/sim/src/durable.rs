@@ -53,7 +53,8 @@ use eotora_obs::Recorder;
 use eotora_util::rng::Pcg32;
 use serde::{Deserialize, Serialize};
 
-use crate::runner::{robust_config, run_engine, EngineMode, EngineOutcome, SimulationResult};
+use crate::engine::DriverMode;
+use crate::runner::{robust_config, run_engine, EngineOutcome, SimulationResult};
 use crate::scenario::Scenario;
 
 /// Version of `manifest.json`; bump on incompatible layout changes.
@@ -136,8 +137,13 @@ pub struct RunManifest {
 /// completed slots.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSnapshot {
-    /// Completed slots this snapshot captures.
+    /// The next slot to solve (the driver cursor). Equal to the number of
+    /// completed slots on batch runs; can exceed `frames` on server runs
+    /// where overload shedding skipped slots.
     pub slots: u64,
+    /// Journal frames durable as of this snapshot — the number of journal
+    /// records to replay on resume.
+    pub frames: u64,
     /// Controller state: virtual queue, averages, solver RNG, config, and
     /// the warm-start workspace (retained incumbent + probe heat).
     pub controller: ControllerState,
@@ -165,8 +171,11 @@ pub(crate) struct ResumeState {
 }
 
 /// Live durability state the engine drives: the open journal writer, the
-/// snapshot target, and the pending resume payload (if any).
-pub(crate) struct DurableSession {
+/// snapshot target, and the pending resume payload (if any). Opaque
+/// outside the crate — obtain one with [`open_session`] and hand it to
+/// [`crate::engine::StepDriver::new`]; the driver journals every slot and
+/// snapshots on the session's cadence.
+pub struct DurableSession {
     writer: JournalWriter,
     snapshot_path: PathBuf,
     checkpoint_every: u64,
@@ -316,7 +325,7 @@ pub fn run_durable_traced(
         checkpoint_every: cfg.checkpoint_every.max(1),
         fsync: cfg.fsync.to_string(),
     };
-    let mut session = fresh_session(cfg, &manifest)?;
+    let session = fresh_session(cfg, &manifest)?;
     let system = eotora_core::system::MecSystem::random(&scenario.system, scenario.seed);
     let mut states =
         eotora_states::StateProvider::paper(system.topology(), &scenario.states, scenario.seed);
@@ -325,8 +334,8 @@ pub fn run_durable_traced(
         system,
         &mut |slot, topo| states.observe(slot, topo),
         sink,
-        EngineMode::Plain,
-        Some(&mut session),
+        DriverMode::Plain,
+        Some(session),
     )?;
     Ok(finish(outcome))
 }
@@ -360,7 +369,7 @@ pub fn run_durable_robust_traced(
         checkpoint_every: cfg.checkpoint_every.max(1),
         fsync: cfg.fsync.to_string(),
     };
-    let mut session = fresh_session(cfg, &manifest)?;
+    let session = fresh_session(cfg, &manifest)?;
     let robust = robust_config(scenario, deadline);
     let system = eotora_core::system::MecSystem::random(&scenario.system, scenario.seed);
     let mut states =
@@ -370,8 +379,8 @@ pub fn run_durable_robust_traced(
         system,
         &mut |slot, topo| states.observe(slot, topo),
         sink,
-        EngineMode::Robust { faults, robust: &robust },
-        Some(&mut session),
+        DriverMode::Robust { faults: faults.clone(), robust },
+        Some(session),
     )?;
     Ok(finish(outcome))
 }
@@ -395,6 +404,51 @@ pub fn resume_durable_traced(
     sink: Option<&dyn Recorder>,
 ) -> Result<DurableRun, DurabilityError> {
     let manifest = read_manifest(&cfg.dir)?;
+    let session = resume_session(cfg, &manifest)?;
+    let scenario = manifest.scenario;
+    let system = eotora_core::system::MecSystem::random(&scenario.system, scenario.seed);
+    let mut states =
+        eotora_states::StateProvider::paper(system.topology(), &scenario.states, scenario.seed);
+    let outcome = match manifest.mode.as_str() {
+        "plain" => run_engine(
+            &scenario,
+            system,
+            &mut |slot, topo| states.observe(slot, topo),
+            sink,
+            DriverMode::Plain,
+            Some(session),
+        )?,
+        "robust" => {
+            let faults = manifest.faults.unwrap_or_default();
+            let deadline = manifest.deadline_ms.map(Duration::from_millis);
+            let robust = robust_config(&scenario, deadline);
+            run_engine(
+                &scenario,
+                system,
+                &mut |slot, topo| states.observe(slot, topo),
+                sink,
+                DriverMode::Robust { faults, robust },
+                Some(session),
+            )?
+        }
+        other => {
+            return Err(DurabilityError::CorruptManifest {
+                path: manifest_path(&cfg.dir).display().to_string(),
+                reason: format!("unknown run mode `{other}`"),
+            })
+        }
+    };
+    Ok(finish(outcome))
+}
+
+/// Reconstructs the live session of a checkpoint directory that already
+/// holds a run: restores the snapshot, replays the journal head, and
+/// reopens the journal for appends after the snapshot slot (discarding
+/// any stale suffix for deterministic re-execution).
+fn resume_session(
+    cfg: &DurabilityConfig,
+    manifest: &RunManifest,
+) -> Result<DurableSession, DurabilityError> {
     let fsync = manifest.fsync.parse::<FsyncPolicy>().map_err(|reason| {
         DurabilityError::CorruptManifest {
             path: manifest_path(&cfg.dir).display().to_string(),
@@ -418,70 +472,78 @@ pub fn resume_durable_traced(
         // their slots re-executed deterministically).
         None
     };
-    let snapshot_slots = snapshot.as_ref().map_or(0, |s| s.slots);
+    let snapshot_frames = snapshot.as_ref().map_or(0, |s| s.frames);
 
     let journal = journal_dir(&cfg.dir);
     let (head, torn_frames_dropped, frames_discarded, writer) = if journal.is_dir() {
         let readback = read_journal(&journal)?;
         let total_frames = readback.frames.len() as u64;
-        if total_frames < snapshot_slots {
+        if total_frames < snapshot_frames {
             return Err(DurabilityError::JournalBehindSnapshot {
-                snapshot_slots,
+                snapshot_slots: snapshot_frames,
                 journal_frames: total_frames,
             });
         }
-        let mut head = Vec::with_capacity(snapshot_slots as usize);
-        for frame in readback.frames.iter().take(snapshot_slots as usize) {
+        let mut head = Vec::with_capacity(snapshot_frames as usize);
+        for frame in readback.frames.iter().take(snapshot_frames as usize) {
             head.push(SlotRecord::decode(frame)?);
         }
-        let writer = open_for_append_after(&journal, snapshot_slots, fsync, cfg.max_segment_bytes)?;
-        (head, readback.torn_frames_dropped, total_frames - snapshot_slots, writer)
+        let writer =
+            open_for_append_after(&journal, snapshot_frames, fsync, cfg.max_segment_bytes)?;
+        (head, readback.torn_frames_dropped, total_frames - snapshot_frames, writer)
     } else {
         // Crashed between the manifest write and the journal's creation.
         let writer = JournalWriter::create(&journal, fsync, cfg.max_segment_bytes)?;
         (Vec::new(), 0, 0, writer)
     };
 
-    let mut session = DurableSession {
+    Ok(DurableSession {
         writer,
         snapshot_path: snap_path,
         checkpoint_every: manifest.checkpoint_every.max(1),
         kill_at_slot: cfg.kill_at_slot,
         resume: Some(ResumeState { snapshot, head, torn_frames_dropped, frames_discarded }),
-    };
+    })
+}
 
-    let scenario = manifest.scenario;
-    let system = eotora_core::system::MecSystem::random(&scenario.system, scenario.seed);
-    let mut states =
-        eotora_states::StateProvider::paper(system.topology(), &scenario.states, scenario.seed);
-    let outcome = match manifest.mode.as_str() {
-        "plain" => run_engine(
-            &scenario,
-            system,
-            &mut |slot, topo| states.observe(slot, topo),
-            sink,
-            EngineMode::Plain,
-            Some(&mut session),
-        )?,
-        "robust" => {
-            let faults = manifest.faults.unwrap_or_default();
-            let deadline = manifest.deadline_ms.map(Duration::from_millis);
-            let robust = robust_config(&scenario, deadline);
-            run_engine(
-                &scenario,
-                system,
-                &mut |slot, topo| states.observe(slot, topo),
-                sink,
-                EngineMode::Robust { faults: &faults, robust: &robust },
-                Some(&mut session),
-            )?
-        }
-        other => {
-            return Err(DurabilityError::CorruptManifest {
-                path: manifest_path(&cfg.dir).display().to_string(),
-                reason: format!("unknown run mode `{other}`"),
-            })
-        }
-    };
-    Ok(finish(outcome))
+/// Opens the durable session for `cfg.dir`, fresh or resumed — the
+/// auto-resume entry point the server daemon starts through:
+///
+/// * an empty directory writes `manifest` and starts a fresh journal;
+/// * a directory already holding a run is verified against `manifest` —
+///   same mode, scenario, and fault schedule, or a typed
+///   [`DurabilityError::InvalidConfig`] — and resumed from its
+///   snapshot-plus-journal head (hand the session to
+///   [`crate::engine::StepDriver::new`], which consumes the resume
+///   payload and restores the controller).
+///
+/// Operational policy fields that may legitimately change across
+/// restarts (deadline, checkpoint cadence, fsync) follow the *new*
+/// manifest; the on-disk manifest is rewritten when they differ.
+pub fn open_session(
+    cfg: &DurabilityConfig,
+    manifest: &RunManifest,
+) -> Result<DurableSession, DurabilityError> {
+    if !manifest_path(&cfg.dir).exists() {
+        return fresh_session(cfg, manifest);
+    }
+    let existing = read_manifest(&cfg.dir)?;
+    if existing.mode != manifest.mode
+        || existing.scenario != manifest.scenario
+        || existing.faults != manifest.faults
+    {
+        return Err(DurabilityError::InvalidConfig {
+            reason: format!(
+                "checkpoint directory {} holds a different run (mode `{}`, scenario `{}`); \
+                 point at a fresh directory or restore the matching config",
+                cfg.dir.display(),
+                existing.mode,
+                existing.scenario.label
+            ),
+        });
+    }
+    if existing != *manifest {
+        write_manifest(&cfg.dir, manifest)?;
+    }
+    resume_session(cfg, manifest)
 }

@@ -12,6 +12,10 @@
 //!   (§VI): each returns plain data structs that the `figures` binary and
 //!   the Criterion benches render. EXPERIMENTS.md records paper-vs-measured
 //!   shapes for all of them.
+//! * [`engine`] — the reusable per-slot [`engine::StepDriver`] every
+//!   front-end solves through: the batch loops here and the
+//!   `eotora-server` daemon share one engine, which is what makes their
+//!   decision streams bit-identical.
 //! * [`durable`] — crash-safe runs: checkpointed controller snapshots plus
 //!   a checksummed write-ahead slot journal, with deterministic
 //!   kill–resume ([`durable::run_durable`] / [`durable::resume_durable`]).
@@ -32,12 +36,17 @@
 //! ```
 
 pub mod durable;
+pub mod engine;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod svg;
 
-pub use durable::{resume_durable, run_durable, run_durable_robust, DurabilityConfig, DurableRun};
+pub use durable::{
+    open_session, resume_durable, run_durable, run_durable_robust, DurabilityConfig, DurableRun,
+    DurableSession, RunManifest, MANIFEST_VERSION,
+};
+pub use engine::{DriverMode, DriverTuning, StepDriver, StepReport};
 pub use runner::{robust_config, run, run_many, run_robust, run_robust_traced, SimulationResult};
 pub use scenario::Scenario;

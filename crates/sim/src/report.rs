@@ -70,24 +70,17 @@ pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Counter-name prefixes exported as `ctr_*` columns by [`slot_csv`]: the
-/// event families a post-hoc reader cannot reconstruct from the series.
-const EXPORTED_COUNTER_PREFIXES: [&str; 5] =
-    ["fault.", "deadline.", "durability.", "shard.", "spec."];
-
 /// Renders a run's per-slot series as CSV: the headline series plus
 /// `bdma_rounds` (alternation rounds actually executed, which the warm
 /// ε-termination can cut below the configured `z`), one `stage_<name>_s`
 /// column per instrumented solver stage (seconds spent in `p2a`, `p2b`,
 /// `queue_update`, ... each slot), and one constant `ctr_<name>` column
-/// per end-of-run `fault.*` / `deadline.*` / `durability.*` / `shard.*` /
-/// `spec.*` counter.
+/// per end-of-run counter family in
+/// [`eotora_obs::EXPORTED_COUNTER_FAMILIES`] — the event families a
+/// post-hoc reader cannot reconstruct from the series.
 pub fn slot_csv(result: &SimulationResult) -> String {
-    let counters: Vec<(&String, &u64)> = result
-        .counters
-        .iter()
-        .filter(|(name, _)| EXPORTED_COUNTER_PREFIXES.iter().any(|p| name.starts_with(p)))
-        .collect();
+    let counters: Vec<(&String, &u64)> =
+        result.counters.iter().filter(|(name, _)| eotora_obs::is_exported_counter(name)).collect();
     let mut header: Vec<String> =
         ["slot", "latency_s", "cost_usd", "queue", "price", "solve_time_s", "bdma_rounds"]
             .map(String::from)

@@ -1,28 +1,26 @@
 //! Executes scenarios and collects per-slot metrics.
 //!
 //! Every run is instrumented: an in-memory
-//! [`MetricsRecorder`] aggregates the
+//! [`MetricsRecorder`](eotora_obs::MetricsRecorder) aggregates the
 //! pipeline's spans into [`SimulationResult::per_stage_solve_time`], and
 //! [`run_traced`] additionally tees the event stream into any external
 //! [`Recorder`] (e.g. a JSONL sink for `eotora run --trace`).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
-use eotora_core::dpp::{EotoraDpp, SolverKind};
+use eotora_core::dpp::SolverKind;
 use eotora_core::fault::FaultSchedule;
-use eotora_core::latency::latency_under;
 use eotora_core::robust::RobustConfig;
-use eotora_core::sanitize::StateSanitizer;
-use eotora_core::speculate::{SpeculativeConfig, Speculator};
+use eotora_core::speculate::SpeculativeConfig;
 use eotora_core::system::MecSystem;
-use eotora_durability::{DurabilityError, SlotRecord};
-use eotora_obs::{MetricsRecorder, Recorder, SpanGuard, TeeRecorder, TraceEvent};
+use eotora_durability::DurabilityError;
+use eotora_obs::Recorder;
 use eotora_states::{StateProvider, SystemState};
-use eotora_util::rng::Pcg32;
 use eotora_util::series::TimeSeries;
 use serde::{Deserialize, Serialize};
 
-use crate::durable::{DurableSession, ResumeState, RunSnapshot};
+use crate::durable::DurableSession;
+use crate::engine::{DriverMode, DriverTuning, StepDriver};
 use crate::scenario::Scenario;
 
 /// Per-slot series plus end-of-run aggregates for one scenario.
@@ -130,7 +128,7 @@ fn run_impl(
     observe: &mut dyn FnMut(u64, &eotora_topology::Topology) -> SystemState,
     sink: Option<&dyn Recorder>,
 ) -> SimulationResult {
-    match run_engine(scenario, system, observe, sink, EngineMode::Plain, None) {
+    match run_engine(scenario, system, observe, sink, DriverMode::Plain, None) {
         Ok(EngineOutcome::Completed(result)) => *result,
         // Without a durable session the engine performs no I/O and has no
         // kill hook, so it can neither fail nor interrupt.
@@ -138,27 +136,6 @@ fn run_impl(
             unreachable!("non-durable run cannot fail or interrupt")
         }
     }
-}
-
-/// Which per-slot pipeline the engine drives.
-pub(crate) enum EngineMode<'a> {
-    /// The plain DPP step ([`run`]).
-    Plain,
-    /// The fault-tolerant step ([`run_robust`]): corruption injection,
-    /// sanitization, availability masking, anytime deadline.
-    Robust {
-        /// Scripted fault trace.
-        faults: &'a FaultSchedule,
-        /// Robust-solve configuration (deadline, rounds, λ).
-        robust: &'a RobustConfig,
-    },
-    /// The speculative step ([`run_speculative`]): predicted next-slot
-    /// pre-solve staged between slots, repaired or discarded at slot
-    /// start. A zero-hit run is decision-identical to [`EngineMode::Plain`].
-    Speculative {
-        /// Predictor, tolerance, and staging deadline.
-        spec: &'a SpeculativeConfig,
-    },
 }
 
 /// How an engine run ended.
@@ -172,10 +149,14 @@ pub(crate) enum EngineOutcome {
     },
 }
 
-/// The one simulation loop behind every entry point: plain and robust
-/// pipelines, optional trace sink, optional durability.
+/// The one simulation loop behind every batch entry point: plain,
+/// robust, and speculative pipelines, optional trace sink, optional
+/// durability. All per-slot mechanics live in
+/// [`StepDriver`](crate::engine::StepDriver) — this function only owns
+/// the horizon loop and the state source, which is exactly the part the
+/// `eotora-server` daemon replaces with a network stream.
 ///
-/// With a [`DurableSession`], each completed slot appends a [`SlotRecord`]
+/// With a [`DurableSession`], each completed slot appends a slot record
 /// to the write-ahead journal and snapshots the full controller state on
 /// the session's cadence (journal synced first — see
 /// [`crate::durable`]). If the session carries resume state, the first
@@ -189,349 +170,27 @@ pub(crate) fn run_engine(
     system: MecSystem,
     observe: &mut dyn FnMut(u64, &eotora_topology::Topology) -> SystemState,
     sink: Option<&dyn Recorder>,
-    mode: EngineMode<'_>,
-    mut durable: Option<&mut DurableSession>,
+    mode: DriverMode,
+    durable: Option<DurableSession>,
 ) -> Result<EngineOutcome, DurabilityError> {
-    let budget = system.budget_per_slot();
-
-    let metrics = MetricsRecorder::new();
-    let tee;
-    let recorder: &dyn Recorder = match sink {
-        Some(sink) => {
-            tee = TeeRecorder::new(&metrics, sink);
-            &tee
-        }
-        None => &metrics,
-    };
-
-    // Resume bootstrap: restore controller + sanitizer + corruption RNG
-    // from the snapshot and replay the journal head into the series.
-    let resume = match durable.as_deref_mut() {
-        Some(session) => session.take_resume(),
-        None => None,
-    };
-    let mut dpp = match resume.as_ref().and_then(|state| state.snapshot.as_ref()) {
-        Some(snapshot) => EotoraDpp::resume_full(system, &snapshot.controller),
-        None => EotoraDpp::new(system, scenario.dpp),
-    };
-    let mut sanitizer = StateSanitizer::new();
-    let mut speculator = match &mode {
-        EngineMode::Speculative { spec } => Some(Speculator::new(**spec, scenario.dpp.seed)),
-        _ => None,
-    };
-    let mut corrupt_rng = Pcg32::seed_stream(scenario.seed, 0xFA117);
-    let mut start_slot = 0u64;
-    let mut base_counters: BTreeMap<String, u64> = BTreeMap::new();
-    let mut head: Vec<SlotRecord> = Vec::new();
-    if let Some(state) = resume {
-        let ResumeState { snapshot, head: records, torn_frames_dropped, frames_discarded } = state;
-        if let Some(RunSnapshot {
-            slots,
-            sanitizer: sanitizer_snap,
-            corrupt_rng: rng,
-            counters,
-            ..
-        }) = snapshot
-        {
-            sanitizer = StateSanitizer::restore(&sanitizer_snap);
-            corrupt_rng = rng;
-            start_slot = slots;
-            base_counters = counters;
-            head = records;
-            recorder.add(eotora_obs::COUNTER_DURABILITY_RESUMED, start_slot);
-        }
-        if torn_frames_dropped > 0 {
-            recorder.add(eotora_obs::COUNTER_DURABILITY_TORN, torn_frames_dropped);
-        }
-        if frames_discarded > 0 {
-            recorder.add(eotora_obs::COUNTER_DURABILITY_DISCARDED, frames_discarded);
-        }
-        // Fast-forward the state source past the replayed slots so slot
-        // `start_slot` observes exactly what the uninterrupted run would.
-        for slot in 0..start_slot {
-            let replayed = observe(slot, dpp.system().topology());
-            if let Some(spec) = speculator.as_mut() {
-                spec.observe(&replayed);
-            }
-        }
-        // Staging is a pure function of the restored controller state and
-        // the replayed history, so re-staging here reproduces the stage
-        // the interrupted run had in flight.
-        if start_slot > 0 && start_slot < scenario.horizon {
-            if let Some(spec) = speculator.as_mut() {
-                spec.stage_next(&mut dpp, recorder);
-            }
+    let mut driver =
+        StepDriver::new(scenario, system, mode, durable, sink, DriverTuning::default());
+    // Fast-forward the state source past any resume-replayed slots so the
+    // cursor slot observes exactly what the uninterrupted run would, then
+    // reproduce the speculative stage the interrupted run had in flight.
+    for slot in 0..driver.cursor() {
+        let replayed = observe(slot, driver.topology());
+        driver.replay_observe(&replayed);
+    }
+    driver.restage();
+    while driver.cursor() < driver.horizon() {
+        let beta = observe(driver.cursor(), driver.topology());
+        let report = driver.step(beta)?;
+        if report.interrupted {
+            return Ok(EngineOutcome::Interrupted { slot: report.slot });
         }
     }
-
-    let mut latency = TimeSeries::new("latency_s");
-    let mut cost = TimeSeries::new("cost_usd");
-    let mut queue = TimeSeries::new("queue_backlog");
-    let mut price = TimeSeries::new("price_usd_per_kwh");
-    let mut solve_time = TimeSeries::new("solve_time_s");
-    let mut fairness = TimeSeries::new("jains_index");
-    let mut handover_rate = TimeSeries::new("handover_rate");
-    let mut mean_clock_ghz = TimeSeries::new("mean_clock_ghz");
-    for rec in &head {
-        latency.push(rec.latency_s);
-        cost.push(rec.cost_usd);
-        queue.push(rec.queue);
-        price.push(rec.price);
-        solve_time.push(rec.solve_time_s);
-        fairness.push(rec.fairness);
-        handover_rate.push(rec.handover_rate);
-        mean_clock_ghz.push(rec.mean_clock_ghz);
-    }
-    let mut previous_stations: Option<Vec<usize>> =
-        head.last().map(|rec| rec.stations.iter().map(|&s| s as usize).collect());
-
-    for slot in start_slot..scenario.horizon {
-        let beta;
-        let step;
-        let slot_nanos;
-        match &mode {
-            EngineMode::Plain => {
-                beta = observe(slot, dpp.system().topology());
-                let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
-                step = dpp.step_with(&beta, recorder);
-                slot_nanos = slot_span.finish().unwrap_or(0);
-            }
-            EngineMode::Robust { faults, robust } => {
-                let mut observed = observe(slot, dpp.system().topology());
-                if faults.corrupt_at(slot) {
-                    corrupt_state(&mut observed, &mut corrupt_rng);
-                }
-                if robust.sanitize {
-                    let (clean, substitutions) = sanitizer.sanitize(&observed);
-                    if substitutions > 0 {
-                        recorder.add(eotora_obs::COUNTER_FAULT_STATE_SUBSTITUTIONS, substitutions);
-                    }
-                    beta = clean;
-                } else {
-                    // Diagnostic mode: let corrupt observations reach the
-                    // solver so the robust ladder (and its postmortem
-                    // triggers) can be exercised deterministically.
-                    beta = observed;
-                }
-                let mask = faults.mask_at(slot);
-                let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
-                let (robust_step, _report) = dpp.step_robust(&beta, &mask, robust, recorder);
-                step = robust_step;
-                slot_nanos = slot_span.finish().unwrap_or(0);
-            }
-            EngineMode::Speculative { .. } => {
-                beta = observe(slot, dpp.system().topology());
-                let spec = speculator.as_mut().expect("speculative mode built a speculator");
-                spec.observe(&beta);
-                // The critical path is only the repair pass: a hit adopts
-                // the staged solve, a miss falls back to the plain solve.
-                let slot_span = SpanGuard::new(recorder, eotora_obs::SPAN_SLOT_SOLVE);
-                let (spec_step, _outcome) = spec.repair_and_step(&mut dpp, &beta, recorder);
-                step = spec_step;
-                slot_nanos = slot_span.finish().unwrap_or(0);
-            }
-        }
-        solve_time.push(slot_nanos as f64 / 1e9);
-        recorder.add(eotora_obs::COUNTER_SLOTS, 1);
-        recorder.record(&TraceEvent::Slot {
-            slot,
-            objective: scenario.dpp.v * step.outcome.objective
-                + step.queue_before * step.outcome.constraint_excess,
-            latency: step.outcome.objective,
-            cost: step.outcome.constraint_excess + budget,
-            queue: step.queue_after,
-        });
-        latency.push(step.outcome.objective);
-        cost.push(step.outcome.constraint_excess + budget);
-        queue.push(step.queue_after);
-        price.push(beta.price_per_kwh);
-        let breakdown = latency_under(dpp.system(), &beta, &step.outcome.decision);
-        let fair = eotora_util::stats::jains_index(&breakdown.per_device).unwrap_or(1.0);
-        fairness.push(fair);
-        let stations: Vec<usize> =
-            step.outcome.decision.assignments.iter().map(|a| a.base_station.index()).collect();
-        let handover = match &previous_stations {
-            Some(prev) => {
-                prev.iter().zip(&stations).filter(|(a, b)| a != b).count() as f64
-                    / stations.len() as f64
-            }
-            None => 0.0,
-        };
-        handover_rate.push(handover);
-        let freqs = &step.outcome.decision.frequencies_hz;
-        let clock = freqs.iter().sum::<f64>() / freqs.len() as f64 / 1e9;
-        mean_clock_ghz.push(clock);
-
-        if let Some(session) = durable.as_deref_mut() {
-            // The Slot event above closed the slot in the metrics recorder,
-            // so the last-slot stage and rounds readouts are this slot's.
-            let record = SlotRecord {
-                slot,
-                latency_s: step.outcome.objective,
-                cost_usd: step.outcome.constraint_excess + budget,
-                queue: step.queue_after,
-                price: beta.price_per_kwh,
-                solve_time_s: slot_nanos as f64 / 1e9,
-                fairness: fair,
-                handover_rate: handover,
-                mean_clock_ghz: clock,
-                rounds_used: metrics.last_slot_rounds().unwrap_or(0.0),
-                stations: stations.iter().map(|&s| s as u32).collect(),
-                stages: metrics
-                    .last_slot_stages()
-                    .into_iter()
-                    .filter(|(name, _)| name != eotora_obs::SPAN_SLOT_SOLVE)
-                    .collect(),
-            };
-            // Journal latency spans go to the *sink only*: routing them
-            // through the aggregating recorder would perturb per-stage
-            // series and resumed-run counter identity.
-            match sink {
-                Some(sink) => {
-                    let span = SpanGuard::new(sink, eotora_obs::SPAN_JOURNAL_APPEND);
-                    session.journal_slot(&record)?;
-                    span.finish();
-                    if let Some(nanos) = session.take_sync_nanos() {
-                        sink.span_ns(eotora_obs::SPAN_JOURNAL_FSYNC, nanos);
-                    }
-                }
-                None => session.journal_slot(&record)?,
-            }
-            recorder.add(eotora_obs::COUNTER_DURABILITY_FRAMES, 1);
-            let completed = slot + 1;
-            if session.checkpoint_due(completed, scenario.horizon) {
-                // Count the snapshot *before* capturing counters so resumed
-                // totals match the uninterrupted run's.
-                recorder.add(eotora_obs::COUNTER_DURABILITY_SNAPSHOTS, 1);
-                let mut counters = base_counters.clone();
-                for (name, value) in metrics.counters() {
-                    *counters.entry(name).or_insert(0) += value;
-                }
-                let snapshot = RunSnapshot {
-                    slots: completed,
-                    controller: dpp.checkpoint_full(),
-                    sanitizer: sanitizer.snapshot(),
-                    corrupt_rng: corrupt_rng.clone(),
-                    counters,
-                };
-                match sink {
-                    Some(sink) => {
-                        let span = SpanGuard::new(sink, eotora_obs::SPAN_SNAPSHOT_WRITE);
-                        session.write_snapshot(&snapshot)?;
-                        span.finish();
-                        if let Some(nanos) = session.take_sync_nanos() {
-                            sink.span_ns(eotora_obs::SPAN_JOURNAL_FSYNC, nanos);
-                        }
-                    }
-                    None => session.write_snapshot(&snapshot)?,
-                }
-            }
-            if session.should_kill(slot) {
-                return Ok(EngineOutcome::Interrupted { slot });
-            }
-        }
-        // Stage the next slot's pre-solve in the inter-slot gap, after the
-        // slot is fully committed (journal included): the staged clone then
-        // sees exactly the queue/RNG/workspace the next solve would, and a
-        // crash between slots loses only speculation, never state.
-        if slot + 1 < scenario.horizon {
-            if let Some(spec) = speculator.as_mut() {
-                spec.stage_next(&mut dpp, recorder);
-            }
-        }
-        previous_stations = Some(stations);
-    }
-
-    // Stitch per-stage series: replayed head first, then the live run.
-    // Stages absent on one side zero-pad, keeping every series aligned
-    // (one entry per slot).
-    let live_stages: BTreeMap<String, Vec<f64>> = metrics
-        .stage_series()
-        .into_iter()
-        .filter(|(name, _)| name != eotora_obs::SPAN_SLOT_SOLVE)
-        .collect();
-    let live_len = metrics.slots() as usize;
-    let mut stage_names: BTreeSet<String> = live_stages.keys().cloned().collect();
-    for rec in &head {
-        for (name, _) in &rec.stages {
-            stage_names.insert(name.clone());
-        }
-    }
-    let per_stage_solve_time = stage_names
-        .into_iter()
-        .map(|name| {
-            let mut series = TimeSeries::new(&name);
-            for rec in &head {
-                series.push(rec.stages.iter().find(|(n, _)| n == &name).map_or(0.0, |&(_, v)| v));
-            }
-            match live_stages.get(&name) {
-                Some(values) => {
-                    for &v in values {
-                        series.push(v);
-                    }
-                }
-                None => {
-                    for _ in 0..live_len {
-                        series.push(0.0);
-                    }
-                }
-            }
-            (name, series)
-        })
-        .collect();
-
-    let mut rounds_used = TimeSeries::new("bdma_rounds");
-    for rec in &head {
-        rounds_used.push(rec.rounds_used);
-    }
-    for r in metrics.bdma_rounds_series() {
-        rounds_used.push(r);
-    }
-    let mean_bdma_rounds = if head.is_empty() {
-        metrics.mean_bdma_rounds().unwrap_or(0.0)
-    } else {
-        // Recompute over the stitched series with the histogram's exact
-        // integer arithmetic (u128 sum of integral round counts over
-        // BDMA-active slots), so a resumed run's mean matches the
-        // uninterrupted run bit-for-bit.
-        let mut sum: u128 = 0;
-        let mut count: u64 = 0;
-        for &r in rounds_used.values() {
-            if r > 0.0 {
-                sum += r as u128;
-                count += 1;
-            }
-        }
-        if count > 0 {
-            sum as f64 / count as f64
-        } else {
-            0.0
-        }
-    };
-
-    let mut counters = base_counters;
-    for (name, value) in metrics.counters() {
-        *counters.entry(name).or_insert(0) += value;
-    }
-
-    Ok(EngineOutcome::Completed(Box::new(SimulationResult {
-        label: scenario.label.clone(),
-        average_latency: dpp.average_latency(),
-        average_cost: dpp.average_cost(),
-        latency,
-        cost,
-        queue,
-        price,
-        solve_time,
-        fairness,
-        handover_rate,
-        mean_clock_ghz,
-        per_stage_solve_time,
-        rounds_used,
-        mean_bdma_rounds,
-        counters,
-        budget,
-    })))
+    Ok(EngineOutcome::Completed(Box::new(driver.finish())))
 }
 
 /// The robust-solve configuration a scenario implies: the scenario's BDMA
@@ -556,29 +215,10 @@ pub fn robust_config(scenario: &Scenario, deadline: Option<std::time::Duration>)
     }
 }
 
-/// Deterministically mangles a handful of state entries — the corruption
-/// model behind `CorruptState` fault events: NaN task sizes, negative data
-/// lengths, infinite spectral efficiencies, NaN prices.
-fn corrupt_state(state: &mut SystemState, rng: &mut Pcg32) {
-    let devices = state.task_cycles.len().max(1);
-    for _ in 0..(1 + rng.below(3)) {
-        match rng.below(4) {
-            0 => state.task_cycles[rng.below(devices)] = f64::NAN,
-            1 => state.data_bits[rng.below(devices)] = -1.0,
-            2 => {
-                let i = rng.below(state.spectral_efficiency.len().max(1));
-                let row = &mut state.spectral_efficiency[i];
-                let k = rng.below(row.len().max(1));
-                row[k] = f64::INFINITY;
-            }
-            _ => state.price_per_kwh = f64::NAN,
-        }
-    }
-}
-
 /// Runs one scenario through the fault-tolerant pipeline: per-slot
 /// availability masks from `faults`, corrupt-state bursts injected and then
-/// screened by a [`StateSanitizer`], and the anytime deadline of `robust`
+/// screened by a [`StateSanitizer`](eotora_core::StateSanitizer), and the
+/// anytime deadline of `robust`
 /// bounding each slot's solve. With an empty schedule and no deadline this
 /// is the robust path's fault-free baseline (deterministic, but *not*
 /// bit-identical to [`run`] — the robust solve seeds deterministically
@@ -615,7 +255,7 @@ fn run_robust_impl(
         system,
         &mut |slot, topo| states.observe(slot, topo),
         sink,
-        EngineMode::Robust { faults, robust },
+        DriverMode::Robust { faults: faults.clone(), robust: *robust },
         None,
     ) {
         Ok(EngineOutcome::Completed(result)) => *result,
@@ -656,7 +296,7 @@ fn run_speculative_impl(
         system,
         &mut |slot, topo| states.observe(slot, topo),
         sink,
-        EngineMode::Speculative { spec },
+        DriverMode::Speculative { spec: *spec },
         None,
     ) {
         Ok(EngineOutcome::Completed(result)) => *result,
