@@ -409,4 +409,83 @@ for s, rec in sorted(records.items()):
 print("OK: server smoke — 200 slots bit-identical across hot-reload + SIGTERM + restart")
 EOF
 
+echo "==> federation smoke (3 regions, 200 slots, lossy link + 40-slot partition)"
+# A 3-region federation over a seeded faulty peer link: drops, duplication,
+# delay, reordering, and a full partition of region 2 for slots 80..120.
+# Gates: the run completes (zero panics), the degradation ladder fires and
+# heals, the fleet time-average cost stays within 2% of the shared budget
+# and within 5% of a single global controller's, and a clean-link Fixed
+# federation is decision-identical to N independent fixed-share runs.
+FED_DIR="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_DIR" "$TEL_DIR" "$DUR_DIR" "$SHARD_DIR" "$SPEC_DIR" "$SRV_DIR" "$FED_DIR"' EXIT
+cat > "$FED_DIR/trace.json" <<'EOF'
+{"seed": 11, "drop_prob": 0.25, "dup_prob": 0.1, "delay_prob": 0.2,
+ "max_delay_slots": 3, "reorder_prob": 0.2,
+ "partitions": [{"from_slot": 80, "to_slot": 120, "regions": [2]}]}
+EOF
+./target/release/eotora federate --regions 3 --devices 24 --horizon 200 \
+  --sync-every 10 --seed 11 --link-faults "$FED_DIR/trace.json" \
+  --out "$FED_DIR/fed.json" > "$FED_DIR/fed.txt"
+cat "$FED_DIR/fed.txt"
+./target/release/eotora template --devices 24 --seed 11 \
+  | sed 's/"horizon": [0-9]*/"horizon": 200/' > "$FED_DIR/global.json"
+./target/release/eotora run "$FED_DIR/global.json" --out "$FED_DIR/globalres.json" > /dev/null
+python3 - "$FED_DIR/fed.json" "$FED_DIR/globalres.json" <<'EOF'
+import json, sys
+fed = json.load(open(sys.argv[1]))
+glob = json.load(open(sys.argv[2]))
+budget = fed["config"]["total_budget"]
+cost = fed["fleet_average_cost"]
+assert cost <= 1.02 * budget, f"fleet cost {cost:.4f} > 2% over budget {budget:.4f}"
+assert glob["average_cost"] <= 1.02 * budget, "global baseline blew the budget"
+assert cost <= glob["average_cost"] + 0.05 * budget, (
+    f"federated cost {cost:.4f} more than 5% of budget above global "
+    f"{glob['average_cost']:.4f}"
+)
+for i, region in enumerate(fed["regions"]):
+    values = region["latency"]["values"]
+    assert len(values) == 200, f"region {i} completed {len(values)} slots, expected 200"
+    assert all(v > 0 and v == v for v in values), f"region {i}: non-finite slot latency"
+c = fed["counters"]
+assert c.get("fed.partitions", 0) > 0, "partition window never tripped the ladder"
+assert c.get("fed.stale_epochs", 0) > 0, "no stale epochs under a 40-slot partition"
+assert c.get("fed.gossip_dropped", 0) > 0, "lossy link never dropped a frame"
+assert c.get("fed.budget_rebalances", 0) > 0, "shares never rebalanced"
+share_sum = sum(fed["final_shares"])
+assert share_sum <= 1.0 + 1e-9, f"final shares sum to {share_sum} > 1"
+print(
+    f"OK: federation smoke — fleet cost {cost:.4f} <= 1.02x budget, "
+    f"{c['fed.partitions']} partition transition(s), "
+    f"{c['fed.stale_epochs']} stale epoch(s) healed"
+)
+EOF
+./target/release/eotora federate --regions 3 --devices 24 --horizon 200 \
+  --sync-every 10 --seed 11 --policy fixed --csv-dir "$FED_DIR/fed-csv" > /dev/null
+./target/release/eotora federate --regions 3 --devices 24 --horizon 200 \
+  --sync-every 10 --seed 11 --policy fixed --standalone \
+  --csv-dir "$FED_DIR/solo-csv" > /dev/null
+python3 - "$FED_DIR" <<'EOF'
+import csv, sys
+
+def decisions(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    header = rows[0]
+    keep = [
+        i
+        for i, name in enumerate(header)
+        if name != "solve_time_s"
+        and not name.startswith("stage_")
+        and not name.startswith("ctr_fed.")
+    ]
+    return [[row[i] for i in keep] for row in rows]
+
+for i in range(3):
+    fed = decisions(f"{sys.argv[1]}/fed-csv/region-{i}.csv")
+    solo = decisions(f"{sys.argv[1]}/solo-csv/region-{i}.csv")
+    assert len(fed) == 201, f"region {i} CSV has {len(fed) - 1} slots, expected 200"
+    assert fed == solo, f"region {i}: clean-link federation diverged from fixed-share run"
+print("OK: clean-link Fixed federation decision-identical to independent fixed-share runs")
+EOF
+
 echo "ci: all green"

@@ -23,6 +23,7 @@ use eotora_cli::{
 };
 use eotora_core::speculate::{PredictorKind, SpeculativeConfig};
 use eotora_core::system::MecSystem;
+use eotora_federation::{LinkFaultConfig, RebalancePolicy};
 use eotora_obs::{
     HealthMonitor, HealthSample, HealthSummary, Recorder, TelemetryConfig, TelemetrySession,
 };
@@ -36,6 +37,7 @@ use eotora_sim::runner::{
     run_speculative_traced, run_traced, SimulationResult,
 };
 use eotora_sim::scenario::Scenario;
+use eotora_sim::{FederationConfig, FederationReport, FederationRun};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         Some("topology") => cmd_topology(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("federate") => cmd_federate(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -89,6 +92,15 @@ USAGE:
   eotora topology [--devices N] [--seed S]
   eotora sweep <scenario.json> --budgets 0.7,1.0,1.3 [--jobs N]
   eotora compare [--devices N] [--seed S]   # one-slot P2-A algorithm shoot-out
+  eotora federate [--regions N] [--devices N] [--horizon T] [--seed S]
+             [--sync-every K] [--budget C] [--policy fixed|queue-proportional]
+             [--floor X] [--link-faults faults.json] [--checkpoint-dir D]
+             [--checkpoint-every K] [--fsync every-slot|every-K|os]
+             [--kill-at-slot N] [--csv-dir D] [--out report.json]
+             # N per-region controllers sharing one fleet budget C̄ over a
+             # (possibly faulty) peer link; --standalone runs the regions
+             # with no link at fixed equal shares instead
+  eotora federate --resume <checkpoint-root> [--csv-dir D] [--out report.json]
 ";
 
 fn cmd_template(args: &[String]) -> Result<(), String> {
@@ -690,6 +702,227 @@ fn report_run(args: &[String], result: &SimulationResult) -> Result<(), String> 
         let path = format!("{prefix}_slots.csv");
         std::fs::write(&path, slot_csv(result)).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `eotora federate`: N per-region DPP controllers sharing one fleet
+/// budget `C̄` over a (possibly faulty) peer link. With
+/// `--checkpoint-dir` the whole federation is durable; `--resume` picks
+/// a killed federation back up from its checkpoint root.
+fn cmd_federate(args: &[String]) -> Result<(), String> {
+    require_flag_values(
+        args,
+        &[
+            "--regions",
+            "--devices",
+            "--horizon",
+            "--seed",
+            "--sync-every",
+            "--budget",
+            "--policy",
+            "--floor",
+            "--link-faults",
+            "--checkpoint-dir",
+            "--checkpoint-every",
+            "--fsync",
+            "--kill-at-slot",
+            "--resume",
+            "--csv-dir",
+            "--out",
+        ],
+    )?;
+    let standalone = args.iter().any(|a| a == "--standalone");
+
+    let (cfg, faults, root) = if let Some(dir) = flag_value(args, "--resume") {
+        if standalone {
+            return Err("--standalone cannot be combined with --resume".into());
+        }
+        for flag in [
+            "--regions",
+            "--devices",
+            "--horizon",
+            "--seed",
+            "--sync-every",
+            "--budget",
+            "--policy",
+            "--floor",
+            "--link-faults",
+            "--checkpoint-dir",
+        ] {
+            if flag_value(args, flag).is_some() {
+                return Err(format!(
+                    "{flag} cannot be combined with --resume (the manifest in the checkpoint \
+                     root fixes it)"
+                ));
+            }
+        }
+        let manifest = eotora_sim::read_federation_manifest(Path::new(dir))
+            .map_err(|e| format!("cannot resume from {dir}: {e}"))?;
+        eprintln!("resuming federation in {dir} …");
+        (manifest.config, manifest.faults, Some(dir.to_owned()))
+    } else {
+        let regions: u32 = parse_flag(args, "--regions", 3)?;
+        let devices: usize = parse_flag(args, "--devices", 30)?;
+        let seed: u64 = parse_flag(args, "--seed", 0)?;
+        let mut cfg = FederationConfig::new(regions, devices, seed);
+        let horizon = parse_flag(args, "--horizon", cfg.horizon)?;
+        let sync_every = parse_flag(args, "--sync-every", cfg.sync_every)?;
+        cfg = cfg.with_horizon(horizon).with_sync_every(sync_every);
+        if let Some(raw) = flag_value(args, "--budget") {
+            let budget: f64 =
+                raw.parse().map_err(|_| format!("invalid value `{raw}` for --budget"))?;
+            cfg = cfg.with_total_budget(budget);
+        }
+        cfg = cfg.with_policy(parse_policy_flags(args, regions)?);
+        let faults = match flag_value(args, "--link-faults") {
+            None => LinkFaultConfig::clean(),
+            Some(path) => load_link_faults(path)?,
+        };
+        (cfg, faults, flag_value(args, "--checkpoint-dir").map(str::to_owned))
+    };
+
+    if standalone {
+        for flag in ["--link-faults", "--checkpoint-dir", "--kill-at-slot"] {
+            if flag_value(args, flag).is_some() {
+                return Err(format!(
+                    "{flag} does not apply to --standalone (independent regions, no peer link)"
+                ));
+            }
+        }
+        let results = eotora_sim::run_standalone(&cfg);
+        let shares = vec![cfg.equal_share(); results.len()];
+        print_federation_table(&results, &shares);
+        let fleet_cost: f64 = results.iter().map(|r| r.cost.time_average()).sum();
+        println!(
+            "standalone: {} independent region(s) at fixed share {} | fleet avg cost {} vs \
+             budget {}",
+            cfg.regions,
+            num(cfg.equal_share()),
+            num(fleet_cost),
+            num(cfg.total_budget),
+        );
+        if let Some(out) = flag_value(args, "--out") {
+            let json = serde_json::to_string_pretty(&results).map_err(|e| e.to_string())?;
+            std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        return write_region_csvs(args, &results);
+    }
+
+    let durability = match &root {
+        Some(dir) => Some(durability_config(args, dir)?),
+        None => None,
+    };
+    let outcome = eotora_sim::run_federation(&cfg, &faults, durability.as_ref())
+        .map_err(|e| e.to_string())?;
+    match outcome {
+        FederationRun::Interrupted { slot } => {
+            let dir = root.as_deref().unwrap_or(".");
+            println!("interrupted after slot {slot}; resume with `eotora federate --resume {dir}`");
+            Ok(())
+        }
+        FederationRun::Completed(report) => report_federation(args, &report),
+    }
+}
+
+/// Parses `--policy` / `--floor` into a [`RebalancePolicy`] (default:
+/// queue-proportional with the same floor `FederationConfig::new` picks).
+fn parse_policy_flags(args: &[String], regions: u32) -> Result<RebalancePolicy, String> {
+    let floor_flag = flag_value(args, "--floor");
+    match flag_value(args, "--policy") {
+        None | Some("queue-proportional") => {
+            let floor = match floor_flag {
+                None => 0.5 / f64::from(regions.max(1)),
+                Some(raw) => {
+                    raw.parse().map_err(|_| format!("invalid value `{raw}` for --floor"))?
+                }
+            };
+            Ok(RebalancePolicy::QueueProportional { floor })
+        }
+        Some("fixed") => {
+            if floor_flag.is_some() {
+                return Err("--floor only applies to --policy queue-proportional".into());
+            }
+            Ok(RebalancePolicy::Fixed)
+        }
+        Some(other) => {
+            Err(format!("--policy expects `fixed` or `queue-proportional`, got `{other}`"))
+        }
+    }
+}
+
+/// Loads a JSON [`LinkFaultConfig`] file. All fields are required —
+/// `seed`, `drop_prob`, `dup_prob`, `delay_prob`, `max_delay_slots`,
+/// `reorder_prob`, and `partitions` (a list of
+/// `{"from_slot": A, "to_slot": B, "regions": [i, ...]}` windows).
+fn load_link_faults(path: &str) -> Result<LinkFaultConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn print_federation_table(regions: &[SimulationResult], shares: &[f64]) {
+    let rows: Vec<Vec<String>> = regions
+        .iter()
+        .zip(shares)
+        .enumerate()
+        .map(|(i, (region, share))| {
+            vec![
+                format!("region {i}"),
+                region.latency.len().to_string(),
+                num(region.average_latency),
+                num(region.average_cost),
+                num(*share),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["region", "slots", "avg latency (s)", "avg cost ($)", "final share"], &rows)
+    );
+}
+
+/// Prints the fleet table/summary for a completed federated run and
+/// writes `--out` / `--csv-dir` outputs.
+fn report_federation(args: &[String], report: &FederationReport) -> Result<(), String> {
+    print_federation_table(&report.regions, &report.final_shares);
+    let tolerance = 0.05 * report.config.total_budget;
+    println!(
+        "fleet: avg cost {} vs budget {} — {}",
+        num(report.fleet_average_cost),
+        num(report.config.total_budget),
+        if report.budget_satisfied(tolerance) {
+            "within budget"
+        } else {
+            "over budget (check horizon/V)"
+        },
+    );
+    let mut line = "federation:".to_owned();
+    for (name, value) in &report.counters {
+        if name.starts_with("fed.") {
+            line.push_str(&format!(" {name} {value}"));
+        }
+    }
+    println!("{line}");
+    if let Some(out) = flag_value(args, "--out") {
+        let json = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    write_region_csvs(args, &report.regions)
+}
+
+/// Writes one `region-<i>.csv` per region under `--csv-dir` (if given).
+fn write_region_csvs(args: &[String], regions: &[SimulationResult]) -> Result<(), String> {
+    let Some(dir) = flag_value(args, "--csv-dir") else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for (i, region) in regions.iter().enumerate() {
+        let path = Path::new(dir).join(format!("region-{i}.csv"));
+        std::fs::write(&path, slot_csv(region))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
     }
     Ok(())
 }

@@ -251,6 +251,19 @@ impl EotoraDpp {
         &self.solver.system
     }
 
+    /// Replaces the budget `C̄` the virtual queue is charged against —
+    /// the federation rebalance path. Only future queue updates (and the
+    /// robust ladder's excess readout) see the new value; the P2 solve
+    /// itself never reads the budget, so decisions within a slot are
+    /// unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not positive.
+    pub fn set_budget_per_slot(&mut self, budget_per_slot: f64) {
+        self.solver.system.set_budget_per_slot(budget_per_slot);
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &DppConfig {
         &self.config

@@ -137,9 +137,20 @@ impl MecSystem {
     /// Returns a copy of this system with a different budget (used by the
     /// Fig. 9 budget sweep).
     pub fn with_budget(mut self, budget_per_slot: f64) -> Self {
+        self.set_budget_per_slot(budget_per_slot);
+        self
+    }
+
+    /// Replaces the budget `C̄` in place — the federation rebalance path,
+    /// where a region's share of the fleet budget changes between slots
+    /// while the rest of the system state must stay untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not positive.
+    pub fn set_budget_per_slot(&mut self, budget_per_slot: f64) {
         assert!(budget_per_slot > 0.0, "budget must be positive");
         self.budget_per_slot = budget_per_slot;
-        self
     }
 
     /// Slot duration in hours.

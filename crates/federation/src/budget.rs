@@ -1,0 +1,106 @@
+//! Budget-share apportionment across federated regions.
+//!
+//! The fleet's time-average energy budget `C̄` is split into per-region
+//! shares summing to 1; region `i` then runs its own DPP controller
+//! against `share_i · C̄`. Because each region's virtual queue
+//! `Q_i(t+1) = max{Q_i(t) + C_i(t) − share_i·C̄, 0}` absorbs its own
+//! excess, any share vector summing to at most 1 keeps the *fleet*
+//! time-average constraint intact — which is what lets a partitioned
+//! region safely freeze on its last-agreed share.
+//!
+//! [`RebalancePolicy::QueueProportional`] gives overspending regions
+//! (large `Q_i`) more budget so their backlog drains, with a floor so no
+//! region is ever starved to zero.
+
+use serde::{Deserialize, Serialize};
+
+/// How budget shares are recomputed each sync epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RebalancePolicy {
+    /// Equal static shares (`1/N` each) — never rebalances. A clean-link
+    /// federation under this policy is decision-identical to N
+    /// independent fixed-budget controllers.
+    Fixed,
+    /// Queue-proportional shares with a per-region floor:
+    /// `share_i = floor + (1 − N·floor) · Q_i / ΣQ`. The floor must lie
+    /// in `[0, 1/N]`; when every queue is empty the split is equal.
+    QueueProportional {
+        /// Minimum share any region keeps regardless of its queue.
+        floor: f64,
+    },
+}
+
+/// Computes the share vector for the given queue levels. Always returns
+/// `queues.len()` non-negative entries summing to 1 (within float
+/// rounding).
+///
+/// # Panics
+///
+/// Panics if `queues` is empty, a queue level is negative or non-finite,
+/// or a `QueueProportional` floor is outside `[0, 1/N]`.
+pub fn shares(queues: &[f64], policy: &RebalancePolicy) -> Vec<f64> {
+    assert!(!queues.is_empty(), "shares of an empty federation");
+    let n = queues.len() as f64;
+    for &q in queues {
+        assert!(q.is_finite() && q >= 0.0, "queue level {q} out of domain");
+    }
+    match policy {
+        RebalancePolicy::Fixed => vec![1.0 / n; queues.len()],
+        RebalancePolicy::QueueProportional { floor } => {
+            assert!(
+                (0.0..=1.0 / n).contains(floor),
+                "floor {floor} outside [0, 1/{}]",
+                queues.len()
+            );
+            let total: f64 = queues.iter().sum();
+            let spread = 1.0 - n * floor;
+            if total <= 0.0 {
+                return vec![1.0 / n; queues.len()];
+            }
+            queues.iter().map(|&q| floor + spread * (q / total)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sums_to_one(s: &[f64]) {
+        let total: f64 = s.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "shares sum to {total}");
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn fixed_is_equal_split() {
+        let s = shares(&[5.0, 0.0, 100.0], &RebalancePolicy::Fixed);
+        assert_eq!(s, vec![1.0 / 3.0; 3]);
+        assert_sums_to_one(&s);
+    }
+
+    #[test]
+    fn proportional_rewards_backlog_and_respects_floor() {
+        let policy = RebalancePolicy::QueueProportional { floor: 0.1 };
+        let s = shares(&[0.0, 1.0, 3.0], &policy);
+        assert_sums_to_one(&s);
+        // The empty-queue region keeps exactly the floor.
+        assert!((s[0] - 0.1).abs() < 1e-12);
+        assert!(s[2] > s[1], "bigger backlog must earn a bigger share");
+        // All queues empty: equal split.
+        let even = shares(&[0.0, 0.0, 0.0], &policy);
+        assert_eq!(even, vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn floor_above_equal_share_panics() {
+        shares(&[1.0, 1.0], &RebalancePolicy::QueueProportional { floor: 0.6 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn non_finite_queue_panics() {
+        shares(&[f64::NAN], &RebalancePolicy::Fixed);
+    }
+}

@@ -1,0 +1,187 @@
+//! The pluggable peer message bus.
+//!
+//! A [`PeerBus`] moves already-encoded gossip lines between regions; the
+//! fault layer ([`crate::fault::LinkFault`]) sits *in front* of the bus,
+//! so every implementation sees only the frames that survived the link.
+//! Two implementations ship:
+//!
+//! * [`InProcessBus`] — per-region in-memory inboxes; the deterministic
+//!   default every simulation and checkpointed run uses.
+//! * [`UnixDatagramBus`] (unix only) — one `SOCK_DGRAM` Unix socket per
+//!   region under a shared directory, for federations whose regions run
+//!   as separate processes. Datagram sockets preserve per-sender order
+//!   and frame boundaries, so the lock-step protocol holds unchanged.
+//!
+//! The runner drains every delivered frame at each sync boundary, so no
+//! frames live *inside* a bus across slots — frames in flight across
+//! boundaries exist only in the fault layer's serializable buffer. That
+//! is what keeps checkpoint/resume exact without serializing bus guts.
+
+use std::collections::VecDeque;
+
+/// Transport failure of a bus operation.
+#[derive(Debug)]
+pub struct BusError {
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl std::fmt::Display for BusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer bus error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// Moves encoded gossip lines between regions.
+pub trait PeerBus {
+    /// Enqueues one line for region `to`.
+    fn send(&mut self, to: u32, line: &str) -> Result<(), BusError>;
+    /// Drains every line currently deliverable to region `region`, in
+    /// arrival order. Never blocks.
+    fn recv(&mut self, region: u32) -> Result<Vec<String>, BusError>;
+}
+
+/// The deterministic in-memory bus: one FIFO inbox per region.
+#[derive(Debug)]
+pub struct InProcessBus {
+    inboxes: Vec<VecDeque<String>>,
+}
+
+impl InProcessBus {
+    /// A bus connecting `regions` regions.
+    pub fn new(regions: u32) -> Self {
+        Self { inboxes: (0..regions).map(|_| VecDeque::new()).collect() }
+    }
+}
+
+impl PeerBus for InProcessBus {
+    fn send(&mut self, to: u32, line: &str) -> Result<(), BusError> {
+        match self.inboxes.get_mut(to as usize) {
+            Some(inbox) => {
+                inbox.push_back(line.to_owned());
+                Ok(())
+            }
+            None => Err(BusError { reason: format!("unknown region {to}") }),
+        }
+    }
+
+    fn recv(&mut self, region: u32) -> Result<Vec<String>, BusError> {
+        match self.inboxes.get_mut(region as usize) {
+            Some(inbox) => Ok(inbox.drain(..).collect()),
+            None => Err(BusError { reason: format!("unknown region {region}") }),
+        }
+    }
+}
+
+/// One Unix datagram socket per region under a shared directory
+/// (`<dir>/region-<i>.sock`), for multi-process federations.
+#[cfg(unix)]
+pub struct UnixDatagramBus {
+    dir: std::path::PathBuf,
+    sockets: Vec<std::os::unix::net::UnixDatagram>,
+}
+
+#[cfg(unix)]
+impl UnixDatagramBus {
+    /// Binds one non-blocking datagram socket per region under `dir`
+    /// (created if missing; stale socket files are replaced).
+    pub fn bind(dir: impl Into<std::path::PathBuf>, regions: u32) -> Result<Self, BusError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| BusError { reason: format!("create {}: {e}", dir.display()) })?;
+        let mut sockets = Vec::with_capacity(regions as usize);
+        for region in 0..regions {
+            let path = Self::socket_path(&dir, region);
+            let _ = std::fs::remove_file(&path);
+            let socket = std::os::unix::net::UnixDatagram::bind(&path)
+                .map_err(|e| BusError { reason: format!("bind {}: {e}", path.display()) })?;
+            socket
+                .set_nonblocking(true)
+                .map_err(|e| BusError { reason: format!("nonblocking: {e}") })?;
+            sockets.push(socket);
+        }
+        Ok(Self { dir, sockets })
+    }
+
+    fn socket_path(dir: &std::path::Path, region: u32) -> std::path::PathBuf {
+        dir.join(format!("region-{region}.sock"))
+    }
+}
+
+#[cfg(unix)]
+impl Drop for UnixDatagramBus {
+    fn drop(&mut self) {
+        for region in 0..self.sockets.len() as u32 {
+            let _ = std::fs::remove_file(Self::socket_path(&self.dir, region));
+        }
+    }
+}
+
+#[cfg(unix)]
+impl PeerBus for UnixDatagramBus {
+    fn send(&mut self, to: u32, line: &str) -> Result<(), BusError> {
+        let from = self
+            .sockets
+            .first()
+            .ok_or_else(|| BusError { reason: "bus has no sockets".to_owned() })?;
+        let path = Self::socket_path(&self.dir, to);
+        from.send_to(line.as_bytes(), &path)
+            .map_err(|e| BusError { reason: format!("send to {}: {e}", path.display()) })?;
+        Ok(())
+    }
+
+    fn recv(&mut self, region: u32) -> Result<Vec<String>, BusError> {
+        let socket = self
+            .sockets
+            .get(region as usize)
+            .ok_or_else(|| BusError { reason: format!("unknown region {region}") })?;
+        let mut lines = Vec::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            match socket.recv(&mut buf) {
+                Ok(n) => lines.push(String::from_utf8_lossy(&buf[..n]).into_owned()),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(BusError { reason: format!("recv: {e}") }),
+            }
+        }
+        Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_bus_keeps_per_region_fifo_order() {
+        let mut bus = InProcessBus::new(3);
+        bus.send(1, "a").unwrap();
+        bus.send(1, "b").unwrap();
+        bus.send(2, "c").unwrap();
+        assert_eq!(bus.recv(1).unwrap(), ["a", "b"]);
+        assert_eq!(bus.recv(1).unwrap(), Vec::<String>::new());
+        assert_eq!(bus.recv(2).unwrap(), ["c"]);
+        assert!(bus.send(3, "x").is_err());
+        assert!(bus.recv(3).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_datagram_bus_moves_frames_between_regions() {
+        let dir = std::env::temp_dir().join(format!(
+            "eotora-fedbus-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut bus = UnixDatagramBus::bind(&dir, 2).unwrap();
+        bus.send(1, "hello").unwrap();
+        bus.send(1, "world").unwrap();
+        let got = bus.recv(1).unwrap();
+        assert_eq!(got, ["hello", "world"]);
+        assert!(bus.recv(0).unwrap().is_empty());
+        drop(bus);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

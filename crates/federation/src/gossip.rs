@@ -1,0 +1,216 @@
+//! The epoch-stamped `QueueGossip` frame and its line codec.
+//!
+//! Federated regions coordinate through exactly one signal: each peer's
+//! virtual-queue backlog `Q(t)`. A gossip frame carries that level,
+//! stamped with the sender's region index, the sync epoch it was sampled
+//! at, and the slot — enough for the receiver to deduplicate copies,
+//! discard stale reorderings, and measure staleness in missed epochs.
+//!
+//! The wire format is one line per frame:
+//!
+//! ```text
+//! FED1 <crc32-hex8> <json-payload>
+//! ```
+//!
+//! The CRC-32 (IEEE, shared with the durability journal) covers the JSON
+//! payload bytes, so a frame truncated or mangled in transit is rejected
+//! with a typed [`GossipError`] instead of poisoning a peer view. The
+//! JSON payload round-trips every finite `f64` bit-exactly
+//! (`serde_json`'s `float_roundtrip`); non-finite or negative queue
+//! levels are rejected on both encode and decode. Nothing in this module
+//! panics on hostile input — pinned by `tests/gossip_props.rs`.
+
+use eotora_durability::crc32;
+use serde::{Deserialize, Serialize};
+
+/// Magic token opening every gossip line; bump with the wire format.
+pub const GOSSIP_MAGIC: &str = "FED1";
+
+/// One region's virtual-queue level, as gossiped to its peers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueGossip {
+    /// Sender's region index.
+    pub region: u32,
+    /// Sync epoch the level was sampled at (monotonic per sender).
+    pub epoch: u64,
+    /// Slot the level was sampled after (diagnostic; epoch decides
+    /// freshness).
+    pub slot: u64,
+    /// Virtual-queue backlog `Q(t)` — finite and non-negative.
+    pub queue: f64,
+}
+
+/// Typed decode/encode failure of a gossip frame. Mirrors the server
+/// codec's contract: hostile input yields an error value, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GossipError {
+    /// The line does not open with [`GOSSIP_MAGIC`].
+    Magic,
+    /// The line ends before all three fields are present.
+    Truncated,
+    /// The CRC field is not 8 hex digits.
+    MalformedCrc,
+    /// The payload's CRC-32 does not match the stamped value.
+    Crc {
+        /// CRC stamped on the frame.
+        expected: u32,
+        /// CRC computed over the received payload.
+        found: u32,
+    },
+    /// The payload is not a `QueueGossip` JSON object.
+    Json {
+        /// Parser message.
+        reason: String,
+    },
+    /// A numeric field is NaN or infinite.
+    NonFinite {
+        /// Offending field name.
+        field: &'static str,
+    },
+    /// The queue level is negative.
+    Negative {
+        /// Offending field name.
+        field: &'static str,
+    },
+}
+
+impl GossipError {
+    /// Stable machine-readable error class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GossipError::Magic => "magic",
+            GossipError::Truncated => "truncated",
+            GossipError::MalformedCrc => "malformed-crc",
+            GossipError::Crc { .. } => "crc",
+            GossipError::Json { .. } => "json",
+            GossipError::NonFinite { .. } => "non-finite",
+            GossipError::Negative { .. } => "negative",
+        }
+    }
+}
+
+impl std::fmt::Display for GossipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GossipError::Magic => write!(f, "gossip frame does not start with {GOSSIP_MAGIC}"),
+            GossipError::Truncated => write!(f, "gossip frame truncated"),
+            GossipError::MalformedCrc => write!(f, "gossip CRC field is not 8 hex digits"),
+            GossipError::Crc { expected, found } => {
+                write!(f, "gossip CRC mismatch: frame says {expected:08x}, payload is {found:08x}")
+            }
+            GossipError::Json { reason } => write!(f, "gossip payload is not valid JSON: {reason}"),
+            GossipError::NonFinite { field } => {
+                write!(f, "gossip field `{field}` is not finite")
+            }
+            GossipError::Negative { field } => write!(f, "gossip field `{field}` is negative"),
+        }
+    }
+}
+
+impl std::error::Error for GossipError {}
+
+fn validate(frame: &QueueGossip) -> Result<(), GossipError> {
+    if !frame.queue.is_finite() {
+        return Err(GossipError::NonFinite { field: "queue" });
+    }
+    if frame.queue < 0.0 {
+        return Err(GossipError::Negative { field: "queue" });
+    }
+    Ok(())
+}
+
+impl QueueGossip {
+    /// Encodes the frame as one `FED1 <crc> <json>` line (no trailing
+    /// newline). Rejects non-finite or negative queue levels so a bad
+    /// frame can never be put on the wire in the first place.
+    pub fn encode(&self) -> Result<String, GossipError> {
+        validate(self)?;
+        let payload =
+            serde_json::to_string(self).map_err(|e| GossipError::Json { reason: e.to_string() })?;
+        Ok(format!("{GOSSIP_MAGIC} {:08x} {payload}", crc32(payload.as_bytes())))
+    }
+
+    /// Decodes one line. Truncation, garbage, CRC damage, and out-of-domain
+    /// queue levels all yield a typed [`GossipError`]; a decoded frame is
+    /// bit-identical to what [`QueueGossip::encode`] serialized.
+    pub fn decode(line: &str) -> Result<QueueGossip, GossipError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let rest = match line.strip_prefix(GOSSIP_MAGIC) {
+            Some(rest) => rest,
+            None => {
+                return Err(if line.is_empty() {
+                    GossipError::Truncated
+                } else {
+                    GossipError::Magic
+                })
+            }
+        };
+        let rest = rest.strip_prefix(' ').ok_or(GossipError::Truncated)?;
+        let (crc_text, payload) = rest.split_once(' ').ok_or(GossipError::Truncated)?;
+        if crc_text.len() != 8 || !crc_text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(GossipError::MalformedCrc);
+        }
+        let expected = u32::from_str_radix(crc_text, 16).map_err(|_| GossipError::MalformedCrc)?;
+        let found = crc32(payload.as_bytes());
+        if expected != found {
+            return Err(GossipError::Crc { expected, found });
+        }
+        let frame: QueueGossip = serde_json::from_str(payload)
+            .map_err(|e| GossipError::Json { reason: e.to_string() })?;
+        validate(&frame)?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> QueueGossip {
+        QueueGossip { region: 2, epoch: 7, slot: 69, queue: 1.25e-3 }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let f = frame();
+        let decoded = QueueGossip::decode(&f.encode().unwrap()).unwrap();
+        assert_eq!(decoded.queue.to_bits(), f.queue.to_bits());
+        assert_eq!((decoded.region, decoded.epoch, decoded.slot), (f.region, f.epoch, f.slot));
+    }
+
+    #[test]
+    fn non_finite_and_negative_levels_never_encode() {
+        for q in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = QueueGossip { queue: q, ..frame() }.encode().unwrap_err();
+            assert_eq!(e.kind(), "non-finite");
+        }
+        let e = QueueGossip { queue: -1.0, ..frame() }.encode().unwrap_err();
+        assert_eq!(e.kind(), "negative");
+    }
+
+    #[test]
+    fn crc_damage_is_detected() {
+        let line = frame().encode().unwrap();
+        // Flip one payload character without touching the CRC field.
+        let mangled = line.replacen("\"epoch\":7", "\"epoch\":8", 1);
+        assert_ne!(line, mangled);
+        assert_eq!(QueueGossip::decode(&mangled).unwrap_err().kind(), "crc");
+    }
+
+    #[test]
+    fn truncations_are_typed_errors() {
+        let line = frame().encode().unwrap();
+        for cut in 0..line.len() {
+            match QueueGossip::decode(&line[..cut]) {
+                Err(_) => {}
+                Ok(f) => panic!("prefix of length {cut} decoded as {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        assert_eq!(QueueGossip::decode("FED2 00000000 {}").unwrap_err().kind(), "magic");
+        assert_eq!(QueueGossip::decode("").unwrap_err().kind(), "truncated");
+    }
+}

@@ -1,0 +1,45 @@
+//! Federated multi-region budget coordination for eotora controllers.
+//!
+//! The paper's DPP controller enforces one time-average energy budget
+//! `C̄` through one virtual queue. This crate federates N independent
+//! controllers — one per region — coupled through *only* that signal:
+//! regions gossip their virtual-queue levels over an unreliable peer
+//! link each sync epoch and re-apportion `C̄` into per-region shares.
+//! The layers, bottom up:
+//!
+//! * [`gossip`] — the epoch-stamped, CRC-framed [`gossip::QueueGossip`]
+//!   line codec; hostile input yields typed errors, never panics.
+//! * [`bus`] — the pluggable [`bus::PeerBus`]: deterministic in-process
+//!   inboxes or per-region Unix datagram sockets.
+//! * [`fault`] — the seeded [`fault::LinkFault`] layer that makes the
+//!   link hostile by construction: drops, duplication, delay,
+//!   reordering, and scheduled full partitions, all checkpointable.
+//! * [`budget`] — share apportionment: fixed equal split or
+//!   queue-proportional with a floor.
+//! * [`node`] — the per-region protocol state machine: freshness
+//!   tracking in missed epochs, retry with exponential backoff and
+//!   jitter, and the stale → partitioned → heal degradation ladder.
+//!
+//! The lock-step multi-region *runner* lives in `eotora-sim`
+//! (`federation` module), where the per-region `StepDriver`s, durable
+//! sessions, and CSV reporting already are; this crate is deliberately
+//! runner-agnostic so the server daemon can grow a live peer link on the
+//! same protocol.
+
+#![deny(missing_docs)]
+
+pub mod budget;
+pub mod bus;
+pub mod fault;
+pub mod gossip;
+pub mod node;
+
+pub use budget::{shares, RebalancePolicy};
+#[cfg(unix)]
+pub use bus::UnixDatagramBus;
+pub use bus::{BusError, InProcessBus, PeerBus};
+pub use fault::{
+    InFlightFrame, LinkFault, LinkFaultConfig, LinkFaultState, PartitionWindow, SendOutcome,
+};
+pub use gossip::{GossipError, QueueGossip, GOSSIP_MAGIC};
+pub use node::{EpochClose, FederationNode, NodeConfig, NodeState, PeerView};

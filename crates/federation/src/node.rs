@@ -1,0 +1,400 @@
+//! The per-region federation protocol state machine.
+//!
+//! A [`FederationNode`] owns one region's view of the federation: the
+//! last accepted gossip (queue level + epoch) per peer, the retry/backoff
+//! schedule toward stale peers, and the region's current budget share.
+//! It is driven twice per sync boundary by the lock-step runner:
+//!
+//! 1. **Send time** — [`FederationNode::retry_peers`] names the peers
+//!    that deserve an extra retransmission this epoch (exponential
+//!    backoff + deterministic jitter, so long partitions are not
+//!    flooded); the runner sends the regular broadcast to every peer
+//!    plus those extras.
+//! 2. **Close time** — [`FederationNode::close_epoch`] folds the
+//!    collected frames into the peer views (deduplicating by epoch, so
+//!    duplicated or reordered copies are harmless), measures staleness
+//!    in missed epochs, walks the degradation ladder, and decides the
+//!    region's budget share.
+//!
+//! The degradation ladder:
+//!
+//! * **fresh** — every peer's gossip for this epoch arrived (missed ≤
+//!   `stale_after`): recompute shares under the rebalance policy and
+//!   adopt the result as the new *last-agreed* share.
+//! * **stale** — some peer missed: hold the last-agreed share unchanged.
+//!   Shares summing to 1 stay summing to 1, so the fleet constraint
+//!   stays bounded; nobody ever reaches for the global pool.
+//! * **partitioned** — a peer's missed count crossed `partition_after`:
+//!   same budget behavior as stale, but counted once per transition so
+//!   operators can tell a blip from a split.
+//! * **heal** — a partitioned peer turns fresh again: a reconciliation
+//!   sweep recomputes shares immediately, even if the policy would not
+//!   otherwise have changed them.
+//!
+//! All state serializes into [`NodeState`] for the federation
+//! checkpoint; resumed nodes replay the exact same protocol decisions.
+
+use eotora_util::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+use crate::budget::{shares, RebalancePolicy};
+use crate::gossip::QueueGossip;
+
+/// Static protocol parameters of one region's node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// This region's index.
+    pub region: u32,
+    /// Total regions in the federation.
+    pub regions: u32,
+    /// Missed epochs tolerated before a peer counts as stale.
+    pub stale_after: u64,
+    /// Missed epochs before a stale peer is declared partitioned.
+    pub partition_after: u64,
+    /// Initial retry backoff, in epochs.
+    pub backoff_base: u64,
+    /// Backoff ceiling, in epochs.
+    pub backoff_max: u64,
+    /// How shares are recomputed on a fresh epoch.
+    pub policy: RebalancePolicy,
+    /// Seed of the per-node retry-jitter RNG stream.
+    pub jitter_seed: u64,
+}
+
+impl NodeConfig {
+    /// Protocol defaults for `region` of `regions`: no staleness grace,
+    /// partition after 2 missed epochs, backoff 1→8 epochs.
+    pub fn new(region: u32, regions: u32, policy: RebalancePolicy, jitter_seed: u64) -> Self {
+        Self {
+            region,
+            regions,
+            stale_after: 0,
+            partition_after: 2,
+            backoff_base: 1,
+            backoff_max: 8,
+            policy,
+            jitter_seed,
+        }
+    }
+}
+
+/// One peer as this node last saw it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerView {
+    /// Last accepted queue level.
+    pub queue: f64,
+    /// Epoch of the last accepted gossip (0 = nothing seen yet; real
+    /// epochs start at 1).
+    pub epoch: u64,
+    /// Whether the peer is currently past the partition threshold.
+    pub partitioned: bool,
+    /// Next epoch at which a retry toward this peer may fire.
+    pub next_retry: u64,
+    /// Current retry backoff, in epochs.
+    pub backoff: u64,
+}
+
+/// The serializable protocol state of one node (federation checkpoint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeState {
+    /// Budget share currently applied (fraction of the fleet `C̄`).
+    pub share: f64,
+    /// Last share adopted from a fully-fresh view.
+    pub last_agreed: f64,
+    /// Whether the node is holding `last_agreed` due to staleness.
+    pub degraded: bool,
+    /// Per-region views, indexed by region (the self entry mirrors the
+    /// node's own last sample).
+    pub peers: Vec<PeerView>,
+    /// Retry-jitter RNG position.
+    pub jitter_rng: Pcg32,
+}
+
+/// What closing one epoch decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochClose {
+    /// The budget share in force after this epoch.
+    pub share: f64,
+    /// Whether the share vector was recomputed and adopted.
+    pub rebalanced: bool,
+    /// Whether at least one peer was stale at close.
+    pub stale: bool,
+    /// Peers that crossed the partition threshold this epoch.
+    pub new_partitions: u64,
+    /// Whether a partitioned peer healed this epoch (reconciliation).
+    pub healed: bool,
+}
+
+/// One region's live protocol node: config plus serializable state.
+#[derive(Debug, Clone)]
+pub struct FederationNode {
+    config: NodeConfig,
+    state: NodeState,
+}
+
+impl FederationNode {
+    /// A fresh node at the equal split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config names zero regions or an out-of-range index.
+    pub fn new(config: NodeConfig) -> Self {
+        assert!(config.regions > 0, "a federation needs at least one region");
+        assert!(config.region < config.regions, "region index out of range");
+        let equal = 1.0 / config.regions as f64;
+        let peers = (0..config.regions)
+            .map(|_| PeerView {
+                queue: 0.0,
+                epoch: 0,
+                partitioned: false,
+                next_retry: 0,
+                backoff: config.backoff_base.max(1),
+            })
+            .collect();
+        let jitter_rng = Pcg32::seed_stream(config.jitter_seed, 0xFED0 + config.region as u64);
+        Self {
+            config,
+            state: NodeState {
+                share: equal,
+                last_agreed: equal,
+                degraded: false,
+                peers,
+                jitter_rng,
+            },
+        }
+    }
+
+    /// The static config.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// The serializable state (checkpointing).
+    pub fn state(&self) -> &NodeState {
+        &self.state
+    }
+
+    /// Restores state from a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's peer count disagrees with the config.
+    pub fn restore(&mut self, state: NodeState) {
+        assert_eq!(state.peers.len(), self.config.regions as usize, "peer count mismatch");
+        self.state = state;
+    }
+
+    /// The budget share currently in force.
+    pub fn share(&self) -> f64 {
+        self.state.share
+    }
+
+    /// Peers owed an extra retransmission at the boundary opening `epoch`
+    /// (they are behind the freshest possible view, and their backoff
+    /// window elapsed). Schedules the next retry with exponential backoff
+    /// plus deterministic jitter. Call exactly once per boundary, before
+    /// sending.
+    pub fn retry_peers(&mut self, epoch: u64) -> Vec<u32> {
+        let mut extras = Vec::new();
+        for region in 0..self.config.regions {
+            if region == self.config.region {
+                continue;
+            }
+            let stale_after = self.config.stale_after;
+            let behind = {
+                let peer = &self.state.peers[region as usize];
+                // At send time the freshest a peer can be is last epoch.
+                epoch.saturating_sub(1).saturating_sub(peer.epoch) > stale_after
+            };
+            if !behind {
+                let peer = &mut self.state.peers[region as usize];
+                peer.backoff = self.config.backoff_base.max(1);
+                peer.next_retry = epoch;
+                continue;
+            }
+            if epoch >= self.state.peers[region as usize].next_retry {
+                extras.push(region);
+                let backoff = self.state.peers[region as usize].backoff;
+                let jitter = self.state.jitter_rng.below(backoff.max(1) as usize) as u64;
+                let peer = &mut self.state.peers[region as usize];
+                peer.next_retry = epoch + backoff + jitter;
+                peer.backoff = (backoff * 2).min(self.config.backoff_max.max(1));
+            }
+        }
+        extras
+    }
+
+    /// Folds the frames collected at the boundary closing `epoch` into
+    /// the peer views and walks the degradation ladder. `own_queue` is
+    /// this region's backlog sampled at the same boundary.
+    pub fn close_epoch(
+        &mut self,
+        epoch: u64,
+        own_queue: f64,
+        frames: &[QueueGossip],
+    ) -> EpochClose {
+        // Accept the freshest copy per peer; duplicates and reordered
+        // stale copies lose by epoch comparison.
+        for frame in frames {
+            if frame.region == self.config.region || frame.region >= self.config.regions {
+                continue;
+            }
+            let peer = &mut self.state.peers[frame.region as usize];
+            if frame.epoch > peer.epoch {
+                peer.epoch = frame.epoch;
+                peer.queue = frame.queue;
+            }
+        }
+        let own = &mut self.state.peers[self.config.region as usize];
+        own.epoch = epoch;
+        own.queue = own_queue;
+
+        let mut stale = false;
+        let mut new_partitions = 0u64;
+        let mut healed = false;
+        for region in 0..self.config.regions {
+            if region == self.config.region {
+                continue;
+            }
+            let peer = &mut self.state.peers[region as usize];
+            let missed = epoch.saturating_sub(peer.epoch);
+            if missed > self.config.stale_after {
+                stale = true;
+                if missed > self.config.partition_after && !peer.partitioned {
+                    peer.partitioned = true;
+                    new_partitions += 1;
+                }
+            } else if peer.partitioned {
+                peer.partitioned = false;
+                healed = true;
+            }
+        }
+
+        let rebalanced = if stale {
+            // Degraded: hold the last share the whole federation agreed
+            // on. Never recompute from a stale view — that could hand two
+            // sides of a split overlapping slices of the pool.
+            self.state.degraded = true;
+            self.state.share = self.state.last_agreed;
+            false
+        } else {
+            let queues: Vec<f64> = self.state.peers.iter().map(|p| p.queue).collect();
+            let next = shares(&queues, &self.config.policy)[self.config.region as usize];
+            let changed = next != self.state.share;
+            self.state.share = next;
+            self.state.last_agreed = next;
+            let was_degraded = std::mem::replace(&mut self.state.degraded, false);
+            // A heal (or leaving degradation) is a reconciliation sweep:
+            // count it even when the recomputed share lands unchanged.
+            changed || healed || was_degraded
+        };
+
+        EpochClose { share: self.state.share, rebalanced, stale, new_partitions, healed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gossip(region: u32, epoch: u64, queue: f64) -> QueueGossip {
+        QueueGossip { region, epoch, slot: epoch * 10, queue }
+    }
+
+    fn node(region: u32, policy: RebalancePolicy) -> FederationNode {
+        FederationNode::new(NodeConfig::new(region, 3, policy, 77))
+    }
+
+    #[test]
+    fn fresh_epochs_rebalance_proportionally() {
+        let mut n = node(0, RebalancePolicy::QueueProportional { floor: 0.1 });
+        let close = n.close_epoch(1, 2.0, &[gossip(1, 1, 1.0), gossip(2, 1, 1.0)]);
+        assert!(close.rebalanced && !close.stale);
+        assert!(close.share > 1.0 / 3.0, "the loaded region must gain share");
+        // Equal queues next epoch: back toward the equal split.
+        let close = n.close_epoch(2, 1.0, &[gossip(1, 2, 1.0), gossip(2, 2, 1.0)]);
+        assert!((close.share - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_policy_never_rebalances_on_a_clean_link() {
+        let mut n = node(1, RebalancePolicy::Fixed);
+        for epoch in 1..=5 {
+            let close = n.close_epoch(epoch, 1.0, &[gossip(0, epoch, 5.0), gossip(2, epoch, 0.1)]);
+            assert!(!close.rebalanced);
+            assert_eq!(close.share, 1.0 / 3.0);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_reordered_copies_are_deduplicated() {
+        let mut n = node(0, RebalancePolicy::QueueProportional { floor: 0.0 });
+        // Fresh copy, then a duplicate, then a stale reordered copy.
+        let frames = [gossip(1, 3, 4.0), gossip(1, 3, 4.0), gossip(1, 1, 999.0), gossip(2, 3, 4.0)];
+        let close = n.close_epoch(3, 4.0, &frames);
+        assert!(!close.stale);
+        assert!((close.share - 1.0 / 3.0).abs() < 1e-12, "stale 999.0 must not win");
+    }
+
+    #[test]
+    fn staleness_degrades_to_last_agreed_and_heals_with_reconciliation() {
+        let mut n = node(0, RebalancePolicy::QueueProportional { floor: 0.1 });
+        let agreed = n.close_epoch(1, 3.0, &[gossip(1, 1, 1.0), gossip(2, 1, 1.0)]).share;
+        // Peer 2 goes dark: stale epochs hold the last-agreed share even
+        // though our own queue keeps growing.
+        for epoch in 2..=4 {
+            let close = n.close_epoch(epoch, 50.0, &[gossip(1, epoch, 1.0)]);
+            assert!(close.stale && !close.rebalanced);
+            assert_eq!(close.share, agreed);
+        }
+        // Partition declared after `partition_after` missed epochs.
+        assert!(n.state().peers[2].partitioned);
+        // Heal: peer 2 returns → reconciliation sweep rebalances at once.
+        let close = n.close_epoch(5, 50.0, &[gossip(1, 5, 1.0), gossip(2, 5, 1.0)]);
+        assert!(close.healed && close.rebalanced && !close.stale);
+        assert!(close.share > agreed, "the backlog built during the split earns share");
+    }
+
+    #[test]
+    fn partition_is_counted_once_per_transition() {
+        let mut n = node(0, RebalancePolicy::Fixed);
+        let mut transitions = 0;
+        for epoch in 1..=8 {
+            transitions += n.close_epoch(epoch, 1.0, &[gossip(1, epoch, 1.0)]).new_partitions;
+        }
+        assert_eq!(transitions, 1, "one dark peer is one partition, not six");
+    }
+
+    #[test]
+    fn retries_back_off_exponentially_toward_dark_peers() {
+        let mut n = node(0, RebalancePolicy::Fixed);
+        // Epoch 1: nobody can be behind yet (freshest possible view is 0).
+        assert!(n.retry_peers(1).is_empty());
+        n.close_epoch(1, 1.0, &[]);
+        // Both peers are now behind; retries fire, then back off.
+        let mut fired: Vec<u64> = Vec::new();
+        for epoch in 2..=20 {
+            if n.retry_peers(epoch).contains(&1) {
+                fired.push(epoch);
+            }
+            n.close_epoch(epoch, 1.0, &[]);
+        }
+        assert!(!fired.is_empty());
+        let gaps: Vec<u64> = fired.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.last().copied().unwrap_or(1) >= gaps.first().copied().unwrap_or(1));
+        // A returning peer resets its backoff.
+        n.close_epoch(21, 1.0, &[gossip(1, 21, 1.0), gossip(2, 21, 1.0)]);
+        assert!(n.retry_peers(22).is_empty());
+        assert_eq!(n.state().peers[1].backoff, 1);
+    }
+
+    #[test]
+    fn state_round_trips_through_serde() {
+        let mut n = node(2, RebalancePolicy::QueueProportional { floor: 0.05 });
+        n.retry_peers(1);
+        n.close_epoch(1, 2.0, &[gossip(0, 1, 1.0)]);
+        let json = serde_json::to_string(n.state()).unwrap();
+        let restored: NodeState = serde_json::from_str(&json).unwrap();
+        assert_eq!(&restored, n.state());
+    }
+}

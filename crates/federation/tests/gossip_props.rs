@@ -1,0 +1,124 @@
+//! Property tests for the `QueueGossip` line codec — the federation
+//! mirror of `server/tests/frame_props.rs`.
+//!
+//! The codec faces the hostile peer link directly, so the pinned
+//! properties are survival properties:
+//!
+//! 1. every finite frame round-trips **bit-exactly**;
+//! 2. arbitrary garbage, truncations, and CRC damage yield typed
+//!    [`GossipError`]s — never a panic, never a silently wrong frame;
+//! 3. non-finite queue levels are rejected on both encode and decode.
+
+use eotora_federation::{GossipError, QueueGossip};
+use proptest::prelude::*;
+
+/// Finite non-negative queue levels across several magnitude regimes:
+/// exact zero, ordinary values, tiny sub-nano values, and awkward
+/// fractional bit patterns.
+fn finite_queue() -> impl Strategy<Value = f64> {
+    (0u8..4, 0.0f64..1.0).prop_map(|(variant, unit)| match variant {
+        0 => 0.0,
+        1 => unit * 1e6,
+        2 => unit * 1e-9,
+        _ => (unit * 4_294_967_296.0).floor() / 1e3,
+    })
+}
+
+fn frame() -> impl Strategy<Value = QueueGossip> {
+    (0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX, finite_queue())
+        .prop_map(|(region, epoch, slot, queue)| QueueGossip { region, epoch, slot, queue })
+}
+
+/// Printable-ish garbage lines, including multi-byte characters, like the
+/// server codec's property suite uses.
+fn garbage_line() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x2500, 0..60).prop_map(|codes| {
+        codes.into_iter().filter_map(char::from_u32).filter(|c| *c != '\n' && *c != '\r').collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..Default::default() })]
+
+    #[test]
+    fn round_trip_is_bit_exact(f in frame()) {
+        let line = f.encode().expect("finite frames always encode");
+        let decoded = QueueGossip::decode(&line).expect("own encoding always decodes");
+        prop_assert_eq!(decoded.region, f.region);
+        prop_assert_eq!(decoded.epoch, f.epoch);
+        prop_assert_eq!(decoded.slot, f.slot);
+        prop_assert_eq!(decoded.queue.to_bits(), f.queue.to_bits());
+    }
+
+    #[test]
+    fn garbage_never_panics_and_never_decodes_silently(line in garbage_line()) {
+        // Any result is fine as long as it is a value, not a panic; a
+        // successful decode of random garbage would mean the CRC gate
+        // failed, so treat it as a property violation too.
+        if let Ok(f) = QueueGossip::decode(&line) {
+            // The only way garbage decodes is by being a genuine frame.
+            let reencoded = f.encode().expect("decoded frames are valid");
+            prop_assert_eq!(reencoded, line.trim_end_matches(['\r', '\n']).to_owned());
+        }
+    }
+
+    #[test]
+    fn truncations_yield_typed_errors(f in frame(), frac in 0.0f64..1.0) {
+        let line = f.encode().expect("finite frames always encode");
+        let cut = ((frac * line.len() as f64) as usize).min(line.len() - 1);
+        match QueueGossip::decode(&line[..cut]) {
+            Err(e) => prop_assert!(!e.kind().is_empty()),
+            Ok(decoded) => prop_assert!(
+                false,
+                "truncation at {} of {:?} decoded as {:?}", cut, line, decoded
+            ),
+        }
+    }
+
+    #[test]
+    fn payload_tampering_is_caught_by_the_crc(f in frame(), frac in 0.0f64..1.0) {
+        let line = f.encode().expect("finite frames always encode");
+        // Flip one payload character (past "FED1 <8 hex> ") to a different
+        // printable one; the CRC gate must reject before JSON even runs.
+        let payload_start = 14;
+        let bytes = line.as_bytes();
+        let span = bytes.len() - payload_start;
+        let i = payload_start + ((frac * span as f64) as usize).min(span - 1);
+        let replacement = if bytes[i] == b'x' { b'y' } else { b'x' };
+        let mut mangled = bytes.to_vec();
+        mangled[i] = replacement;
+        let mangled = String::from_utf8(mangled).expect("ascii flip keeps utf8");
+        match QueueGossip::decode(&mangled) {
+            Err(GossipError::Crc { .. }) => {}
+            Err(other) => prop_assert!(false, "expected Crc error, got {:?}", other),
+            Ok(decoded) => prop_assert!(false, "tampered frame decoded as {:?}", decoded),
+        }
+    }
+
+    #[test]
+    fn non_finite_queue_levels_are_rejected(f in frame(), magnitude in 400u32..2000) {
+        // Encode-side: NaN and infinities never reach the wire.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = QueueGossip { queue: bad, ..f }.encode().expect_err("non-finite must fail");
+            prop_assert_eq!(e.kind(), "non-finite");
+        }
+        // Decode-side: an overflowing literal spliced into the payload
+        // (with the CRC recomputed, as a hostile peer could) must yield a
+        // typed error — non-finite if the parser saturates, json if it
+        // rejects the literal outright.
+        let payload = serde_json::to_string(&f).expect("serializable");
+        let queue_literal = serde_json::to_string(&f.queue).expect("f64 serializes");
+        let needle = format!("\"queue\":{queue_literal}");
+        if payload.contains(&needle) {
+            let hostile = payload.replacen(&needle, &format!("\"queue\":1e{magnitude}"), 1);
+            let line = format!("FED1 {:08x} {hostile}", eotora_durability::crc32(hostile.as_bytes()));
+            match QueueGossip::decode(&line) {
+                Err(e) => prop_assert!(
+                    e.kind() == "non-finite" || e.kind() == "json",
+                    "unexpected error class {:?}", e.kind()
+                ),
+                Ok(decoded) => prop_assert!(false, "overflow literal decoded as {:?}", decoded),
+            }
+        }
+    }
+}

@@ -136,9 +136,14 @@ pub const COUNTER_SPEC_STAGED_DISCARDS: &str = "spec.staged_discards";
 
 /// Counter name for state frames accepted into the admission queue.
 pub const COUNTER_SERVER_ADMITTED: &str = "server.admitted";
-/// Counter name for stale state frames shed by the bounded admission
-/// queue under backpressure (dropped without a decision).
-pub const COUNTER_SERVER_SHED: &str = "server.shed";
+/// Counter name for stale state frames shed from the *front* of the
+/// bounded admission queue under the `DropOldest` policy (dropped
+/// without a decision).
+pub const COUNTER_SERVER_SHED_OLDEST: &str = "server.shed_oldest";
+/// Counter name for state frames shed under the `NewestWins` policy —
+/// the queued frames displaced when a newer state supersedes the whole
+/// backlog (every coalesce is also counted here).
+pub const COUNTER_SERVER_SHED_NEWEST: &str = "server.shed_newest";
 /// Counter name for queued state frames superseded in place by a newer
 /// frame for the same stream position (newest-state-wins coalescing;
 /// every coalesce is also counted as a shed).
@@ -159,6 +164,23 @@ pub const COUNTER_SERVER_RELOADS_REJECTED: &str = "server.reloads_rejected";
 pub const COUNTER_SERVER_WATCHDOG_TRIPS: &str = "server.watchdog_trips";
 /// Counter name for decision records emitted on the output stream.
 pub const COUNTER_SERVER_DECISIONS: &str = "server.decisions";
+
+/// Counter name for `QueueGossip` frames a federated region handed to
+/// the peer link (duplicated transmissions count once per copy sent).
+pub const COUNTER_FED_GOSSIP_SENT: &str = "fed.gossip_sent";
+/// Counter name for gossip frames the link-fault layer dropped (loss or
+/// partition) before reaching the peer.
+pub const COUNTER_FED_GOSSIP_DROPPED: &str = "fed.gossip_dropped";
+/// Counter name for sync epochs a region closed with at least one peer
+/// stale (no fresh gossip within the staleness window).
+pub const COUNTER_FED_STALE_EPOCHS: &str = "fed.stale_epochs";
+/// Counter name for transitions into the partitioned degradation rung —
+/// a peer's missed-epoch count crossing the partition threshold.
+pub const COUNTER_FED_PARTITIONS: &str = "fed.partitions";
+/// Counter name for budget-share recomputations a region applied (fresh
+/// all-peer views under a dynamic rebalance policy, or a reconciliation
+/// sweep on partition heal).
+pub const COUNTER_FED_BUDGET_REBALANCES: &str = "fed.budget_rebalances";
 
 /// Counter name for health transitions into `Ok`.
 pub const COUNTER_HEALTH_TO_OK: &str = "health.to_ok";
@@ -197,7 +219,7 @@ pub const GAUGE_CONFIG_BUDGET: &str = "config_budget_usd";
 /// it). Core solver counters (`bdma_rounds`, `cgba_*`, …) stay internal
 /// — they are solver mechanics, not run outcomes.
 pub const EXPORTED_COUNTER_FAMILIES: &[&str] =
-    &["fault.", "deadline.", "durability.", "shard.", "spec.", "server."];
+    &["fault.", "deadline.", "durability.", "shard.", "spec.", "server.", "fed."];
 
 /// Whether a counter belongs to an exported family (see
 /// [`EXPORTED_COUNTER_FAMILIES`]).
@@ -364,7 +386,16 @@ pub const ALL: &[MetricDef] = &[
         "staged solves discarded before comparison",
     ),
     def(COUNTER_SERVER_ADMITTED, MetricKind::Counter, "state frames accepted into the queue"),
-    def(COUNTER_SERVER_SHED, MetricKind::Counter, "stale state frames shed under backpressure"),
+    def(
+        COUNTER_SERVER_SHED_OLDEST,
+        MetricKind::Counter,
+        "stale frames shed from the queue front (DropOldest)",
+    ),
+    def(
+        COUNTER_SERVER_SHED_NEWEST,
+        MetricKind::Counter,
+        "queued frames displaced by a newer state (NewestWins)",
+    ),
     def(
         COUNTER_SERVER_COALESCED,
         MetricKind::Counter,
@@ -392,6 +423,27 @@ pub const ALL: &[MetricDef] = &[
         "watchdog escalations on repeated deadline expirations",
     ),
     def(COUNTER_SERVER_DECISIONS, MetricKind::Counter, "decision records emitted downstream"),
+    def(COUNTER_FED_GOSSIP_SENT, MetricKind::Counter, "gossip frames handed to the peer link"),
+    def(
+        COUNTER_FED_GOSSIP_DROPPED,
+        MetricKind::Counter,
+        "gossip frames lost to link faults or partitions",
+    ),
+    def(
+        COUNTER_FED_STALE_EPOCHS,
+        MetricKind::Counter,
+        "sync epochs closed with at least one stale peer",
+    ),
+    def(
+        COUNTER_FED_PARTITIONS,
+        MetricKind::Counter,
+        "peers crossing the missed-epoch partition threshold",
+    ),
+    def(
+        COUNTER_FED_BUDGET_REBALANCES,
+        MetricKind::Counter,
+        "budget-share recomputations applied by a region",
+    ),
     def(COUNTER_HEALTH_TO_OK, MetricKind::Counter, "health transitions into Ok"),
     def(COUNTER_HEALTH_TO_DEGRADED, MetricKind::Counter, "health transitions into Degraded"),
     def(COUNTER_HEALTH_TO_CRITICAL, MetricKind::Counter, "health transitions into Critical"),
@@ -444,8 +496,11 @@ mod tests {
             COUNTER_CGBA_PROBES,
             COUNTER_ROBUST_LIFEBOAT_DECISIONS,
             COUNTER_DURABILITY_FRAMES,
-            COUNTER_SERVER_SHED,
+            COUNTER_SERVER_SHED_OLDEST,
+            COUNTER_SERVER_SHED_NEWEST,
             COUNTER_SERVER_WATCHDOG_TRIPS,
+            COUNTER_FED_GOSSIP_SENT,
+            COUNTER_FED_BUDGET_REBALANCES,
             GAUGE_QUEUE_BACKLOG,
             GAUGE_HEALTH_LEVEL,
         ] {
@@ -480,7 +535,9 @@ mod tests {
                 );
             }
         }
-        assert!(is_exported_counter(COUNTER_SERVER_SHED));
+        assert!(is_exported_counter(COUNTER_SERVER_SHED_OLDEST));
+        assert!(is_exported_counter(COUNTER_SERVER_SHED_NEWEST));
+        assert!(is_exported_counter(COUNTER_FED_STALE_EPOCHS));
         assert!(is_exported_counter(COUNTER_DEADLINE_EXPIRATIONS));
         assert!(!is_exported_counter(COUNTER_BDMA_ROUNDS));
         assert!(!is_exported_counter(COUNTER_HEALTH_TO_OK));

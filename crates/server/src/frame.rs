@@ -17,9 +17,10 @@ use eotora_sim::StepReport;
 use eotora_states::SystemState;
 use serde::{Deserialize, Serialize};
 
-/// A decode failure for one input line. Every variant names the
-/// 1-indexed line so clients can report precisely; none of them is fatal
-/// to the stream.
+/// A decode failure for one input line (or, for
+/// [`FrameError::ConcurrentClient`], one rejected connection). Line
+/// errors name the 1-indexed line so clients can report precisely; none
+/// of them is fatal to the stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameError {
     /// The line is not valid JSON (or not the serde shape of a state).
@@ -50,16 +51,23 @@ pub enum FrameError {
         /// The unknown verb.
         control: String,
     },
+    /// A second client connected while another input stream was active;
+    /// the new connection was rejected — its frames are never
+    /// interleaved into the live stream.
+    ConcurrentClient,
 }
 
 impl FrameError {
-    /// The 1-indexed input line the error is pinned to.
+    /// The 1-indexed input line the error is pinned to (`0` for
+    /// [`FrameError::ConcurrentClient`], which rejects a whole
+    /// connection rather than a line).
     pub fn line(&self) -> u64 {
         match self {
             Self::Json { line, .. }
             | Self::NonFinite { line, .. }
             | Self::Shape { line, .. }
             | Self::UnknownControl { line, .. } => *line,
+            Self::ConcurrentClient => 0,
         }
     }
 
@@ -70,6 +78,7 @@ impl FrameError {
             Self::NonFinite { .. } => "non-finite",
             Self::Shape { .. } => "shape",
             Self::UnknownControl { .. } => "unknown-control",
+            Self::ConcurrentClient => "concurrent-client",
         }
     }
 }
@@ -84,6 +93,9 @@ impl std::fmt::Display for FrameError {
             Self::Shape { line, reason } => write!(f, "line {line}: bad state shape: {reason}"),
             Self::UnknownControl { line, control } => {
                 write!(f, "line {line}: unknown control verb `{control}`")
+            }
+            Self::ConcurrentClient => {
+                f.write_str("concurrent client rejected: another input stream is active")
             }
         }
     }

@@ -81,10 +81,19 @@ pub enum PushOutcome {
 pub struct QueueStats {
     /// State frames admitted (including after shedding).
     pub admitted: u64,
-    /// State frames dropped by `DropOldest`/`NewestWins` shedding.
-    pub shed: u64,
+    /// State frames dropped by the `DropOldest` policy.
+    pub shed_oldest: u64,
+    /// State frames dropped by the `NewestWins` policy.
+    pub shed_newest: u64,
     /// Deepest the queue has ever been.
     pub max_depth: usize,
+}
+
+impl QueueStats {
+    /// Total states shed under any policy.
+    pub fn shed(&self) -> u64 {
+        self.shed_oldest + self.shed_newest
+    }
 }
 
 struct Inner {
@@ -171,7 +180,11 @@ impl AdmissionQueue {
         inner.items.push_back(Admission::State(state));
         inner.states += 1;
         inner.stats.admitted += 1;
-        inner.stats.shed += shed;
+        match inner.policy {
+            ShedPolicy::DropOldest => inner.stats.shed_oldest += shed,
+            ShedPolicy::NewestWins => inner.stats.shed_newest += shed,
+            ShedPolicy::Block => debug_assert_eq!(shed, 0, "block never sheds"),
+        }
         inner.stats.max_depth = inner.stats.max_depth.max(inner.states);
         drop(inner);
         self.ready.notify_one();
@@ -289,7 +302,10 @@ mod tests {
         assert_eq!(q.push_state(state(2)), PushOutcome::AdmittedAfterShedding { shed: 1 });
         assert_eq!(popped_slots(&q), vec![1, 2]);
         let stats = q.stats();
-        assert_eq!((stats.admitted, stats.shed, stats.max_depth), (3, 1, 2));
+        assert_eq!(
+            (stats.admitted, stats.shed_oldest, stats.shed_newest, stats.max_depth),
+            (3, 1, 0, 2)
+        );
     }
 
     #[test]
@@ -300,6 +316,8 @@ mod tests {
         }
         assert_eq!(q.push_state(state(3)), PushOutcome::AdmittedAfterShedding { shed: 3 });
         assert_eq!(popped_slots(&q), vec![3]);
+        let stats = q.stats();
+        assert_eq!((stats.shed_oldest, stats.shed_newest), (0, 3));
     }
 
     #[test]
@@ -311,7 +329,7 @@ mod tests {
         let first = q.pop_timeout(Duration::from_millis(1)).expect("control queued");
         assert!(matches!(first, Admission::Control(ControlFrame::Checkpoint)));
         assert_eq!(popped_slots(&q), vec![1]);
-        assert_eq!(q.stats().shed, 1);
+        assert_eq!(q.stats().shed_newest, 1);
     }
 
     #[test]
@@ -330,7 +348,7 @@ mod tests {
         assert!(matches!(popped, Admission::State(_)));
         producer.join().expect("producer finishes after room opens");
         assert_eq!(popped_slots(&q), vec![1]);
-        assert_eq!(q.stats().shed, 0);
+        assert_eq!(q.stats().shed(), 0);
     }
 
     #[test]

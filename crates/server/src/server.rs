@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use eotora_core::fault::FaultSchedule;
@@ -28,7 +28,7 @@ use eotora_sim::{
 
 use crate::config::{validate_reload, ConfigError, ServerConfig};
 use crate::frame::{
-    encode_error, encode_event, ControlFrame, DecisionRecord, FrameDecoder, InputFrame,
+    encode_error, encode_event, ControlFrame, DecisionRecord, FrameDecoder, FrameError, InputFrame,
 };
 use crate::queue::{Admission, AdmissionQueue, QueueStats};
 use crate::signal::SignalFlags;
@@ -78,7 +78,8 @@ pub enum InputSource {
     /// A byte stream of JSONL frames (stdin, a file, a pipe). EOF ends
     /// the stream and drains the server.
     Reader(Box<dyn Read + Send>),
-    /// A Unix listener serving sequential client connections; the stream
+    /// A Unix listener serving sequential client connections (a second
+    /// *concurrent* client is rejected with a typed error); the stream
     /// never self-terminates (shut down via signal or control frame).
     #[cfg(unix)]
     UnixSocket(std::os::unix::net::UnixListener),
@@ -194,8 +195,14 @@ pub fn serve(
         bump(
             &mut server_counters,
             &telemetry,
-            eotora_obs::COUNTER_SERVER_SHED,
-            stats.shed - synced.shed,
+            eotora_obs::COUNTER_SERVER_SHED_OLDEST,
+            stats.shed_oldest - synced.shed_oldest,
+        );
+        bump(
+            &mut server_counters,
+            &telemetry,
+            eotora_obs::COUNTER_SERVER_SHED_NEWEST,
+            stats.shed_newest - synced.shed_newest,
         );
         synced = stats;
 
@@ -346,8 +353,14 @@ pub fn serve(
     bump(
         &mut server_counters,
         &telemetry,
-        eotora_obs::COUNTER_SERVER_SHED,
-        stats.shed - synced.shed,
+        eotora_obs::COUNTER_SERVER_SHED_OLDEST,
+        stats.shed_oldest - synced.shed_oldest,
+    );
+    bump(
+        &mut server_counters,
+        &telemetry,
+        eotora_obs::COUNTER_SERVER_SHED_NEWEST,
+        stats.shed_newest - synced.shed_newest,
     );
 
     let slots_completed = driver.cursor();
@@ -472,18 +485,72 @@ fn run_reader(input: InputSource, queue: &AdmissionQueue, devices: usize, statio
             queue.close();
         }
         #[cfg(unix)]
-        InputSource::UnixSocket(listener) => loop {
-            // Sequential clients share one line-number space; the stream
-            // only ends via signal or an in-band shutdown control.
-            match listener.accept() {
-                Ok((stream, _)) => read_stream(Box::new(stream), queue, &mut decoder),
-                Err(_) => {
+        InputSource::UnixSocket(listener) => {
+            // Sequential clients share one line-number space: the decoder
+            // travels from each finished stream to the next connection. A
+            // *concurrent* second client is rejected with a typed error
+            // record — never silently interleaved into the live stream.
+            let slot = Mutex::new(Some(decoder));
+            std::thread::scope(|scope| loop {
+                let Ok((stream, _)) = listener.accept() else {
                     queue.close();
                     return;
+                };
+                match claim_decoder(&slot) {
+                    Some(decoder) => {
+                        let slot = &slot;
+                        scope.spawn(move || {
+                            let mut decoder = decoder;
+                            read_stream(Box::new(stream), queue, &mut decoder);
+                            *lock_decoder_slot(slot) = Some(decoder);
+                        });
+                    }
+                    None => reject_concurrent_client(stream, queue),
                 }
-            }
-        },
+            });
+        }
     }
+}
+
+/// Takes the decoder if no stream is active. Waits briefly so a
+/// sequential reconnect racing the previous stream's EOF handling is not
+/// misread as a concurrent client.
+#[cfg(unix)]
+fn claim_decoder(slot: &Mutex<Option<FrameDecoder>>) -> Option<FrameDecoder> {
+    for attempt in 0..20 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(decoder) = lock_decoder_slot(slot).take() {
+            return Some(decoder);
+        }
+    }
+    None
+}
+
+#[cfg(unix)]
+fn lock_decoder_slot(
+    slot: &Mutex<Option<FrameDecoder>>,
+) -> std::sync::MutexGuard<'_, Option<FrameDecoder>> {
+    match slot.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Turns a second concurrent client away: the typed record goes to the
+/// rejected client (best effort — it may already be gone) and through
+/// the queue to the error stream and `server.malformed_frames`.
+#[cfg(unix)]
+fn reject_concurrent_client(mut stream: std::os::unix::net::UnixStream, queue: &AdmissionQueue) {
+    let error = FrameError::ConcurrentClient;
+    // Enqueue before notifying the client: once the client sees the
+    // rejection it may trigger shutdown, and a post-close push would be
+    // dropped — the record must already be in the queue by then.
+    let line = encode_error(&error);
+    queue.push_priority(Admission::Malformed(error));
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 fn read_stream(reader: Box<dyn Read + Send>, queue: &AdmissionQueue, decoder: &mut FrameDecoder) {

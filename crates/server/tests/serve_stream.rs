@@ -216,8 +216,10 @@ fn overload_sheds_and_keeps_the_queue_bounded() {
     let (summary, records, events) = run_server(cfg, &states_jsonl(&s, 200));
     assert!(!summary.interrupted);
     assert!(summary.decisions >= 1);
-    let shed = summary.counters.get("server.shed").copied().unwrap_or(0);
+    let shed = summary.counters.get("server.shed_newest").copied().unwrap_or(0);
     assert!(shed > 0, "200 instant slots against a real solver must shed");
+    // The policy breakdown must attribute every drop to `NewestWins`.
+    assert_eq!(summary.counters.get("server.shed_oldest").copied().unwrap_or(0), 0);
     assert_eq!(summary.counters["server.admitted"], 200);
     assert_eq!(shed + summary.decisions, 200, "every admitted state is solved or shed");
     match event_u64(&events, "shutdown", "max_queue_depth") {
@@ -250,7 +252,7 @@ fn hot_reload_applies_or_rejects_atomically() {
     let toml_for = |devices: u64, capacity: u64| {
         format!(
             "[scenario]\ndevices = {devices}\nseed = 21\nhorizon = 16\nbdma_rounds = 2\n\
-             [admission]\ncapacity = {capacity}\n\
+             [admission]\ncapacity = {capacity}\npolicy = \"block\"\n\
              [durability]\ndir = \"{}\"\ncheckpoint_every = 5\nfsync = \"os\"\n",
             dir.display()
         )
@@ -339,4 +341,58 @@ fn unix_socket_clients_stream_states() {
     client.join().expect("client");
     assert_eq!(summary.slots_completed, 6);
     assert_eq!(summary.decisions, 6);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_rejects_a_concurrent_second_client() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    let s = scenario();
+    let sock_dir = temp_dir("sock-concurrent");
+    fs::create_dir_all(&sock_dir).expect("mkdir");
+    let sock = sock_dir.join("eotora.sock");
+    let listener = UnixListener::bind(&sock).expect("bind");
+    let input = states_jsonl(&s, 4);
+
+    let client = {
+        let sock = sock.clone();
+        std::thread::spawn(move || {
+            let mut first = UnixStream::connect(&sock).expect("connect first");
+            first.write_all(input.as_bytes()).expect("send states");
+            // While the first stream is still open, a second connection
+            // must be turned away with a typed error record on its own
+            // stream — its frames never reach the solver.
+            let second = UnixStream::connect(&sock).expect("connect second");
+            let mut rejection = String::new();
+            BufReader::new(second).read_line(&mut rejection).expect("read rejection");
+            assert!(
+                rejection.contains("concurrent-client"),
+                "unexpected rejection line: {rejection:?}"
+            );
+            first.write_all(b"{\"control\": \"shutdown\"}\n").expect("send shutdown");
+        })
+    };
+
+    let mut decisions = Vec::new();
+    let mut events = Vec::new();
+    let flags = SignalFlags::manual();
+    let summary = serve(
+        config(&s, &temp_dir("sock-concurrent-ckpt")),
+        None,
+        InputSource::UnixSocket(listener),
+        &mut decisions,
+        &mut events,
+        &flags,
+    )
+    .expect("serve");
+    client.join().expect("client");
+    // Every state from the first client solved; the rejection shows up as
+    // exactly one malformed-frame record, not as extra slots.
+    assert_eq!(summary.slots_completed, 4);
+    assert_eq!(summary.decisions, 4);
+    assert_eq!(summary.counters["server.malformed_frames"], 1);
+    let events = String::from_utf8(events).expect("utf8 events");
+    assert_eq!(events.lines().filter(|l| l.contains("concurrent-client")).count(), 1);
 }

@@ -285,6 +285,33 @@ impl<'s> StepDriver<'s> {
         self.budget
     }
 
+    /// Re-targets the controller's per-slot budget `C̄` mid-run — the
+    /// federation rebalance hook. Takes effect from the next solved slot:
+    /// the virtual-queue drift and the reported `cost_usd` both read the
+    /// budget in force at each slot, so already-committed slots are
+    /// untouched.
+    pub fn set_budget_per_slot(&mut self, budget_per_slot: f64) {
+        self.budget = budget_per_slot;
+        self.dpp.set_budget_per_slot(budget_per_slot);
+    }
+
+    /// The controller's current virtual-queue level `Q(t)` — the signal
+    /// federated regions gossip to each other.
+    pub fn queue_backlog(&self) -> f64 {
+        self.dpp.queue_backlog()
+    }
+
+    /// Bumps a monotonic counter through the driver's recorder stack
+    /// (metrics plus any external sink), so out-of-band orchestration
+    /// events — federation gossip, rebalances — land in the same counter
+    /// exports as the solve pipeline's own.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        self.metrics.add(name, delta);
+        if let Some(sink) = self.sink {
+            sink.add(name, delta);
+        }
+    }
+
     /// The topology the controller runs on (for observing states).
     pub fn topology(&self) -> &eotora_topology::Topology {
         self.dpp.system().topology()

@@ -21,6 +21,7 @@
 //! | [`warm_ab`] | (extensions) | warm-started solves match cold control quality within 1% |
 //! | [`speculation`] | (extensions) | speculative pre-solves are series-identical to plain runs; periodic states hit after one period |
 //! | [`chaos`] | (robustness) | injected failures: bounded degradation, zero panics, feasible slots |
+//! | [`federation`] | (robustness) | shared budget over an unreliable peer link: budget held on clean/lossy/partitioned links, degradation ladder fires and heals |
 
 pub mod ablations;
 pub mod beta_only_gap;
@@ -28,6 +29,7 @@ pub mod budget_sweep;
 pub mod chaos;
 pub mod energy_fit;
 pub mod fairness;
+pub mod federation;
 pub mod lambda_sweep;
 pub mod p2a_comparison;
 pub mod queue_trace;

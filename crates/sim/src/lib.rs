@@ -19,6 +19,9 @@
 //! * [`durable`] — crash-safe runs: checkpointed controller snapshots plus
 //!   a checksummed write-ahead slot journal, with deterministic
 //!   kill–resume ([`durable::run_durable`] / [`durable::resume_durable`]).
+//! * [`federation`] — federated multi-region control: N per-region
+//!   drivers sharing one fleet budget over an unreliable, checkpointable
+//!   peer link ([`federation::run_federation`]).
 //! * [`report`] — minimal ASCII-table and CSV rendering for those results.
 //! * [`svg`] — dependency-free SVG line charts, so regenerated figures can
 //!   be compared visually with the paper's.
@@ -38,6 +41,7 @@
 pub mod durable;
 pub mod engine;
 pub mod experiments;
+pub mod federation;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -48,5 +52,9 @@ pub use durable::{
     DurableSession, RunManifest, MANIFEST_VERSION,
 };
 pub use engine::{DriverMode, DriverTuning, StepDriver, StepReport};
+pub use federation::{
+    read_federation_manifest, region_scenario, run_federation, run_standalone, FederationConfig,
+    FederationManifest, FederationReport, FederationRun, FED_MANIFEST_VERSION,
+};
 pub use runner::{robust_config, run, run_many, run_robust, run_robust_traced, SimulationResult};
 pub use scenario::Scenario;

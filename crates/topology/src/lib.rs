@@ -39,4 +39,4 @@ pub use model::{
     TopologyError,
 };
 pub use partition::ClusterPartition;
-pub use random::RandomTopologyConfig;
+pub use random::{region_devices, RandomTopologyConfig};

@@ -100,6 +100,20 @@ impl RandomTopologyConfig {
         }
     }
 
+    /// The per-region topology of a fleet federated across `regions`
+    /// controllers: region `index` runs one [`Self::scale_up`] island with
+    /// its round-robin share of the devices ([`region_devices`]). Each
+    /// region is an independent topology — federated controllers are
+    /// coupled only through the shared energy budget, never the radio
+    /// plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is zero or `index` is out of range.
+    pub fn region(total_devices: usize, regions: usize, index: usize) -> Self {
+        Self::scale_up(region_devices(total_devices, regions, index), 1)
+    }
+
     /// A deliberately tiny instance for exact-baseline tests (2 BSs, 1 room,
     /// 3 servers).
     pub fn tiny(num_devices: usize) -> Self {
@@ -112,6 +126,20 @@ impl RandomTopologyConfig {
             ..Self::paper_defaults(num_devices)
         }
     }
+}
+
+/// The round-robin device share of region `index` in a fleet of
+/// `total_devices` split across `regions` controllers: the first
+/// `total_devices % regions` regions take one extra device, so shares
+/// differ by at most one and always sum to the fleet size.
+///
+/// # Panics
+///
+/// Panics if `regions` is zero or `index` is out of range.
+pub fn region_devices(total_devices: usize, regions: usize, index: usize) -> usize {
+    assert!(regions > 0, "a federation needs at least one region");
+    assert!(index < regions, "region index {index} out of range for {regions} regions");
+    total_devices / regions + usize::from(index < total_devices % regions)
 }
 
 impl Topology {
@@ -367,6 +395,26 @@ mod tests {
     fn island_mode_is_deterministic() {
         let cfg = RandomTopologyConfig::scale_up(50, 5);
         assert_eq!(Topology::random(&cfg, 3), Topology::random(&cfg, 3));
+    }
+
+    #[test]
+    fn region_shares_cover_the_fleet() {
+        for (total, regions) in [(10, 3), (9, 3), (1, 4), (100, 7)] {
+            let shares: Vec<usize> =
+                (0..regions).map(|i| region_devices(total, regions, i)).collect();
+            assert_eq!(shares.iter().sum::<usize>(), total, "{total}/{regions}");
+            let (lo, hi) = (shares.iter().min().copied(), shares.iter().max().copied());
+            assert!(hi.zip(lo).is_some_and(|(h, l)| h - l <= 1), "{shares:?}");
+        }
+        let cfg = RandomTopologyConfig::region(10, 3, 0);
+        assert_eq!(cfg.num_devices, 4);
+        assert_eq!(cfg.islands, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn region_index_out_of_range_panics() {
+        region_devices(10, 3, 3);
     }
 
     #[test]
