@@ -733,6 +733,19 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         ],
     )?;
     let standalone = args.iter().any(|a| a == "--standalone");
+    if standalone {
+        // Checked before any config or fault file is loaded, so the
+        // conflict surfaces even when the named file does not exist.
+        for flag in
+            ["--link-faults", "--checkpoint-dir", "--checkpoint-every", "--fsync", "--kill-at-slot"]
+        {
+            if flag_value(args, flag).is_some() {
+                return Err(format!(
+                    "{flag} does not apply to --standalone (independent regions, no peer link)"
+                ));
+            }
+        }
+    }
 
     let (cfg, faults, root) = if let Some(dir) = flag_value(args, "--resume") {
         if standalone {
@@ -783,13 +796,6 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     };
 
     if standalone {
-        for flag in ["--link-faults", "--checkpoint-dir", "--kill-at-slot"] {
-            if flag_value(args, flag).is_some() {
-                return Err(format!(
-                    "{flag} does not apply to --standalone (independent regions, no peer link)"
-                ));
-            }
-        }
         let results = eotora_sim::run_standalone(&cfg);
         let shares = vec![cfg.equal_share(); results.len()];
         print_federation_table(&results, &shares);
@@ -810,6 +816,19 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         return write_region_csvs(args, &results);
     }
 
+    if root.is_none() {
+        // Durability knobs without a checkpoint root would be silently
+        // ignored — reject them so a mistyped invocation cannot look
+        // durable while running purely in memory.
+        for flag in ["--checkpoint-every", "--fsync", "--kill-at-slot"] {
+            if flag_value(args, flag).is_some() {
+                return Err(format!(
+                    "{flag} requires a durable federation (add --checkpoint-dir, or --resume an \
+                     existing root)"
+                ));
+            }
+        }
+    }
     let durability = match &root {
         Some(dir) => Some(durability_config(args, dir)?),
         None => None,
@@ -1357,5 +1376,33 @@ mod tests {
         let (kept, warning) = reconcile_speculation(None, true);
         assert!(kept.is_none());
         assert!(warning.is_none());
+    }
+
+    fn fed_args(extra: &[&str]) -> Vec<String> {
+        let mut args = vec!["--regions", "2", "--devices", "4", "--horizon", "5"];
+        args.extend_from_slice(extra);
+        args.into_iter().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn federate_rejects_durability_flags_without_a_checkpoint_root() {
+        for flag in ["--kill-at-slot", "--checkpoint-every", "--fsync"] {
+            let err = cmd_federate(&fed_args(&[flag, "3"]))
+                .expect_err("durability flags without a root must not be silently ignored");
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains("--checkpoint-dir"), "{err}");
+        }
+    }
+
+    #[test]
+    fn federate_standalone_rejects_durability_and_link_flags() {
+        for flag in
+            ["--link-faults", "--checkpoint-dir", "--checkpoint-every", "--fsync", "--kill-at-slot"]
+        {
+            let err = cmd_federate(&fed_args(&["--standalone", flag, "3"]))
+                .expect_err("standalone must reject federation-only flags");
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains("--standalone"), "{err}");
+        }
     }
 }

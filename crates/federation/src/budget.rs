@@ -4,9 +4,11 @@
 //! shares summing to 1; region `i` then runs its own DPP controller
 //! against `share_i · C̄`. Because each region's virtual queue
 //! `Q_i(t+1) = max{Q_i(t) + C_i(t) − share_i·C̄, 0}` absorbs its own
-//! excess, any share vector summing to at most 1 keeps the *fleet*
+//! excess, applied shares summing to at most 1 keep the *fleet*
 //! time-average constraint intact — which is what lets a partitioned
-//! region safely freeze on its last-agreed share.
+//! region safely freeze on its applied share, and why the node layer
+//! applies a policy's output through the two-phase round protocol
+//! (see `node`) instead of adopting it the moment it is computed.
 //!
 //! [`RebalancePolicy::QueueProportional`] gives overspending regions
 //! (large `Q_i`) more budget so their backlog drains, with a floor so no

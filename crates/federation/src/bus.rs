@@ -77,32 +77,90 @@ impl PeerBus for InProcessBus {
 
 /// One Unix datagram socket per region under a shared directory
 /// (`<dir>/region-<i>.sock`), for multi-process federations.
+///
+/// Each instance *owns* only the sockets it bound. A multi-process
+/// federation gives every process [`UnixDatagramBus::bind_region`] for
+/// its own region — the instance binds exactly that socket, sends to
+/// peers through it, and can [`PeerBus::recv`] only its own region.
+/// [`UnixDatagramBus::bind`] is the single-process convenience that owns
+/// every region at once (tests, or an all-in-one supervisor).
+///
+/// Binding never silently steals a socket another process is serving: a
+/// pre-existing socket file is removed only after a probe confirms
+/// nothing answers on it (a genuinely stale leftover); a live socket is
+/// a bind error. Drop removes only the files this instance bound.
 #[cfg(unix)]
 pub struct UnixDatagramBus {
     dir: std::path::PathBuf,
-    sockets: Vec<std::os::unix::net::UnixDatagram>,
+    regions: u32,
+    owned: Vec<(u32, std::os::unix::net::UnixDatagram)>,
 }
 
 #[cfg(unix)]
 impl UnixDatagramBus {
-    /// Binds one non-blocking datagram socket per region under `dir`
-    /// (created if missing; stale socket files are replaced).
+    /// Binds every region's socket in this one process (created if
+    /// missing; confirmed-stale socket files are replaced).
     pub fn bind(dir: impl Into<std::path::PathBuf>, regions: u32) -> Result<Self, BusError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| BusError { reason: format!("create {}: {e}", dir.display()) })?;
-        let mut sockets = Vec::with_capacity(regions as usize);
+        let mut bus = Self { dir, regions, owned: Vec::with_capacity(regions as usize) };
         for region in 0..regions {
-            let path = Self::socket_path(&dir, region);
-            let _ = std::fs::remove_file(&path);
-            let socket = std::os::unix::net::UnixDatagram::bind(&path)
-                .map_err(|e| BusError { reason: format!("bind {}: {e}", path.display()) })?;
-            socket
-                .set_nonblocking(true)
-                .map_err(|e| BusError { reason: format!("nonblocking: {e}") })?;
-            sockets.push(socket);
+            bus.bind_one(region)?;
         }
-        Ok(Self { dir, sockets })
+        Ok(bus)
+    }
+
+    /// Binds only `region`'s socket — the per-process entry point of a
+    /// multi-process federation. Peers' sockets are expected to appear
+    /// under the same `dir` once their processes bind; sending to a peer
+    /// that has not bound yet is a transport error the caller may retry.
+    pub fn bind_region(
+        dir: impl Into<std::path::PathBuf>,
+        region: u32,
+        regions: u32,
+    ) -> Result<Self, BusError> {
+        if region >= regions {
+            return Err(BusError {
+                reason: format!("region {region} out of range for {regions} regions"),
+            });
+        }
+        let dir = dir.into();
+        let mut bus = Self { dir, regions, owned: Vec::with_capacity(1) };
+        bus.bind_one(region)?;
+        Ok(bus)
+    }
+
+    fn bind_one(&mut self, region: u32) -> Result<(), BusError> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| BusError { reason: format!("create {}: {e}", self.dir.display()) })?;
+        let path = Self::socket_path(&self.dir, region);
+        if path.exists() {
+            // Probe before clobbering: a connect that anything answers
+            // means another process is live on this region.
+            let probe =
+                std::os::unix::net::UnixDatagram::unbound().and_then(|probe| probe.connect(&path));
+            if probe.is_ok() {
+                return Err(BusError {
+                    reason: format!(
+                        "region {region} is already served by a live process at {}",
+                        path.display()
+                    ),
+                });
+            }
+            std::fs::remove_file(&path).map_err(|e| BusError {
+                reason: format!("remove stale {}: {e}", path.display()),
+            })?;
+        }
+        let socket = std::os::unix::net::UnixDatagram::bind(&path)
+            .map_err(|e| BusError { reason: format!("bind {}: {e}", path.display()) })?;
+        socket
+            .set_nonblocking(true)
+            .map_err(|e| BusError { reason: format!("nonblocking: {e}") })?;
+        self.owned.push((region, socket));
+        Ok(())
+    }
+
+    fn owned_socket(&self, region: u32) -> Option<&std::os::unix::net::UnixDatagram> {
+        self.owned.iter().find(|(r, _)| *r == region).map(|(_, s)| s)
     }
 
     fn socket_path(dir: &std::path::Path, region: u32) -> std::path::PathBuf {
@@ -113,8 +171,8 @@ impl UnixDatagramBus {
 #[cfg(unix)]
 impl Drop for UnixDatagramBus {
     fn drop(&mut self) {
-        for region in 0..self.sockets.len() as u32 {
-            let _ = std::fs::remove_file(Self::socket_path(&self.dir, region));
+        for (region, _) in &self.owned {
+            let _ = std::fs::remove_file(Self::socket_path(&self.dir, *region));
         }
     }
 }
@@ -122,10 +180,14 @@ impl Drop for UnixDatagramBus {
 #[cfg(unix)]
 impl PeerBus for UnixDatagramBus {
     fn send(&mut self, to: u32, line: &str) -> Result<(), BusError> {
+        if to >= self.regions {
+            return Err(BusError { reason: format!("unknown region {to}") });
+        }
         let from = self
-            .sockets
+            .owned
             .first()
-            .ok_or_else(|| BusError { reason: "bus has no sockets".to_owned() })?;
+            .map(|(_, s)| s)
+            .ok_or_else(|| BusError { reason: "bus has no bound sockets".to_owned() })?;
         let path = Self::socket_path(&self.dir, to);
         from.send_to(line.as_bytes(), &path)
             .map_err(|e| BusError { reason: format!("send to {}: {e}", path.display()) })?;
@@ -133,10 +195,13 @@ impl PeerBus for UnixDatagramBus {
     }
 
     fn recv(&mut self, region: u32) -> Result<Vec<String>, BusError> {
-        let socket = self
-            .sockets
-            .get(region as usize)
-            .ok_or_else(|| BusError { reason: format!("unknown region {region}") })?;
+        let socket = self.owned_socket(region).ok_or_else(|| BusError {
+            reason: if region < self.regions {
+                format!("region {region} is not bound by this process")
+            } else {
+                format!("unknown region {region}")
+            },
+        })?;
         let mut lines = Vec::new();
         let mut buf = vec![0u8; 64 * 1024];
         loop {
@@ -182,6 +247,39 @@ mod tests {
         assert_eq!(got, ["hello", "world"]);
         assert!(bus.recv(0).unwrap().is_empty());
         drop(bus);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn per_region_instances_cooperate_without_stealing_sockets() {
+        let dir = std::env::temp_dir().join(format!(
+            "eotora-fedbus2-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two instances, one region each — the multi-process shape.
+        let mut a = UnixDatagramBus::bind_region(&dir, 0, 2).unwrap();
+        let mut b = UnixDatagramBus::bind_region(&dir, 1, 2).unwrap();
+        a.send(1, "from-a").unwrap();
+        b.send(0, "from-b").unwrap();
+        assert_eq!(b.recv(1).unwrap(), ["from-a"]);
+        assert_eq!(a.recv(0).unwrap(), ["from-b"]);
+        // Each instance can only receive on the region it bound.
+        assert!(a.recv(1).is_err(), "a must not drain b's socket");
+        assert!(b.recv(0).is_err(), "b must not drain a's socket");
+        // Binding a region another live instance serves is an error, not
+        // a silent steal.
+        assert!(UnixDatagramBus::bind_region(&dir, 0, 2).is_err());
+        // Out-of-range regions are typed errors on both directions.
+        assert!(a.send(2, "x").is_err());
+        assert!(a.recv(2).is_err());
+        assert!(UnixDatagramBus::bind_region(&dir, 5, 2).is_err());
+        // Once the owner is gone its socket file is stale and rebindable.
+        drop(a);
+        let _rebound = UnixDatagramBus::bind_region(&dir, 0, 2).unwrap();
+        drop(b);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

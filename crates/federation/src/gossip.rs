@@ -1,7 +1,9 @@
 //! The epoch-stamped `QueueGossip` frame and its line codec.
 //!
-//! Federated regions coordinate through exactly one signal: each peer's
-//! virtual-queue backlog `Q(t)`. A gossip frame carries that level,
+//! Federated regions coordinate through exactly two signals: each peer's
+//! virtual-queue backlog `Q(t)`, and the highest share *round* the peer
+//! knows (with that round's full share vector — see `node` for the
+//! two-phase protocol the rounds drive). A gossip frame carries both,
 //! stamped with the sender's region index, the sync epoch it was sampled
 //! at, and the slot — enough for the receiver to deduplicate copies,
 //! discard stale reorderings, and measure staleness in missed epochs.
@@ -9,7 +11,7 @@
 //! The wire format is one line per frame:
 //!
 //! ```text
-//! FED1 <crc32-hex8> <json-payload>
+//! FED2 <crc32-hex8> <json-payload>
 //! ```
 //!
 //! The CRC-32 (IEEE, shared with the durability journal) covers the JSON
@@ -17,17 +19,25 @@
 //! with a typed [`GossipError`] instead of poisoning a peer view. The
 //! JSON payload round-trips every finite `f64` bit-exactly
 //! (`serde_json`'s `float_roundtrip`); non-finite or negative queue
-//! levels are rejected on both encode and decode. Nothing in this module
-//! panics on hostile input — pinned by `tests/gossip_props.rs`.
+//! levels, non-finite or negative share entries, and share vectors
+//! summing above 1 are rejected on both encode and decode — a frame the
+//! codec accepts can never hand the fleet more than its whole budget.
+//! Nothing in this module panics on hostile input — pinned by
+//! `tests/gossip_props.rs`.
 
 use eotora_durability::crc32;
 use serde::{Deserialize, Serialize};
 
 /// Magic token opening every gossip line; bump with the wire format.
-pub const GOSSIP_MAGIC: &str = "FED1";
+pub const GOSSIP_MAGIC: &str = "FED2";
 
-/// One region's virtual-queue level, as gossiped to its peers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Slack allowed on a share vector's sum, absorbing float rounding in an
+/// honestly computed vector while still rejecting real over-allocation.
+pub const SHARE_SUM_TOLERANCE: f64 = 1e-9;
+
+/// One region's virtual-queue level and round view, as gossiped to its
+/// peers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueueGossip {
     /// Sender's region index.
     pub region: u32,
@@ -38,6 +48,11 @@ pub struct QueueGossip {
     pub slot: u64,
     /// Virtual-queue backlog `Q(t)` — finite and non-negative.
     pub queue: f64,
+    /// Highest share round the sender knows.
+    pub round: u64,
+    /// That round's full share vector — finite, non-negative entries
+    /// summing to at most 1 (+[`SHARE_SUM_TOLERANCE`]).
+    pub shares: Vec<f64>,
 }
 
 /// Typed decode/encode failure of a gossip frame. Mirrors the server
@@ -72,6 +87,9 @@ pub enum GossipError {
         /// Offending field name.
         field: &'static str,
     },
+    /// The share vector sums above 1: accepting it could hand the fleet
+    /// more than its whole budget.
+    ShareSum,
 }
 
 impl GossipError {
@@ -85,6 +103,7 @@ impl GossipError {
             GossipError::Json { .. } => "json",
             GossipError::NonFinite { .. } => "non-finite",
             GossipError::Negative { .. } => "negative",
+            GossipError::ShareSum => "share-sum",
         }
     }
 }
@@ -103,6 +122,7 @@ impl std::fmt::Display for GossipError {
                 write!(f, "gossip field `{field}` is not finite")
             }
             GossipError::Negative { field } => write!(f, "gossip field `{field}` is negative"),
+            GossipError::ShareSum => write!(f, "gossip share vector sums above 1"),
         }
     }
 }
@@ -116,11 +136,22 @@ fn validate(frame: &QueueGossip) -> Result<(), GossipError> {
     if frame.queue < 0.0 {
         return Err(GossipError::Negative { field: "queue" });
     }
+    for &share in &frame.shares {
+        if !share.is_finite() {
+            return Err(GossipError::NonFinite { field: "shares" });
+        }
+        if share < 0.0 {
+            return Err(GossipError::Negative { field: "shares" });
+        }
+    }
+    if frame.shares.iter().sum::<f64>() > 1.0 + SHARE_SUM_TOLERANCE {
+        return Err(GossipError::ShareSum);
+    }
     Ok(())
 }
 
 impl QueueGossip {
-    /// Encodes the frame as one `FED1 <crc> <json>` line (no trailing
+    /// Encodes the frame as one `FED2 <crc> <json>` line (no trailing
     /// newline). Rejects non-finite or negative queue levels so a bad
     /// frame can never be put on the wire in the first place.
     pub fn encode(&self) -> Result<String, GossipError> {
@@ -167,7 +198,14 @@ mod tests {
     use super::*;
 
     fn frame() -> QueueGossip {
-        QueueGossip { region: 2, epoch: 7, slot: 69, queue: 1.25e-3 }
+        QueueGossip {
+            region: 2,
+            epoch: 7,
+            slot: 69,
+            queue: 1.25e-3,
+            round: 3,
+            shares: vec![0.25, 0.5, 0.25],
+        }
     }
 
     #[test]
@@ -176,6 +214,10 @@ mod tests {
         let decoded = QueueGossip::decode(&f.encode().unwrap()).unwrap();
         assert_eq!(decoded.queue.to_bits(), f.queue.to_bits());
         assert_eq!((decoded.region, decoded.epoch, decoded.slot), (f.region, f.epoch, f.slot));
+        assert_eq!(decoded.round, f.round);
+        let share_bits: Vec<u64> = decoded.shares.iter().map(|s| s.to_bits()).collect();
+        let expect: Vec<u64> = f.shares.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(share_bits, expect);
     }
 
     #[test]
@@ -186,6 +228,20 @@ mod tests {
         }
         let e = QueueGossip { queue: -1.0, ..frame() }.encode().unwrap_err();
         assert_eq!(e.kind(), "negative");
+    }
+
+    #[test]
+    fn out_of_domain_share_vectors_never_encode_or_decode() {
+        let bad = |shares: Vec<f64>| QueueGossip { shares, ..frame() };
+        assert_eq!(bad(vec![0.5, f64::NAN]).encode().unwrap_err().kind(), "non-finite");
+        assert_eq!(bad(vec![0.5, -0.1]).encode().unwrap_err().kind(), "negative");
+        assert_eq!(bad(vec![0.7, 0.7]).encode().unwrap_err().kind(), "share-sum");
+        // Decode-side: a hostile peer recomputing the CRC over an
+        // over-allocating vector is still rejected.
+        let payload =
+            r#"{"region":1,"epoch":2,"slot":20,"queue":1.0,"round":1,"shares":[0.8,0.8]}"#;
+        let line = format!("{GOSSIP_MAGIC} {:08x} {payload}", crc32(payload.as_bytes()));
+        assert_eq!(QueueGossip::decode(&line).unwrap_err().kind(), "share-sum");
     }
 
     #[test]
@@ -210,7 +266,8 @@ mod tests {
 
     #[test]
     fn wrong_magic_is_rejected() {
-        assert_eq!(QueueGossip::decode("FED2 00000000 {}").unwrap_err().kind(), "magic");
+        // FED1 frames (the pre-round wire format) are a different format.
+        assert_eq!(QueueGossip::decode("FED1 00000000 {}").unwrap_err().kind(), "magic");
         assert_eq!(QueueGossip::decode("").unwrap_err().kind(), "truncated");
     }
 }

@@ -41,5 +41,5 @@ pub use bus::{BusError, InProcessBus, PeerBus};
 pub use fault::{
     InFlightFrame, LinkFault, LinkFaultConfig, LinkFaultState, PartitionWindow, SendOutcome,
 };
-pub use gossip::{GossipError, QueueGossip, GOSSIP_MAGIC};
-pub use node::{EpochClose, FederationNode, NodeConfig, NodeState, PeerView};
+pub use gossip::{GossipError, QueueGossip, GOSSIP_MAGIC, SHARE_SUM_TOLERANCE};
+pub use node::{EpochClose, FederationNode, NodeConfig, NodeState, PeerView, ProposedRound};

@@ -9,27 +9,65 @@
 //!    that deserve an extra retransmission this epoch (exponential
 //!    backoff + deterministic jitter, so long partitions are not
 //!    flooded); the runner sends the regular broadcast to every peer
-//!    plus those extras.
+//!    plus those extras. Every frame also advertises the highest share
+//!    *round* the sender knows, with that round's full share vector.
 //! 2. **Close time** — [`FederationNode::close_epoch`] folds the
 //!    collected frames into the peer views (deduplicating by epoch, so
 //!    duplicated or reordered copies are harmless), measures staleness
-//!    in missed epochs, walks the degradation ladder, and decides the
-//!    region's budget share.
+//!    in missed epochs, walks the degradation ladder, and advances the
+//!    two-phase share protocol below.
+//!
+//! # Why shares are two-phase
+//!
+//! The fleet-safety invariant is that the budget shares *applied* across
+//! regions sum to at most 1 **at every instant**, under arbitrary —
+//! including asymmetric — link failure. A node that recomputed and
+//! adopted a new share vector the moment its own inbox looked fresh
+//! would break that: with per-direction loss, region A can hear everyone
+//! and jump onto the epoch-e vector while region B, which missed A's
+//! frame, still holds its entry from an older vector — and entries mixed
+//! across vectors can sum above 1. So share vectors are *rounds*:
+//!
+//! * **Propose** — a node that is fresh (heard every peer this epoch)
+//!   and has no round in flight computes the policy's share vector from
+//!   the epoch's queue levels and stages it as round `r+1`. All nodes
+//!   fresh at the same epoch see identical data and stage the identical
+//!   round, so a round number names one vector fleet-wide.
+//! * **Spread** — every subsequent frame advertises the staged round and
+//!   its vector, so peers learn it (and record which round each peer has
+//!   advertised knowing).
+//! * **Lower immediately, raise on confirmation** — while a round is
+//!   pending, a node applies the entrywise *minimum* of its confirmed
+//!   vector and the pending one. It promotes the pending round (and may
+//!   finally raise its share) only once every peer has advertised
+//!   knowing that round. Hearing a round `r+2` exists is transitive
+//!   evidence for `r+1`: its proposer must have seen the whole fleet
+//!   acknowledge `r+1` first.
+//!
+//! Whoever has promoted the highest round `r*` had evidence the whole
+//! fleet knows `r*`; every other node therefore has `r*`'s vector inside
+//! its min, so each region applies at most its `r*` entry — and the
+//! applied shares sum to at most 1 no matter how asymmetrically the link
+//! fails (pinned by `tests/share_invariant.rs`). The price is that
+//! raises lag a confirmation round-trip; the spare budget is simply left
+//! unspent, which only ever errs on the safe side of the fleet
+//! constraint.
 //!
 //! The degradation ladder:
 //!
 //! * **fresh** — every peer's gossip for this epoch arrived (missed ≤
-//!   `stale_after`): recompute shares under the rebalance policy and
-//!   adopt the result as the new *last-agreed* share.
-//! * **stale** — some peer missed: hold the last-agreed share unchanged.
-//!   Shares summing to 1 stay summing to 1, so the fleet constraint
+//!   `stale_after`): the protocol may propose the next round.
+//! * **stale** — some peer missed: never propose from a stale view; hold
+//!   what is already applied (confirmed vector, min'd with any pending
+//!   round). Applied shares keep summing ≤ 1, so the fleet constraint
 //!   stays bounded; nobody ever reaches for the global pool.
 //! * **partitioned** — a peer's missed count crossed `partition_after`:
 //!   same budget behavior as stale, but counted once per transition so
 //!   operators can tell a blip from a split.
-//! * **heal** — a partitioned peer turns fresh again: a reconciliation
-//!   sweep recomputes shares immediately, even if the policy would not
-//!   otherwise have changed them.
+//! * **heal** — a partitioned peer turns fresh again: the next fresh
+//!   close proposes a reconciliation round from the post-split queues,
+//!   and the backlog built during the split earns share once the fleet
+//!   confirms it.
 //!
 //! All state serializes into [`NodeState`] for the federation
 //! checkpoint; resumed nodes replay the exact same protocol decisions.
@@ -86,6 +124,8 @@ pub struct PeerView {
     /// Epoch of the last accepted gossip (0 = nothing seen yet; real
     /// epochs start at 1).
     pub epoch: u64,
+    /// Highest share round this peer has advertised knowing.
+    pub known_round: u64,
     /// Whether the peer is currently past the partition threshold.
     pub partitioned: bool,
     /// Next epoch at which a retry toward this peer may fire.
@@ -94,14 +134,25 @@ pub struct PeerView {
     pub backoff: u64,
 }
 
+/// A share vector staged at a fresh epoch, not yet fleet-confirmed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProposedRound {
+    /// The round number (always the confirmed round + 1).
+    pub round: u64,
+    /// The proposed share vector, one entry per region.
+    pub shares: Vec<f64>,
+}
+
 /// The serializable protocol state of one node (federation checkpoint).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeState {
-    /// Budget share currently applied (fraction of the fleet `C̄`).
-    pub share: f64,
-    /// Last share adopted from a fully-fresh view.
-    pub last_agreed: f64,
-    /// Whether the node is holding `last_agreed` due to staleness.
+    /// Highest promoted (fleet-confirmed) share round.
+    pub round: u64,
+    /// The confirmed round's share vector, one entry per region.
+    pub shares: Vec<f64>,
+    /// The staged next round, if one is in flight.
+    pub pending: Option<ProposedRound>,
+    /// Whether the last close held back due to staleness.
     pub degraded: bool,
     /// Per-region views, indexed by region (the self entry mirrors the
     /// node's own last sample).
@@ -115,8 +166,10 @@ pub struct NodeState {
 pub struct EpochClose {
     /// The budget share in force after this epoch.
     pub share: f64,
-    /// Whether the share vector was recomputed and adopted.
+    /// Whether the applied share changed at this close.
     pub rebalanced: bool,
+    /// Whether a pending round was promoted (fleet-confirmed) this close.
+    pub promoted: bool,
     /// Whether at least one peer was stale at close.
     pub stale: bool,
     /// Peers that crossed the partition threshold this epoch.
@@ -133,7 +186,8 @@ pub struct FederationNode {
 }
 
 impl FederationNode {
-    /// A fresh node at the equal split.
+    /// A fresh node at the equal split (round 0, known fleet-wide by
+    /// construction).
     ///
     /// # Panics
     ///
@@ -141,11 +195,13 @@ impl FederationNode {
     pub fn new(config: NodeConfig) -> Self {
         assert!(config.regions > 0, "a federation needs at least one region");
         assert!(config.region < config.regions, "region index out of range");
+        let regions = config.regions as usize;
         let equal = 1.0 / config.regions as f64;
         let peers = (0..config.regions)
             .map(|_| PeerView {
                 queue: 0.0,
                 epoch: 0,
+                known_round: 0,
                 partitioned: false,
                 next_retry: 0,
                 backoff: config.backoff_base.max(1),
@@ -155,8 +211,9 @@ impl FederationNode {
         Self {
             config,
             state: NodeState {
-                share: equal,
-                last_agreed: equal,
+                round: 0,
+                shares: vec![equal; regions],
+                pending: None,
                 degraded: false,
                 peers,
                 jitter_rng,
@@ -178,15 +235,46 @@ impl FederationNode {
     ///
     /// # Panics
     ///
-    /// Panics if the state's peer count disagrees with the config.
+    /// Panics if the state's peer or share counts disagree with the
+    /// config.
     pub fn restore(&mut self, state: NodeState) {
-        assert_eq!(state.peers.len(), self.config.regions as usize, "peer count mismatch");
+        let regions = self.config.regions as usize;
+        assert_eq!(state.peers.len(), regions, "peer count mismatch");
+        assert_eq!(state.shares.len(), regions, "share vector length mismatch");
+        if let Some(pending) = &state.pending {
+            assert_eq!(pending.shares.len(), regions, "pending share vector length mismatch");
+            assert_eq!(pending.round, state.round + 1, "pending round out of sequence");
+        }
         self.state = state;
     }
 
-    /// The budget share currently in force.
+    /// The budget share currently in force: the confirmed entry, capped
+    /// by any pending round's entry (raises wait for fleet confirmation,
+    /// cuts apply at once).
     pub fn share(&self) -> f64 {
-        self.state.share
+        let own = self.config.region as usize;
+        let confirmed = self.state.shares[own];
+        match &self.state.pending {
+            Some(pending) => confirmed.min(pending.shares[own]),
+            None => confirmed,
+        }
+    }
+
+    /// The round number every outgoing frame must advertise: the staged
+    /// round if one is in flight, the confirmed round otherwise.
+    pub fn advertised_round(&self) -> u64 {
+        match &self.state.pending {
+            Some(pending) => pending.round,
+            None => self.state.round,
+        }
+    }
+
+    /// The share vector of [`FederationNode::advertised_round`].
+    pub fn advertised_shares(&self) -> &[f64] {
+        match &self.state.pending {
+            Some(pending) => &pending.shares,
+            None => &self.state.shares,
+        }
     }
 
     /// Peers owed an extra retransmission at the boundary opening `epoch`
@@ -225,18 +313,47 @@ impl FederationNode {
     }
 
     /// Folds the frames collected at the boundary closing `epoch` into
-    /// the peer views and walks the degradation ladder. `own_queue` is
-    /// this region's backlog sampled at the same boundary.
+    /// the peer views, walks the degradation ladder, and advances the
+    /// two-phase share protocol. `own_queue` is this region's backlog
+    /// sampled at the same boundary.
     pub fn close_epoch(
         &mut self,
         epoch: u64,
         own_queue: f64,
         frames: &[QueueGossip],
     ) -> EpochClose {
-        // Accept the freshest copy per peer; duplicates and reordered
-        // stale copies lose by epoch comparison.
+        let regions = self.config.regions as usize;
+        let prev_applied = self.share();
+        let own_region = self.config.region;
+        let total_regions = self.config.regions;
+        let plausible = move |frame: &QueueGossip| {
+            frame.region != own_region
+                && frame.region < total_regions
+                && frame.shares.len() == regions
+        };
+
+        // Learn advertised rounds first, in ascending order, so a round
+        // and its successor arriving in one batch are both absorbed and
+        // the plausibility bound below is sharp.
+        let mut advertised: Vec<(u64, &[f64])> = frames
+            .iter()
+            .filter(|f| plausible(f))
+            .map(|f| (f.round, f.shares.as_slice()))
+            .collect();
+        advertised.sort_by_key(|(round, _)| *round);
+        let mut promoted = false;
+        for (round, shares) in advertised {
+            promoted |= self.learn_round(round, shares);
+        }
+
+        // Fold queue samples: accept the freshest copy per peer, so
+        // duplicates and reordered stale copies lose by epoch comparison.
+        // A frame advertising a round past everything learnable is forged
+        // or corrupt beyond what the CRC caught — skipped whole, so it
+        // can neither poison a queue view nor fake confirmation evidence.
+        let bound = self.advertised_round();
         for frame in frames {
-            if frame.region == self.config.region || frame.region >= self.config.regions {
+            if !plausible(frame) || frame.round > bound {
                 continue;
             }
             let peer = &mut self.state.peers[frame.region as usize];
@@ -244,7 +361,9 @@ impl FederationNode {
                 peer.epoch = frame.epoch;
                 peer.queue = frame.queue;
             }
+            peer.known_round = peer.known_round.max(frame.round);
         }
+
         let own = &mut self.state.peers[self.config.region as usize];
         own.epoch = epoch;
         own.queue = own_queue;
@@ -270,26 +389,72 @@ impl FederationNode {
             }
         }
 
-        let rebalanced = if stale {
-            // Degraded: hold the last share the whole federation agreed
-            // on. Never recompute from a stale view — that could hand two
-            // sides of a split overlapping slices of the pool.
-            self.state.degraded = true;
-            self.state.share = self.state.last_agreed;
-            false
-        } else {
-            let queues: Vec<f64> = self.state.peers.iter().map(|p| p.queue).collect();
-            let next = shares(&queues, &self.config.policy)[self.config.region as usize];
-            let changed = next != self.state.share;
-            self.state.share = next;
-            self.state.last_agreed = next;
-            let was_degraded = std::mem::replace(&mut self.state.degraded, false);
-            // A heal (or leaving degradation) is a reconciliation sweep:
-            // count it even when the recomputed share lands unchanged.
-            changed || healed || was_degraded
-        };
+        // Phase 2: promote the pending round once every peer has
+        // advertised knowing it — the evidence that makes raising safe.
+        if let Some(pending) = &self.state.pending {
+            let round = pending.round;
+            let confirmed = (0..regions).all(|r| {
+                r == self.config.region as usize || self.state.peers[r].known_round >= round
+            });
+            if confirmed {
+                let pending = self.state.pending.take().expect("pending checked above");
+                self.promote(pending);
+                promoted = true;
+            }
+        }
 
-        EpochClose { share: self.state.share, rebalanced, stale, new_partitions, healed }
+        // Phase 1: propose the next round — only from a fully fresh view
+        // (a stale view could hand two sides of a split overlapping
+        // slices of the pool) and only with nothing already in flight.
+        if !stale && self.state.pending.is_none() {
+            let queues: Vec<f64> = self.state.peers.iter().map(|p| p.queue).collect();
+            let next = shares(&queues, &self.config.policy);
+            if next != self.state.shares {
+                self.state.pending =
+                    Some(ProposedRound { round: self.state.round + 1, shares: next });
+            }
+        }
+
+        // The self entry mirrors what the node's own frames advertise.
+        self.state.peers[self.config.region as usize].known_round = self.advertised_round();
+        self.state.degraded = stale;
+
+        let share = self.share();
+        EpochClose {
+            share,
+            rebalanced: share != prev_applied,
+            promoted,
+            stale,
+            new_partitions,
+            healed,
+        }
+    }
+
+    /// Absorbs an advertised round. Honest peers only ever advertise
+    /// rounds up to one past this node's view (a round can only be
+    /// proposed after the whole fleet acknowledged its predecessor), so
+    /// anything further ahead is hostile and ignored. Returns whether a
+    /// pending round got transitively promoted.
+    fn learn_round(&mut self, round: u64, shares: &[f64]) -> bool {
+        let known = self.advertised_round();
+        if round != known + 1 {
+            return false;
+        }
+        let mut promoted = false;
+        if let Some(pending) = self.state.pending.take() {
+            // Round `pending.round + 1` existing proves its proposer saw
+            // the whole fleet acknowledge `pending.round` — transitive
+            // confirmation.
+            self.promote(pending);
+            promoted = true;
+        }
+        self.state.pending = Some(ProposedRound { round, shares: shares.to_vec() });
+        promoted
+    }
+
+    fn promote(&mut self, pending: ProposedRound) {
+        self.state.round = pending.round;
+        self.state.shares = pending.shares;
     }
 }
 
@@ -297,32 +462,63 @@ impl FederationNode {
 mod tests {
     use super::*;
 
-    fn gossip(region: u32, epoch: u64, queue: f64) -> QueueGossip {
-        QueueGossip { region, epoch, slot: epoch * 10, queue }
+    /// A frame as an honest peer would send it: queue sample plus the
+    /// advertised round and its vector.
+    fn gossip(region: u32, epoch: u64, queue: f64, round: u64, shares: &[f64]) -> QueueGossip {
+        QueueGossip { region, epoch, slot: epoch * 10, queue, round, shares: shares.to_vec() }
     }
 
     fn node(region: u32, policy: RebalancePolicy) -> FederationNode {
         FederationNode::new(NodeConfig::new(region, 3, policy, 77))
     }
 
+    const EQUAL3: [f64; 3] = [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0];
+
     #[test]
-    fn fresh_epochs_rebalance_proportionally() {
+    fn fresh_epoch_proposes_but_never_raises_before_confirmation() {
         let mut n = node(0, RebalancePolicy::QueueProportional { floor: 0.1 });
-        let close = n.close_epoch(1, 2.0, &[gossip(1, 1, 1.0), gossip(2, 1, 1.0)]);
-        assert!(close.rebalanced && !close.stale);
-        assert!(close.share > 1.0 / 3.0, "the loaded region must gain share");
-        // Equal queues next epoch: back toward the equal split.
-        let close = n.close_epoch(2, 1.0, &[gossip(1, 2, 1.0), gossip(2, 2, 1.0)]);
-        assert!((close.share - 1.0 / 3.0).abs() < 1e-12);
+        let close =
+            n.close_epoch(1, 2.0, &[gossip(1, 1, 1.0, 0, &EQUAL3), gossip(2, 1, 1.0, 0, &EQUAL3)]);
+        assert!(!close.stale);
+        // The loaded region's raise waits for fleet confirmation: the
+        // applied share stays at the confirmed equal split.
+        assert_eq!(close.share, 1.0 / 3.0);
+        assert!(!close.rebalanced);
+        let pending = n.state().pending.clone().expect("fresh epoch stages a round");
+        assert_eq!(pending.round, 1);
+        assert!(pending.shares[0] > 1.0 / 3.0, "the loaded region must be proposed more share");
+        // Both peers advertise round 1 → promoted, raise lands.
+        let v = pending.shares.clone();
+        let close = n.close_epoch(2, 2.0, &[gossip(1, 2, 1.0, 1, &v), gossip(2, 2, 1.0, 1, &v)]);
+        assert!(close.promoted);
+        assert!(close.share > 1.0 / 3.0, "confirmed raise must apply");
     }
 
     #[test]
-    fn fixed_policy_never_rebalances_on_a_clean_link() {
+    fn cuts_apply_immediately_while_raises_wait() {
+        let mut n = node(1, RebalancePolicy::QueueProportional { floor: 0.0 });
+        // Region 0 is loaded, this region (1) is idle: the proposal cuts
+        // region 1's share, and the cut binds at once via the min.
+        let close =
+            n.close_epoch(1, 0.0, &[gossip(0, 1, 3.0, 0, &EQUAL3), gossip(2, 1, 1.0, 0, &EQUAL3)]);
+        let pending = n.state().pending.clone().expect("staged");
+        assert!(pending.shares[1] < 1.0 / 3.0);
+        assert_eq!(close.share, pending.shares[1], "cuts must not wait for confirmation");
+        assert!(close.rebalanced);
+    }
+
+    #[test]
+    fn fixed_policy_never_proposes_on_a_clean_link() {
         let mut n = node(1, RebalancePolicy::Fixed);
         for epoch in 1..=5 {
-            let close = n.close_epoch(epoch, 1.0, &[gossip(0, epoch, 5.0), gossip(2, epoch, 0.1)]);
-            assert!(!close.rebalanced);
+            let close = n.close_epoch(
+                epoch,
+                1.0,
+                &[gossip(0, epoch, 5.0, 0, &EQUAL3), gossip(2, epoch, 0.1, 0, &EQUAL3)],
+            );
+            assert!(!close.rebalanced && !close.promoted);
             assert_eq!(close.share, 1.0 / 3.0);
+            assert!(n.state().pending.is_none());
         }
     }
 
@@ -330,29 +526,53 @@ mod tests {
     fn duplicates_and_reordered_copies_are_deduplicated() {
         let mut n = node(0, RebalancePolicy::QueueProportional { floor: 0.0 });
         // Fresh copy, then a duplicate, then a stale reordered copy.
-        let frames = [gossip(1, 3, 4.0), gossip(1, 3, 4.0), gossip(1, 1, 999.0), gossip(2, 3, 4.0)];
+        let frames = [
+            gossip(1, 3, 4.0, 0, &EQUAL3),
+            gossip(1, 3, 4.0, 0, &EQUAL3),
+            gossip(1, 1, 999.0, 0, &EQUAL3),
+            gossip(2, 3, 4.0, 0, &EQUAL3),
+        ];
         let close = n.close_epoch(3, 4.0, &frames);
         assert!(!close.stale);
         assert!((close.share - 1.0 / 3.0).abs() < 1e-12, "stale 999.0 must not win");
+        assert!(n.state().pending.is_none(), "equal queues propose nothing");
     }
 
     #[test]
-    fn staleness_degrades_to_last_agreed_and_heals_with_reconciliation() {
+    fn staleness_holds_the_applied_share_and_heals_with_reconciliation() {
         let mut n = node(0, RebalancePolicy::QueueProportional { floor: 0.1 });
-        let agreed = n.close_epoch(1, 3.0, &[gossip(1, 1, 1.0), gossip(2, 1, 1.0)]).share;
-        // Peer 2 goes dark: stale epochs hold the last-agreed share even
-        // though our own queue keeps growing.
+        let held = n
+            .close_epoch(1, 3.0, &[gossip(1, 1, 1.0, 0, &EQUAL3), gossip(2, 1, 1.0, 0, &EQUAL3)])
+            .share;
+        let staged = n.state().pending.clone().expect("fresh epoch stages a round");
+        // Peer 2 goes dark: stale epochs hold the applied share even
+        // though our own queue keeps growing, and nothing new is staged.
         for epoch in 2..=4 {
-            let close = n.close_epoch(epoch, 50.0, &[gossip(1, epoch, 1.0)]);
+            let close = n.close_epoch(epoch, 50.0, &[gossip(1, epoch, 1.0, 1, &staged.shares)]);
             assert!(close.stale && !close.rebalanced);
-            assert_eq!(close.share, agreed);
+            assert_eq!(close.share, held);
         }
+        assert_eq!(
+            n.state().pending.as_ref().map(|p| p.round),
+            Some(1),
+            "a stale node must not stage new rounds"
+        );
         // Partition declared after `partition_after` missed epochs.
         assert!(n.state().peers[2].partitioned);
-        // Heal: peer 2 returns → reconciliation sweep rebalances at once.
-        let close = n.close_epoch(5, 50.0, &[gossip(1, 5, 1.0), gossip(2, 5, 1.0)]);
-        assert!(close.healed && close.rebalanced && !close.stale);
-        assert!(close.share > agreed, "the backlog built during the split earns share");
+        // Heal: peer 2 returns, advertising the staged round → promoted,
+        // and the reconciliation proposal is staged at once.
+        let close = n.close_epoch(
+            5,
+            50.0,
+            &[gossip(1, 5, 1.0, 1, &staged.shares), gossip(2, 5, 1.0, 1, &staged.shares)],
+        );
+        assert!(close.healed && close.promoted && !close.stale);
+        let reconcile = n.state().pending.clone().expect("heal stages a reconciliation round");
+        assert_eq!(reconcile.round, 2);
+        assert!(
+            reconcile.shares[0] > held,
+            "the backlog built during the split earns proposed share"
+        );
     }
 
     #[test]
@@ -360,9 +580,31 @@ mod tests {
         let mut n = node(0, RebalancePolicy::Fixed);
         let mut transitions = 0;
         for epoch in 1..=8 {
-            transitions += n.close_epoch(epoch, 1.0, &[gossip(1, epoch, 1.0)]).new_partitions;
+            transitions +=
+                n.close_epoch(epoch, 1.0, &[gossip(1, epoch, 1.0, 0, &EQUAL3)]).new_partitions;
         }
         assert_eq!(transitions, 1, "one dark peer is one partition, not six");
+    }
+
+    #[test]
+    fn hostile_rounds_far_ahead_are_ignored() {
+        let mut n = node(0, RebalancePolicy::Fixed);
+        // An honest peer can only ever be one round ahead, so a frame
+        // advertising round 7 is forged: it must neither stage a round,
+        // nor fake confirmation evidence, nor update the peer's view.
+        let bogus = [0.9, 0.05, 0.05];
+        let close =
+            n.close_epoch(1, 1.0, &[gossip(1, 1, 1.0, 7, &bogus), gossip(2, 1, 1.0, 0, &EQUAL3)]);
+        assert_eq!(close.share, 1.0 / 3.0);
+        assert!(close.stale, "a forged frame must not count as heard");
+        assert_eq!(n.state().round, 0);
+        assert!(n.state().pending.is_none(), "an unreachable round must not be staged");
+        assert_eq!(n.state().peers[1].known_round, 0);
+        assert_eq!(n.state().peers[1].queue, 0.0);
+        // A wrong-length share vector also skips the whole frame.
+        let close = n.close_epoch(2, 1.0, &[gossip(1, 2, 42.0, 1, &[0.5, 0.5])]);
+        assert!(close.stale, "a malformed frame must not count as heard");
+        assert_eq!(n.state().peers[1].queue, 0.0, "malformed frames must not update views");
     }
 
     #[test]
@@ -383,7 +625,7 @@ mod tests {
         let gaps: Vec<u64> = fired.windows(2).map(|w| w[1] - w[0]).collect();
         assert!(gaps.last().copied().unwrap_or(1) >= gaps.first().copied().unwrap_or(1));
         // A returning peer resets its backoff.
-        n.close_epoch(21, 1.0, &[gossip(1, 21, 1.0), gossip(2, 21, 1.0)]);
+        n.close_epoch(21, 1.0, &[gossip(1, 21, 1.0, 0, &EQUAL3), gossip(2, 21, 1.0, 0, &EQUAL3)]);
         assert!(n.retry_peers(22).is_empty());
         assert_eq!(n.state().peers[1].backoff, 1);
     }
@@ -392,7 +634,7 @@ mod tests {
     fn state_round_trips_through_serde() {
         let mut n = node(2, RebalancePolicy::QueueProportional { floor: 0.05 });
         n.retry_peers(1);
-        n.close_epoch(1, 2.0, &[gossip(0, 1, 1.0)]);
+        n.close_epoch(1, 2.0, &[gossip(0, 1, 1.0, 0, &EQUAL3)]);
         let json = serde_json::to_string(n.state()).unwrap();
         let restored: NodeState = serde_json::from_str(&json).unwrap();
         assert_eq!(&restored, n.state());

@@ -9,7 +9,7 @@
 //!    [`GossipError`]s — never a panic, never a silently wrong frame;
 //! 3. non-finite queue levels are rejected on both encode and decode.
 
-use eotora_federation::{GossipError, QueueGossip};
+use eotora_federation::{GossipError, QueueGossip, GOSSIP_MAGIC};
 use proptest::prelude::*;
 
 /// Finite non-negative queue levels across several magnitude regimes:
@@ -24,9 +24,23 @@ fn finite_queue() -> impl Strategy<Value = f64> {
     })
 }
 
+/// Share vectors in-domain by construction: `k` equal entries scaled by
+/// a unit factor, so the sum is `unit ≤ 1` with no float-rounding risk
+/// of breaching the codec's sum gate.
+fn share_vector() -> impl Strategy<Value = Vec<f64>> {
+    (1usize..6, 0.0f64..1.0).prop_map(|(k, unit)| vec![unit / k as f64; k])
+}
+
 fn frame() -> impl Strategy<Value = QueueGossip> {
-    (0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX, finite_queue())
-        .prop_map(|(region, epoch, slot, queue)| QueueGossip { region, epoch, slot, queue })
+    (0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX, finite_queue(), 0u64..u64::MAX, share_vector())
+        .prop_map(|(region, epoch, slot, queue, round, shares)| QueueGossip {
+            region,
+            epoch,
+            slot,
+            queue,
+            round,
+            shares,
+        })
 }
 
 /// Printable-ish garbage lines, including multi-byte characters, like the
@@ -48,6 +62,10 @@ proptest! {
         prop_assert_eq!(decoded.epoch, f.epoch);
         prop_assert_eq!(decoded.slot, f.slot);
         prop_assert_eq!(decoded.queue.to_bits(), f.queue.to_bits());
+        prop_assert_eq!(decoded.round, f.round);
+        let decoded_bits: Vec<u64> = decoded.shares.iter().map(|s| s.to_bits()).collect();
+        let expect_bits: Vec<u64> = f.shares.iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(decoded_bits, expect_bits);
     }
 
     #[test]
@@ -78,7 +96,7 @@ proptest! {
     #[test]
     fn payload_tampering_is_caught_by_the_crc(f in frame(), frac in 0.0f64..1.0) {
         let line = f.encode().expect("finite frames always encode");
-        // Flip one payload character (past "FED1 <8 hex> ") to a different
+        // Flip one payload character (past "FED2 <8 hex> ") to a different
         // printable one; the CRC gate must reject before JSON even runs.
         let payload_start = 14;
         let bytes = line.as_bytes();
@@ -99,7 +117,9 @@ proptest! {
     fn non_finite_queue_levels_are_rejected(f in frame(), magnitude in 400u32..2000) {
         // Encode-side: NaN and infinities never reach the wire.
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
-            let e = QueueGossip { queue: bad, ..f }.encode().expect_err("non-finite must fail");
+            let e = QueueGossip { queue: bad, ..f.clone() }
+                .encode()
+                .expect_err("non-finite must fail");
             prop_assert_eq!(e.kind(), "non-finite");
         }
         // Decode-side: an overflowing literal spliced into the payload
@@ -111,7 +131,8 @@ proptest! {
         let needle = format!("\"queue\":{queue_literal}");
         if payload.contains(&needle) {
             let hostile = payload.replacen(&needle, &format!("\"queue\":1e{magnitude}"), 1);
-            let line = format!("FED1 {:08x} {hostile}", eotora_durability::crc32(hostile.as_bytes()));
+            let line =
+                format!("{GOSSIP_MAGIC} {:08x} {hostile}", eotora_durability::crc32(hostile.as_bytes()));
             match QueueGossip::decode(&line) {
                 Err(e) => prop_assert!(
                     e.kind() == "non-finite" || e.kind() == "json",
@@ -120,5 +141,21 @@ proptest! {
                 Ok(decoded) => prop_assert!(false, "overflow literal decoded as {:?}", decoded),
             }
         }
+    }
+
+    #[test]
+    fn over_allocating_share_vectors_are_rejected(f in frame(), excess in 1.001f64..10.0) {
+        // A hostile peer splicing a share vector that sums above 1 (CRC
+        // recomputed honestly) must be rejected: the codec is the last
+        // gate before a frame can hand the fleet more than its budget.
+        let mut hostile_frame = f;
+        hostile_frame.shares = vec![excess / 2.0, excess / 2.0];
+        let e = hostile_frame.encode().expect_err("over-allocation must not encode");
+        prop_assert_eq!(e.kind(), "share-sum");
+        let payload = serde_json::to_string(&hostile_frame).expect("serializable");
+        let line =
+            format!("{GOSSIP_MAGIC} {:08x} {payload}", eotora_durability::crc32(payload.as_bytes()));
+        let e = QueueGossip::decode(&line).expect_err("over-allocation must not decode");
+        prop_assert_eq!(e.kind(), "share-sum");
     }
 }

@@ -177,10 +177,14 @@ pub const COUNTER_FED_STALE_EPOCHS: &str = "fed.stale_epochs";
 /// Counter name for transitions into the partitioned degradation rung —
 /// a peer's missed-epoch count crossing the partition threshold.
 pub const COUNTER_FED_PARTITIONS: &str = "fed.partitions";
-/// Counter name for budget-share recomputations a region applied (fresh
-/// all-peer views under a dynamic rebalance policy, or a reconciliation
-/// sweep on partition heal).
+/// Counter name for budget-share changes a region applied — a staged
+/// round cutting the share immediately, or a fleet-confirmed round
+/// raising it.
 pub const COUNTER_FED_BUDGET_REBALANCES: &str = "fed.budget_rebalances";
+/// Counter name for share rounds a region promoted after the whole fleet
+/// advertised knowing them (the confirmation phase of the two-phase
+/// rebalance protocol).
+pub const COUNTER_FED_ROUNDS_PROMOTED: &str = "fed.rounds_promoted";
 
 /// Counter name for health transitions into `Ok`.
 pub const COUNTER_HEALTH_TO_OK: &str = "health.to_ok";
@@ -442,7 +446,12 @@ pub const ALL: &[MetricDef] = &[
     def(
         COUNTER_FED_BUDGET_REBALANCES,
         MetricKind::Counter,
-        "budget-share recomputations applied by a region",
+        "budget-share changes applied by a region",
+    ),
+    def(
+        COUNTER_FED_ROUNDS_PROMOTED,
+        MetricKind::Counter,
+        "share rounds promoted after fleet-wide acknowledgement",
     ),
     def(COUNTER_HEALTH_TO_OK, MetricKind::Counter, "health transitions into Ok"),
     def(COUNTER_HEALTH_TO_DEGRADED, MetricKind::Counter, "health transitions into Degraded"),

@@ -490,19 +490,21 @@ fn run_reader(input: InputSource, queue: &AdmissionQueue, devices: usize, statio
             // travels from each finished stream to the next connection. A
             // *concurrent* second client is rejected with a typed error
             // record — never silently interleaved into the live stream.
-            let slot = Mutex::new(Some(decoder));
+            let slot = DecoderSlot::new(decoder);
             std::thread::scope(|scope| loop {
                 let Ok((stream, _)) = listener.accept() else {
                     queue.close();
                     return;
                 };
-                match claim_decoder(&slot) {
+                match slot.claim(RECONNECT_GRACE) {
                     Some(decoder) => {
                         let slot = &slot;
                         scope.spawn(move || {
-                            let mut decoder = decoder;
-                            read_stream(Box::new(stream), queue, &mut decoder);
-                            *lock_decoder_slot(slot) = Some(decoder);
+                            // The guard hands the decoder back (and wakes
+                            // any waiting claim) even if decoding unwinds.
+                            let mut guard = DecoderReturn { slot, decoder: Some(decoder) };
+                            let decoder = guard.decoder.as_mut().expect("held until drop");
+                            read_stream(Box::new(stream), queue, decoder);
                         });
                     }
                     None => reject_concurrent_client(stream, queue),
@@ -512,29 +514,75 @@ fn run_reader(input: InputSource, queue: &AdmissionQueue, devices: usize, statio
     }
 }
 
-/// Takes the decoder if no stream is active. Waits briefly so a
-/// sequential reconnect racing the previous stream's EOF handling is not
-/// misread as a concurrent client.
+/// How long a new connection waits for the previous stream to hand its
+/// decoder back before it is rejected as concurrent. The handback wakes
+/// the waiter immediately, so a sequential reconnect racing the previous
+/// stream's EOF handling claims the decoder as soon as it is free — the
+/// full grace period is only ever served when the previous client really
+/// is still connected, i.e. for a genuinely concurrent second client.
 #[cfg(unix)]
-fn claim_decoder(slot: &Mutex<Option<FrameDecoder>>) -> Option<FrameDecoder> {
-    for attempt in 0..20 {
-        if attempt > 0 {
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        if let Some(decoder) = lock_decoder_slot(slot).take() {
-            return Some(decoder);
-        }
-    }
-    None
+const RECONNECT_GRACE: Duration = Duration::from_secs(2);
+
+/// Hands the one [`FrameDecoder`] from each finished stream to the next:
+/// `None` while a stream is live, `Some` between streams, with a condvar
+/// signalling the handback.
+#[cfg(unix)]
+struct DecoderSlot {
+    state: Mutex<Option<FrameDecoder>>,
+    returned: std::sync::Condvar,
 }
 
 #[cfg(unix)]
-fn lock_decoder_slot(
-    slot: &Mutex<Option<FrameDecoder>>,
-) -> std::sync::MutexGuard<'_, Option<FrameDecoder>> {
-    match slot.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
+impl DecoderSlot {
+    fn new(decoder: FrameDecoder) -> Self {
+        Self { state: Mutex::new(Some(decoder)), returned: std::sync::Condvar::new() }
+    }
+
+    /// Takes the decoder if no stream is active, waiting up to `grace`
+    /// for a live stream to finish. `None` means another client held the
+    /// stream for the whole grace period — a concurrent client.
+    fn claim(&self, grace: Duration) -> Option<FrameDecoder> {
+        let deadline = std::time::Instant::now() + grace;
+        let mut state = self.lock();
+        loop {
+            if let Some(decoder) = state.take() {
+                return Some(decoder);
+            }
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            state = match self.returned.wait_timeout(state, remaining) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    fn put_back(&self, decoder: FrameDecoder) {
+        *self.lock() = Some(decoder);
+        self.returned.notify_one();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<FrameDecoder>> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Returns the decoder to its slot on drop, so a panicking reader thread
+/// cannot strand the slot empty and lock every later client out.
+#[cfg(unix)]
+struct DecoderReturn<'a> {
+    slot: &'a DecoderSlot,
+    decoder: Option<FrameDecoder>,
+}
+
+#[cfg(unix)]
+impl Drop for DecoderReturn<'_> {
+    fn drop(&mut self) {
+        if let Some(decoder) = self.decoder.take() {
+            self.slot.put_back(decoder);
+        }
     }
 }
 

@@ -14,8 +14,9 @@
 //! time-average budget within the `O(V/T)` transient; the clean arm drops
 //! nothing; the partitioned arm walks the stale → partitioned → heal
 //! ladder (non-zero `fed.partitions` and `fed.stale_epochs`) while the
-//! cut-off region freezes on its last-agreed share — degrading latency,
-//! never feasibility.
+//! cut-off region freezes on its applied share — degrading latency,
+//! never feasibility (applied shares sum ≤ 1 even under asymmetric
+//! loss, via the two-phase round protocol in `eotora-federation`).
 
 use std::collections::BTreeMap;
 
